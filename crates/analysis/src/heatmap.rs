@@ -1,0 +1,102 @@
+//! Text heatmaps — the terminal rendering of Fig. 9(a)/(b).
+
+/// Rendering options for [`render_heatmap`].
+#[derive(Debug, Clone, Default)]
+pub struct HeatmapOptions {
+    /// Optional row labels (left margin).
+    pub row_labels: Vec<String>,
+    /// Title printed above the grid.
+    pub title: String,
+}
+
+/// Unicode shade ramp from low to high.
+const RAMP: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// Renders a matrix (rows of equal length) as a Unicode-shade heatmap.
+/// Values are min-max normalized over the whole matrix.
+///
+/// # Panics
+/// Panics if rows are ragged or the matrix is empty.
+pub fn render_heatmap(rows: &[Vec<f32>], opts: &HeatmapOptions) -> String {
+    assert!(!rows.is_empty(), "render_heatmap: no rows");
+    let width = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == width),
+        "render_heatmap: ragged rows"
+    );
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for r in rows {
+        for &v in r {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        out.push_str(&opts.title);
+        out.push('\n');
+    }
+    let label_width = opts
+        .row_labels
+        .iter()
+        .map(|l| l.len())
+        .max()
+        .unwrap_or(0);
+    for (i, r) in rows.iter().enumerate() {
+        if label_width > 0 {
+            let label = opts.row_labels.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{label:>label_width$} "));
+        }
+        for &v in r {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = ((t * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("scale: min {lo:.3} … max {hi:.3}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_extremes_with_ramp_ends() {
+        let rows = vec![vec![0.0, 1.0]];
+        let s = render_heatmap(&rows, &HeatmapOptions::default());
+        assert!(s.contains(' '), "min maps to lightest shade");
+        assert!(s.contains('█'), "max maps to darkest shade");
+        assert!(s.contains("scale:"));
+    }
+
+    #[test]
+    fn labels_are_aligned() {
+        let rows = vec![vec![0.0, 0.5], vec![1.0, 0.2]];
+        let opts = HeatmapOptions {
+            row_labels: vec!["a".into(), "long".into()],
+            title: "demo".into(),
+        };
+        let s = render_heatmap(&rows, &opts);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "demo");
+        assert!(lines[1].starts_with("   a "));
+        assert!(lines[2].starts_with("long "));
+    }
+
+    #[test]
+    fn constant_matrix_is_handled() {
+        let rows = vec![vec![2.0, 2.0], vec![2.0, 2.0]];
+        let s = render_heatmap(&rows, &HeatmapOptions::default());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        let _ = render_heatmap(&[vec![1.0], vec![1.0, 2.0]], &HeatmapOptions::default());
+    }
+}

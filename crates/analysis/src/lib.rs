@@ -1,0 +1,63 @@
+//! Analysis utilities for the Fig. 9 visualizations and the experiment
+//! reports: exact t-SNE, text heatmaps, Pearson correlation, and table
+//! formatting.
+
+mod heatmap;
+mod tables;
+mod tsne;
+
+pub use heatmap::{render_heatmap, HeatmapOptions};
+pub use tables::Table;
+pub use tsne::{tsne, TsneConfig};
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0.0 for degenerate (constant) inputs.
+///
+/// # Panics
+/// Panics if lengths differ or the series are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    assert!(!xs.is_empty(), "pearson: empty series");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    let denom = (vx * vy).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_negated_series_is_minus_one() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let xs = vec![1.0, 1.0, 1.0];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+}

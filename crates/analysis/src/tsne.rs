@@ -1,0 +1,237 @@
+//! Exact (O(n²)) t-SNE (van der Maaten & Hinton 2008), used to lay out the
+//! learned cascade representations of Fig. 9 in 2-D.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbors).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 20.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Embeds `points` (rows of equal dimension) into 2-D.
+///
+/// # Panics
+/// Panics if fewer than 3 points are given or rows are ragged.
+pub fn tsne(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 3, "tsne: need at least 3 points, got {n}");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "tsne: ragged input");
+
+    // Pairwise squared distances in high-dimensional space.
+    let mut dist2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            dist2[i * n + j] = s;
+            dist2[j * n + i] = s;
+        }
+    }
+
+    // Conditional probabilities with per-point bandwidth found by binary
+    // search on perplexity.
+    let mut p = vec![0.0f64; n * n];
+    let log_perp = cfg.perplexity.min((n - 1) as f64).ln();
+    for i in 0..n {
+        let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+        let mut beta = 1.0f64;
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-beta * dist2[i * n + j]).exp();
+                sum += e;
+                sum_dp += beta * dist2[i * n + j] * e;
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let entropy = (sum).ln() + sum_dp / sum;
+            let diff = entropy - log_perp;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let e = (-beta * dist2[i * n + j]).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the 2-D layout.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| {
+            [
+                rng.random_range(-1e-2..1e-2f64),
+                rng.random_range(-1e-2..1e-2f64),
+            ]
+        })
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let exaggeration_end = cfg.iterations / 4;
+
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exaggeration_end {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
+        // Student-t affinities in the embedding.
+        let mut q_unnorm = vec![0.0f64; n * n];
+        let mut z = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                q_unnorm[i * n + j] = q;
+                q_unnorm[j * n + i] = q;
+                z += 2.0 * q;
+            }
+        }
+        let z = z.max(1e-12);
+        // Gradient and momentum update.
+        let momentum = if iter < exaggeration_end { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = q_unnorm[i * n + j];
+                let coeff = 4.0 * (exag * pij[i * n + j] - q / z) * q;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                velocity[i][k] = momentum * velocity[i][k] - cfg.learning_rate * grad[k];
+                y[i][k] += velocity[i][k];
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs must remain separated in 2-D.
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut points = Vec::new();
+        for i in 0..40 {
+            let offset = if i < 20 { 0.0f32 } else { 20.0 };
+            points.push(vec![
+                offset + rng.random_range(-0.5..0.5f32),
+                offset + rng.random_range(-0.5..0.5f32),
+                rng.random_range(-0.5..0.5f32),
+            ]);
+        }
+        let layout = tsne(
+            &points,
+            &TsneConfig {
+                perplexity: 10.0,
+                iterations: 250,
+                ..TsneConfig::default()
+            },
+        );
+        // Mean intra-blob distance must be far below inter-blob distance.
+        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let centroid = |pts: &[[f64; 2]]| {
+            let n = pts.len() as f64;
+            [
+                pts.iter().map(|p| p[0]).sum::<f64>() / n,
+                pts.iter().map(|p| p[1]).sum::<f64>() / n,
+            ]
+        };
+        let c1 = centroid(&layout[..20]);
+        let c2 = centroid(&layout[20..]);
+        let between = dist(c1, c2);
+        let within: f64 = layout[..20].iter().map(|&p| dist(p, c1)).sum::<f64>() / 20.0;
+        assert!(
+            between > 2.0 * within,
+            "blobs not separated: between {between}, within {within}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_seeded() {
+        let points: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![i as f32, (i * i) as f32 * 0.1])
+            .collect();
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        let a = tsne(&points, &cfg);
+        let b = tsne(&points, &cfg);
+        assert_eq!(a, b, "same seed → same layout");
+        assert!(a.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn rejects_tiny_inputs() {
+        let _ = tsne(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+}

@@ -1,0 +1,160 @@
+//! Finite-difference gradient verification.
+//!
+//! Every backward rule in this crate is validated against central finite
+//! differences. With `f32` arithmetic the attainable agreement is roughly
+//! three significant digits, so callers should use relative tolerances of
+//! about 2–5 % and keep test inputs O(1).
+
+use cascn_tensor::Matrix;
+
+use crate::params::{ParamId, ParamStore};
+
+/// Outcome of a gradient check for a single parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Parameter name.
+    pub name: String,
+    /// Largest relative error across entries.
+    pub max_rel_err: f32,
+    /// Entry index of the largest error.
+    pub worst_index: usize,
+    /// Analytic value at the worst entry.
+    pub analytic: f32,
+    /// Numeric value at the worst entry.
+    pub numeric: f32,
+}
+
+/// Central-difference gradient of `loss` with respect to parameter `id`.
+///
+/// `loss` must be a pure function of the store (it may build tapes
+/// internally). `h` is the perturbation step; `1e-2` works well for
+/// `f32`-scaled problems.
+pub fn numeric_gradient(
+    store: &mut ParamStore,
+    id: ParamId,
+    h: f32,
+    mut loss: impl FnMut(&ParamStore) -> f32,
+) -> Matrix {
+    let shape = store.value(id).shape();
+    let mut grad = Matrix::zeros(shape.0, shape.1);
+    for i in 0..shape.0 * shape.1 {
+        let orig = store.value(id).as_slice()[i];
+        store.value_mut(id).as_mut_slice()[i] = orig + h;
+        let up = loss(store);
+        store.value_mut(id).as_mut_slice()[i] = orig - h;
+        let down = loss(store);
+        store.value_mut(id).as_mut_slice()[i] = orig;
+        grad.as_mut_slice()[i] = (up - down) / (2.0 * h);
+    }
+    grad
+}
+
+/// Compares analytic gradients (already accumulated in `store`) against
+/// central finite differences of `loss`, returning one report per parameter.
+///
+/// Callers typically run the forward+backward pass, then invoke this with the
+/// same loss closure and assert `max_rel_err` is small.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    h: f32,
+    mut loss: impl FnMut(&ParamStore) -> f32,
+) -> Vec<GradCheckReport> {
+    let ids: Vec<_> = store.ids().collect();
+    let mut reports = Vec::with_capacity(ids.len());
+    for id in ids {
+        let numeric = numeric_gradient(store, id, h, &mut loss);
+        let analytic = store.grad(id).clone();
+        let mut worst = (0usize, 0.0f32, 0.0f32, 0.0f32);
+        for i in 0..numeric.len() {
+            let (a, n) = (analytic.as_slice()[i], numeric.as_slice()[i]);
+            let denom = a.abs().max(n.abs()).max(1e-3);
+            let rel = (a - n).abs() / denom;
+            if rel > worst.1 {
+                worst = (i, rel, a, n);
+            }
+        }
+        reports.push(GradCheckReport {
+            name: store.name(id).to_string(),
+            max_rel_err: worst.1,
+            worst_index: worst.0,
+            analytic: worst.2,
+            numeric: worst.3,
+        });
+    }
+    reports
+}
+
+/// Asserts that every parameter's analytic gradient matches finite
+/// differences within `tol` relative error.
+///
+/// # Panics
+/// Panics with the worst offending parameter and entry.
+pub fn assert_gradients_close(
+    store: &mut ParamStore,
+    h: f32,
+    tol: f32,
+    loss: impl FnMut(&ParamStore) -> f32,
+) {
+    for report in check_gradients(store, h, loss) {
+        assert!(
+            report.max_rel_err <= tol,
+            "gradient check failed for `{}` at entry {}: analytic {} vs numeric {} (rel err {:.4})",
+            report.name,
+            report.worst_index,
+            report.analytic,
+            report.numeric,
+            report.max_rel_err
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    #[test]
+    fn numeric_gradient_of_quadratic_is_linear() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::row_vector(&[1.0, -2.0]));
+        let g = numeric_gradient(&mut store, w, 1e-3, |s| {
+            s.value(w).as_slice().iter().map(|x| x * x).sum::<f32>() * 0.5
+        });
+        // d/dw (0.5 Σ w²) = w
+        assert!((g.as_slice()[0] - 1.0).abs() < 1e-2);
+        assert!((g.as_slice()[1] + 2.0).abs() < 1e-2);
+        // The probe must restore the original values.
+        assert_eq!(store.value(w).as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn check_gradients_passes_for_linear_model() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_rows(&[&[0.3], &[-0.7]]));
+        let b = store.register("b", Matrix::zeros(1, 1));
+        let x = Matrix::row_vector(&[1.5, -0.5]);
+
+        let loss_fn = |s: &ParamStore| {
+            let mut t = Tape::new();
+            let wv = t.constant(s.value(w).clone());
+            let bv = t.constant(s.value(b).clone());
+            let xv = t.constant(x.clone());
+            let y = t.linear(xv, wv, bv);
+            let l = t.squared_error(y, 2.0);
+            t.scalar(l)
+        };
+
+        // Analytic pass.
+        {
+            let mut t = Tape::new();
+            let wv = t.param(&store, w);
+            let bv = t.param(&store, b);
+            let xv = t.constant(x.clone());
+            let y = t.linear(xv, wv, bv);
+            let l = t.squared_error(y, 2.0);
+            t.backward(l);
+            t.accumulate_param_grads(&mut store);
+        }
+        assert_gradients_close(&mut store, 1e-2, 2e-2, loss_fn);
+    }
+}

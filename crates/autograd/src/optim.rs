@@ -1,0 +1,242 @@
+//! First-order optimizers operating on a [`ParamStore`].
+
+use cascn_tensor::Matrix;
+
+use crate::params::ParamStore;
+
+/// Common interface for optimizers: consume accumulated gradients and update
+/// parameter values in place. Implementations must leave gradients untouched
+/// (callers decide when to [`ParamStore::zero_grads`]).
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// `store`.
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0.0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.len() < ids.len() {
+            for id in &ids[self.velocity.len()..] {
+                let v = store.value(*id);
+                self.velocity.push(Matrix::zeros(v.rows(), v.cols()));
+            }
+        }
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let vel = &mut self.velocity[i];
+            vel.scale_in_place(self.momentum);
+            vel.axpy(1.0, &g);
+            let delta = vel.clone();
+            store.value_mut(id).axpy(-self.lr, &delta);
+        }
+    }
+}
+
+/// Configuration for [`Adam`]. Defaults follow Kingma & Ba and the paper's
+/// training setup (Algorithm 2 optimizes with Adam).
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate (paper: 5e-3 for model weights).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled L2 weight decay (0.0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 5e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adaptive moment estimation (Adam), the optimizer Algorithm 2 of the paper
+/// prescribes.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    step: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given configuration.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Self {
+            cfg,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Creates Adam with the default configuration and a custom learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        Self::new(AdamConfig {
+            lr,
+            ..AdamConfig::default()
+        })
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Overrides the learning rate (for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.m.len() < ids.len() {
+            for id in &ids[self.m.len()..] {
+                let v = store.value(*id);
+                self.m.push(Matrix::zeros(v.rows(), v.cols()));
+                self.v.push(Matrix::zeros(v.rows(), v.cols()));
+            }
+        }
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.cfg.beta1.powf(t);
+        let bc2 = 1.0 - self.cfg.beta2.powf(t);
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *mi = self.cfg.beta1 * *mi + (1.0 - self.cfg.beta1) * gi;
+                *vi = self.cfg.beta2 * *vi + (1.0 - self.cfg.beta2) * gi * gi;
+            }
+            let lr = self.cfg.lr;
+            let wd = self.cfg.weight_decay;
+            let value = store.value_mut(id);
+            for ((w, &mi), &vi) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *w -= lr * (mhat / (vhat.sqrt() + self.cfg.eps) + wd * *w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    /// Minimizes f(w) = (w - 3)² and checks convergence to 3.
+    fn optimize(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 1));
+        for _ in 0..iters {
+            store.zero_grads();
+            let mut t = Tape::new();
+            let wv = t.param(&store, w);
+            let loss = t.squared_error(wv, 3.0);
+            t.backward(loss);
+            t.accumulate_param_grads(&mut store);
+            opt.step(&mut store);
+        }
+        store.value(w)[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = optimize(&mut Sgd::new(0.1, 0.0), 200);
+        assert!((w - 3.0).abs() < 1e-3, "sgd ended at {w}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let w = optimize(&mut Sgd::new(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "sgd+momentum ended at {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = optimize(&mut Adam::with_lr(0.1), 400);
+        assert!((w - 3.0).abs() < 1e-2, "adam ended at {w}");
+    }
+
+    #[test]
+    fn adam_handles_params_registered_after_construction() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 1));
+        let mut opt = Adam::with_lr(0.1);
+        // One step with only `a`.
+        store.accumulate_grad(a, &Matrix::full(1, 1, 1.0));
+        opt.step(&mut store);
+        // Register `b` afterwards; the optimizer must grow its state.
+        let b = store.register("b", Matrix::zeros(1, 1));
+        store.zero_grads();
+        store.accumulate_grad(b, &Matrix::full(1, 1, 1.0));
+        opt.step(&mut store);
+        assert!(store.value(b)[(0, 0)] < 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 1, 1.0));
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.01,
+            weight_decay: 1.0,
+            ..AdamConfig::default()
+        });
+        // Zero gradient: only decay acts.
+        opt.step(&mut store);
+        assert!(store.value(w)[(0, 0)] < 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Parameter persistence: a line-based text format for [`ParamStore`]
+//! checkpoints, so trained models survive process restarts.
+//!
+//! ```text
+//! # cascn params v1
+//! param <name> <rows> <cols>
+//! <row of space-separated f32 values>
+//! ...
+//! ```
+//!
+//! Values round-trip exactly via the `{:?}` float formatting (shortest
+//! representation that re-parses to the same bits).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use cascn_tensor::Matrix;
+
+use crate::params::ParamStore;
+
+impl ParamStore {
+    /// Serializes all parameter values (not gradients) to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# cascn params v1\n");
+        for id in self.ids() {
+            let v = self.value(id);
+            let _ = writeln!(out, "param {} {} {}", self.name(id), v.rows(), v.cols());
+            for r in 0..v.rows() {
+                let row: Vec<String> = v.row(r).iter().map(|x| format!("{x:?}")).collect();
+                let _ = writeln!(out, "{}", row.join(" "));
+            }
+        }
+        out
+    }
+
+    /// Parses a checkpoint produced by [`ParamStore::to_text`].
+    ///
+    /// Returns a descriptive error string on malformed input.
+    pub fn from_text(text: &str) -> Result<ParamStore, String> {
+        let mut store = ParamStore::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((lineno, line)) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("param") {
+                return Err(format!("line {}: expected `param` header", lineno + 1));
+            }
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing name", lineno + 1))?
+                .to_string();
+            let rows: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad row count", lineno + 1))?;
+            let cols: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad col count", lineno + 1))?;
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows {
+                let (rno, row_line) = lines
+                    .next()
+                    .ok_or_else(|| format!("param `{name}`: truncated rows"))?;
+                for tok in row_line.split_whitespace() {
+                    let v: f32 = tok
+                        .parse()
+                        .map_err(|_| format!("line {}: bad float `{tok}`", rno + 1))?;
+                    data.push(v);
+                }
+            }
+            if data.len() != rows * cols {
+                return Err(format!(
+                    "param `{name}`: expected {} values, got {}",
+                    rows * cols,
+                    data.len()
+                ));
+            }
+            store.register(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(store)
+    }
+
+    /// Writes the checkpoint to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a checkpoint from `path`.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text).map_err(io::Error::other)
+    }
+
+    /// Copies values from `other` into this store by parameter *name*.
+    /// Returns the number of parameters restored, or an error if a name
+    /// matches with a different shape (checkpoint for another architecture).
+    pub fn restore_from(&mut self, other: &ParamStore) -> Result<usize, String> {
+        let mut restored = 0;
+        let my_ids: Vec<_> = self.ids().collect();
+        for id in my_ids {
+            let name = self.name(id).to_string();
+            for oid in other.ids() {
+                if other.name(oid) == name {
+                    if self.value(id).shape() != other.value(oid).shape() {
+                        return Err(format!(
+                            "checkpoint shape mismatch for `{name}`: {:?} vs {:?}",
+                            self.value(id).shape(),
+                            other.value(oid).shape()
+                        ));
+                    }
+                    *self.value_mut(id) = other.value(oid).clone();
+                    restored += 1;
+                    break;
+                }
+            }
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.register("w", Matrix::from_rows(&[&[1.5, -2.25e-7], &[0.0, f32::MIN_POSITIVE]]));
+        s.register("b", Matrix::row_vector(&[3.0]));
+        s
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let s = sample_store();
+        let text = s.to_text();
+        let back = ParamStore::from_text(&text).expect("parses");
+        assert_eq!(back.len(), 2);
+        for (a, b) in s.ids().zip(back.ids()) {
+            assert_eq!(s.name(a), back.name(b));
+            assert_eq!(s.value(a).as_slice(), back.value(b).as_slice(), "bit-exact");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("cascn_params_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.params");
+        s.save(&path).unwrap();
+        let back = ParamStore::load(&path).unwrap();
+        assert_eq!(back.len(), s.len());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_location() {
+        let err = ParamStore::from_text("param w 1 2\n1.0 nope\n").unwrap_err();
+        assert!(err.contains("bad float"), "got: {err}");
+        let err = ParamStore::from_text("bogus\n").unwrap_err();
+        assert!(err.contains("expected `param`"), "got: {err}");
+        let err = ParamStore::from_text("param w 2 2\n1 2 3 4\n").unwrap_err();
+        assert!(err.contains("truncated") || err.contains("expected"), "got: {err}");
+    }
+
+    #[test]
+    fn restore_by_name_matches_architecture() {
+        let trained = sample_store();
+        let mut fresh = ParamStore::new();
+        fresh.register("b", Matrix::zeros(1, 1));
+        fresh.register("w", Matrix::zeros(2, 2));
+        let restored = fresh.restore_from(&trained).expect("shapes match");
+        assert_eq!(restored, 2);
+        let w = fresh.ids().nth(1).unwrap();
+        assert_eq!(fresh.value(w)[(0, 0)], 1.5);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shapes() {
+        let trained = sample_store();
+        let mut fresh = ParamStore::new();
+        fresh.register("w", Matrix::zeros(3, 3));
+        let err = fresh.restore_from(&trained).unwrap_err();
+        assert!(err.contains("shape mismatch"), "got: {err}");
+    }
+}

@@ -1,0 +1,228 @@
+//! DeepCas (Li et al., WWW 2017): the first end-to-end deep predictor —
+//! random-walk node sequences, learned user embeddings, a bi-directional
+//! GRU, and attention over walks. Uses structure and node identity but no
+//! event times (its Table III weakness).
+
+use cascn::{trainer, SizePredictor, TrainOpts};
+use cascn_autograd::{ParamId, ParamStore, Tape, Var};
+use cascn_cascades::Cascade;
+use cascn_graph::walks::{sample_walks, WalkConfig};
+use cascn_nn::train::History;
+use cascn_nn::{init, metrics, Activation, Embedding, GruCell, Linear, Mlp, Vocab};
+use cascn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A cascade reduced to walk sequences for DeepCas.
+#[derive(Debug, Clone)]
+pub struct DeepCasSample {
+    walks: Vec<Vec<usize>>,
+    label_log: f32,
+    increment: usize,
+}
+
+/// The DeepCas baseline.
+#[derive(Debug, Clone)]
+pub struct DeepCas {
+    store: ParamStore,
+    vocab: Vocab,
+    embedding: Embedding,
+    gru_fwd: GruCell,
+    gru_bwd: GruCell,
+    att_proj: Linear,
+    att_v: ParamId,
+    mlp: Mlp,
+    walk_cfg: WalkConfig,
+    hidden: usize,
+    seed: u64,
+}
+
+impl DeepCas {
+    /// Embedding width (paper setup: 50).
+    pub const EMBED_DIM: usize = 50;
+
+    /// Builds the model; the vocabulary comes from the training cascades.
+    pub fn new(train: &[Cascade], window: f64, hidden: usize, seed: u64) -> Self {
+        let vocab = Vocab::build(
+            train.iter().flat_map(|c| c.observe(window).users().into_iter()),
+            0,
+        );
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embedding = Embedding::new(
+            &mut store,
+            "deepcas.embed",
+            vocab.table_size(),
+            Self::EMBED_DIM,
+            &mut rng,
+        );
+        let gru_fwd = GruCell::new(&mut store, "deepcas.gru_fwd", Self::EMBED_DIM, hidden, &mut rng);
+        let gru_bwd = GruCell::new(&mut store, "deepcas.gru_bwd", Self::EMBED_DIM, hidden, &mut rng);
+        let att_proj = Linear::new(&mut store, "deepcas.att_proj", 2 * hidden, hidden, &mut rng);
+        let att_v = store.register("deepcas.att_v", init::xavier_uniform(hidden, 1, &mut rng));
+        let mlp = Mlp::new(
+            &mut store,
+            "deepcas.mlp",
+            &[2 * hidden, 32, 16, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        Self {
+            store,
+            vocab,
+            embedding,
+            gru_fwd,
+            gru_bwd,
+            att_proj,
+            att_v,
+            mlp,
+            walk_cfg: WalkConfig {
+                num_walks: 12,
+                walk_length: 8,
+            },
+            hidden,
+            seed,
+        }
+    }
+
+    /// Deterministically samples the walk representation of a cascade.
+    pub fn preprocess(&self, cascade: &Cascade, window: f64) -> DeepCasSample {
+        let o = cascade.observe(window);
+        let g = o.graph();
+        let users = o.users();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ cascade.id.wrapping_mul(0x51f2_33da));
+        let walks = sample_walks(&g, self.walk_cfg, &mut rng)
+            .into_iter()
+            .map(|w| w.into_iter().map(|v| self.vocab.lookup(users[v])).collect())
+            .collect();
+        let increment = cascade.increment_size(window);
+        DeepCasSample {
+            walks,
+            label_log: metrics::log_label(increment),
+            increment,
+        }
+    }
+
+    /// Forward pass: bi-GRU per walk → attention-weighted sum over walks →
+    /// MLP.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, sample: &DeepCasSample) -> Var {
+        let mut walk_reprs = Vec::with_capacity(sample.walks.len());
+        for walk in &sample.walks {
+            let emb = self.embedding.forward(tape, store, walk.clone());
+            let fwd_inputs: Vec<Var> = (0..walk.len()).map(|i| tape.slice_rows(emb, i, 1)).collect();
+            let bwd_inputs: Vec<Var> = fwd_inputs.iter().rev().copied().collect();
+            let hf = self.gru_fwd.run(tape, store, &fwd_inputs, 1);
+            let hb = self.gru_bwd.run(tape, store, &bwd_inputs, 1);
+            let last_f = *hf.last().expect("non-empty walk");
+            let last_b = *hb.last().expect("non-empty walk");
+            walk_reprs.push(tape.concat_cols(last_f, last_b));
+        }
+        let stacked = tape.concat_rows(&walk_reprs); // m x 2h
+        // Additive attention over walks.
+        let proj = self.att_proj.forward(tape, store, stacked);
+        let proj_act = tape.tanh(proj);
+        let v = tape.param(store, self.att_v);
+        let scores = tape.matmul(proj_act, v); // m x 1
+        let weights = tape.softmax_col(scores);
+        // Weighted sum: tile weights across columns, hadamard, sum rows.
+        let ones = tape.constant(Matrix::full(1, 2 * self.hidden, 1.0));
+        let tiled = tape.matmul(weights, ones);
+        let weighted = tape.hadamard(tiled, stacked);
+        let pooled = tape.sum_rows(weighted); // 1 x 2h
+        self.mlp.forward(tape, store, pooled)
+    }
+
+    /// Trains the model end-to-end.
+    pub fn fit(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+    ) -> History {
+        let train_samples: Vec<DeepCasSample> =
+            train.iter().map(|c| self.preprocess(c, window)).collect();
+        let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
+        let val_samples: Vec<DeepCasSample> =
+            val.iter().map(|c| self.preprocess(c, window)).collect();
+        let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
+        let model = self.clone();
+        let forward = move |tape: &mut Tape, store: &ParamStore, s: &DeepCasSample| {
+            model.forward(tape, store, s)
+        };
+        trainer::train_loop(
+            &mut self.store,
+            &forward,
+            &train_samples,
+            &train_labels,
+            &val_samples,
+            &val_increments,
+            opts,
+        )
+    }
+}
+
+impl SizePredictor for DeepCas {
+    fn name(&self) -> String {
+        "DeepCas".to_string()
+    }
+
+    fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        let sample = self.preprocess(cascade, window);
+        let forward = |tape: &mut Tape, store: &ParamStore, s: &DeepCasSample| {
+            self.forward(tape, store, s)
+        };
+        trainer::predict_with(&self.store, &forward, &sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+    use cascn_cascades::Split;
+
+    fn data() -> cascn_cascades::Dataset {
+        WeiboGenerator::new(WeiboConfig {
+            num_cascades: 200,
+            seed: 19,
+            max_size: 120,
+        })
+        .generate()
+        .filter_observed_size(3600.0, 3, 60)
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one_via_forward_finiteness() {
+        let d = data();
+        let model = DeepCas::new(d.split(Split::Train), 3600.0, 8, 1);
+        let p = model.predict_log(&d.cascades[0], 3600.0);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn preprocessing_is_deterministic() {
+        let d = data();
+        let model = DeepCas::new(d.split(Split::Train), 3600.0, 8, 1);
+        let a = model.preprocess(&d.cascades[0], 3600.0);
+        let b = model.preprocess(&d.cascades[0], 3600.0);
+        assert_eq!(a.walks, b.walks);
+    }
+
+    #[test]
+    fn one_epoch_fit_runs() {
+        let d = data();
+        let mut model = DeepCas::new(d.split(Split::Train), 3600.0, 8, 1);
+        let opts = TrainOpts {
+            epochs: 1,
+            ..TrainOpts::default()
+        };
+        let hist = model.fit(
+            d.split(Split::Train),
+            d.split(Split::Validation),
+            3600.0,
+            &opts,
+        );
+        assert!(hist.records()[0].val_loss.is_finite());
+    }
+}

@@ -1,0 +1,192 @@
+//! Feature-linear: ridge regression over the hand-crafted features
+//! (paper Section V-B), with the L2 coefficient selected on the validation
+//! set from the paper's grid `{1, 0.5, 0.1, 0.05, …, 1e-8}`.
+
+use cascn::SizePredictor;
+use cascn_cascades::Cascade;
+use cascn_nn::metrics;
+use cascn_tensor::Matrix;
+
+use crate::{feature_rows, Standardizer};
+
+/// Ridge-regression baseline.
+#[derive(Debug, Clone)]
+pub struct FeatureLinear {
+    standardizer: Standardizer,
+    /// Weights over `[1, features...]` (intercept first).
+    beta: Vec<f32>,
+    /// The L2 coefficient chosen on validation.
+    pub chosen_l2: f32,
+}
+
+impl FeatureLinear {
+    /// The paper's L2 grid.
+    pub fn l2_grid() -> Vec<f32> {
+        let mut grid = vec![1.0, 0.5];
+        let mut v = 0.1f32;
+        while v >= 1e-8 {
+            grid.push(v);
+            grid.push(v * 0.5);
+            v *= 0.1;
+        }
+        grid
+    }
+
+    /// Fits the model, choosing the L2 coefficient by validation MSLE.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty.
+    pub fn fit(train: &[Cascade], val: &[Cascade], window: f64) -> Self {
+        assert!(!train.is_empty(), "FeatureLinear: empty training set");
+        let raw = feature_rows(train, window);
+        let standardizer = Standardizer::fit(&raw);
+        let x: Vec<Vec<f32>> = raw.iter().map(|r| standardizer.apply(r)).collect();
+        let y: Vec<f32> = train
+            .iter()
+            .map(|c| metrics::log_label(c.increment_size(window)))
+            .collect();
+
+        let val_raw = feature_rows(val, window);
+        let val_x: Vec<Vec<f32>> = val_raw.iter().map(|r| standardizer.apply(r)).collect();
+        let val_y: Vec<usize> = val.iter().map(|c| c.increment_size(window)).collect();
+
+        let mut best: Option<(f32, Vec<f32>, f32)> = None; // (msle, beta, l2)
+        for l2 in Self::l2_grid() {
+            let Some(beta) = ridge(&x, &y, l2) else {
+                continue;
+            };
+            let score = if val_x.is_empty() {
+                // Fall back to train MSLE when no validation data exists.
+                let preds: Vec<f32> = x.iter().map(|r| predict_row(&beta, r)).collect();
+                let incs: Vec<usize> = train.iter().map(|c| c.increment_size(window)).collect();
+                metrics::msle(&preds, &incs)
+            } else {
+                let preds: Vec<f32> = val_x.iter().map(|r| predict_row(&beta, r)).collect();
+                metrics::msle(&preds, &val_y)
+            };
+            if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
+                best = Some((score, beta, l2));
+            }
+        }
+        let (_, beta, chosen_l2) = best.expect("at least one L2 value must fit");
+        Self {
+            standardizer,
+            beta,
+            chosen_l2,
+        }
+    }
+
+    /// The learned weights (intercept first).
+    pub fn weights(&self) -> &[f32] {
+        &self.beta
+    }
+}
+
+impl SizePredictor for FeatureLinear {
+    fn name(&self) -> String {
+        "Feature-linear".to_string()
+    }
+
+    fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        let f = cascn_cascades::features::extract(&cascade.observe(window), window);
+        predict_row(&self.beta, &self.standardizer.apply(&f))
+    }
+}
+
+fn predict_row(beta: &[f32], row: &[f32]) -> f32 {
+    beta[0] + row.iter().zip(&beta[1..]).map(|(&x, &b)| x * b).sum::<f32>()
+}
+
+/// Closed-form ridge: solves `(XᵀX + l2·I)β = Xᵀy` with an unpenalized
+/// intercept column.
+fn ridge(x: &[Vec<f32>], y: &[f32], l2: f32) -> Option<Vec<f32>> {
+    let n = x.len();
+    let d = x[0].len() + 1; // + intercept
+    let mut xtx = Matrix::zeros(d, d);
+    let mut xty = Matrix::zeros(d, 1);
+    for (row, &yi) in x.iter().zip(y) {
+        let mut aug = Vec::with_capacity(d);
+        aug.push(1.0f32);
+        aug.extend_from_slice(row);
+        for i in 0..d {
+            xty[(i, 0)] += aug[i] * yi;
+            for j in 0..d {
+                xtx[(i, j)] += aug[i] * aug[j];
+            }
+        }
+    }
+    let scale = n as f32;
+    for i in 1..d {
+        xtx[(i, i)] += l2 * scale;
+    }
+    // Tiny jitter on the intercept to keep the system well-posed.
+    xtx[(0, 0)] += 1e-6;
+    let beta = xtx.solve(&xty)?;
+    Some(beta.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+    use cascn_cascades::Split;
+
+    #[test]
+    fn l2_grid_spans_paper_range() {
+        let g = FeatureLinear::l2_grid();
+        assert!(g.contains(&1.0));
+        assert!(g.iter().any(|&v| v <= 1e-8));
+        assert!(g.len() > 10);
+    }
+
+    #[test]
+    fn fit_beats_constant_prediction() {
+        let window = 3600.0;
+        let data = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 900,
+            seed: 77,
+            max_size: 300,
+        })
+        .generate()
+        .filter_observed_size(window, 5, 100);
+        let model = FeatureLinear::fit(
+            data.split(Split::Train),
+            data.split(Split::Validation),
+            window,
+        );
+        let test = data.split(Split::Test);
+        let model_msle = cascn::evaluate(&model, test, window);
+
+        // Constant predictor at the train-mean log label.
+        let mean_label: f32 = data
+            .split(Split::Train)
+            .iter()
+            .map(|c| metrics::log_label(c.increment_size(window)))
+            .sum::<f32>()
+            / data.split(Split::Train).len() as f32;
+        let const_preds: Vec<f32> = vec![mean_label; test.len()];
+        let incs: Vec<usize> = test.iter().map(|c| c.increment_size(window)).collect();
+        let const_msle = metrics::msle(&const_preds, &incs);
+        assert!(
+            model_msle < const_msle,
+            "ridge {model_msle} should beat constant {const_msle}"
+        );
+    }
+
+    #[test]
+    fn weights_include_intercept() {
+        let window = 3600.0;
+        let data = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 200,
+            seed: 5,
+            max_size: 100,
+        })
+        .generate()
+        .filter_observed_size(window, 2, 60);
+        let model = FeatureLinear::fit(&data.cascades, &[], window);
+        assert_eq!(
+            model.weights().len(),
+            cascn_cascades::features::num_features() + 1
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end forward-pass benchmarks: one CasCN prediction vs. the deep
+//! baselines, and CasCN's scaling in the Chebyshev order K (Table V's
+//! "bigger K increases computational cost").
+
+use cascn::{CascnConfig, CascnModel};
+use cascn_baselines::{DeepCas, DeepHawkes, TopoLstm};
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::{Cascade, Split};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn dataset() -> (Vec<Cascade>, Cascade) {
+    let d = WeiboGenerator::new(WeiboConfig {
+        num_cascades: 300,
+        seed: 55,
+        max_size: 200,
+    })
+    .generate()
+    .filter_observed_size(3600.0, 5, 60);
+    let train: Vec<Cascade> = d.split(Split::Train).to_vec();
+    let target = d.split(Split::Test)[0].clone();
+    (train, target)
+}
+
+fn bench_forward_passes(c: &mut Criterion) {
+    let (train, target) = dataset();
+    let window = 3600.0;
+    let mut group = c.benchmark_group("forward_pass");
+
+    let cascn = CascnModel::new(CascnConfig {
+        hidden: 8,
+        mlp_hidden: 8,
+        max_nodes: 30,
+        max_steps: 10,
+        ..CascnConfig::default()
+    });
+    group.bench_function("CasCN", |b| {
+        b.iter(|| cascn.predict_log(std::hint::black_box(&target), window))
+    });
+
+    let deepcas = DeepCas::new(&train, window, 8, 1);
+    group.bench_function("DeepCas", |b| {
+        b.iter(|| {
+            use cascn::SizePredictor;
+            deepcas.predict_log(std::hint::black_box(&target), window)
+        })
+    });
+
+    let deephawkes = DeepHawkes::new(&train, window, 8, 1);
+    group.bench_function("DeepHawkes", |b| {
+        b.iter(|| {
+            use cascn::SizePredictor;
+            deephawkes.predict_log(std::hint::black_box(&target), window)
+        })
+    });
+
+    let topo = TopoLstm::new(&train, window, 8, 1);
+    group.bench_function("Topo-LSTM", |b| {
+        b.iter(|| {
+            use cascn::SizePredictor;
+            topo.predict_log(std::hint::black_box(&target), window)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cascn_in_k(c: &mut Criterion) {
+    let (_, target) = dataset();
+    let window = 3600.0;
+    let mut group = c.benchmark_group("cascn_chebyshev_order");
+    for k in [1usize, 2, 3] {
+        let model = CascnModel::new(CascnConfig {
+            k,
+            hidden: 8,
+            mlp_hidden: 8,
+            max_nodes: 30,
+            max_steps: 10,
+            ..CascnConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, model| {
+            b.iter(|| model.predict_log(std::hint::black_box(&target), window))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_passes, bench_cascn_in_k);
+criterion_main!(benches);

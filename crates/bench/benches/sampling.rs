@@ -1,0 +1,64 @@
+//! Benchmarks the paper's computational-cost claim (§I, §V): representing a
+//! cascade as a sub-cascade snapshot sequence is cheaper than random-walk
+//! sampling (DeepCas-style), especially as cascades grow.
+
+use cascn::{preprocess, CascnConfig};
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::Cascade;
+use cascn_graph::walks::{sample_walks, WalkConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pick_cascade(min_size: usize) -> Cascade {
+    let d = WeiboGenerator::new(WeiboConfig {
+        num_cascades: 600,
+        seed: 99,
+        max_size: 1000,
+    })
+    .generate();
+    d.cascades
+        .iter()
+        .find(|c| c.final_size() >= min_size)
+        .expect("generator produces large cascades")
+        .clone()
+}
+
+fn bench_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade_representation");
+    for &size in &[10usize, 50, 100] {
+        let cascade = pick_cascade(size);
+        let window = f64::MAX;
+        let cfg = CascnConfig {
+            max_nodes: size,
+            max_steps: size,
+            ..CascnConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("snapshots+laplacian (CasCN)", size),
+            &cascade,
+            |b, cascade| b.iter(|| preprocess(std::hint::black_box(cascade), window, &cfg)),
+        );
+        // DeepCas samples many walks per cascade (the paper's K=200 walks of
+        // length 10); this is the sampling cost CasCN avoids.
+        let walk_cfg = WalkConfig {
+            num_walks: 200,
+            walk_length: 10,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("random_walks (DeepCas)", size),
+            &cascade,
+            |b, cascade| {
+                b.iter(|| {
+                    let g = cascade.observe(window).graph();
+                    let mut rng = StdRng::seed_from_u64(1);
+                    sample_walks(std::hint::black_box(&g), walk_cfg, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representation);
+criterion_main!(benches);

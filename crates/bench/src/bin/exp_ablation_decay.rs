@@ -1,0 +1,66 @@
+//! **Extension ablation** (DESIGN.md §5): the paper's *learned*
+//! non-parametric time decay (Eq. 15–16) against the parametric kernels
+//! prior work assumes (power-law / exponential / Rayleigh, Section IV-D)
+//! and against no decay at all (`CasCN-Time`).
+//!
+//! Run with `cargo run --release -p cascn-bench --bin exp_ablation_decay [--full]`.
+
+use cascn::{CascnConfig, DecayMode};
+use cascn_analysis::Table;
+use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
+use cascn_bench::report;
+use cascn_bench::runner::{run, ModelKind};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Decay ablation: learned vs. parametric kernels (Weibo) ==\n");
+
+    let weibo = build(DatasetKind::Weibo, &scale);
+    let settings = weibo_settings();
+    let splits: Vec<_> = settings.iter().map(|s| prepare(&weibo, s, &scale)).collect();
+
+    let modes = [
+        ("learned (paper)", DecayMode::Learned),
+        ("power-law prior", DecayMode::PowerLaw),
+        ("exponential prior", DecayMode::Exponential),
+        ("Rayleigh prior", DecayMode::Rayleigh),
+        ("no decay (CasCN-Time)", DecayMode::None),
+    ];
+
+    let mut header = vec!["decay".to_string()];
+    header.extend(settings.iter().map(|s| format!("Weibo {}", s.label)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut measured = Vec::new();
+    for (name, mode) in modes {
+        let cfg = CascnConfig {
+            decay: mode,
+            ..scale.cascn
+        };
+        let mut row = vec![name.to_string()];
+        let mut values = [0.0f32; 3];
+        for (i, setting) in settings.iter().enumerate() {
+            let (train, val, test) = &splits[i];
+            let result = run(&ModelKind::Cascn(cfg), train, val, test, setting.window, &scale);
+            values[i] = result.msle;
+            row.push(format!("{:.3}", result.msle));
+            eprintln!("  [{name} @ Weibo {}] msle {:.3} in {:.1}s", setting.label, result.msle, result.seconds);
+        }
+        measured.push((name, values));
+        table.push(row);
+    }
+    report::emit("ablation_decay", &table);
+
+    let avg = |v: &[f32; 3]| v.iter().sum::<f32>() / 3.0;
+    let learned = avg(&measured[0].1);
+    println!("\nshape check (paper §IV-D: the learned decay avoids parametric priors):");
+    for (name, values) in &measured[1..] {
+        println!(
+            "  learned {:.3} vs {name} {:.3} → learned better: {}",
+            learned,
+            avg(values),
+            learned <= avg(values)
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduces **Fig. 7** — CasCN validation loss per epoch for Chebyshev
+//! order K ∈ {1, 2, 3} on Weibo (1 hour): losses decline steadily and no K
+//! dominates by a wide margin.
+//!
+//! Run with `cargo run --release -p cascn-bench --bin exp_fig7 [--full]`.
+
+use cascn::{CascnConfig, CascnModel, TrainOpts};
+use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
+use cascn_bench::report;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Fig. 7: validation loss vs. epoch for K in {{1,2,3}} ==\n");
+
+    let weibo = build(DatasetKind::Weibo, &scale);
+    let setting = weibo_settings()[0];
+    let (train, val, _test) = prepare(&weibo, &setting, &scale);
+
+    let epochs = scale.epochs.max(8);
+    let mut curves: Vec<(usize, Vec<f32>)> = Vec::new();
+    for k in [1usize, 2, 3] {
+        let cfg = CascnConfig { k, ..scale.cascn };
+        let mut model = CascnModel::new(cfg);
+        let opts = TrainOpts {
+            epochs,
+            patience: epochs, // no early stop: we want the full curve
+            ..TrainOpts::default()
+        };
+        let history = model.fit(&train, &val, setting.window, &opts);
+        let losses: Vec<f32> = history.records().iter().map(|r| r.val_loss).collect();
+        eprintln!("  K={k}: val losses {losses:?}");
+        curves.push((k, losses));
+    }
+
+    let mut rows = Vec::new();
+    println!("epoch  K=1      K=2      K=3");
+    for e in 0..epochs {
+        let vals: Vec<f32> = curves.iter().map(|(_, c)| c.get(e).copied().unwrap_or(f32::NAN)).collect();
+        println!("{:>5}  {:<8.3} {:<8.3} {:<8.3}", e + 1, vals[0], vals[1], vals[2]);
+        rows.push(vec![
+            (e + 1).to_string(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+            format!("{:.4}", vals[2]),
+        ]);
+    }
+    report::emit_csv("fig7", &["epoch", "k1_val_loss", "k2_val_loss", "k3_val_loss"], &rows);
+
+    for (k, losses) in &curves {
+        let first = losses.first().copied().unwrap_or(f32::NAN);
+        let last = losses.iter().copied().fold(f32::INFINITY, f32::min);
+        println!("K={k}: first epoch {first:.3} → best {last:.3} (paper: steady decline)");
+    }
+}

@@ -1,0 +1,61 @@
+//! Calibration tool: train one model on one setting and print MSLE/time.
+//!
+//! `cargo run --release -p cascn-bench --bin exp_single -- <model> <setting-idx 0..5> [--full]`
+//!
+//! Models: feature-linear, feature-deep, lis, node2vec, deepcas, topolstm,
+//! deephawkes, cascn, cascn-gl, cascn-path. Scale env knobs apply
+//! (`CASCN_TRAIN_CAP`, `CASCN_EPOCHS`, `CASCN_HIDDEN`, `CASCN_NUM_CASCADES`).
+
+use cascn_bench::datasets::{all_settings, build, prepare, Scale};
+use cascn_bench::runner::{run, ModelKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_name = args.get(1).map(String::as_str).unwrap_or("cascn");
+    let setting_idx: usize = args
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+    let scale = Scale::from_args();
+    let setting = all_settings()[setting_idx.min(5)];
+    let kind = match model_name {
+        "feature-linear" => ModelKind::FeatureLinear,
+        "feature-deep" => ModelKind::FeatureDeep,
+        "lis" => ModelKind::Lis,
+        "node2vec" => ModelKind::Node2Vec,
+        "deepcas" => ModelKind::DeepCas,
+        "topolstm" => ModelKind::TopoLstm,
+        "deephawkes" => ModelKind::DeepHawkes,
+        "cascn" => ModelKind::Cascn(scale.cascn),
+        "cascn-gl" => ModelKind::CascnGl(scale.cascn),
+        "cascn-path" => ModelKind::CascnPath(scale.cascn),
+        other => {
+            eprintln!("unknown model `{other}`");
+            std::process::exit(2);
+        }
+    };
+    let data = build(setting.kind, &scale);
+    let (train, val, test) = prepare(&data, &setting, &scale);
+    eprintln!(
+        "{model_name} @ {} {}: {} train / {} val / {} test, epochs {}",
+        setting.kind.name(),
+        setting.label,
+        train.len(),
+        val.len(),
+        test.len(),
+        scale.epochs
+    );
+    let result = run(&kind, &train, &val, &test, setting.window, &scale);
+    if let Some(h) = &result.history {
+        for r in h.records() {
+            eprintln!("  epoch {:>2}: train {:.3}, val {:.3}", r.epoch, r.train_loss, r.val_loss);
+        }
+    }
+    println!(
+        "{model_name} @ {} {}: msle {:.4} ({:.1}s)",
+        setting.kind.name(),
+        setting.label,
+        result.msle,
+        result.seconds
+    );
+}

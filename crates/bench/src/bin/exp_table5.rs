@@ -1,0 +1,81 @@
+//! Reproduces **Table V** — parameter impact on the Weibo windows:
+//! Chebyshev order K ∈ {1, 2, 3} and exact vs. approximated λ_max.
+//!
+//! Run with `cargo run --release -p cascn-bench --bin exp_table5 [--full]`.
+
+use cascn::{CascnConfig, LambdaMax};
+use cascn_analysis::Table;
+use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
+use cascn_bench::runner::{run, ModelKind};
+use cascn_bench::{paper, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Table V: parameter impact (Weibo) ==\n");
+
+    let weibo = build(DatasetKind::Weibo, &scale);
+    let settings = weibo_settings();
+    let splits: Vec<_> = settings.iter().map(|s| prepare(&weibo, s, &scale)).collect();
+
+    let grid: Vec<(String, CascnConfig)> = vec![
+        ("K=1".into(), CascnConfig { k: 1, ..scale.cascn }),
+        ("K=2".into(), CascnConfig { k: 2, ..scale.cascn }),
+        ("K=3".into(), CascnConfig { k: 3, ..scale.cascn }),
+        (
+            "lambda_max ~= 2".into(),
+            CascnConfig { lambda_max: LambdaMax::Approx2, ..scale.cascn },
+        ),
+        (
+            "lambda_max = real".into(),
+            CascnConfig { lambda_max: LambdaMax::Exact, ..scale.cascn },
+        ),
+    ];
+
+    let mut header = vec!["parameter".to_string()];
+    header.extend(settings.iter().map(|s| format!("Weibo {}", s.label)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut measured = Vec::new();
+    for (name, cfg) in &grid {
+        let mut row = vec![name.clone()];
+        let mut values = [0.0f32; 3];
+        for (i, setting) in settings.iter().enumerate() {
+            let (train, val, test) = &splits[i];
+            let result = run(&ModelKind::Cascn(*cfg), train, val, test, setting.window, &scale);
+            values[i] = result.msle;
+            let paper_value = paper::TABLE5
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v[i])
+                .unwrap_or(f32::NAN);
+            row.push(paper::cell(result.msle, paper_value));
+            eprintln!(
+                "  [{name} @ Weibo {}] msle {:.3} in {:.1}s",
+                setting.label, result.msle, result.seconds
+            );
+        }
+        measured.push((name.clone(), values));
+        table.push(row);
+    }
+    report::emit("table5", &table);
+
+    let avg = |v: &[f32; 3]| v.iter().sum::<f32>() / 3.0;
+    let k2 = avg(&measured[1].1);
+    println!("\nshape check:");
+    println!(
+        "  K=2 vs K=1: {:.3} vs {:.3} (paper: K=2 slightly better)",
+        k2,
+        avg(&measured[0].1)
+    );
+    println!(
+        "  K=2 vs K=3: {:.3} vs {:.3} (paper: K=2 slightly better, K=3 costlier)",
+        k2,
+        avg(&measured[2].1)
+    );
+    println!(
+        "  exact lambda vs ~=2: {:.3} vs {:.3} (paper: exact better)",
+        avg(&measured[4].1),
+        avg(&measured[3].1)
+    );
+}

@@ -1,0 +1,228 @@
+//! Experiment settings: the two datasets and six observation windows of
+//! Section V-A, plus the CPU-scale / paper-scale knobs.
+
+use cascn::CascnConfig;
+use cascn_cascades::synth::{CitationConfig, CitationGenerator, WeiboConfig, WeiboGenerator};
+use cascn_cascades::{Cascade, Dataset, Split};
+
+/// Which synthetic dataset a setting uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Weibo-like re-tweet cascades (time unit: seconds).
+    Weibo,
+    /// HEP-PH-like citation cascades (time unit: days).
+    HepPh,
+}
+
+impl DatasetKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Weibo => "Weibo",
+            DatasetKind::HepPh => "HEP-PH",
+        }
+    }
+}
+
+/// One (dataset, observation window) experiment setting.
+#[derive(Debug, Clone, Copy)]
+pub struct Setting {
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Observation window in the dataset's time unit.
+    pub window: f64,
+    /// Column label ("1 hour", "3 years", …).
+    pub label: &'static str,
+}
+
+/// The six settings of Tables III/IV: Weibo at 1/2/3 hours, HEP-PH at
+/// 3/5/7 years.
+pub fn all_settings() -> [Setting; 6] {
+    [
+        Setting { kind: DatasetKind::Weibo, window: 3600.0, label: "1 hour" },
+        Setting { kind: DatasetKind::Weibo, window: 7200.0, label: "2 hours" },
+        Setting { kind: DatasetKind::Weibo, window: 10800.0, label: "3 hours" },
+        Setting { kind: DatasetKind::HepPh, window: 3.0 * 365.0, label: "3 years" },
+        Setting { kind: DatasetKind::HepPh, window: 5.0 * 365.0, label: "5 years" },
+        Setting { kind: DatasetKind::HepPh, window: 7.0 * 365.0, label: "7 years" },
+    ]
+}
+
+/// The three Weibo settings (Table V, Figs. 7/8).
+pub fn weibo_settings() -> [Setting; 3] {
+    let s = all_settings();
+    [s[0], s[1], s[2]]
+}
+
+/// Experiment scale: CPU-quick (default) or paper-leaning `--full`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Cascades generated per dataset.
+    pub num_cascades: usize,
+    /// Cap on training cascades per setting.
+    pub train_cap: usize,
+    /// Cap on validation cascades.
+    pub val_cap: usize,
+    /// Cap on test cascades.
+    pub test_cap: usize,
+    /// Max training epochs.
+    pub epochs: usize,
+    /// Early-stopping patience.
+    pub patience: usize,
+    /// Hidden width of the recurrent baselines.
+    pub hidden: usize,
+    /// CasCN configuration template.
+    pub cascn: CascnConfig,
+}
+
+impl Scale {
+    /// Single-core-friendly scale (tens of minutes per table).
+    pub fn quick() -> Self {
+        Self {
+            num_cascades: 12_000,
+            train_cap: 700,
+            val_cap: 150,
+            test_cap: 250,
+            epochs: 10,
+            patience: 5,
+            hidden: 16,
+            cascn: CascnConfig {
+                hidden: 16,
+                mlp_hidden: 16,
+                max_nodes: 30,
+                max_steps: 10,
+                ..CascnConfig::default()
+            },
+        }
+    }
+
+    /// Larger runs for machines with time to spare (`--full`).
+    pub fn full() -> Self {
+        Self {
+            num_cascades: 8000,
+            train_cap: 1200,
+            val_cap: 250,
+            test_cap: 350,
+            epochs: 20,
+            patience: 10,
+            hidden: 16,
+            cascn: CascnConfig {
+                hidden: 16,
+                mlp_hidden: 16,
+                max_nodes: 50,
+                max_steps: 20,
+                ..CascnConfig::default()
+            },
+        }
+    }
+
+    /// Picks the scale from CLI args (`--full`), then applies the
+    /// `CASCN_TRAIN_CAP` / `CASCN_EPOCHS` / `CASCN_HIDDEN` /
+    /// `CASCN_NUM_CASCADES` environment overrides (calibration knobs).
+    pub fn from_args() -> Self {
+        let mut scale = if std::env::args().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::quick()
+        };
+        let env_usize = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok());
+        if let Some(v) = env_usize("CASCN_NUM_CASCADES") {
+            scale.num_cascades = v;
+        }
+        if let Some(v) = env_usize("CASCN_TRAIN_CAP") {
+            scale.train_cap = v;
+        }
+        if let Some(v) = env_usize("CASCN_EPOCHS") {
+            scale.epochs = v;
+            scale.patience = v;
+        }
+        if let Some(v) = env_usize("CASCN_HIDDEN") {
+            scale.hidden = v;
+            scale.cascn.hidden = v;
+            scale.cascn.mlp_hidden = v;
+        }
+        scale
+    }
+}
+
+/// Generates (deterministically) the dataset for a kind at a scale.
+pub fn build(kind: DatasetKind, scale: &Scale) -> Dataset {
+    match kind {
+        DatasetKind::Weibo => WeiboGenerator::new(WeiboConfig {
+            num_cascades: scale.num_cascades,
+            ..WeiboConfig::default()
+        })
+        .generate(),
+        DatasetKind::HepPh => CitationGenerator::new(CitationConfig {
+            num_cascades: scale.num_cascades,
+            ..CitationConfig::default()
+        })
+        .generate(),
+    }
+}
+
+/// Observed-size filter bounds per dataset: the paper (following
+/// DeepHawkes) drops cascades too small to learn from and truncates giants.
+/// HEP-PH cascades are intrinsically smaller (Table II: avg ≈ 5 nodes), so
+/// its floor is lower.
+pub fn size_bounds(kind: DatasetKind) -> (usize, usize) {
+    match kind {
+        DatasetKind::Weibo => (10, 100),
+        DatasetKind::HepPh => (3, 100),
+    }
+}
+
+/// Filters, splits and caps a dataset for one setting. Returns
+/// `(train, val, test)` cascade vectors.
+pub fn prepare(
+    dataset: &Dataset,
+    setting: &Setting,
+    scale: &Scale,
+) -> (Vec<Cascade>, Vec<Cascade>, Vec<Cascade>) {
+    let (lo, hi) = size_bounds(setting.kind);
+    let filtered = dataset.filter_observed_size(setting.window, lo, hi);
+    let cap = |s: &[Cascade], n: usize| s.iter().take(n).cloned().collect::<Vec<_>>();
+    (
+        cap(filtered.split(Split::Train), scale.train_cap),
+        cap(filtered.split(Split::Validation), scale.val_cap),
+        cap(filtered.split(Split::Test), scale.test_cap),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_settings_cover_both_datasets() {
+        let s = all_settings();
+        assert_eq!(s.iter().filter(|x| x.kind == DatasetKind::Weibo).count(), 3);
+        assert_eq!(s.iter().filter(|x| x.kind == DatasetKind::HepPh).count(), 3);
+        assert!(s.windows(2).all(|w| w[0].kind != w[1].kind || w[0].window < w[1].window));
+    }
+
+    #[test]
+    fn prepare_yields_nonempty_splits_at_quick_scale() {
+        let mut scale = Scale::quick();
+        scale.num_cascades = 1500; // keep the test fast
+        for setting in all_settings() {
+            let data = build(setting.kind, &scale);
+            let (train, val, test) = prepare(&data, &setting, &scale);
+            assert!(
+                train.len() >= 50,
+                "{} {}: only {} training cascades",
+                setting.kind.name(),
+                setting.label,
+                train.len()
+            );
+            assert!(!val.is_empty(), "{} {}: empty val", setting.kind.name(), setting.label);
+            assert!(!test.is_empty(), "{} {}: empty test", setting.kind.name(), setting.label);
+            // All within size bounds.
+            let (lo, hi) = size_bounds(setting.kind);
+            for c in &train {
+                let n = c.size_at(setting.window);
+                assert!((lo..=hi).contains(&n));
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the CasCN reproduction: dataset settings, paper
+//! reference numbers, the model runner, and report output.
+//!
+//! Each `exp_*` binary under `src/bin/` regenerates one table or figure of
+//! the paper (see `DESIGN.md` §4 for the index) and prints measured numbers
+//! next to the paper's, writing CSV artifacts under `target/experiments/`.
+//!
+//! Absolute MSLE values are not expected to match the paper — the datasets
+//! are synthetic stand-ins and the training budget is CPU-scale — but the
+//! *shape* (who wins, by roughly what factor, where the trends point) is the
+//! reproduction target.
+
+pub mod datasets;
+pub mod paper;
+pub mod report;
+pub mod runner;

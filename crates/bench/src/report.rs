@@ -1,0 +1,51 @@
+//! Report output: the `target/experiments/` artifact directory and CSV
+//! writing for every experiment binary.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cascn_analysis::Table;
+use cascn_cascades::io::write_csv;
+
+/// The artifact directory (created on demand). Overridable with the
+/// `CASCN_EXPERIMENTS_DIR` environment variable.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("CASCN_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes a rendered table to stdout and its CSV form to
+/// `target/experiments/<name>.csv`.
+pub fn emit(name: &str, table: &Table) {
+    println!("{}", table.render());
+    let (header, rows) = table.to_csv_rows();
+    let path = out_dir().join(format!("{name}.csv"));
+    write_csv(&path, &header, &rows).expect("write csv");
+    println!("[written {}]", path.display());
+}
+
+/// Writes raw CSV series (for figures).
+pub fn emit_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    write_csv(&path, header, rows).expect("write csv");
+    println!("[written {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dir_respects_env_override() {
+        let tmp = std::env::temp_dir().join("cascn_report_test");
+        std::env::set_var("CASCN_EXPERIMENTS_DIR", &tmp);
+        let d = out_dir();
+        assert_eq!(d, tmp);
+        assert!(d.exists());
+        std::env::remove_var("CASCN_EXPERIMENTS_DIR");
+        fs::remove_dir_all(tmp).ok();
+    }
+}

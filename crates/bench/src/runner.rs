@@ -1,0 +1,152 @@
+//! Trains and evaluates any of the paper's models on one setting.
+
+use std::time::Instant;
+
+use cascn::{CascnConfig, CascnModel, GlModel, PathModel, TrainOpts, Variant};
+use cascn_baselines::{
+    DeepCas, DeepHawkes, FeatureDeep, FeatureLinear, Lis, Node2VecModel, TopoLstm,
+};
+use cascn_baselines::{LisConfig, Node2VecModelConfig};
+use cascn_cascades::Cascade;
+use cascn_nn::train::History;
+
+use crate::datasets::Scale;
+
+/// Which model to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelKind {
+    /// Ridge regression over hand-crafted features.
+    FeatureLinear,
+    /// MLP over hand-crafted features.
+    FeatureDeep,
+    /// Latent influence/susceptibility.
+    Lis,
+    /// node2vec embeddings + MLP.
+    Node2Vec,
+    /// Walks + bi-GRU + attention.
+    DeepCas,
+    /// DAG-structured LSTM.
+    TopoLstm,
+    /// Paths + GRU + learned decay.
+    DeepHawkes,
+    /// CasCN with an explicit configuration (covers the Table IV/V grids).
+    Cascn(CascnConfig),
+    /// The CasCN-GL architecture variant.
+    CascnGl(CascnConfig),
+    /// The CasCN-Path architecture variant.
+    CascnPath(CascnConfig),
+}
+
+impl ModelKind {
+    /// The Table III model list, in paper order.
+    pub fn table3(scale: &Scale) -> Vec<(String, ModelKind)> {
+        vec![
+            ("Feature-deep".into(), ModelKind::FeatureDeep),
+            ("Feature-linear".into(), ModelKind::FeatureLinear),
+            ("LIS".into(), ModelKind::Lis),
+            ("Node2Vec".into(), ModelKind::Node2Vec),
+            ("DeepCas".into(), ModelKind::DeepCas),
+            ("Topo-LSTM".into(), ModelKind::TopoLstm),
+            ("DeepHawkes".into(), ModelKind::DeepHawkes),
+            ("CasCN".into(), ModelKind::Cascn(scale.cascn)),
+        ]
+    }
+
+    /// The Table IV variant list, in paper order.
+    pub fn table4(scale: &Scale) -> Vec<(String, ModelKind)> {
+        Variant::all()
+            .into_iter()
+            .map(|v| {
+                let kind = match v {
+                    Variant::Gl => ModelKind::CascnGl(scale.cascn),
+                    Variant::Path => ModelKind::CascnPath(scale.cascn),
+                    other => ModelKind::Cascn(scale.cascn.with_variant(other)),
+                };
+                (v.name().to_string(), kind)
+            })
+            .collect()
+    }
+}
+
+/// Result of one train+eval run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Test MSLE (Eq. 20).
+    pub msle: f32,
+    /// Wall-clock seconds for training + evaluation.
+    pub seconds: f64,
+    /// Per-epoch loss history (for models trained with the shared loop).
+    pub history: Option<History>,
+}
+
+/// Trains `kind` on `(train, val)` and evaluates MSLE on `test`.
+pub fn run(
+    kind: &ModelKind,
+    train: &[Cascade],
+    val: &[Cascade],
+    test: &[Cascade],
+    window: f64,
+    scale: &Scale,
+) -> RunResult {
+    let started = Instant::now();
+    let opts = TrainOpts {
+        epochs: scale.epochs,
+        patience: scale.patience,
+        ..TrainOpts::default()
+    };
+    let (msle, history): (f32, Option<History>) = match kind {
+        ModelKind::FeatureLinear => {
+            let model = FeatureLinear::fit(train, val, window);
+            (cascn::evaluate(&model, test, window), None)
+        }
+        ModelKind::FeatureDeep => {
+            let mut model = FeatureDeep::new(1);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::Lis => {
+            let model = Lis::fit(train, window, &LisConfig::default());
+            (cascn::evaluate(&model, test, window), None)
+        }
+        ModelKind::Node2Vec => {
+            let (model, h) =
+                Node2VecModel::fit(train, val, window, Node2VecModelConfig::default(), &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::DeepCas => {
+            let mut model = DeepCas::new(train, window, scale.hidden, 1);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::TopoLstm => {
+            let mut model = TopoLstm::new(train, window, scale.hidden, 1);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::DeepHawkes => {
+            let mut model = DeepHawkes::new(train, window, scale.hidden, 1);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::Cascn(cfg) => {
+            let mut model = CascnModel::new(*cfg);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::CascnGl(cfg) => {
+            let mut model = GlModel::new(*cfg);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+        ModelKind::CascnPath(cfg) => {
+            let mut model = PathModel::new(*cfg, train, window);
+            let h = model.fit(train, val, window, &opts);
+            (cascn::evaluate(&model, test, window), Some(h))
+        }
+    };
+    RunResult {
+        msle,
+        seconds: started.elapsed().as_secs_f64(),
+        history,
+    }
+}

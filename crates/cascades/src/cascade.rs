@@ -1,0 +1,322 @@
+//! The evolving-cascade data model of paper Section III-A.
+
+use cascn_graph::DiGraph;
+use cascn_tensor::Matrix;
+
+/// One adoption event in a cascade: a user re-tweeting (or a paper citing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global user/paper identifier.
+    pub user: u64,
+    /// Index (into the cascade's event list) of the adopter this event
+    /// re-tweeted from; `None` only for the root post.
+    pub parent: Option<usize>,
+    /// Seconds since the root post (the root itself is at 0.0).
+    pub time: f64,
+}
+
+/// A full information cascade: the root post plus every adoption, ordered by
+/// time. Events form a DAG rooted at event 0 (paper Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cascade {
+    /// Dataset-unique identifier of the post.
+    pub id: u64,
+    /// Absolute publication time of the root post (seconds; used for the
+    /// paper's 8 am–6 pm publication filter and time-ordered splits).
+    pub start_time: f64,
+    /// Adoption events in non-decreasing time order; `events[0]` is the root.
+    pub events: Vec<Event>,
+}
+
+impl Cascade {
+    /// Creates a cascade from its parts, validating the invariants:
+    /// a root-first event list, sorted times, and in-range parents.
+    ///
+    /// # Panics
+    /// Panics if the event list is empty or malformed.
+    pub fn new(id: u64, start_time: f64, events: Vec<Event>) -> Self {
+        assert!(!events.is_empty(), "cascade {id}: no events");
+        assert!(events[0].parent.is_none(), "cascade {id}: event 0 must be the root");
+        assert_eq!(events[0].time, 0.0, "cascade {id}: root must be at t=0");
+        for (i, e) in events.iter().enumerate().skip(1) {
+            let p = e.parent.unwrap_or_else(|| panic!("cascade {id}: event {i} has no parent"));
+            assert!(p < i, "cascade {id}: event {i} references later parent {p}");
+            assert!(
+                e.time >= events[i - 1].time,
+                "cascade {id}: events not time-sorted at {i}"
+            );
+        }
+        Self {
+            id,
+            start_time,
+            events,
+        }
+    }
+
+    /// Final size: total number of adopters including the root.
+    pub fn final_size(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of adopters whose event time is strictly less than `t`.
+    pub fn size_at(&self, t: f64) -> usize {
+        self.events.partition_point(|e| e.time < t)
+    }
+
+    /// The paper's prediction target `ΔS_i` for an observation window `t`:
+    /// the number of adoptions arriving after `t` (up to the tracking
+    /// horizon the dataset was generated with).
+    pub fn increment_size(&self, t: f64) -> usize {
+        self.final_size() - self.size_at(t)
+    }
+
+    /// The cascade as observed within `[0, window)` — the model input
+    /// `C_i(t)` of Definition 1.
+    pub fn observe(&self, window: f64) -> ObservedCascade<'_> {
+        let n = self.size_at(window);
+        ObservedCascade {
+            cascade: self,
+            n: n.max(1), // the root is always visible
+        }
+    }
+}
+
+/// A prefix view of a cascade restricted to an observation window.
+///
+/// Node `i` of the local graph is the `i`-th adopter (adoption order), so
+/// node 0 is always the initiator — matching Fig. 3's row/column layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedCascade<'a> {
+    cascade: &'a Cascade,
+    n: usize,
+}
+
+impl ObservedCascade<'_> {
+    /// Number of observed adopters (≥ 1).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The observed events.
+    pub fn events(&self) -> &[Event] {
+        &self.cascade.events[..self.n]
+    }
+
+    /// Event times of the observed adoptions (seconds since the root post).
+    pub fn times(&self) -> impl Iterator<Item = f64> + '_ {
+        self.events().iter().map(|e| e.time)
+    }
+
+    /// The observed cascade as a directed graph over local indices
+    /// (parent → child edges, unit weights).
+    pub fn graph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.n);
+        for (i, e) in self.events().iter().enumerate().skip(1) {
+            let p = e.parent.expect("non-root events have parents");
+            g.add_edge(p, i, 1.0);
+        }
+        g
+    }
+
+    /// The sub-cascade adjacency sequence `A_i^T` of Fig. 3, capped at
+    /// `max_steps` snapshots.
+    ///
+    /// Every snapshot is an `n x n` matrix over the *full* observed node set
+    /// (absent nodes have zero rows, as in the paper's figure); snapshot `j`
+    /// contains all edges whose child arrived at or before the `j`-th
+    /// retained event. The first snapshot carries the root's self-loop (the
+    /// paper adds a self-connection for the initiator).
+    ///
+    /// When the cascade has more events than `max_steps`, events are grouped
+    /// so that the sequence length stays at `max_steps` while the final
+    /// snapshot still equals the full observed adjacency.
+    pub fn snapshots(&self, max_steps: usize) -> Vec<Matrix> {
+        assert!(max_steps >= 1, "snapshots: need at least one step");
+        let n = self.n;
+        // Snapshot boundaries: indices (into events) after which we emit.
+        let steps = n.min(max_steps);
+        let mut boundaries = Vec::with_capacity(steps);
+        for s in 1..=steps {
+            // Even spacing with the last boundary at n.
+            boundaries.push((s * n).div_ceil(steps));
+        }
+        let mut out = Vec::with_capacity(steps);
+        let mut adj = Matrix::zeros(n, n);
+        adj[(0, 0)] = 1.0; // root self-connection
+        let mut next_event = 1usize;
+        for &b in &boundaries {
+            while next_event < b {
+                let e = &self.events()[next_event];
+                let p = e.parent.expect("non-root events have parents");
+                adj[(p, next_event)] = 1.0;
+                next_event += 1;
+            }
+            out.push(adj.clone());
+        }
+        out
+    }
+
+    /// The diffusion time of each retained snapshot produced by
+    /// [`ObservedCascade::snapshots`] (the arrival time of the last event
+    /// included in that snapshot). Used by the time-decay mechanism
+    /// (Eq. 15–16).
+    pub fn snapshot_times(&self, max_steps: usize) -> Vec<f64> {
+        let n = self.n;
+        let steps = n.min(max_steps.max(1));
+        (1..=steps)
+            .map(|s| {
+                let b = (s * n).div_ceil(steps);
+                self.events()[b - 1].time
+            })
+            .collect()
+    }
+
+    /// Root-to-node diffusion paths for every observed adopter, as local
+    /// indices (DeepHawkes represents a cascade as this path set).
+    pub fn diffusion_paths(&self) -> Vec<Vec<usize>> {
+        let events = self.events();
+        (0..self.n)
+            .map(|mut i| {
+                let mut path = vec![i];
+                while let Some(p) = events[i].parent {
+                    path.push(p);
+                    i = p;
+                }
+                path.reverse();
+                path
+            })
+            .collect()
+    }
+
+    /// Global user ids of the observed adopters, in adoption order.
+    pub fn users(&self) -> Vec<u64> {
+        self.events().iter().map(|e| e.user).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 1 / Fig. 3 cascade: V0→V1 (t1), V0→V2 (t2), V1→V3 (t3),
+    /// V1→V4 (t4), V3→V5 (t5).
+    pub(crate) fn fig1_cascade() -> Cascade {
+        Cascade::new(
+            42,
+            1000.0,
+            vec![
+                Event { user: 100, parent: None, time: 0.0 },
+                Event { user: 101, parent: Some(0), time: 10.0 },
+                Event { user: 102, parent: Some(0), time: 20.0 },
+                Event { user: 103, parent: Some(1), time: 30.0 },
+                Event { user: 104, parent: Some(1), time: 40.0 },
+                Event { user: 105, parent: Some(3), time: 50.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn sizes_and_increments() {
+        let c = fig1_cascade();
+        assert_eq!(c.final_size(), 6);
+        assert_eq!(c.size_at(25.0), 3);
+        assert_eq!(c.increment_size(25.0), 3);
+        assert_eq!(c.increment_size(1e9), 0);
+    }
+
+    #[test]
+    fn observe_clamps_to_root() {
+        let c = fig1_cascade();
+        let o = c.observe(0.0);
+        assert_eq!(o.num_nodes(), 1, "root is always observed");
+    }
+
+    #[test]
+    fn observed_graph_matches_paper_fig1() {
+        let c = fig1_cascade();
+        let o = c.observe(60.0);
+        let g = o.graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.leaves(), vec![2, 4, 5]);
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn snapshots_match_fig3_shape() {
+        let c = fig1_cascade();
+        let o = c.observe(60.0);
+        let snaps = o.snapshots(100);
+        assert_eq!(snaps.len(), 6);
+        // First snapshot: only the root self-loop.
+        assert_eq!(snaps[0].sum(), 1.0);
+        assert_eq!(snaps[0][(0, 0)], 1.0);
+        // Snapshots accumulate edges monotonically.
+        for w in snaps.windows(2) {
+            for i in 0..w[0].len() {
+                assert!(w[1].as_slice()[i] >= w[0].as_slice()[i]);
+            }
+        }
+        // Last snapshot: self-loop + 5 edges.
+        assert_eq!(snaps[5].sum(), 6.0);
+        assert_eq!(snaps[5][(1, 3)], 1.0);
+        assert_eq!(snaps[5][(3, 5)], 1.0);
+    }
+
+    #[test]
+    fn snapshots_respect_cap_and_end_state() {
+        let c = fig1_cascade();
+        let o = c.observe(60.0);
+        let snaps = o.snapshots(3);
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[2].sum(), 6.0, "final snapshot must be complete");
+        let times = o.snapshot_times(3);
+        assert_eq!(times.len(), 3);
+        assert_eq!(*times.last().unwrap(), 50.0);
+    }
+
+    #[test]
+    fn snapshot_times_are_sorted() {
+        let c = fig1_cascade();
+        let times = c.observe(60.0).snapshot_times(4);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diffusion_paths_reach_root() {
+        let c = fig1_cascade();
+        let paths = c.observe(60.0).diffusion_paths();
+        assert_eq!(paths.len(), 6);
+        assert_eq!(paths[0], vec![0]);
+        assert_eq!(paths[5], vec![0, 1, 3, 5]);
+        assert!(paths.iter().all(|p| p[0] == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "references later parent")]
+    fn new_rejects_forward_parent() {
+        let _ = Cascade::new(
+            1,
+            0.0,
+            vec![
+                Event { user: 0, parent: None, time: 0.0 },
+                Event { user: 1, parent: Some(2), time: 1.0 },
+                Event { user: 2, parent: Some(0), time: 2.0 },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not time-sorted")]
+    fn new_rejects_unsorted_times() {
+        let _ = Cascade::new(
+            1,
+            0.0,
+            vec![
+                Event { user: 0, parent: None, time: 0.0 },
+                Event { user: 1, parent: Some(0), time: 5.0 },
+                Event { user: 2, parent: Some(0), time: 2.0 },
+            ],
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Datasets, time-ordered splits, and Table II statistics.
+
+use crate::Cascade;
+
+/// Which split a cascade belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// First 70 % of cascades by publication time.
+    Train,
+    /// Next 15 %.
+    Validation,
+    /// Final 15 %.
+    Test,
+}
+
+/// A named collection of cascades plus the unit conversions the experiments
+/// need (Weibo windows are in hours, HEP-PH windows in years).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name ("weibo-synth", "hepph-synth").
+    pub name: String,
+    /// All cascades, sorted by `start_time` (the paper sorts by publication
+    /// time before splitting).
+    pub cascades: Vec<Cascade>,
+}
+
+impl Dataset {
+    /// Creates a dataset, sorting cascades by publication time.
+    pub fn new(name: impl Into<String>, mut cascades: Vec<Cascade>) -> Self {
+        cascades.sort_by(|a, b| {
+            a.start_time
+                .partial_cmp(&b.start_time)
+                .expect("start times are finite")
+        });
+        Self {
+            name: name.into(),
+            cascades,
+        }
+    }
+
+    /// Filters to cascades whose observed size within `window` lies in
+    /// `[min_size, max_size]` — the paper (following DeepHawkes) drops
+    /// cascades too small to learn from and truncates giants.
+    pub fn filter_observed_size(
+        &self,
+        window: f64,
+        min_size: usize,
+        max_size: usize,
+    ) -> Dataset {
+        let kept: Vec<Cascade> = self
+            .cascades
+            .iter()
+            .filter(|c| {
+                let n = c.size_at(window);
+                n >= min_size && n <= max_size
+            })
+            .cloned()
+            .collect();
+        Dataset {
+            name: self.name.clone(),
+            cascades: kept,
+        }
+    }
+
+    /// 70/15/15 time-ordered split (paper Section V-A: first 70 % train,
+    /// rest evenly into validation and test).
+    pub fn split(&self, split: Split) -> &[Cascade] {
+        let n = self.cascades.len();
+        let train_end = n * 70 / 100;
+        let val_end = train_end + (n - train_end) / 2;
+        match split {
+            Split::Train => &self.cascades[..train_end],
+            Split::Validation => &self.cascades[train_end..val_end],
+            Split::Test => &self.cascades[val_end..],
+        }
+    }
+
+    /// Per-split statistics for an observation window — the rows of
+    /// Table II.
+    pub fn split_stats(&self, split: Split, window: f64) -> SplitStats {
+        let cascades = self.split(split);
+        let mut nodes = 0usize;
+        let mut edges = 0usize;
+        for c in cascades {
+            let n = c.size_at(window).max(1);
+            nodes += n;
+            edges += n - 1; // a cascade DAG over n adopters has n-1 edges
+        }
+        let count = cascades.len();
+        SplitStats {
+            count,
+            avg_nodes: if count == 0 { 0.0 } else { nodes as f64 / count as f64 },
+            avg_edges: if count == 0 { 0.0 } else { edges as f64 / count as f64 },
+        }
+    }
+
+    /// Total number of edges across all full cascades (Table II's "edges
+    /// All" row).
+    pub fn total_edges(&self) -> usize {
+        self.cascades.iter().map(|c| c.final_size() - 1).sum()
+    }
+}
+
+/// Statistics of one split at one observation window (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitStats {
+    /// Number of cascades in the split.
+    pub count: usize,
+    /// Average observed node count.
+    pub avg_nodes: f64,
+    /// Average observed edge count.
+    pub avg_edges: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn mk_cascade(id: u64, start: f64, extra: usize) -> Cascade {
+        let mut events = vec![Event { user: id * 100, parent: None, time: 0.0 }];
+        for i in 0..extra {
+            events.push(Event {
+                user: id * 100 + 1 + i as u64,
+                parent: Some(0),
+                time: (i + 1) as f64,
+            });
+        }
+        Cascade::new(id, start, events)
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        // Deliberately unsorted input to exercise the sort.
+        let cascades: Vec<Cascade> = (0..n)
+            .map(|i| mk_cascade(i as u64, ((n - i) as f64) * 10.0, i % 5))
+            .collect();
+        Dataset::new("test", cascades)
+    }
+
+    #[test]
+    fn new_sorts_by_start_time() {
+        let d = dataset(10);
+        assert!(d
+            .cascades
+            .windows(2)
+            .all(|w| w[0].start_time <= w[1].start_time));
+    }
+
+    #[test]
+    fn split_sizes_are_70_15_15() {
+        let d = dataset(100);
+        assert_eq!(d.split(Split::Train).len(), 70);
+        assert_eq!(d.split(Split::Validation).len(), 15);
+        assert_eq!(d.split(Split::Test).len(), 15);
+        let total = d.split(Split::Train).len()
+            + d.split(Split::Validation).len()
+            + d.split(Split::Test).len();
+        assert_eq!(total, 100, "splits must partition the dataset");
+    }
+
+    #[test]
+    fn splits_are_time_ordered() {
+        let d = dataset(20);
+        let last_train = d.split(Split::Train).last().unwrap().start_time;
+        let first_val = d.split(Split::Validation).first().unwrap().start_time;
+        assert!(last_train <= first_val);
+    }
+
+    #[test]
+    fn filter_observed_size_keeps_range() {
+        let d = dataset(50);
+        let f = d.filter_observed_size(10.0, 3, 4);
+        assert!(!f.cascades.is_empty());
+        for c in &f.cascades {
+            let n = c.size_at(10.0);
+            assert!((3..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn stats_count_nodes_and_edges() {
+        let d = Dataset::new("s", vec![mk_cascade(1, 0.0, 4), mk_cascade(2, 1.0, 2)]);
+        // With a huge window both cascades are fully observed.
+        let s = d.split_stats(Split::Train, 1e9);
+        assert_eq!(s.count, 1, "70% of 2 cascades = 1");
+        assert_eq!(s.avg_nodes, 5.0);
+        assert_eq!(s.avg_edges, 4.0);
+        assert_eq!(d.total_edges(), 6);
+    }
+
+    #[test]
+    fn empty_split_stats_are_zero() {
+        let d = Dataset::new("e", vec![]);
+        let s = d.split_stats(Split::Test, 1.0);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_nodes, 0.0);
+    }
+}

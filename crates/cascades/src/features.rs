@@ -1,0 +1,180 @@
+//! Hand-crafted cascade features (paper Section V-B).
+//!
+//! The feature-based baselines (Feature-linear / Feature-deep) and the
+//! Fig. 9 visualizations consume these. The set mirrors the paper:
+//! structural counts (leaf nodes, in/out degrees, re-tweet path lengths) and
+//! temporal growth curves (elapsed times, cumulative and incremental growth
+//! per fixed time bin).
+
+use crate::ObservedCascade;
+
+/// Number of time bins for the cumulative/incremental growth features
+/// (the paper bins every 10 minutes for Weibo and every 31 days for HEP-PH;
+/// six bins per observation window is the scale-free equivalent).
+pub const NUM_TIME_BINS: usize = 6;
+
+/// Names of the extracted features, aligned with [`extract`]'s output.
+pub fn feature_names() -> Vec<String> {
+    let mut names = vec![
+        "log_observed_size".to_string(),
+        "num_leaves".to_string(),
+        "leaf_fraction".to_string(),
+        "avg_out_degree".to_string(),
+        "avg_in_degree".to_string(),
+        "max_path_length".to_string(),
+        "avg_path_length".to_string(),
+        "mean_time".to_string(),
+        "std_time".to_string(),
+        "first_half_fraction".to_string(),
+    ];
+    for i in 0..NUM_TIME_BINS {
+        names.push(format!("cumulative_growth_{i}"));
+    }
+    for i in 0..NUM_TIME_BINS {
+        names.push(format!("incremental_growth_{i}"));
+    }
+    names
+}
+
+/// Total feature dimension.
+pub fn num_features() -> usize {
+    10 + 2 * NUM_TIME_BINS
+}
+
+/// Extracts the Section V-B feature vector from an observed cascade.
+///
+/// `window` is the observation window `T` used to normalize temporal
+/// features into `[0, 1]` (so features transfer across window settings).
+pub fn extract(observed: &ObservedCascade<'_>, window: f64) -> Vec<f32> {
+    let n = observed.num_nodes();
+    let g = observed.graph();
+    let mut features = Vec::with_capacity(num_features());
+
+    // --- structural ---------------------------------------------------------
+    let leaves = g.leaves().len();
+    features.push(((n + 1) as f32).ln());
+    features.push(leaves as f32);
+    features.push(leaves as f32 / n as f32);
+    let edges = g.edge_count();
+    features.push(edges as f32 / n as f32); // avg out-degree
+    features.push(edges as f32 / n as f32); // avg in-degree (tree: identical)
+    let depth = g.dag_depth().unwrap_or(0);
+    features.push(depth as f32);
+    let paths = observed.diffusion_paths();
+    let avg_path =
+        paths.iter().map(|p| (p.len() - 1) as f32).sum::<f32>() / paths.len().max(1) as f32;
+    features.push(avg_path);
+
+    // --- temporal ------------------------------------------------------------
+    let times: Vec<f64> = observed.times().collect();
+    let w = window.max(f64::MIN_POSITIVE);
+    let fracs: Vec<f64> = times.iter().map(|&t| (t / w).clamp(0.0, 1.0)).collect();
+    let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+    let var = fracs.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>()
+        / fracs.len().max(1) as f64;
+    features.push(mean as f32);
+    features.push(var.sqrt() as f32);
+    let first_half = fracs.iter().filter(|&&f| f < 0.5).count();
+    features.push(first_half as f32 / fracs.len().max(1) as f32);
+
+    // Cumulative and incremental growth per bin, normalized by final
+    // observed size.
+    let mut cumulative = [0usize; NUM_TIME_BINS];
+    for &f in &fracs {
+        let bin = ((f * NUM_TIME_BINS as f64) as usize).min(NUM_TIME_BINS - 1);
+        cumulative[bin] += 1;
+    }
+    let mut running = 0usize;
+    let mut incremental = [0f32; NUM_TIME_BINS];
+    for (i, &c) in cumulative.iter().enumerate() {
+        incremental[i] = c as f32 / n as f32;
+        running += c;
+        features.push(running as f32 / n as f32);
+        // (cumulative features pushed here; incremental appended below)
+        let _ = i;
+    }
+    features.extend_from_slice(&incremental);
+
+    debug_assert_eq!(features.len(), num_features());
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cascade, Event};
+
+    fn fig1() -> Cascade {
+        Cascade::new(
+            1,
+            0.0,
+            vec![
+                Event { user: 0, parent: None, time: 0.0 },
+                Event { user: 1, parent: Some(0), time: 10.0 },
+                Event { user: 2, parent: Some(0), time: 20.0 },
+                Event { user: 3, parent: Some(1), time: 30.0 },
+                Event { user: 4, parent: Some(1), time: 40.0 },
+                Event { user: 5, parent: Some(3), time: 50.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn names_match_dimension() {
+        assert_eq!(feature_names().len(), num_features());
+    }
+
+    #[test]
+    fn fig1_features_are_sane() {
+        let c = fig1();
+        let o = c.observe(60.0);
+        let f = extract(&o, 60.0);
+        assert_eq!(f.len(), num_features());
+        let names = feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("num_leaves"), 3.0);
+        assert!((get("leaf_fraction") - 0.5).abs() < 1e-6);
+        assert_eq!(get("max_path_length"), 3.0);
+        // Cumulative growth in the last bin must be 1.0 by construction.
+        assert!((get(&format!("cumulative_growth_{}", NUM_TIME_BINS - 1)) - 1.0).abs() < 1e-6);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn singleton_cascade_has_finite_features() {
+        let c = Cascade::new(2, 0.0, vec![Event { user: 0, parent: None, time: 0.0 }]);
+        let o = c.observe(3600.0);
+        let f = extract(&o, 3600.0);
+        assert!(f.iter().all(|x| x.is_finite()));
+        let names = feature_names();
+        let leaf_frac = f[names.iter().position(|x| x == "leaf_fraction").unwrap()];
+        assert_eq!(leaf_frac, 1.0, "a lone root is its own leaf");
+    }
+
+    #[test]
+    fn temporal_features_distinguish_early_from_late() {
+        // Same structure, different timing → different temporal features.
+        let mk = |times: [f64; 3]| {
+            Cascade::new(
+                3,
+                0.0,
+                vec![
+                    Event { user: 0, parent: None, time: 0.0 },
+                    Event { user: 1, parent: Some(0), time: times[0] },
+                    Event { user: 2, parent: Some(0), time: times[1] },
+                    Event { user: 3, parent: Some(1), time: times[2] },
+                ],
+            )
+        };
+        let early = mk([1.0, 2.0, 3.0]);
+        let late = mk([55.0, 57.0, 59.0]);
+        let fe = extract(&early.observe(60.0), 60.0);
+        let fl = extract(&late.observe(60.0), 60.0);
+        let names = feature_names();
+        let idx = names.iter().position(|x| x == "mean_time").unwrap();
+        assert!(fe[idx] < fl[idx]);
+        // Structural features identical.
+        let leaf = names.iter().position(|x| x == "num_leaves").unwrap();
+        assert_eq!(fe[leaf], fl[leaf]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dataset-level statistics behind Table II and Figures 4, 5 and 8.
+
+use crate::Dataset;
+
+/// Log-binned cascade-size histogram (Fig. 4): returns
+/// `(bin_lower_size, count)` pairs for power-of-two bins.
+pub fn size_distribution(dataset: &Dataset) -> Vec<(usize, usize)> {
+    let mut bins: Vec<usize> = Vec::new();
+    for c in &dataset.cascades {
+        let size = c.final_size();
+        let bin = (usize::BITS - 1 - size.leading_zeros()) as usize; // floor(log2)
+        if bins.len() <= bin {
+            bins.resize(bin + 1, 0);
+        }
+        bins[bin] += 1;
+    }
+    bins.into_iter()
+        .enumerate()
+        .map(|(b, count)| (1usize << b, count))
+        .collect()
+}
+
+/// Popularity-saturation curve (Fig. 5): fraction of eventual adoptions that
+/// have arrived by each of `num_points` evenly spaced times in
+/// `[0, horizon]`, pooled over all cascades with at least `min_size`
+/// adopters. Returns `(time, fraction)` pairs.
+pub fn popularity_curve(dataset: &Dataset, horizon: f64, num_points: usize) -> Vec<(f64, f64)> {
+    let min_size = 2;
+    let total: usize = dataset
+        .cascades
+        .iter()
+        .filter(|c| c.final_size() >= min_size)
+        .map(|c| c.final_size())
+        .sum();
+    (0..=num_points)
+        .map(|i| {
+            let t = horizon * i as f64 / num_points as f64;
+            let arrived: usize = dataset
+                .cascades
+                .iter()
+                .filter(|c| c.final_size() >= min_size)
+                .map(|c| c.size_at(t))
+                .sum();
+            (t, arrived as f64 / total.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Average observed cascade size as a function of the observation time
+/// (Fig. 8a): one value per requested time.
+pub fn avg_observed_size(dataset: &Dataset, times: &[f64]) -> Vec<f64> {
+    times
+        .iter()
+        .map(|&t| {
+            let total: usize = dataset.cascades.iter().map(|c| c.size_at(t)).sum();
+            total as f64 / dataset.cascades.len().max(1) as f64
+        })
+        .collect()
+}
+
+/// Estimates the power-law tail exponent of the size distribution via a
+/// least-squares fit on the log-binned histogram (used to validate the
+/// Fig. 4 "straight line on log-log axes" claim).
+pub fn power_law_slope(dataset: &Dataset) -> Option<f64> {
+    let hist = size_distribution(dataset);
+    let points: Vec<(f64, f64)> = hist
+        .iter()
+        .filter(|&&(size, count)| size >= 2 && count > 0)
+        .map(|&(size, count)| ((size as f64).ln(), (count as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{WeiboConfig, WeiboGenerator};
+
+    fn dataset() -> Dataset {
+        WeiboGenerator::new(WeiboConfig {
+            num_cascades: 1200,
+            seed: 9,
+            max_size: 1000,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn size_distribution_counts_everything() {
+        let d = dataset();
+        let hist = size_distribution(&d);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, d.cascades.len());
+        // Bins are powers of two.
+        for (i, &(size, _)) in hist.iter().enumerate() {
+            assert_eq!(size, 1 << i);
+        }
+    }
+
+    #[test]
+    fn size_distribution_decays() {
+        let d = dataset();
+        let hist = size_distribution(&d);
+        // Counts in the tail must be (weakly) smaller than near the head —
+        // the heavy-tail shape of Fig. 4.
+        let head = hist[0].1 + hist.get(1).map_or(0, |x| x.1);
+        let tail: usize = hist.iter().skip(4).map(|&(_, c)| c).sum();
+        assert!(head > tail, "head {head} should dominate tail {tail}");
+    }
+
+    #[test]
+    fn popularity_curve_is_monotone_and_saturates() {
+        let d = dataset();
+        let curve = popularity_curve(&d, 24.0 * 3600.0, 24);
+        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9));
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-6);
+        assert_eq!(curve.first().unwrap().1.min(0.9), curve.first().unwrap().1, "starts below 1");
+    }
+
+    #[test]
+    fn avg_observed_size_grows_with_time() {
+        let d = dataset();
+        let sizes = avg_observed_size(&d, &[600.0, 3600.0, 7200.0, 86400.0]);
+        assert!(sizes.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn power_law_slope_is_negative() {
+        let d = dataset();
+        let slope = power_law_slope(&d).expect("enough histogram points");
+        assert!(
+            (-4.0..-0.3).contains(&slope),
+            "expected a negative tail exponent, got {slope}"
+        );
+    }
+}

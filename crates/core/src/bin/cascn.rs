@@ -1,0 +1,251 @@
+//! `cascn` — command-line interface to the CasCN reproduction.
+//!
+//! ```text
+//! cascn generate --dataset weibo --n 2000 --seed 7 --out weibo.cascades
+//! cascn stats weibo.cascades --window 3600
+//! cascn train --data weibo.cascades --window 3600 --epochs 10 --out model.params
+//! cascn predict --data weibo.cascades --window 3600 --model model.params
+//! ```
+//!
+//! Dataset files use the line-based format of `cascn_cascades::io`; files in
+//! the public DeepHawkes format are auto-detected by their tab-separated
+//! layout.
+
+use std::process::exit;
+
+use cascn::{CascnConfig, CascnModel, TrainOpts};
+use cascn_cascades::{deephawkes_format, io, Dataset, Split};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage_and_exit();
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "train" => cmd_train(&flags),
+        "predict" => cmd_predict(&flags),
+        "--help" | "-h" | "help" => {
+            usage_and_exit();
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "cascn — cascade size prediction (CasCN, ICDE 2019)\n\n\
+         USAGE:\n  cascn generate --dataset weibo|hepph [--n N] [--seed S] --out FILE\n  \
+         cascn stats FILE [--window SECS]\n  \
+         cascn train --data FILE --window SECS [--epochs N] [--hidden H] [--out MODEL]\n  \
+         cascn predict --data FILE --window SECS --model MODEL [--top K]"
+    );
+    exit(2);
+}
+
+/// Minimal `--flag value` parser (positional args allowed before flags).
+struct Flags {
+    positional: Vec<String>,
+    named: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut named = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                named.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Self { positional, named }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} `{v}`")),
+        }
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    // Auto-detect: DeepHawkes lines are tab-separated; ours start with '#'
+    // or the `cascade` keyword.
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let first_data_line = text
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    match first_data_line {
+        Some(l) if l.contains('\t') => {
+            deephawkes_format::parse(&text, path).map_err(|e| e.to_string())
+        }
+        _ => io::dataset_from_str(&text, path).map_err(|e| e.to_string()),
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    use cascn_cascades::synth::{
+        CitationConfig, CitationGenerator, WeiboConfig, WeiboGenerator,
+    };
+    let kind = flags.require("dataset")?;
+    let n: usize = flags.parse_or("n", 2000)?;
+    let seed: u64 = flags.parse_or("seed", 2019)?;
+    let out = flags.require("out")?;
+    let dataset = match kind {
+        "weibo" => WeiboGenerator::new(WeiboConfig {
+            num_cascades: n,
+            seed,
+            ..WeiboConfig::default()
+        })
+        .generate(),
+        "hepph" => CitationGenerator::new(CitationConfig {
+            num_cascades: n,
+            seed,
+            ..CitationConfig::default()
+        })
+        .generate(),
+        other => return Err(format!("unknown dataset `{other}` (weibo|hepph)")),
+    };
+    io::write_dataset(out, &dataset).map_err(|e| e.to_string())?;
+    println!("wrote {} cascades to {out}", dataset.cascades.len());
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| flags.get("data"))
+        .ok_or("missing dataset file")?;
+    let dataset = load_dataset(path)?;
+    let window: f64 = flags.parse_or("window", f64::MAX)?;
+    println!("dataset: {} ({} cascades)", dataset.name, dataset.cascades.len());
+    println!("total edges: {}", dataset.total_edges());
+    for split in [Split::Train, Split::Validation, Split::Test] {
+        let s = dataset.split_stats(split, window);
+        println!(
+            "{split:?}: {} cascades, avg nodes {:.2}, avg edges {:.2}",
+            s.count, s.avg_nodes, s.avg_edges
+        );
+    }
+    let hist = cascn_cascades::stats::size_distribution(&dataset);
+    println!("size histogram (log2 bins):");
+    for (size, count) in hist {
+        println!("  >= {size:<6} {count}");
+    }
+    Ok(())
+}
+
+fn train_config(flags: &Flags) -> Result<(CascnConfig, TrainOpts), String> {
+    let hidden: usize = flags.parse_or("hidden", 16)?;
+    let epochs: usize = flags.parse_or("epochs", 10)?;
+    let cfg = CascnConfig {
+        hidden,
+        mlp_hidden: hidden,
+        max_nodes: flags.parse_or("max-nodes", 30)?,
+        max_steps: flags.parse_or("max-steps", 10)?,
+        seed: flags.parse_or("seed", 42)?,
+        ..CascnConfig::default()
+    };
+    let opts = TrainOpts {
+        epochs,
+        patience: flags.parse_or("patience", epochs.div_ceil(2))?,
+        lr: flags.parse_or("lr", 5e-3)?,
+        ..TrainOpts::default()
+    };
+    Ok((cfg, opts))
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let data_path = flags.require("data")?;
+    let window: f64 = flags
+        .require("window")?
+        .parse()
+        .map_err(|_| "invalid --window")?;
+    let dataset = load_dataset(data_path)?
+        .filter_observed_size(window, flags.parse_or("min-size", 5)?, flags.parse_or("max-size", 100)?);
+    if dataset.cascades.len() < 20 {
+        return Err(format!(
+            "only {} cascades survive the size filter — relax --min-size",
+            dataset.cascades.len()
+        ));
+    }
+    let (cfg, opts) = train_config(flags)?;
+    let mut model = CascnModel::new(cfg);
+    println!(
+        "training CasCN ({} parameters) on {} cascades…",
+        model.num_parameters(),
+        dataset.split(Split::Train).len()
+    );
+    let history = model.fit(
+        dataset.split(Split::Train),
+        dataset.split(Split::Validation),
+        window,
+        &opts,
+    );
+    for r in history.records() {
+        println!(
+            "epoch {:>3}: train {:.4}  val {:.4}",
+            r.epoch, r.train_loss, r.val_loss
+        );
+    }
+    let msle = cascn::evaluate(&model, dataset.split(Split::Test), window);
+    println!("test MSLE: {msle:.4}");
+    if let Some(out) = flags.get("out") {
+        model.save(out).map_err(|e| e.to_string())?;
+        println!("saved model to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
+    let data_path = flags.require("data")?;
+    let model_path = flags.require("model")?;
+    let window: f64 = flags
+        .require("window")?
+        .parse()
+        .map_err(|_| "invalid --window")?;
+    let (cfg, _) = train_config(flags)?;
+    let model = CascnModel::load(cfg, model_path).map_err(|e| e.to_string())?;
+    let dataset = load_dataset(data_path)?;
+    let top: usize = flags.parse_or("top", 10)?;
+
+    let mut rows: Vec<(u64, usize, f32)> = dataset
+        .cascades
+        .iter()
+        .map(|c| {
+            let pred = model.predict_log(c, window).exp() - 1.0;
+            (c.id, c.size_at(window), pred)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite predictions"));
+    println!("top {top} cascades by predicted growth:");
+    println!("{:>10}  {:>9}  {:>12}", "cascade", "observed", "predicted +");
+    for (id, observed, pred) in rows.into_iter().take(top) {
+        println!("{id:>10}  {observed:>9}  {pred:>12.1}");
+    }
+    Ok(())
+}

@@ -1,0 +1,247 @@
+//! Cascade preprocessing: snapshots, CasLaplacian, Chebyshev bases.
+//!
+//! Preprocessing is deterministic and model-independent, so trainers run it
+//! once per cascade and cache the result across epochs.
+
+use cascn_cascades::Cascade;
+use cascn_graph::{laplacian, DiGraph};
+use cascn_tensor::Matrix;
+
+use crate::config::{CascnConfig, LambdaMax, LaplacianKind};
+
+/// A cascade converted to CasCN's input representation.
+#[derive(Debug, Clone)]
+pub struct PreprocessedCascade {
+    /// Chebyshev bases `T_k(Δ̃_c)`, each `n x n` (length `K + 1`).
+    pub bases: Vec<Matrix>,
+    /// Snapshot signals `X_t`, each `n x max_nodes` (rows = observed nodes,
+    /// columns zero-padded to the shared feature width).
+    pub snapshots: Vec<Matrix>,
+    /// Diffusion time of each snapshot (seconds since the root post).
+    pub times: Vec<f64>,
+    /// Number of observed nodes `n` (≤ `max_nodes`).
+    pub n: usize,
+    /// Observation window used.
+    pub window: f64,
+    /// Ground-truth log-increment `ln(1 + ΔS)`.
+    pub label_log: f32,
+    /// Raw increment label `ΔS`.
+    pub increment: usize,
+    /// The exact λ_max used for scaling (2.0 under [`LambdaMax::Approx2`]).
+    pub lambda_max: f32,
+}
+
+/// Builds the model input for one cascade under `cfg` at observation window
+/// `window`:
+///
+/// 1. truncate the observed prefix to `cfg.max_nodes` adopters;
+/// 2. build the cascade graph and its (directed or undirected) Laplacian;
+/// 3. scale by `λ_max` and expand Chebyshev bases to order `K`;
+/// 4. emit the Fig. 3 adjacency snapshot sequence, column-padded to
+///    `cfg.max_nodes` so every cascade shares the filter width.
+pub fn preprocess(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> PreprocessedCascade {
+    let observed = cascade.observe(window);
+    let n = observed.num_nodes().min(cfg.max_nodes);
+
+    // Local graph over the first n adopters (edges into truncated nodes are
+    // dropped with them).
+    let mut g = DiGraph::new(n);
+    for (i, e) in observed.events().iter().enumerate().take(n).skip(1) {
+        let p = e.parent.expect("non-root events have parents");
+        if p < n {
+            g.add_edge(p, i, 1.0);
+        }
+    }
+
+    let lap = match cfg.laplacian {
+        LaplacianKind::Directed => laplacian::cas_laplacian(&g, cfg.alpha),
+        LaplacianKind::Undirected => laplacian::undirected_normalized_laplacian(&g),
+    };
+    let lambda_max = match cfg.lambda_max {
+        LambdaMax::Exact => laplacian::largest_eigenvalue(&lap),
+        LambdaMax::Approx2 => 2.0,
+    };
+    let scaled = laplacian::scale_laplacian(&lap, lambda_max);
+    let bases = laplacian::chebyshev_bases(&scaled, cfg.k);
+
+    // Snapshot sequence over the truncated prefix, column-padded.
+    let truncated = TruncatedView { cascade, n };
+    let (snapshots, times) = truncated.snapshots_padded(cfg.max_steps, cfg.max_nodes);
+
+    let increment = cascade.increment_size(window);
+    PreprocessedCascade {
+        bases,
+        snapshots,
+        times,
+        n,
+        window,
+        label_log: cascn_nn::metrics::log_label(increment),
+        increment,
+        lambda_max,
+    }
+}
+
+/// Internal helper that re-implements the snapshot sampling over a truncated
+/// node prefix with column padding.
+struct TruncatedView<'a> {
+    cascade: &'a Cascade,
+    n: usize,
+}
+
+impl TruncatedView<'_> {
+    fn snapshots_padded(&self, max_steps: usize, width: usize) -> (Vec<Matrix>, Vec<f64>) {
+        let n = self.n;
+        let events = &self.cascade.events[..n];
+        let steps = n.min(max_steps.max(1));
+        let mut boundaries = Vec::with_capacity(steps);
+        for s in 1..=steps {
+            boundaries.push((s * n).div_ceil(steps));
+        }
+        let mut out = Vec::with_capacity(steps);
+        let mut times = Vec::with_capacity(steps);
+        let mut adj = Matrix::zeros(n, width);
+        adj[(0, 0)] = 1.0; // root self-connection
+        let mut next_event = 1usize;
+        for &b in &boundaries {
+            while next_event < b {
+                let e = &events[next_event];
+                let p = e.parent.expect("non-root events have parents");
+                if p < n && next_event < width {
+                    adj[(p, next_event)] = 1.0;
+                }
+                next_event += 1;
+            }
+            out.push(adj.clone());
+            times.push(events[b - 1].time);
+        }
+        (out, times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::Event;
+
+    fn fig1() -> Cascade {
+        Cascade::new(
+            1,
+            0.0,
+            vec![
+                Event { user: 0, parent: None, time: 0.0 },
+                Event { user: 1, parent: Some(0), time: 10.0 },
+                Event { user: 2, parent: Some(0), time: 20.0 },
+                Event { user: 3, parent: Some(1), time: 30.0 },
+                Event { user: 4, parent: Some(1), time: 40.0 },
+                Event { user: 5, parent: Some(3), time: 50.0 },
+            ],
+        )
+    }
+
+    fn cfg() -> CascnConfig {
+        CascnConfig {
+            max_nodes: 10,
+            max_steps: 8,
+            k: 2,
+            ..CascnConfig::default()
+        }
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let p = preprocess(&fig1(), 60.0, &cfg());
+        assert_eq!(p.n, 6);
+        assert_eq!(p.bases.len(), 3, "K + 1 bases");
+        for b in &p.bases {
+            assert_eq!(b.shape(), (6, 6));
+        }
+        assert_eq!(p.snapshots.len(), 6);
+        for s in &p.snapshots {
+            assert_eq!(s.shape(), (6, 10), "column padded to max_nodes");
+        }
+        assert_eq!(p.times.len(), p.snapshots.len());
+        assert_eq!(p.increment, 0);
+        assert_eq!(p.label_log, 0.0, "ln(1+0) = 0");
+    }
+
+    #[test]
+    fn window_truncates_label() {
+        let p = preprocess(&fig1(), 25.0, &cfg());
+        assert_eq!(p.n, 3);
+        assert_eq!(p.increment, 3);
+        assert!((p.label_log - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oversize_cascades_are_truncated() {
+        let small = CascnConfig {
+            max_nodes: 4,
+            ..cfg()
+        };
+        let p = preprocess(&fig1(), 60.0, &small);
+        assert_eq!(p.n, 4);
+        for b in &p.bases {
+            assert_eq!(b.shape(), (4, 4));
+        }
+        for s in &p.snapshots {
+            assert_eq!(s.shape(), (4, 4));
+        }
+        // Edges to truncated nodes must not appear.
+        let last = p.snapshots.last().unwrap();
+        assert_eq!(last.sum(), 1.0 + 3.0, "self-loop + edges among first 4 nodes");
+    }
+
+    #[test]
+    fn step_cap_preserves_final_snapshot() {
+        let capped = CascnConfig {
+            max_steps: 2,
+            ..cfg()
+        };
+        let full = preprocess(&fig1(), 60.0, &cfg());
+        let short = preprocess(&fig1(), 60.0, &capped);
+        assert_eq!(short.snapshots.len(), 2);
+        assert_eq!(
+            short.snapshots.last().unwrap().as_slice(),
+            full.snapshots.last().unwrap().as_slice(),
+            "final snapshot must contain the whole observed cascade"
+        );
+        assert_eq!(*short.times.last().unwrap(), 50.0);
+    }
+
+    #[test]
+    fn approx2_sets_lambda() {
+        let c = CascnConfig {
+            lambda_max: LambdaMax::Approx2,
+            ..cfg()
+        };
+        let p = preprocess(&fig1(), 60.0, &c);
+        assert_eq!(p.lambda_max, 2.0);
+        let exact = preprocess(&fig1(), 60.0, &cfg());
+        assert_ne!(exact.lambda_max, 2.0);
+    }
+
+    #[test]
+    fn undirected_bases_are_symmetric() {
+        let c = CascnConfig {
+            laplacian: LaplacianKind::Undirected,
+            ..cfg()
+        };
+        let p = preprocess(&fig1(), 60.0, &c);
+        let t1 = &p.bases[1];
+        for r in 0..t1.rows() {
+            for cidx in 0..t1.cols() {
+                assert!((t1[(r, cidx)] - t1[(cidx, r)]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_cascade_preprocesses() {
+        let c = Cascade::new(9, 0.0, vec![Event { user: 7, parent: None, time: 0.0 }]);
+        let p = preprocess(&c, 100.0, &cfg());
+        assert_eq!(p.n, 1);
+        assert_eq!(p.snapshots.len(), 1);
+        assert_eq!(p.snapshots[0][(0, 0)], 1.0, "root self-loop");
+        assert!(p.bases.iter().all(|b| b.all_finite()));
+    }
+}

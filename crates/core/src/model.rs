@@ -1,0 +1,464 @@
+//! The CasCN model (Fig. 2): ChebConv recurrence → time decay → sum
+//! pooling → MLP.
+
+use cascn_autograd::{ParamId, ParamStore, Tape, Var};
+use cascn_cascades::Cascade;
+use cascn_nn::{
+    bases_to_vars, Activation, ChebConvGruCell, ChebConvLstmCell, Mlp, TimeDecay,
+};
+use cascn_nn::train::History;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{CascnConfig, DecayMode, Pooling, RecurrentKind};
+use crate::input::{preprocess, PreprocessedCascade};
+use crate::trainer::{predict_with, train_loop, TrainOpts};
+
+
+/// The recurrent core, selected by [`RecurrentKind`].
+#[derive(Debug, Clone)]
+enum Cell {
+    Lstm(ChebConvLstmCell),
+    Gru(ChebConvGruCell),
+}
+
+/// CasCN and its config-level variants (`CasCN-GRU`, `CasCN-Undirected`,
+/// `CasCN-Time`, and the Table V parameter grid).
+#[derive(Debug, Clone)]
+pub struct CascnModel {
+    cfg: CascnConfig,
+    store: ParamStore,
+    cell: Cell,
+    decay: TimeDecay,
+    /// Attention projection (used only under [`Pooling::Attention`]).
+    att_w: ParamId,
+    /// Attention scoring vector.
+    att_v: ParamId,
+    mlp: Mlp,
+}
+
+impl CascnModel {
+    /// Builds an untrained model with seeded initialization.
+    pub fn new(cfg: CascnConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let cell = match cfg.recurrent {
+            RecurrentKind::Lstm => Cell::Lstm(ChebConvLstmCell::new(
+                &mut store,
+                "cascn.cell",
+                cfg.k,
+                cfg.max_nodes,
+                cfg.hidden,
+                &mut rng,
+            )),
+            RecurrentKind::Gru => Cell::Gru(ChebConvGruCell::new(
+                &mut store,
+                "cascn.cell",
+                cfg.k,
+                cfg.max_nodes,
+                cfg.hidden,
+                &mut rng,
+            )),
+        };
+        let decay = TimeDecay::new(&mut store, "cascn.decay", cfg.decay_intervals);
+        let att_w = store.register(
+            "cascn.att.w",
+            cascn_nn::init::xavier_uniform(cfg.hidden, cfg.hidden, &mut rng),
+        );
+        let att_v = store.register(
+            "cascn.att.v",
+            cascn_nn::init::xavier_uniform(cfg.hidden, 1, &mut rng),
+        );
+        let mlp = Mlp::new(
+            &mut store,
+            "cascn.mlp",
+            &[cfg.hidden, cfg.mlp_hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        Self {
+            cfg,
+            store,
+            cell,
+            decay,
+            att_w,
+            att_v,
+            mlp,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &CascnConfig {
+        &self.cfg
+    }
+
+    /// The parameter store (for inspection and tests).
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Replaces the parameter store (e.g. with a snapshot captured by a
+    /// [`CascnModel::fit_observed`] observer).
+    ///
+    /// # Panics
+    /// Panics if the store's parameter count differs from this model's.
+    pub fn set_params(&mut self, store: ParamStore) {
+        assert_eq!(
+            store.len(),
+            self.store.len(),
+            "set_params: parameter count mismatch"
+        );
+        self.store = store;
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Forward pass to the pooled cascade representation `h(C_i(t))`
+    /// (Eq. 17), a `1 x hidden` variable.
+    fn forward_representation(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        sample: &PreprocessedCascade,
+    ) -> Var {
+        let bases = bases_to_vars(tape, &sample.bases);
+        let inputs: Vec<Var> = sample
+            .snapshots
+            .iter()
+            .map(|s| tape.constant(s.clone()))
+            .collect();
+        let hs = match &self.cell {
+            Cell::Lstm(cell) => cell.run(tape, store, &bases, &inputs, sample.n),
+            Cell::Gru(cell) => cell.run(tape, store, &bases, &inputs, sample.n),
+        };
+        // Eq. 16: re-weight each hidden state by its interval's λ.
+        let weighted: Vec<Var> = hs
+            .iter()
+            .enumerate()
+            .map(|(t, &h)| match self.cfg.decay {
+                DecayMode::Learned => {
+                    self.decay
+                        .apply(tape, store, h, sample.times[t], sample.window)
+                }
+                DecayMode::None => h,
+                kernel => {
+                    let k = kernel.kernel(sample.times[t] / sample.window.max(f64::MIN_POSITIVE));
+                    tape.scale(h, k)
+                }
+            })
+            .collect();
+        match self.cfg.pooling {
+            // Eq. 17: sum over time, then over nodes.
+            Pooling::Sum => {
+                let mut acc: Option<Var> = None;
+                for &w in &weighted {
+                    acc = Some(match acc {
+                        Some(a) => tape.add(a, w),
+                        None => w,
+                    });
+                }
+                let summed = acc.expect("at least one snapshot");
+                tape.sum_rows(summed)
+            }
+            // Future-work extension: additive attention over snapshots.
+            Pooling::Attention => {
+                let pooled: Vec<Var> = weighted.iter().map(|&w| tape.sum_rows(w)).collect();
+                let stacked = tape.concat_rows(&pooled); // T x hidden
+                let w = tape.param(store, self.att_w);
+                let v = tape.param(store, self.att_v);
+                let proj = tape.matmul(stacked, w);
+                let act = tape.tanh(proj);
+                let scores = tape.matmul(act, v); // T x 1
+                let alpha = tape.softmax_col(scores);
+                let ones = tape.constant(cascn_tensor::Matrix::full(1, self.cfg.hidden, 1.0));
+                let tiled = tape.matmul(alpha, ones);
+                let mixed = tape.hadamard(tiled, stacked);
+                tape.sum_rows(mixed)
+            }
+        }
+    }
+
+    /// Full forward pass to the `1x1` predicted log-increment (Eq. 18).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        sample: &PreprocessedCascade,
+    ) -> Var {
+        let rep = self.forward_representation(tape, store, sample);
+        self.mlp.forward(tape, store, rep)
+    }
+
+    /// Trains on `train`, early-stopping on `val` (Algorithm 2). Returns the
+    /// loss history; the model keeps the best-validation parameters.
+    pub fn fit(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+    ) -> History {
+        let train_samples: Vec<PreprocessedCascade> = train
+            .iter()
+            .map(|c| preprocess(c, window, &self.cfg))
+            .collect();
+        let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
+        let val_samples: Vec<PreprocessedCascade> =
+            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+        let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
+
+        let model = self.clone(); // immutable view for the forward closure
+        let forward = move |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
+            model.forward(tape, store, s)
+        };
+        train_loop(
+            &mut self.store,
+            &forward,
+            &train_samples,
+            &train_labels,
+            &val_samples,
+            &val_increments,
+            opts,
+        )
+    }
+
+    /// [`CascnModel::fit`] with a per-epoch observer receiving the epoch
+    /// index and the current parameters (used to trace metrics on
+    /// sub-populations during training, as in Fig. 8).
+    pub fn fit_observed(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+        observer: &mut dyn FnMut(usize, &ParamStore),
+    ) -> History {
+        let train_samples: Vec<PreprocessedCascade> = train
+            .iter()
+            .map(|c| preprocess(c, window, &self.cfg))
+            .collect();
+        let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
+        let val_samples: Vec<PreprocessedCascade> =
+            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+        let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
+        let model = self.clone();
+        let forward = move |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
+            model.forward(tape, store, s)
+        };
+        crate::trainer::train_loop_observed(
+            &mut self.store,
+            &forward,
+            &train_samples,
+            &train_labels,
+            &val_samples,
+            &val_increments,
+            opts,
+            observer,
+        )
+    }
+
+    /// Predicted log-increment `ln(1 + ΔS)` for a cascade.
+    pub fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        let sample = preprocess(cascade, window, &self.cfg);
+        let forward = |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
+            self.forward(tape, store, s)
+        };
+        predict_with(&self.store, &forward, &sample)
+    }
+
+    /// The learned cascade representation `h(C_i(t))` — the vector Fig. 9
+    /// visualizes.
+    pub fn representation(&self, cascade: &Cascade, window: f64) -> Vec<f32> {
+        let sample = preprocess(cascade, window, &self.cfg);
+        let mut tape = Tape::new();
+        let rep = self.forward_representation(&mut tape, &self.store, &sample);
+        tape.value(rep).as_slice().to_vec()
+    }
+
+    /// Current time-decay multipliers `λ_m`.
+    pub fn decay_values(&self) -> Vec<f32> {
+        self.decay.values(&self.store)
+    }
+
+    /// Saves the trained parameters to a text checkpoint.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.save(path)
+    }
+
+    /// Loads parameters from a checkpoint written by [`CascnModel::save`]
+    /// into a freshly built model with the same configuration.
+    ///
+    /// # Errors
+    /// Fails on I/O or parse errors, or when the checkpoint does not cover
+    /// every parameter of this architecture.
+    pub fn load(cfg: CascnConfig, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let mut model = Self::new(cfg);
+        let checkpoint = ParamStore::load(path)?;
+        let restored = model
+            .store
+            .restore_from(&checkpoint)
+            .map_err(std::io::Error::other)?;
+        if restored != model.store.len() {
+            return Err(std::io::Error::other(format!(
+                "checkpoint restored {restored} of {} parameters — wrong architecture?",
+                model.store.len()
+            )));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+    use cascn_cascades::Split;
+
+    fn tiny_cfg() -> CascnConfig {
+        CascnConfig {
+            hidden: 4,
+            mlp_hidden: 4,
+            max_nodes: 12,
+            max_steps: 6,
+            ..CascnConfig::default()
+        }
+    }
+
+    fn tiny_data() -> cascn_cascades::Dataset {
+        WeiboGenerator::new(WeiboConfig {
+            num_cascades: 260,
+            seed: 31,
+            max_size: 200,
+        })
+        .generate()
+        .filter_observed_size(3600.0, 3, 60)
+    }
+
+    #[test]
+    fn forward_produces_scalar() {
+        let model = CascnModel::new(tiny_cfg());
+        let data = tiny_data();
+        let sample = preprocess(&data.cascades[0], 3600.0, model.config());
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, model.params(), &sample);
+        assert_eq!(tape.value(out).shape(), (1, 1));
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn representation_has_hidden_width() {
+        let model = CascnModel::new(tiny_cfg());
+        let data = tiny_data();
+        let rep = model.representation(&data.cascades[0], 3600.0);
+        assert_eq!(rep.len(), 4);
+    }
+
+    #[test]
+    fn fit_improves_over_initialization() {
+        let mut model = CascnModel::new(tiny_cfg());
+        let data = tiny_data();
+        let window = 3600.0;
+        let train = data.split(Split::Train);
+        let val = data.split(Split::Validation);
+        assert!(train.len() >= 20, "need enough cascades, got {}", train.len());
+        let opts = TrainOpts {
+            epochs: 4,
+            patience: 4,
+            ..TrainOpts::default()
+        };
+        let hist = model.fit(train, val, window, &opts);
+        let first = hist.records()[0].val_loss;
+        let best = hist.best().unwrap().val_loss;
+        assert!(
+            best <= first,
+            "validation loss should not get worse: {first} → {best}"
+        );
+        assert!(best.is_finite());
+    }
+
+    #[test]
+    fn variants_share_the_same_interface() {
+        use crate::config::Variant;
+        let data = tiny_data();
+        for variant in [Variant::Gru, Variant::Undirected, Variant::NoTimeDecay] {
+            let cfg = tiny_cfg().with_variant(variant);
+            let model = CascnModel::new(cfg);
+            let p = model.predict_log(&data.cascades[0], 3600.0);
+            assert!(p.is_finite(), "{variant:?} produced {p}");
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let mut model = CascnModel::new(tiny_cfg());
+        let data = tiny_data();
+        // Perturb a parameter so the checkpoint differs from init.
+        let id = model.store.ids().next().unwrap();
+        model.store.value_mut(id).as_mut_slice()[0] = 0.777;
+        let dir = std::env::temp_dir().join("cascn_model_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.params");
+        model.save(&path).unwrap();
+        let loaded = CascnModel::load(tiny_cfg(), &path).unwrap();
+        let a = model.predict_log(&data.cascades[0], 3600.0);
+        let b = loaded.predict_log(&data.cascades[0], 3600.0);
+        assert_eq!(a, b, "loaded model must predict identically");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let model = CascnModel::new(tiny_cfg());
+        let dir = std::env::temp_dir().join("cascn_model_ckpt2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.params");
+        model.save(&path).unwrap();
+        let bigger = CascnConfig {
+            hidden: 8,
+            ..tiny_cfg()
+        };
+        let err = CascnModel::load(bigger, &path);
+        assert!(err.is_err(), "differing hidden size must be rejected");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn attention_pooling_trains_and_differs_from_sum() {
+        use crate::config::Pooling;
+        let data = tiny_data();
+        let sum_model = CascnModel::new(tiny_cfg());
+        let att_model = CascnModel::new(CascnConfig {
+            pooling: Pooling::Attention,
+            ..tiny_cfg()
+        });
+        let c = &data.cascades[0];
+        let a = sum_model.predict_log(c, 3600.0);
+        let b = att_model.predict_log(c, 3600.0);
+        assert!(a.is_finite() && b.is_finite());
+        assert_ne!(a, b, "pooling modes must differ");
+        // Attention mode must also train.
+        let mut att_model = att_model;
+        let train: Vec<_> = data.cascades.iter().take(30).cloned().collect();
+        let hist = att_model.fit(
+            &train,
+            &[],
+            3600.0,
+            &TrainOpts {
+                epochs: 1,
+                ..TrainOpts::default()
+            },
+        );
+        assert!(hist.records()[0].train_loss.is_finite());
+    }
+
+    #[test]
+    fn seeded_models_are_reproducible() {
+        let data = tiny_data();
+        let a = CascnModel::new(tiny_cfg()).predict_log(&data.cascades[1], 3600.0);
+        let b = CascnModel::new(tiny_cfg()).predict_log(&data.cascades[1], 3600.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! `CasCN-Path` (Table IV, Fig. 6): the sampling ablation — random-walk
+//! node sequences with 50-dimensional user embeddings feed an LSTM instead
+//! of the sub-cascade snapshot sequence. Its gap to full CasCN measures the
+//! value of snapshot sampling.
+
+use cascn_autograd::{ParamStore, Tape, Var};
+use cascn_cascades::Cascade;
+use cascn_graph::walks::{sample_walks, WalkConfig};
+use cascn_nn::train::History;
+use cascn_nn::{Activation, Embedding, LstmCell, Mlp, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::CascnConfig;
+use crate::trainer::{predict_with, train_loop, TrainOpts};
+
+/// A cascade reduced to random-walk sequences of embedding-table rows.
+#[derive(Debug, Clone)]
+pub struct PathSample {
+    /// Walks as vocabulary indices.
+    pub walks: Vec<Vec<usize>>,
+    /// Ground-truth log-increment.
+    pub label_log: f32,
+    /// Raw increment label.
+    pub increment: usize,
+}
+
+/// The random-walk ablation model.
+#[derive(Debug, Clone)]
+pub struct PathModel {
+    cfg: CascnConfig,
+    store: ParamStore,
+    vocab: Vocab,
+    embedding: Embedding,
+    lstm: LstmCell,
+    mlp: Mlp,
+    walk_cfg: WalkConfig,
+    embed_dim: usize,
+}
+
+impl PathModel {
+    /// User-embedding width (DeepCas / the paper's setup: 50).
+    pub const EMBED_DIM: usize = 50;
+
+    /// Builds the model. The vocabulary is constructed from the *observed*
+    /// users of the training cascades, so test-time unknowns map to UNK.
+    pub fn new(cfg: CascnConfig, train: &[Cascade], window: f64) -> Self {
+        let vocab = Vocab::build(
+            train
+                .iter()
+                .flat_map(|c| c.observe(window).users().into_iter()),
+            0,
+        );
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let embed_dim = Self::EMBED_DIM;
+        let embedding = Embedding::new(
+            &mut store,
+            "path.embed",
+            vocab.table_size(),
+            embed_dim,
+            &mut rng,
+        );
+        let lstm = LstmCell::new(&mut store, "path.lstm", embed_dim, cfg.hidden, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "path.mlp",
+            &[cfg.hidden, cfg.mlp_hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        Self {
+            cfg,
+            store,
+            vocab,
+            embedding,
+            lstm,
+            mlp,
+            walk_cfg: WalkConfig {
+                num_walks: 12,
+                walk_length: 8,
+            },
+            embed_dim,
+        }
+    }
+
+    /// Number of known users in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Converts a cascade into its walk sample. Walk sampling is seeded by
+    /// the cascade id so preprocessing is deterministic.
+    pub fn preprocess(&self, cascade: &Cascade, window: f64) -> PathSample {
+        let observed = cascade.observe(window);
+        let g = observed.graph();
+        let users = observed.users();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ cascade.id.wrapping_mul(0x9E37_79B9));
+        let walks = sample_walks(&g, self.walk_cfg, &mut rng)
+            .into_iter()
+            .map(|walk| walk.into_iter().map(|v| self.vocab.lookup(users[v])).collect())
+            .collect();
+        let increment = cascade.increment_size(window);
+        PathSample {
+            walks,
+            label_log: cascn_nn::metrics::log_label(increment),
+            increment,
+        }
+    }
+
+    /// Forward pass: per-walk LSTM over user embeddings, mean of final walk
+    /// states, MLP head.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, sample: &PathSample) -> Var {
+        let mut finals = Vec::with_capacity(sample.walks.len());
+        for walk in &sample.walks {
+            let emb = self.embedding.forward(tape, store, walk.clone());
+            let inputs: Vec<Var> = (0..walk.len())
+                .map(|i| tape.slice_rows(emb, i, 1))
+                .collect();
+            let hs = self.lstm.run(tape, store, &inputs, 1);
+            finals.push(*hs.last().expect("walks are non-empty"));
+        }
+        let stacked = tape.concat_rows(&finals);
+        let pooled = tape.mean_rows(stacked);
+        debug_assert_eq!(tape.value(pooled).cols(), self.cfg.hidden);
+        let _ = self.embed_dim;
+        self.mlp.forward(tape, store, pooled)
+    }
+
+    /// Trains the model.
+    pub fn fit(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+    ) -> History {
+        let train_samples: Vec<PathSample> =
+            train.iter().map(|c| self.preprocess(c, window)).collect();
+        let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
+        let val_samples: Vec<PathSample> =
+            val.iter().map(|c| self.preprocess(c, window)).collect();
+        let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
+        let model = self.clone();
+        let forward = move |tape: &mut Tape, store: &ParamStore, s: &PathSample| {
+            model.forward(tape, store, s)
+        };
+        train_loop(
+            &mut self.store,
+            &forward,
+            &train_samples,
+            &train_labels,
+            &val_samples,
+            &val_increments,
+            opts,
+        )
+    }
+
+    /// Predicted log-increment for a cascade.
+    pub fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        let sample = self.preprocess(cascade, window);
+        let forward = |tape: &mut Tape, store: &ParamStore, s: &PathSample| {
+            self.forward(tape, store, s)
+        };
+        predict_with(&self.store, &forward, &sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+
+    fn tiny_cfg() -> CascnConfig {
+        CascnConfig {
+            hidden: 4,
+            mlp_hidden: 4,
+            ..CascnConfig::default()
+        }
+    }
+
+    fn data() -> cascn_cascades::Dataset {
+        WeiboGenerator::new(WeiboConfig {
+            num_cascades: 80,
+            seed: 6,
+            max_size: 100,
+        })
+        .generate()
+        .filter_observed_size(3600.0, 2, 50)
+    }
+
+    #[test]
+    fn vocab_is_built_from_training_users() {
+        let d = data();
+        let model = PathModel::new(tiny_cfg(), &d.cascades, 3600.0);
+        assert!(model.vocab_size() > 10);
+    }
+
+    #[test]
+    fn preprocess_is_deterministic() {
+        let d = data();
+        let model = PathModel::new(tiny_cfg(), &d.cascades, 3600.0);
+        let a = model.preprocess(&d.cascades[0], 3600.0);
+        let b = model.preprocess(&d.cascades[0], 3600.0);
+        assert_eq!(a.walks, b.walks);
+    }
+
+    #[test]
+    fn forward_is_finite_and_trains_one_epoch() {
+        let d = data();
+        let half = d.cascades.len() / 2;
+        let mut model = PathModel::new(tiny_cfg(), &d.cascades[..half], 3600.0);
+        let p = model.predict_log(&d.cascades[0], 3600.0);
+        assert!(p.is_finite());
+        let opts = TrainOpts {
+            epochs: 1,
+            ..TrainOpts::default()
+        };
+        let hist = model.fit(&d.cascades[..half], &d.cascades[half..], 3600.0, &opts);
+        assert!(hist.records()[0].val_loss.is_finite());
+    }
+}

@@ -1,0 +1,111 @@
+//! The common prediction interface shared by CasCN, its variants, and all
+//! baselines — Definition 2's predictor function `f(·)`.
+
+use cascn_cascades::Cascade;
+use cascn_nn::metrics;
+
+use crate::{CascnModel, GlModel, PathModel};
+
+/// A trained cascade-size predictor: maps an observed cascade prefix to the
+/// predicted log-increment `ln(1 + ΔS)`.
+pub trait SizePredictor {
+    /// Display name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Predicted `ln(1 + ΔS)` for `cascade` observed over `[0, window)`.
+    fn predict_log(&self, cascade: &Cascade, window: f64) -> f32;
+}
+
+/// Evaluates a predictor's MSLE (Eq. 20) over a cascade set.
+///
+/// # Panics
+/// Panics if `cascades` is empty.
+pub fn evaluate(model: &dyn SizePredictor, cascades: &[Cascade], window: f64) -> f32 {
+    assert!(!cascades.is_empty(), "evaluate: empty cascade set");
+    let preds: Vec<f32> = cascades.iter().map(|c| model.predict_log(c, window)).collect();
+    let labels: Vec<usize> = cascades.iter().map(|c| c.increment_size(window)).collect();
+    metrics::msle(&preds, &labels)
+}
+
+impl SizePredictor for CascnModel {
+    fn name(&self) -> String {
+        "CasCN".to_string()
+    }
+
+    fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        CascnModel::predict_log(self, cascade, window)
+    }
+}
+
+impl SizePredictor for GlModel {
+    fn name(&self) -> String {
+        "CasCN-GL".to_string()
+    }
+
+    fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        GlModel::predict_log(self, cascade, window)
+    }
+}
+
+impl SizePredictor for PathModel {
+    fn name(&self) -> String {
+        "CasCN-Path".to_string()
+    }
+
+    fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
+        PathModel::predict_log(self, cascade, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::{Cascade, Event};
+
+    struct ConstPredictor(f32);
+
+    impl SizePredictor for ConstPredictor {
+        fn name(&self) -> String {
+            "const".into()
+        }
+
+        fn predict_log(&self, _: &Cascade, _: f64) -> f32 {
+            self.0
+        }
+    }
+
+    fn cascade_with_growth(extra_after: usize) -> Cascade {
+        let mut events = vec![Event { user: 0, parent: None, time: 0.0 }];
+        for i in 0..extra_after {
+            events.push(Event {
+                user: 1 + i as u64,
+                parent: Some(0),
+                time: 100.0 + i as f64,
+            });
+        }
+        Cascade::new(1, 0.0, events)
+    }
+
+    #[test]
+    fn evaluate_scores_perfect_predictor_zero() {
+        let c = cascade_with_growth(5);
+        let target = cascn_nn::metrics::log_label(5);
+        let m = ConstPredictor(target);
+        assert!(evaluate(&m, &[c], 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_penalizes_wrong_predictor() {
+        let c = cascade_with_growth(5);
+        let m = ConstPredictor(0.0);
+        let expected = cascn_nn::metrics::log_label(5).powi(2);
+        assert!((evaluate(&m, &[c], 50.0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cascade set")]
+    fn evaluate_rejects_empty_set() {
+        let m = ConstPredictor(0.0);
+        let _ = evaluate(&m, &[], 1.0);
+    }
+}

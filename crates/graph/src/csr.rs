@@ -1,0 +1,196 @@
+//! Compressed sparse row matrices.
+
+use cascn_tensor::Matrix;
+
+/// A sparse matrix in CSR format.
+///
+/// Stores, per row, the `(column, value)` pairs of its nonzeros. Used for
+/// adjacency traversal (random walks, topological sweeps) and sparse
+/// matrix–vector products where the dense `n x n` form would waste work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    entries: Vec<(usize, f32)>,
+}
+
+impl Csr {
+    /// Builds a square `n x n` CSR matrix from `(row, col, value)` triples.
+    /// Duplicate coordinates are kept as separate entries (they sum under
+    /// multiplication, matching dense semantics).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn from_edges(n: usize, edges: impl Iterator<Item = (usize, usize, f32)>) -> Self {
+        let mut buckets: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
+        for (r, c, v) in edges {
+            assert!(r < n && c < n, "entry ({r},{c}) out of range for {n}x{n}");
+            buckets[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        row_ptr.push(0);
+        for mut b in buckets {
+            b.sort_unstable_by_key(|&(c, _)| c);
+            entries.extend_from_slice(&b);
+            row_ptr.push(entries.len());
+        }
+        Self {
+            n_rows: n,
+            n_cols: n,
+            row_ptr,
+            entries,
+        }
+    }
+
+    /// Builds a CSR matrix from a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        let mut entries = Vec::new();
+        row_ptr.push(0);
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    entries.push((c, v));
+                }
+            }
+            row_ptr.push(entries.len());
+        }
+        Self {
+            n_rows: m.rows(),
+            n_cols: m.cols(),
+            row_ptr,
+            entries,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `(column, value)` pairs of row `r`, sorted by column.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[(usize, f32)] {
+        assert!(r < self.n_rows, "row {r} out of range");
+        &self.entries[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Dense conversion (duplicates sum).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for &(c, v) in self.row(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+
+    /// Sparse matrix × dense vector: `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n_cols, "spmv: dimension mismatch");
+        let mut y = vec![0.0f32; self.n_rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &(c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Transposed product: `y = Aᵀ·x` (used by power iteration on `Pᵀ`).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != rows`.
+    pub fn spmv_transpose(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n_rows, "spmv_transpose: dimension mismatch");
+        let mut y = vec![0.0f32; self.n_cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for &(c, v) in self.row(r) {
+                y[c] += v * xr;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_tensor::assert_matrix_eq;
+
+    fn sample() -> Csr {
+        Csr::from_edges(
+            3,
+            vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0), (0, 2, 1.0)].into_iter(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_dense() {
+        let c = sample();
+        let d = c.to_dense();
+        let c2 = Csr::from_dense(&d);
+        assert_matrix_eq(&c2.to_dense(), &d, 0.0);
+        assert_eq!(c.nnz(), 4);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let c = sample();
+        assert_eq!(c.row(0), &[(1, 2.0), (2, 1.0)]);
+        assert_eq!(c.row(1), &[(2, 3.0)]);
+    }
+
+    #[test]
+    fn spmv_matches_dense_product() {
+        let c = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = c.spmv(&x);
+        let dense_y = c.to_dense().matmul(&Matrix::col_vector(&x));
+        assert_eq!(y, dense_y.as_slice());
+    }
+
+    #[test]
+    fn spmv_transpose_matches_dense_product() {
+        let c = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = c.spmv_transpose(&x);
+        let dense_y = c.to_dense().transpose().matmul(&Matrix::col_vector(&x));
+        assert_eq!(y, dense_y.as_slice());
+    }
+
+    #[test]
+    fn duplicates_sum_in_dense_form() {
+        let c = Csr::from_edges(2, vec![(0, 1, 1.0), (0, 1, 2.5)].into_iter());
+        assert_eq!(c.to_dense()[(0, 1)], 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_bounds_checked() {
+        let _ = Csr::from_edges(2, vec![(0, 5, 1.0)].into_iter());
+    }
+}

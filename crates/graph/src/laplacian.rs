@@ -1,0 +1,385 @@
+//! Transition matrices, stationary distributions, and the CasLaplacian
+//! (paper Section IV-B, Eq. 5–11, Algorithm 1).
+
+use cascn_tensor::Matrix;
+
+use crate::DiGraph;
+
+/// Default teleport probability `α` of Eq. 7. The paper leaves the value
+/// unstated; 0.85 is the standard PageRank choice and keeps `P_c`
+/// irreducible as the equation requires.
+pub const DEFAULT_ALPHA: f32 = 0.85;
+
+/// Builds the cascade transition matrix of Eq. 7:
+/// `P_c = (1 − α)·E/n + α·D⁻¹W`.
+///
+/// Rows whose out-degree is zero (cascade leaves) receive a self-loop before
+/// normalization — the same fix the paper applies to the cascade initiator in
+/// Section IV-A — so `D⁻¹` is always defined.
+///
+/// # Panics
+/// Panics if the graph has no nodes or `alpha` is outside `(0, 1)`.
+pub fn transition_matrix(g: &DiGraph, alpha: f32) -> Matrix {
+    assert!(g.node_count() > 0, "transition_matrix: empty graph");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "transition_matrix: alpha must be in (0,1), got {alpha}"
+    );
+    let n = g.node_count();
+    let mut w = g.adjacency();
+    let deg = g.weighted_out_degrees();
+    for (i, &d) in deg.iter().enumerate() {
+        if d == 0.0 {
+            w[(i, i)] = 1.0; // self-loop for dangling nodes
+        }
+    }
+    let teleport = (1.0 - alpha) / n as f32;
+    let mut p = Matrix::full(n, n, teleport);
+    for r in 0..n {
+        let row_sum: f32 = w.row(r).iter().sum();
+        for c in 0..n {
+            p[(r, c)] += alpha * w[(r, c)] / row_sum;
+        }
+    }
+    p
+}
+
+/// Solves `φᵀ P = φᵀ` with `φᵀe = 1` by power iteration (step 3 of
+/// Algorithm 1). `P` must be row-stochastic and irreducible (which Eq. 7
+/// guarantees); convergence is then geometric.
+///
+/// # Panics
+/// Panics if `p` is not square.
+pub fn stationary_distribution(p: &Matrix) -> Vec<f32> {
+    assert_eq!(p.rows(), p.cols(), "stationary_distribution: non-square P");
+    let n = p.rows();
+    let mut phi = vec![1.0 / n as f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..10_000 {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for (r, &pr) in phi.iter().enumerate() {
+            if pr == 0.0 {
+                continue;
+            }
+            for (c, &pv) in p.row(r).iter().enumerate() {
+                next[c] += pr * pv;
+            }
+        }
+        let sum: f32 = next.iter().sum();
+        for x in &mut next {
+            *x /= sum;
+        }
+        let delta: f32 = phi
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        std::mem::swap(&mut phi, &mut next);
+        if delta < 1e-10 {
+            break;
+        }
+    }
+    phi
+}
+
+/// Computes the CasLaplacian of Eq. 8 / Algorithm 1:
+/// `Δ_c = Φ^{1/2} (I − P_c) Φ^{-1/2}` with `Φ = diag(φ)`.
+///
+/// Unlike the undirected normalized Laplacian (Eq. 9), `Δ_c` preserves the
+/// directionality of the cascade — the property Table IV's
+/// `CasCN-Undirected` ablation shows to matter.
+pub fn cas_laplacian(g: &DiGraph, alpha: f32) -> Matrix {
+    let p = transition_matrix(g, alpha);
+    let phi = stationary_distribution(&p);
+    let n = g.node_count();
+    let mut lap = Matrix::zeros(n, n);
+    for r in 0..n {
+        let sr = phi[r].max(1e-12).sqrt();
+        for c in 0..n {
+            let sc = phi[c].max(1e-12).sqrt();
+            let i_minus_p = if r == c { 1.0 - p[(r, c)] } else { -p[(r, c)] };
+            lap[(r, c)] = sr * i_minus_p / sc;
+        }
+    }
+    lap
+}
+
+/// The square-rooted stationary vector `Φ^{1/2}·e`. `Δ_c` annihilates this
+/// vector by construction — a fact the property tests exploit.
+pub fn sqrt_stationary(g: &DiGraph, alpha: f32) -> Vec<f32> {
+    let p = transition_matrix(g, alpha);
+    stationary_distribution(&p)
+        .into_iter()
+        .map(|x| x.max(0.0).sqrt())
+        .collect()
+}
+
+/// The symmetric normalized Laplacian of Eq. 9,
+/// `L = I − D^{-1/2} W_sym D^{-1/2}`, after symmetrizing the cascade
+/// (`W_sym = W + Wᵀ`). Used by the `CasCN-Undirected` variant.
+///
+/// Isolated nodes get a self-loop so `D^{-1/2}` is defined.
+pub fn undirected_normalized_laplacian(g: &DiGraph) -> Matrix {
+    let n = g.node_count();
+    let w = g.adjacency();
+    let mut sym = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            sym[(r, c)] = w[(r, c)] + w[(c, r)];
+        }
+    }
+    for i in 0..n {
+        let row_sum: f32 = sym.row(i).iter().sum();
+        if row_sum == 0.0 {
+            sym[(i, i)] = 1.0;
+        }
+    }
+    let dinv_sqrt: Vec<f32> = (0..n)
+        .map(|i| 1.0 / sym.row(i).iter().sum::<f32>().sqrt())
+        .collect();
+    let mut lap = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            let v = dinv_sqrt[r] * sym[(r, c)] * dinv_sqrt[c];
+            lap[(r, c)] = if r == c { 1.0 - v } else { -v };
+        }
+    }
+    lap
+}
+
+/// Estimates the largest eigenvalue of a Laplacian for Chebyshev scaling.
+///
+/// `Δ_c` is not symmetric, so we take the largest eigenvalue of its
+/// symmetric part `(Δ_c + Δ_cᵀ)/2` — the maximum Rayleigh quotient of `Δ_c`
+/// over real vectors, which is exactly the quantity that must bound the
+/// Chebyshev domain. Power iteration runs on the positively shifted
+/// operator `S + cI` so the dominant eigenvalue is the largest (not merely
+/// largest-magnitude) one.
+///
+/// Returns 2.0 (the paper's `λ_max ≈ 2` shortcut) for degenerate inputs.
+pub fn largest_eigenvalue(lap: &Matrix) -> f32 {
+    let n = lap.rows();
+    assert_eq!(n, lap.cols(), "largest_eigenvalue: non-square input");
+    if n == 0 {
+        return 2.0;
+    }
+    if n == 1 {
+        return if lap[(0, 0)].abs() > 1e-6 { lap[(0, 0)].abs() } else { 2.0 };
+    }
+    // Symmetric part.
+    let mut s = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            s[(r, c)] = 0.5 * (lap[(r, c)] + lap[(c, r)]);
+        }
+    }
+    // Shift by the max absolute row sum (Gershgorin bound) to make the
+    // target eigenvalue dominant and positive.
+    let shift: f32 = (0..n)
+        .map(|r| s.row(r).iter().map(|x| x.abs()).sum::<f32>())
+        .fold(0.0, f32::max);
+    for i in 0..n {
+        s[(i, i)] += shift;
+    }
+    let mut x = vec![1.0f32; n];
+    let mut lambda = 0.0f32;
+    for _ in 0..200 {
+        let y = mat_vec(&s, &x);
+        let norm = y.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm < 1e-20 {
+            return 2.0;
+        }
+        let xn: Vec<f32> = y.iter().map(|v| v / norm).collect();
+        let new_lambda = dot(&mat_vec(&s, &xn), &xn);
+        let done = (new_lambda - lambda).abs() < 1e-7 * new_lambda.abs().max(1.0);
+        lambda = new_lambda;
+        x = xn;
+        if done {
+            break;
+        }
+    }
+    let result = lambda - shift;
+    if result.is_finite() && result > 1e-3 {
+        result
+    } else {
+        2.0
+    }
+}
+
+/// Scales a Laplacian to the Chebyshev domain `[-1, 1]`:
+/// `Δ̃ = (2/λ_max)·Δ − I` (Eq. 2).
+///
+/// # Panics
+/// Panics if `lambda_max <= 0`.
+pub fn scale_laplacian(lap: &Matrix, lambda_max: f32) -> Matrix {
+    assert!(
+        lambda_max > 0.0,
+        "scale_laplacian: lambda_max must be positive, got {lambda_max}"
+    );
+    let mut out = lap.scale(2.0 / lambda_max);
+    for i in 0..out.rows().min(out.cols()) {
+        out[(i, i)] -= 1.0;
+    }
+    out
+}
+
+/// Chebyshev polynomial bases `[T_0(L̃), …, T_K(L̃)]` via the recursion
+/// `T_k = 2 L̃ T_{k-1} − T_{k-2}` (Eq. 2/3). Returns `K + 1` matrices.
+pub fn chebyshev_bases(scaled: &Matrix, k: usize) -> Vec<Matrix> {
+    let n = scaled.rows();
+    let mut bases = Vec::with_capacity(k + 1);
+    bases.push(Matrix::eye(n));
+    if k >= 1 {
+        bases.push(scaled.clone());
+    }
+    for i in 2..=k {
+        let mut next = scaled.matmul(&bases[i - 1]).scale(2.0);
+        next.axpy(-1.0, &bases[i - 2]);
+        bases.push(next);
+    }
+    bases
+}
+
+fn mat_vec(m: &Matrix, x: &[f32]) -> Vec<f32> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().zip(x).map(|(&a, &b)| a * b).sum())
+        .collect()
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_tensor::assert_matrix_eq;
+
+    fn fig1() -> DiGraph {
+        let mut g = DiGraph::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic_and_positive() {
+        let p = transition_matrix(&fig1(), 0.85);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(p.row(r).iter().all(|&x| x > 0.0), "row {r} has a zero entry");
+        }
+    }
+
+    #[test]
+    fn stationary_is_a_fixed_point() {
+        let p = transition_matrix(&fig1(), 0.85);
+        let phi = stationary_distribution(&p);
+        assert!((phi.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // φᵀ P ≈ φᵀ
+        let n = p.rows();
+        for c in 0..n {
+            let projected: f32 = (0..n).map(|r| phi[r] * p[(r, c)]).sum();
+            assert!(
+                (projected - phi[c]).abs() < 1e-4,
+                "column {c}: {projected} vs {}",
+                phi[c]
+            );
+        }
+    }
+
+    #[test]
+    fn cas_laplacian_annihilates_sqrt_stationary() {
+        let g = fig1();
+        let lap = cas_laplacian(&g, 0.85);
+        let v = sqrt_stationary(&g, 0.85);
+        for r in 0..lap.rows() {
+            let y: f32 = lap.row(r).iter().zip(&v).map(|(&a, &b)| a * b).sum();
+            assert!(y.abs() < 1e-4, "row {r} maps sqrt-stationary to {y}");
+        }
+    }
+
+    #[test]
+    fn cas_laplacian_is_asymmetric_for_directed_input() {
+        let lap = cas_laplacian(&fig1(), 0.85);
+        let mut asym = 0.0f32;
+        for r in 0..lap.rows() {
+            for c in 0..r {
+                asym = asym.max((lap[(r, c)] - lap[(c, r)]).abs());
+            }
+        }
+        assert!(asym > 1e-4, "CasLaplacian should retain directionality");
+    }
+
+    #[test]
+    fn single_node_cascade_is_handled() {
+        let g = DiGraph::new(1);
+        let lap = cas_laplacian(&g, 0.85);
+        assert_eq!(lap.shape(), (1, 1));
+        assert!(lap[(0, 0)].abs() < 1e-5, "1-node laplacian should be ~0");
+    }
+
+    #[test]
+    fn undirected_laplacian_is_symmetric_psd() {
+        let lap = undirected_normalized_laplacian(&fig1());
+        for r in 0..lap.rows() {
+            for c in 0..lap.cols() {
+                assert!((lap[(r, c)] - lap[(c, r)]).abs() < 1e-6);
+            }
+        }
+        // Rayleigh quotients of a normalized Laplacian lie in [0, 2].
+        let lmax = largest_eigenvalue(&lap);
+        assert!(lmax > 0.0 && lmax <= 2.0 + 1e-4, "λmax = {lmax}");
+    }
+
+    #[test]
+    fn largest_eigenvalue_of_diag_matrix() {
+        let m = Matrix::diag(&[0.5, 1.7, 0.3]);
+        let l = largest_eigenvalue(&m);
+        assert!((l - 1.7).abs() < 1e-3, "got {l}");
+    }
+
+    #[test]
+    fn scale_laplacian_maps_spectrum() {
+        // For L = diag(0, 2) and λmax = 2: scaled = diag(-1, 1).
+        let l = Matrix::diag(&[0.0, 2.0]);
+        let s = scale_laplacian(&l, 2.0);
+        assert_matrix_eq(&s, &Matrix::diag(&[-1.0, 1.0]), 1e-6);
+    }
+
+    #[test]
+    fn chebyshev_matches_cosine_formula_on_diagonal() {
+        // For diagonal L̃ with entries x ∈ [-1, 1], T_k(L̃) must be diagonal
+        // with entries cos(k·arccos(x)).
+        let xs = [-0.9f32, -0.2, 0.4, 1.0];
+        let l = Matrix::diag(&xs);
+        let bases = chebyshev_bases(&l, 4);
+        for (k, t) in bases.iter().enumerate() {
+            for (i, &x) in xs.iter().enumerate() {
+                let expect = (k as f32 * x.acos()).cos();
+                assert!(
+                    (t[(i, i)] - expect).abs() < 1e-4,
+                    "T_{k}({x}) = {} vs cos formula {expect}",
+                    t[(i, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_t0_t1_identities() {
+        let lap = cas_laplacian(&fig1(), 0.85);
+        let scaled = scale_laplacian(&lap, largest_eigenvalue(&lap));
+        let bases = chebyshev_bases(&scaled, 2);
+        assert_matrix_eq(&bases[0], &Matrix::eye(6), 1e-6);
+        assert_matrix_eq(&bases[1], &scaled, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn transition_rejects_bad_alpha() {
+        let _ = transition_matrix(&fig1(), 1.5);
+    }
+}

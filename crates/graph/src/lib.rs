@@ -1,0 +1,37 @@
+//! Directed-graph and spectral-graph machinery for the CasCN reproduction.
+//!
+//! Implements everything Sections III-B and IV-B of the paper require:
+//!
+//! * [`DiGraph`] — a compact directed graph with CSR adjacency in both
+//!   directions, degree queries, DAG checks and topological order;
+//! * [`Csr`] — a minimal sparse matrix supporting dense conversion and
+//!   matrix–vector products;
+//! * transition matrices with teleportation (Eq. 7), stationary
+//!   distributions, the **CasLaplacian** `Δ_c = Φ^{1/2}(I − P_c)Φ^{-1/2}`
+//!   (Eq. 8, Algorithm 1), the undirected normalized Laplacian (Eq. 9), the
+//!   scaled Laplacian `Δ̃_c = 2Δ_c/λ_max − I` and Chebyshev polynomial bases
+//!   `T_k(Δ̃_c)` (Eq. 2–4);
+//! * uniform and node2vec-biased random walks (used by the DeepCas /
+//!   Node2Vec baselines and the CasCN-Path variant).
+//!
+//! # Example: CasLaplacian of a small cascade
+//!
+//! ```
+//! use cascn_graph::{laplacian, DiGraph};
+//!
+//! // The Fig. 1 cascade: V0→V1, V0→V2, V1→V3, V1→V4, V3→V5.
+//! let mut g = DiGraph::new(6);
+//! for &(u, v) in &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5)] {
+//!     g.add_edge(u, v, 1.0);
+//! }
+//! let lap = laplacian::cas_laplacian(&g, 0.85);
+//! assert_eq!(lap.rows(), 6);
+//! ```
+
+mod csr;
+mod digraph;
+pub mod laplacian;
+pub mod walks;
+
+pub use csr::Csr;
+pub use digraph::DiGraph;

@@ -1,0 +1,296 @@
+//! Random-walk sampling over cascade graphs.
+//!
+//! DeepCas and the `CasCN-Path` variant represent a cascade as a bag of
+//! random-walk node sequences; Node2Vec uses biased second-order walks.
+//! Both samplers live here so every model draws from the same machinery.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::{Csr, DiGraph};
+
+/// Configuration for DeepCas-style uniform walk sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Number of walks sampled per cascade.
+    pub num_walks: usize,
+    /// Maximum walk length (walks stop early at sinks).
+    pub walk_length: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        // DeepCas defaults: K = 200 sequences of length 10; scaled to the
+        // small cascades this reproduction trains on.
+        Self {
+            num_walks: 32,
+            walk_length: 10,
+        }
+    }
+}
+
+/// Samples one uniform random walk starting at `start`, following outgoing
+/// edges with probability proportional to weight, stopping at sinks.
+pub fn random_walk(csr: &Csr, start: usize, max_len: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut walk = Vec::with_capacity(max_len);
+    let mut cur = start;
+    walk.push(cur);
+    while walk.len() < max_len {
+        let row = csr.row(cur);
+        if row.is_empty() {
+            break;
+        }
+        cur = weighted_choice(row, rng);
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Samples `cfg.num_walks` walks from a cascade graph. Walk starts are drawn
+/// from the root set when available (information flows outward from the
+/// initiator), falling back to uniform nodes for degenerate graphs.
+pub fn sample_walks(g: &DiGraph, cfg: WalkConfig, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let csr = g.out_csr();
+    let roots = g.roots();
+    let n = g.node_count();
+    (0..cfg.num_walks)
+        .map(|_| {
+            let start = if roots.is_empty() {
+                rng.random_range(0..n)
+            } else {
+                roots[rng.random_range(0..roots.len())]
+            };
+            random_walk(&csr, start, cfg.walk_length, rng)
+        })
+        .collect()
+}
+
+/// Configuration for node2vec biased walks (Grover & Leskovec 2016).
+#[derive(Debug, Clone, Copy)]
+pub struct Node2VecConfig {
+    /// Return parameter `p`: likelihood of revisiting the previous node.
+    pub p: f32,
+    /// In-out parameter `q`: BFS (`q > 1`) vs DFS (`q < 1`) bias.
+    pub q: f32,
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Walk length.
+    pub walk_length: usize,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        // The paper's grid centers: p, q ∈ {0.25, 0.5, 1, 2, 4}; length ∈
+        // {10..100}; walks per node ∈ {5..20}. Defaults sit mid-grid.
+        Self {
+            p: 1.0,
+            q: 1.0,
+            walks_per_node: 10,
+            walk_length: 25,
+        }
+    }
+}
+
+/// Samples one node2vec walk over the *undirected view* of the graph (the
+/// standard node2vec setting) starting from `start`.
+pub fn node2vec_walk(
+    undirected: &Csr,
+    start: usize,
+    cfg: Node2VecConfig,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut walk = Vec::with_capacity(cfg.walk_length);
+    walk.push(start);
+    while walk.len() < cfg.walk_length {
+        let cur = *walk.last().expect("walk is non-empty");
+        let neighbors = undirected.row(cur);
+        if neighbors.is_empty() {
+            break;
+        }
+        let next = if walk.len() == 1 {
+            weighted_choice(neighbors, rng)
+        } else {
+            let prev = walk[walk.len() - 2];
+            biased_choice(undirected, prev, neighbors, cfg.p, cfg.q, rng)
+        };
+        walk.push(next);
+    }
+    walk
+}
+
+/// Samples node2vec walks from every node of `g` over its undirected view.
+pub fn sample_node2vec_walks(g: &DiGraph, cfg: Node2VecConfig, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let undirected = undirected_csr(g);
+    let mut walks = Vec::with_capacity(g.node_count() * cfg.walks_per_node);
+    for _ in 0..cfg.walks_per_node {
+        for start in 0..g.node_count() {
+            walks.push(node2vec_walk(&undirected, start, cfg, rng));
+        }
+    }
+    walks
+}
+
+/// The undirected CSR view of a directed graph (each edge mirrored).
+pub fn undirected_csr(g: &DiGraph) -> Csr {
+    Csr::from_edges(
+        g.node_count(),
+        g.edges()
+            .flat_map(|(u, v, w)| [(u, v, w), (v, u, w)]),
+    )
+}
+
+fn weighted_choice(row: &[(usize, f32)], rng: &mut StdRng) -> usize {
+    let total: f32 = row.iter().map(|&(_, w)| w).sum();
+    let mut target = rng.random_range(0.0..total.max(f32::MIN_POSITIVE));
+    for &(c, w) in row {
+        if target < w {
+            return c;
+        }
+        target -= w;
+    }
+    row.last().expect("non-empty row").0
+}
+
+fn biased_choice(
+    csr: &Csr,
+    prev: usize,
+    neighbors: &[(usize, f32)],
+    p: f32,
+    q: f32,
+    rng: &mut StdRng,
+) -> usize {
+    let prev_neighbors = csr.row(prev);
+    let weights: Vec<(usize, f32)> = neighbors
+        .iter()
+        .map(|&(x, w)| {
+            let bias = if x == prev {
+                1.0 / p
+            } else if prev_neighbors.binary_search_by_key(&x, |&(c, _)| c).is_ok() {
+                1.0
+            } else {
+                1.0 / q
+            };
+            (x, w * bias)
+        })
+        .collect();
+    weighted_choice(&weights, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fig1() -> DiGraph {
+        let mut g = DiGraph::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = fig1();
+        let csr = g.out_csr();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let walk = random_walk(&csr, 0, 8, &mut rng);
+            assert_eq!(walk[0], 0);
+            for pair in walk.windows(2) {
+                assert!(
+                    csr.row(pair[0]).iter().any(|&(c, _)| c == pair[1]),
+                    "walk used a non-edge {}→{}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walks_stop_at_sinks() {
+        let g = fig1();
+        let csr = g.out_csr();
+        let mut rng = StdRng::seed_from_u64(7);
+        let walk = random_walk(&csr, 5, 10, &mut rng);
+        assert_eq!(walk, vec![5]);
+    }
+
+    #[test]
+    fn sample_walks_start_from_roots() {
+        let g = fig1();
+        let mut rng = StdRng::seed_from_u64(11);
+        let walks = sample_walks(
+            &g,
+            WalkConfig {
+                num_walks: 20,
+                walk_length: 5,
+            },
+            &mut rng,
+        );
+        assert_eq!(walks.len(), 20);
+        assert!(walks.iter().all(|w| w[0] == 0), "fig1's only root is node 0");
+    }
+
+    #[test]
+    fn seeded_walks_are_deterministic() {
+        let g = fig1();
+        let cfg = WalkConfig::default();
+        let w1 = sample_walks(&g, cfg, &mut StdRng::seed_from_u64(3));
+        let w2 = sample_walks(&g, cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn node2vec_walks_cover_undirected_neighbors() {
+        let g = fig1();
+        let und = undirected_csr(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        // From node 5 the undirected view allows moving back to 3.
+        let walk = node2vec_walk(
+            &und,
+            5,
+            Node2VecConfig {
+                walk_length: 3,
+                ..Node2VecConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(walk.len() > 1, "undirected walk should escape a sink");
+        assert_eq!(walk[1], 3);
+    }
+
+    #[test]
+    fn extreme_p_discourages_backtracking() {
+        // A path graph 0-1-2: from 1 (having come from 0), p=∞ should always
+        // move forward to 2.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let und = undirected_csr(&g);
+        let cfg = Node2VecConfig {
+            p: 1e6,
+            q: 1.0,
+            walk_length: 3,
+            walks_per_node: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let walk = node2vec_walk(&und, 0, cfg, &mut rng);
+            assert_eq!(walk, vec![0, 1, 2], "high p must forbid backtracking");
+        }
+    }
+
+    #[test]
+    fn sample_node2vec_walks_count() {
+        let g = fig1();
+        let cfg = Node2VecConfig {
+            walks_per_node: 3,
+            walk_length: 4,
+            ..Node2VecConfig::default()
+        };
+        let walks = sample_node2vec_walks(&g, cfg, &mut StdRng::seed_from_u64(2));
+        assert_eq!(walks.len(), 18);
+    }
+}

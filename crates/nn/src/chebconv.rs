@@ -1,0 +1,449 @@
+//! Recurrent graph-convolutional cells — the heart of CasCN (Eq. 12–14).
+//!
+//! Every dense multiplication of a standard LSTM/GRU is replaced by a
+//! Chebyshev spectral graph convolution over the (scaled) CasLaplacian:
+//!
+//! `W ∗G X = Σ_{k=0..K} T_k(Δ̃_c) · X · W_k`
+//!
+//! where the `T_k(Δ̃_c)` bases are computed once per cascade by
+//! `cascn_graph::laplacian::chebyshev_bases` and entered on the tape as
+//! constants. The LSTM variant includes the paper's peephole terms
+//! `V ⊙ c_{t-1}` (Eq. 12); we parameterize each peephole as a `1 x d_h`
+//! vector broadcast over nodes, so the parameter count stays independent of
+//! the padded cascade size.
+
+use cascn_autograd::{ParamId, ParamStore, Tape, Var};
+use cascn_tensor::Matrix;
+use rand::rngs::StdRng;
+
+use crate::init;
+
+/// One graph-convolutional gate: `K+1` input filters, `K+1` recurrent
+/// filters, and a bias.
+#[derive(Debug, Clone)]
+struct ConvGate {
+    w: Vec<ParamId>,
+    u: Vec<ParamId>,
+    b: ParamId,
+}
+
+impl ConvGate {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        k: usize,
+        d_in: usize,
+        d_h: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = (0..=k)
+            .map(|i| store.register(format!("{name}.w{i}"), init::xavier_uniform(d_in, d_h, rng)))
+            .collect();
+        let u = (0..=k)
+            .map(|i| store.register(format!("{name}.u{i}"), init::xavier_uniform(d_h, d_h, rng)))
+            .collect();
+        let b = store.register(format!("{name}.b"), Matrix::zeros(1, d_h));
+        Self { w, u, b }
+    }
+
+    /// `Σ_k conv_x[k]·W_k + Σ_k conv_h[k]·U_k + b` where `conv_x[k] =
+    /// T_k(Δ̃)·x` and `conv_h[k] = T_k(Δ̃)·h` are shared across gates.
+    fn pre_activation(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        conv_x: &[Var],
+        conv_h: &[Var],
+    ) -> Var {
+        debug_assert_eq!(conv_x.len(), self.w.len());
+        debug_assert_eq!(conv_h.len(), self.u.len());
+        let mut acc: Option<Var> = None;
+        for (cx, &wid) in conv_x.iter().zip(&self.w) {
+            let w = tape.param(store, wid);
+            let term = tape.matmul(*cx, w);
+            acc = Some(match acc {
+                Some(a) => tape.add(a, term),
+                None => term,
+            });
+        }
+        for (ch, &uid) in conv_h.iter().zip(&self.u) {
+            let u = tape.param(store, uid);
+            let term = tape.matmul(*ch, u);
+            acc = Some(match acc {
+                Some(a) => tape.add(a, term),
+                None => term,
+            });
+        }
+        let b = tape.param(store, self.b);
+        let pre = acc.expect("at least one Chebyshev order");
+        tape.add_bias(pre, b)
+    }
+}
+
+/// Enters the per-cascade Chebyshev bases `T_k(Δ̃_c)` on a tape as constants.
+pub fn bases_to_vars(tape: &mut Tape, bases: &[Matrix]) -> Vec<Var> {
+    bases.iter().map(|b| tape.constant(b.clone())).collect()
+}
+
+/// Broadcasts a `1 x d` parameter row over `n` node rows.
+fn tile_rows(tape: &mut Tape, row: Var, n: usize) -> Var {
+    let ones = tape.constant(Matrix::full(n, 1, 1.0));
+    tape.matmul(ones, row)
+}
+
+/// The CasCN graph-convolutional LSTM cell of Eq. 12–14 (with peepholes).
+#[derive(Debug, Clone)]
+pub struct ChebConvLstmCell {
+    input: ConvGate,
+    forget: ConvGate,
+    output: ConvGate,
+    cell: ConvGate,
+    peep_i: ParamId,
+    peep_f: ParamId,
+    peep_o: ParamId,
+    k: usize,
+    d_in: usize,
+    d_h: usize,
+}
+
+impl ChebConvLstmCell {
+    /// Registers the cell's parameters for Chebyshev order `k`, input
+    /// feature dimension `d_in` and hidden size `d_h`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        k: usize,
+        d_in: usize,
+        d_h: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            input: ConvGate::new(store, &format!("{name}.i"), k, d_in, d_h, rng),
+            forget: ConvGate::new(store, &format!("{name}.f"), k, d_in, d_h, rng),
+            output: ConvGate::new(store, &format!("{name}.o"), k, d_in, d_h, rng),
+            cell: ConvGate::new(store, &format!("{name}.c"), k, d_in, d_h, rng),
+            peep_i: store.register(format!("{name}.vi"), Matrix::zeros(1, d_h)),
+            peep_f: store.register(format!("{name}.vf"), Matrix::zeros(1, d_h)),
+            peep_o: store.register(format!("{name}.vo"), Matrix::zeros(1, d_h)),
+            k,
+            d_in,
+            d_h,
+        }
+    }
+
+    /// Chebyshev order.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.d_in
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.d_h
+    }
+
+    /// Fresh zero `(h, c)` state over `n` nodes.
+    pub fn zero_state(&self, tape: &mut Tape, n: usize) -> (Var, Var) {
+        let h = tape.constant(Matrix::zeros(n, self.d_h));
+        let c = tape.constant(Matrix::zeros(n, self.d_h));
+        (h, c)
+    }
+
+    /// One timestep over a cascade snapshot.
+    ///
+    /// `bases` are the tape-constant `T_k(Δ̃_c)` matrices (length `K+1`),
+    /// `x` is the `n x d_in` snapshot signal, and the state matrices are
+    /// `n x d_h`.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        bases: &[Var],
+        x: Var,
+        (h, c): (Var, Var),
+    ) -> (Var, Var) {
+        assert_eq!(bases.len(), self.k + 1, "expected K+1 Chebyshev bases");
+        let n = tape.value(x).rows();
+        let conv_x: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, x)).collect();
+        let conv_h: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, h)).collect();
+
+        let peep = |tape: &mut Tape, id: ParamId, cell_state: Var| {
+            let v = tape.param(store, id);
+            let tiled = tile_rows(tape, v, n);
+            tape.hadamard(tiled, cell_state)
+        };
+
+        let i_pre = self.input.pre_activation(tape, store, &conv_x, &conv_h);
+        let i_peep = peep(tape, self.peep_i, c);
+        let i_sum = tape.add(i_pre, i_peep);
+        let i = tape.sigmoid(i_sum);
+
+        let f_pre = self.forget.pre_activation(tape, store, &conv_x, &conv_h);
+        let f_peep = peep(tape, self.peep_f, c);
+        let f_sum = tape.add(f_pre, f_peep);
+        let f = tape.sigmoid(f_sum);
+
+        let g_pre = self.cell.pre_activation(tape, store, &conv_x, &conv_h);
+        let g = tape.tanh(g_pre);
+
+        let fc = tape.hadamard(f, c);
+        let ig = tape.hadamard(i, g);
+        let c_next = tape.add(fc, ig);
+
+        let o_pre = self.output.pre_activation(tape, store, &conv_x, &conv_h);
+        let o_peep = peep(tape, self.peep_o, c_next);
+        let o_sum = tape.add(o_pre, o_peep);
+        let o = tape.sigmoid(o_sum);
+
+        let c_act = tape.tanh(c_next);
+        let h_next = tape.hadamard(o, c_act);
+        (h_next, c_next)
+    }
+
+    /// Runs a snapshot sequence, returning every hidden state.
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        bases: &[Var],
+        inputs: &[Var],
+        n: usize,
+    ) -> Vec<Var> {
+        let mut state = self.zero_state(tape, n);
+        let mut hs = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            state = self.step(tape, store, bases, x, state);
+            hs.push(state.0);
+        }
+        hs
+    }
+}
+
+/// The GRU variant of the CasCN cell (the paper's `CasCN-GRU` ablation):
+/// identical graph convolutions, gating without a separate memory cell.
+#[derive(Debug, Clone)]
+pub struct ChebConvGruCell {
+    update: ConvGate,
+    reset: ConvGate,
+    candidate: ConvGate,
+    k: usize,
+    d_in: usize,
+    d_h: usize,
+}
+
+impl ChebConvGruCell {
+    /// Registers the cell's parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        k: usize,
+        d_in: usize,
+        d_h: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            update: ConvGate::new(store, &format!("{name}.z"), k, d_in, d_h, rng),
+            reset: ConvGate::new(store, &format!("{name}.r"), k, d_in, d_h, rng),
+            candidate: ConvGate::new(store, &format!("{name}.h"), k, d_in, d_h, rng),
+            k,
+            d_in,
+            d_h,
+        }
+    }
+
+    /// Chebyshev order.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.d_in
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.d_h
+    }
+
+    /// Fresh zero hidden state over `n` nodes.
+    pub fn zero_state(&self, tape: &mut Tape, n: usize) -> Var {
+        tape.constant(Matrix::zeros(n, self.d_h))
+    }
+
+    /// One timestep over a cascade snapshot.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        bases: &[Var],
+        x: Var,
+        h: Var,
+    ) -> Var {
+        assert_eq!(bases.len(), self.k + 1, "expected K+1 Chebyshev bases");
+        let conv_x: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, x)).collect();
+        let conv_h: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, h)).collect();
+
+        let z_pre = self.update.pre_activation(tape, store, &conv_x, &conv_h);
+        let z = tape.sigmoid(z_pre);
+        let r_pre = self.reset.pre_activation(tape, store, &conv_x, &conv_h);
+        let r = tape.sigmoid(r_pre);
+
+        let rh = tape.hadamard(r, h);
+        let conv_rh: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, rh)).collect();
+        let cand_pre = self
+            .candidate
+            .pre_activation(tape, store, &conv_x, &conv_rh);
+        let cand = tape.tanh(cand_pre);
+
+        let (n, d) = tape.value(h).shape();
+        let ones = tape.constant(Matrix::full(n, d, 1.0));
+        let one_minus_z = tape.sub(ones, z);
+        let keep = tape.hadamard(one_minus_z, h);
+        let update = tape.hadamard(z, cand);
+        tape.add(keep, update)
+    }
+
+    /// Runs a snapshot sequence, returning every hidden state.
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        bases: &[Var],
+        inputs: &[Var],
+        n: usize,
+    ) -> Vec<Var> {
+        let mut h = self.zero_state(tape, n);
+        let mut hs = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            h = self.step(tape, store, bases, x, h);
+            hs.push(h);
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_graph::{laplacian, DiGraph};
+    use rand::SeedableRng;
+
+    fn fig1_bases(k: usize) -> Vec<Matrix> {
+        let mut g = DiGraph::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        let lap = laplacian::cas_laplacian(&g, 0.85);
+        let lmax = laplacian::largest_eigenvalue(&lap);
+        let scaled = laplacian::scale_laplacian(&lap, lmax);
+        laplacian::chebyshev_bases(&scaled, k)
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = ChebConvLstmCell::new(&mut store, "cc", 2, 6, 4, &mut rng);
+        let mut tape = Tape::new();
+        let bases = bases_to_vars(&mut tape, &fig1_bases(2));
+        let x = tape.constant(Matrix::eye(6));
+        let state = cell.zero_state(&mut tape, 6);
+        let (h, c) = cell.step(&mut tape, &store, &bases, x, state);
+        assert_eq!(tape.value(h).shape(), (6, 4));
+        assert_eq!(tape.value(c).shape(), (6, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "K+1 Chebyshev bases")]
+    fn lstm_step_checks_basis_count() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = ChebConvLstmCell::new(&mut store, "cc", 2, 6, 4, &mut rng);
+        let mut tape = Tape::new();
+        let bases = bases_to_vars(&mut tape, &fig1_bases(1)); // wrong: K=1
+        let x = tape.constant(Matrix::eye(6));
+        let state = cell.zero_state(&mut tape, 6);
+        let _ = cell.step(&mut tape, &store, &bases, x, state);
+    }
+
+    #[test]
+    fn gru_run_produces_one_state_per_step() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = ChebConvGruCell::new(&mut store, "cg", 1, 6, 3, &mut rng);
+        let mut tape = Tape::new();
+        let bases = bases_to_vars(&mut tape, &fig1_bases(1));
+        let inputs: Vec<Var> = (0..4).map(|_| tape.constant(Matrix::eye(6))).collect();
+        let hs = cell.run(&mut tape, &store, &bases, &inputs, 6);
+        assert_eq!(hs.len(), 4);
+        assert!(tape.value(hs[3]).all_finite());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_gate_params() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = ChebConvLstmCell::new(&mut store, "cc", 1, 6, 3, &mut rng);
+        let mut tape = Tape::new();
+        let bases = bases_to_vars(&mut tape, &fig1_bases(1));
+        let inputs: Vec<Var> = (0..3).map(|_| {
+            tape.constant(Matrix::from_fn(6, 6, |r, c| ((r + c) % 3) as f32 * 0.2))
+        }).collect();
+        let hs = cell.run(&mut tape, &store, &bases, &inputs, 6);
+        let pooled = tape.sum_rows(*hs.last().unwrap());
+        let sq = tape.sqr(pooled);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+        // Every W/U/bias of every gate must receive a nonzero gradient
+        // (peepholes start at zero so their gradient may vanish for c=0 at
+        // t=0, but not after 3 steps).
+        let mut zero_grads = Vec::new();
+        for id in store.ids().collect::<Vec<_>>() {
+            if store.grad(id).max_abs() == 0.0 {
+                zero_grads.push(store.name(id).to_string());
+            }
+        }
+        assert!(
+            zero_grads.is_empty(),
+            "parameters without gradient: {zero_grads:?}"
+        );
+    }
+
+    #[test]
+    fn directionality_changes_output() {
+        // Reversing the cascade's edges must change the cell output —
+        // the motivation for the CasLaplacian over the undirected one.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = ChebConvLstmCell::new(&mut store, "cc", 2, 4, 3, &mut rng);
+
+        let run = |edges: &[(usize, usize)], store: &ParamStore, cell: &ChebConvLstmCell| {
+            let mut g = DiGraph::new(4);
+            for &(u, v) in edges {
+                g.add_edge(u, v, 1.0);
+            }
+            let lap = laplacian::cas_laplacian(&g, 0.85);
+            let scaled = laplacian::scale_laplacian(&lap, laplacian::largest_eigenvalue(&lap));
+            let bases_m = laplacian::chebyshev_bases(&scaled, 2);
+            let mut tape = Tape::new();
+            let bases = bases_to_vars(&mut tape, &bases_m);
+            let x = tape.constant(Matrix::eye(4));
+            let state = cell.zero_state(&mut tape, 4);
+            let (h, _) = cell.step(&mut tape, store, &bases, x, state);
+            tape.value(h).clone()
+        };
+
+        let fwd = run(&[(0, 1), (1, 2), (2, 3)], &store, &cell);
+        let rev = run(&[(3, 2), (2, 1), (1, 0)], &store, &cell);
+        assert!(
+            fwd.sub(&rev).max_abs() > 1e-5,
+            "direction must influence the convolution"
+        );
+    }
+}

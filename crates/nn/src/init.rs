@@ -1,0 +1,61 @@
+//! Weight initializers.
+
+use cascn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Xavier/Glorot uniform initialization: entries uniform in
+/// `±sqrt(6 / (fan_in + fan_out))`. The default for all weight matrices in
+/// this workspace.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+}
+
+/// Scaled normal initialization with standard deviation `std`.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        // Box–Muller transform.
+        let u1: f32 = rng.random_range(f32::MIN_POSITIVE..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Uniform initialization in `[low, high)`.
+pub fn uniform(rows: usize, cols: usize, low: f32, high: f32, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(low..high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(20, 30, &mut rng);
+        let limit = (6.0f32 / 50.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() < limit));
+        assert!(m.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = normal(100, 100, 0.5, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / m.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Neural-network layers for the CasCN reproduction, built on
+//! [`cascn_autograd`].
+//!
+//! The layer zoo covers everything Section IV of the paper and its baselines
+//! require:
+//!
+//! * [`Linear`] and [`Mlp`] — affine layers and the prediction head (Eq. 18);
+//! * [`LstmCell`] / [`GruCell`] — dense recurrent cells for the path-based
+//!   baselines (DeepCas, DeepHawkes, Topo-LSTM);
+//! * [`ChebConvLstmCell`] / [`ChebConvGruCell`] — the paper's recurrent
+//!   graph-convolutional cells, replacing dense multiplications with
+//!   Chebyshev graph convolutions over the CasLaplacian (Eq. 12–14);
+//! * [`TimeDecay`] — the non-parametric learned time-decay multipliers
+//!   (Eq. 15–16);
+//! * [`Embedding`] and [`Vocab`] — user-identity embeddings;
+//! * [`metrics`] — the MSLE evaluation metric (Eq. 20);
+//! * [`train`] — mini-batching and early-stopping utilities shared by every
+//!   trainer in the workspace.
+
+mod chebconv;
+mod decay;
+mod embedding;
+pub mod init;
+mod linear;
+pub mod metrics;
+mod rnn;
+pub mod train;
+
+pub use chebconv::{bases_to_vars, ChebConvGruCell, ChebConvLstmCell};
+pub use decay::TimeDecay;
+pub use embedding::{Embedding, Vocab};
+pub use linear::{Activation, Linear, Mlp};
+pub use rnn::{GruCell, LstmCell};

@@ -1,0 +1,93 @@
+//! Evaluation metrics.
+//!
+//! All models in this workspace predict the *log-transformed* increment
+//! `ln(1 + ΔS)` directly, so the training loss (Eq. 19) and the MSLE metric
+//! (Eq. 20) coincide: `MSLE = mean (pred_log − ln(1 + ΔS))²`.
+
+/// Log-transform applied to increment labels: `ln(1 + ΔS)`.
+///
+/// The `+1` guards `ΔS = 0`; the paper does not state the base, and any
+/// monotone choice preserves model ordering.
+pub fn log_label(increment: usize) -> f32 {
+    ((increment + 1) as f32).ln()
+}
+
+/// Inverse of [`log_label`] (clamped at zero).
+pub fn unlog(pred_log: f32) -> f32 {
+    (pred_log.exp() - 1.0).max(0.0)
+}
+
+/// Mean squared log-transformed error over paired predictions (already in
+/// log space) and raw increment labels — Eq. 20.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn msle(pred_logs: &[f32], increments: &[usize]) -> f32 {
+    assert_eq!(pred_logs.len(), increments.len(), "msle: length mismatch");
+    assert!(!pred_logs.is_empty(), "msle: empty inputs");
+    pred_logs
+        .iter()
+        .zip(increments)
+        .map(|(&p, &y)| {
+            let d = p - log_label(y);
+            d * d
+        })
+        .sum::<f32>()
+        / pred_logs.len() as f32
+}
+
+/// Mean absolute error in log space (a secondary diagnostic).
+pub fn male(pred_logs: &[f32], increments: &[usize]) -> f32 {
+    assert_eq!(pred_logs.len(), increments.len(), "male: length mismatch");
+    assert!(!pred_logs.is_empty(), "male: empty inputs");
+    pred_logs
+        .iter()
+        .zip(increments)
+        .map(|(&p, &y)| (p - log_label(y)).abs())
+        .sum::<f32>()
+        / pred_logs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_label_roundtrip() {
+        for inc in [0usize, 1, 5, 100, 10_000] {
+            let back = unlog(log_label(inc));
+            assert!(
+                (back - inc as f32).abs() < inc as f32 * 1e-4 + 1e-3,
+                "{inc} → {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_score_zero() {
+        let incs = vec![0usize, 3, 10];
+        let preds: Vec<f32> = incs.iter().map(|&i| log_label(i)).collect();
+        assert_eq!(msle(&preds, &incs), 0.0);
+        assert_eq!(male(&preds, &incs), 0.0);
+    }
+
+    #[test]
+    fn msle_penalizes_log_distance() {
+        // Predicting 0 for ΔS = e−1 gives error 1².
+        let incs = vec![(std::f32::consts::E - 1.0).round() as usize];
+        let m = msle(&[0.0], &incs);
+        assert!((m - log_label(incs[0]).powi(2)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn msle_rejects_mismatched_lengths() {
+        let _ = msle(&[0.0, 1.0], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn msle_rejects_empty() {
+        let _ = msle(&[], &[]);
+    }
+}

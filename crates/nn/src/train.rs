@@ -1,0 +1,162 @@
+//! Training-loop utilities shared by every model trainer in the workspace.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Shuffled mini-batch index lists over `n` examples. The final batch may be
+/// smaller. Matches Algorithm 2's batch loop (paper batch size: 32).
+pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "shuffled_batches: batch_size must be positive");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// Early stopping on validation loss: stop when the loss has not improved
+/// for `patience` consecutive epochs (the paper stops after 10 stagnant
+/// iterations).
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f32,
+    best_epoch: usize,
+    stale: usize,
+    epoch: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a tracker with the given patience.
+    pub fn new(patience: usize) -> Self {
+        Self {
+            patience,
+            best: f32::INFINITY,
+            best_epoch: 0,
+            stale: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Records one epoch's validation loss. Returns `true` when training
+    /// should stop.
+    pub fn observe(&mut self, val_loss: f32) -> bool {
+        self.epoch += 1;
+        if val_loss < self.best {
+            self.best = val_loss;
+            self.best_epoch = self.epoch;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale >= self.patience
+    }
+
+    /// Whether the most recently observed epoch is the best so far.
+    pub fn last_was_best(&self) -> bool {
+        self.stale == 0
+    }
+
+    /// Best validation loss seen.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+
+    /// Epoch (1-based) of the best validation loss.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+/// Per-epoch record of a training run (Fig. 7 plots these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f32,
+    /// Validation loss (MSLE).
+    pub val_loss: f32,
+}
+
+/// The loss trajectory of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    records: Vec<EpochRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an epoch record.
+    pub fn push(&mut self, train_loss: f32, val_loss: f32) {
+        self.records.push(EpochRecord {
+            epoch: self.records.len() + 1,
+            train_loss,
+            val_loss,
+        });
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// The epoch record with the lowest validation loss, if any.
+    pub fn best(&self) -> Option<EpochRecord> {
+        self.records
+            .iter()
+            .copied()
+            .min_by(|a, b| a.val_loss.partial_cmp(&b.val_loss).expect("finite losses"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_partition_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = shuffled_batches(10, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[3].len(), 1);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_are_shuffled_but_seeded() {
+        let a = shuffled_batches(20, 5, &mut StdRng::seed_from_u64(2));
+        let b = shuffled_batches(20, 5, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        let flat: Vec<usize> = a.into_iter().flatten().collect();
+        assert_ne!(flat, (0..20).collect::<Vec<_>>(), "expected a shuffle");
+    }
+
+    #[test]
+    fn early_stopping_waits_for_patience() {
+        let mut es = EarlyStopping::new(3);
+        assert!(!es.observe(1.0));
+        assert!(!es.observe(0.9)); // improvement
+        assert!(!es.observe(0.95));
+        assert!(!es.observe(0.95));
+        assert!(es.observe(0.95), "third stale epoch triggers stop");
+        assert_eq!(es.best_epoch(), 2);
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn history_tracks_best() {
+        let mut h = History::new();
+        h.push(2.0, 1.8);
+        h.push(1.5, 1.2);
+        h.push(1.4, 1.3);
+        let best = h.best().unwrap();
+        assert_eq!(best.epoch, 2);
+        assert_eq!(best.val_loss, 1.2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Finite-difference verification of the recurrent cells — the strongest
+//! correctness guarantee for the CasCN training stack: the analytic
+//! gradients of a full multi-step ChebConv-LSTM/GRU/LSTM/GRU rollout must
+//! match central differences.
+
+use cascn_autograd::{assert_gradients_close, ParamStore, Tape, Var};
+use cascn_graph::{laplacian, DiGraph};
+use cascn_nn::{bases_to_vars, ChebConvGruCell, ChebConvLstmCell, GruCell, LstmCell};
+use cascn_tensor::Matrix;
+
+fn chain_bases(n: usize, k: usize) -> Vec<Matrix> {
+    let mut g = DiGraph::new(n);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1, 1.0);
+    }
+    let lap = laplacian::cas_laplacian(&g, 0.85);
+    let scaled = laplacian::scale_laplacian(&lap, laplacian::largest_eigenvalue(&lap));
+    laplacian::chebyshev_bases(&scaled, k)
+}
+
+fn snapshot_inputs(tape: &mut Tape, n: usize, d: usize, steps: usize) -> Vec<Var> {
+    (0..steps)
+        .map(|t| {
+            tape.constant(Matrix::from_fn(n, d, |r, c| {
+                ((r * 7 + c * 3 + t) % 5) as f32 * 0.2 - 0.4
+            }))
+        })
+        .collect()
+}
+
+#[test]
+fn chebconv_lstm_gradients_match_finite_differences() {
+    let (n, d_in, d_h, k, steps) = (4usize, 4usize, 2usize, 1usize, 2usize);
+    let mut store = ParamStore::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    use rand::SeedableRng;
+    let cell = ChebConvLstmCell::new(&mut store, "cc", k, d_in, d_h, &mut rng);
+    let bases = chain_bases(n, k);
+
+    let run = |tape: &mut Tape, store: &ParamStore| {
+        let basis_vars = bases_to_vars(tape, &bases);
+        let inputs = snapshot_inputs(tape, n, d_in, steps);
+        let hs = cell.run(tape, store, &basis_vars, &inputs, n);
+        let pooled = tape.sum_rows(*hs.last().unwrap());
+        let sq = tape.sqr(pooled);
+        tape.sum_all(sq)
+    };
+
+    // Analytic pass.
+    {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, &store);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+    }
+    // But `run` binds params via cell.run (which uses tape.param) — for the
+    // numeric pass the same closure re-reads the perturbed store, which is
+    // exactly what we need.
+    assert_gradients_close(&mut store, 5e-3, 6e-2, move |s| {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, s);
+        tape.scalar(loss)
+    });
+}
+
+#[test]
+fn chebconv_gru_gradients_match_finite_differences() {
+    let (n, d_in, d_h, k, steps) = (4usize, 4usize, 2usize, 1usize, 2usize);
+    let mut store = ParamStore::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    use rand::SeedableRng;
+    let cell = ChebConvGruCell::new(&mut store, "cg", k, d_in, d_h, &mut rng);
+    let bases = chain_bases(n, k);
+
+    let run = |tape: &mut Tape, store: &ParamStore| {
+        let basis_vars = bases_to_vars(tape, &bases);
+        let inputs = snapshot_inputs(tape, n, d_in, steps);
+        let hs = cell.run(tape, store, &basis_vars, &inputs, n);
+        let pooled = tape.sum_rows(*hs.last().unwrap());
+        let sq = tape.sqr(pooled);
+        tape.sum_all(sq)
+    };
+    {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, &store);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+    }
+    assert_gradients_close(&mut store, 5e-3, 6e-2, move |s| {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, s);
+        tape.scalar(loss)
+    });
+}
+
+#[test]
+fn dense_lstm_gradients_match_finite_differences() {
+    let (d_in, d_h, steps) = (3usize, 2usize, 3usize);
+    let mut store = ParamStore::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    use rand::SeedableRng;
+    let cell = LstmCell::new(&mut store, "l", d_in, d_h, &mut rng);
+
+    let run = |tape: &mut Tape, store: &ParamStore| {
+        let inputs: Vec<Var> = (0..steps)
+            .map(|t| {
+                tape.constant(Matrix::from_fn(1, d_in, |_, c| {
+                    ((c + t) % 3) as f32 * 0.3 - 0.3
+                }))
+            })
+            .collect();
+        let hs = cell.run(tape, store, &inputs, 1);
+        let sq = tape.sqr(*hs.last().unwrap());
+        tape.sum_all(sq)
+    };
+    {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, &store);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+    }
+    assert_gradients_close(&mut store, 5e-3, 6e-2, move |s| {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, s);
+        tape.scalar(loss)
+    });
+}
+
+#[test]
+fn dense_gru_gradients_match_finite_differences() {
+    let (d_in, d_h, steps) = (3usize, 2usize, 3usize);
+    let mut store = ParamStore::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    use rand::SeedableRng;
+    let cell = GruCell::new(&mut store, "g", d_in, d_h, &mut rng);
+
+    let run = |tape: &mut Tape, store: &ParamStore| {
+        let inputs: Vec<Var> = (0..steps)
+            .map(|t| {
+                tape.constant(Matrix::from_fn(1, d_in, |_, c| {
+                    ((c * 2 + t) % 4) as f32 * 0.25 - 0.375
+                }))
+            })
+            .collect();
+        let hs = cell.run(tape, store, &inputs, 1);
+        let sq = tape.sqr(*hs.last().unwrap());
+        tape.sum_all(sq)
+    };
+    {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, &store);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+    }
+    assert_gradients_close(&mut store, 5e-3, 6e-2, move |s| {
+        let mut tape = Tape::new();
+        let loss = run(&mut tape, s);
+        tape.scalar(loss)
+    });
+}

@@ -1,0 +1,290 @@
+//! Arithmetic on matrices: matmul variants, elementwise ops, broadcasts.
+//!
+//! The three matmul variants (`matmul`, `matmul_at_b`, `matmul_a_bt`) exist so
+//! reverse-mode differentiation never has to materialize an explicit
+//! transpose: for `C = A·B`, `∂A = ∂C·Bᵀ` and `∂B = Aᵀ·∂C`.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// `self · other` using an i-k-j loop order that streams both operands
+    /// row-major (cache-friendly; see the Rust Performance Book on access
+    /// patterns).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: {}x{} · {}x{} mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, n) = (self.rows(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue; // adjacency-style inputs are sparse in practice
+                }
+                let b_row = &other.as_slice()[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_at_b: {}x{} ᵀ· {}x{} mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, n) = (self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..self.rows() {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_a_bt: {}x{} · {}x{}ᵀ mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b, "add")
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b, "sub")
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b, "hadamard")
+    }
+
+    /// `self + alpha * other`, in place (BLAS axpy).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every entry by `s`, returning a new matrix.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for x in self.as_mut_slice() {
+            *x *= s;
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice().iter().map(|&x| f(x)).collect(),
+        )
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.as_mut_slice() {
+            *x = f(*x);
+        }
+    }
+
+    /// Adds a `1 x cols` row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    /// Panics unless `bias` is `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(
+            (1, self.cols()),
+            bias.shape(),
+            "add_row_broadcast: bias must be 1x{}, got {}x{}",
+            self.cols(),
+            bias.rows(),
+            bias.cols()
+        );
+        let mut out = self.clone();
+        let b = bias.as_slice();
+        for r in 0..out.rows() {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        out
+    }
+
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32, op: &str) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: {}x{} vs {}x{} shape mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        )
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assert_matrix_eq, Matrix};
+
+    fn a() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]])
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let c = a().matmul(&b());
+        let expect = Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]);
+        assert_matrix_eq(&c, &expect, 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = a();
+        assert_matrix_eq(&m.matmul(&Matrix::eye(3)), &m, 1e-6);
+        assert_matrix_eq(&Matrix::eye(2).matmul(&m), &m, 1e-6);
+    }
+
+    #[test]
+    fn matmul_at_b_equals_explicit_transpose() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r + 2 * c) as f32 - 2.5);
+        let y = Matrix::from_fn(4, 5, |r, c| (2 * r + c) as f32 * 0.5);
+        assert_matrix_eq(&x.matmul_at_b(&y), &x.transpose().matmul(&y), 1e-4);
+    }
+
+    #[test]
+    fn matmul_a_bt_equals_explicit_transpose() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r + 2 * c) as f32 - 2.5);
+        let y = Matrix::from_fn(5, 3, |r, c| (2 * r + c) as f32 * 0.5);
+        assert_matrix_eq(&x.matmul_a_bt(&y), &x.matmul(&y.transpose()), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_rejects_mismatched_shapes() {
+        let _ = a().matmul(&a());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let y = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(x.add(&y).as_slice(), &[4.0, 6.0]);
+        assert_eq!(y.sub(&x).as_slice(), &[2.0, 2.0]);
+        assert_eq!(x.hadamard(&y).as_slice(), &[3.0, 8.0]);
+        assert_eq!(x.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        x.axpy(0.5, &Matrix::from_rows(&[&[2.0, 4.0]]));
+        assert_eq!(x.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_adds_to_each_row() {
+        let m = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, -1.0]);
+        let out = m.add_row_broadcast(&bias);
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let m = a().map(|x| x * x);
+        assert_eq!(m[(1, 2)], 36.0);
+    }
+}

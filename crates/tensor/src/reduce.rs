@@ -1,0 +1,104 @@
+//! Reductions and norms.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all entries (0.0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise sum: collapses an `m x n` matrix to `1 x n`.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            let row = self.row(r);
+            for (o, &x) in out.row_mut(0).iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Row-wise sum: collapses an `m x n` matrix to `m x 1`.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), 1);
+        for r in 0..self.rows() {
+            out[(r, 0)] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Largest entry. Returns `f32::NEG_INFINITY` for an empty matrix.
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest entry. Returns `f32::INFINITY` for an empty matrix.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm, `sqrt(Σ x²)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.as_slice().iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// L1 norm of the flattened matrix.
+    pub fn l1_norm(&self) -> f32 {
+        self.as_slice().iter().map(|x| x.abs()).sum()
+    }
+
+    /// Largest absolute entry (infinity norm of the flattened matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.as_slice().iter().map(|x| x.abs()).fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Matrix {
+        Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        assert_eq!(m().sum(), 6.0);
+        assert_eq!(m().mean(), 1.5);
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn sum_rows_collapses_to_row_vector() {
+        let s = m().sum_rows();
+        assert_eq!(s.shape(), (1, 2));
+        assert_eq!(s.as_slice(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_cols_collapses_to_col_vector() {
+        let s = m().sum_cols();
+        assert_eq!(s.shape(), (2, 1));
+        assert_eq!(s.as_slice(), &[-1.0, 7.0]);
+    }
+
+    #[test]
+    fn extrema_and_norms() {
+        assert_eq!(m().max(), 4.0);
+        assert_eq!(m().min(), -2.0);
+        assert_eq!(m().l1_norm(), 10.0);
+        assert_eq!(m().max_abs(), 4.0);
+        assert!((m().frobenius_norm() - 30.0_f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,110 @@
+//! Dense linear solving (Gaussian elimination with partial pivoting),
+//! used by the ridge-regression baseline.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Solves `A·x = b` for square `A` via Gaussian elimination with
+    /// partial pivoting. Returns `None` if `A` is (numerically) singular.
+    ///
+    /// # Panics
+    /// Panics if `A` is not square or `b` is not a matching column vector.
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        let n = self.rows();
+        assert_eq!(n, self.cols(), "solve: matrix must be square");
+        assert_eq!(b.shape(), (n, 1), "solve: rhs must be {n}x1");
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Partial pivot.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("finite entries")
+                })
+                .expect("non-empty range");
+            let pivot = a[(pivot_row, col)];
+            if pivot.abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = a[(col, c)];
+                    a[(col, c)] = a[(pivot_row, c)];
+                    a[(pivot_row, c)] = tmp;
+                }
+                let tmp = x[(col, 0)];
+                x[(col, 0)] = x[(pivot_row, 0)];
+                x[(pivot_row, 0)] = tmp;
+            }
+            // Eliminate below.
+            for r in col + 1..n {
+                let factor = a[(r, col)] / a[(col, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[(r, c)] -= factor * a[(col, c)];
+                }
+                x[(r, 0)] -= factor * x[(col, 0)];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[(col, 0)];
+            for c in col + 1..n {
+                acc -= a[(col, c)] * x[(c, 0)];
+            }
+            x[(col, 0)] = acc / a[(col, col)];
+        }
+        x.all_finite().then_some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_matrix_eq;
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3]·x = [3; 5] → x = [4/5, 7/5]
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::col_vector(&[3.0, 5.0]);
+        let x = a.solve(&b).expect("non-singular");
+        assert_matrix_eq(&x, &Matrix::col_vector(&[0.8, 1.4]), 1e-5);
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let b = Matrix::col_vector(&[1.0, -2.0, 3.0]);
+        let x = Matrix::eye(3).solve(&b).unwrap();
+        assert_matrix_eq(&x, &b, 1e-6);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let b = Matrix::col_vector(&[1.0, 2.0]);
+        assert!(a.solve(&b).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Matrix::col_vector(&[2.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        assert_matrix_eq(&x, &Matrix::col_vector(&[3.0, 2.0]), 1e-6);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        let a = Matrix::from_fn(5, 5, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0 + if r == c { 8.0 } else { 0.0 });
+        let b = Matrix::from_fn(5, 1, |r, _| r as f32 - 2.0);
+        let x = a.solve(&b).unwrap();
+        let residual = a.matmul(&x).sub(&b);
+        assert!(residual.max_abs() < 1e-4, "residual {}", residual.max_abs());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the algebraic identities the rest of the
+//! workspace silently relies on.
+
+use cascn_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Elementwise comparison with a tolerance scaled for f32 accumulation.
+fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(close(&left, &right, 1e-4), "\n{left:?}\nvs\n{right:?}");
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(close(&left, &right, 1e-4));
+    }
+
+    #[test]
+    fn transpose_is_an_involution(a in matrix(4, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&left, &right, 1e-4));
+    }
+
+    #[test]
+    fn fused_transpose_matmuls_agree(a in matrix(4, 3), b in matrix(4, 5)) {
+        // Aᵀ·B via the fused kernel equals the explicit version.
+        let fused = a.matmul_at_b(&b);
+        let explicit = a.transpose().matmul(&b);
+        prop_assert!(close(&fused, &explicit, 1e-4));
+        // A·Bᵀ likewise.
+        let c = Matrix::from_fn(5, 3, |r, q| (r + q) as f32 * 0.3 - 0.7);
+        let fused2 = c.matmul_a_bt(&a);
+        let explicit2 = c.matmul(&a.transpose());
+        prop_assert!(close(&fused2, &explicit2, 1e-4));
+    }
+
+    #[test]
+    fn sum_decomposes_over_rows_and_cols(a in matrix(5, 3)) {
+        let total = a.sum();
+        let by_rows = a.sum_rows().sum();
+        let by_cols = a.sum_cols().sum();
+        prop_assert!((total - by_rows).abs() < 1e-4 * (1.0 + total.abs()));
+        prop_assert!((total - by_cols).abs() < 1e-4 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn hadamard_is_commutative(a in matrix(4, 4), b in matrix(4, 4)) {
+        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+    }
+
+    #[test]
+    fn scale_matches_hadamard_with_constant(a in matrix(3, 3), s in -3.0f32..3.0) {
+        let scaled = a.scale(s);
+        let constant = Matrix::full(3, 3, s);
+        prop_assert!(close(&scaled, &a.hadamard(&constant), 1e-5));
+    }
+
+    #[test]
+    fn solve_inverts_matmul(x in matrix(4, 1)) {
+        // Build a well-conditioned matrix (diagonally dominant).
+        let a = Matrix::from_fn(4, 4, |r, c| {
+            if r == c { 6.0 } else { ((r * 3 + c) % 5) as f32 * 0.3 - 0.6 }
+        });
+        let b = a.matmul(&x);
+        let solved = a.solve(&b).expect("diagonally dominant ⇒ non-singular");
+        prop_assert!(close(&solved, &x, 1e-2), "\n{solved:?}\nvs\n{x:?}");
+    }
+
+    #[test]
+    fn frobenius_norm_is_subadditive(a in matrix(3, 4), b in matrix(3, 4)) {
+        let lhs = a.add(&b).frobenius_norm();
+        let rhs = a.frobenius_norm() + b.frobenius_norm();
+        prop_assert!(lhs <= rhs + 1e-4);
+    }
+}

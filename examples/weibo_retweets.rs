@@ -1,0 +1,121 @@
+//! Viral-post triage on a Weibo-like microblog feed — the paper's intro
+//! scenario: given the first hour of re-tweets, which posts will go viral?
+//!
+//! Trains CasCN and a feature baseline, then ranks unseen posts by the
+//! predicted growth and measures how well each ranking recovers the posts
+//! that actually blow up (precision@k).
+//!
+//! Run with `cargo run --release -p cascn-bench --example weibo_retweets`.
+
+use cascn::{CascnConfig, CascnModel, SizePredictor, TrainOpts};
+use cascn_baselines::FeatureLinear;
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::Split;
+
+fn precision_at_k(
+    model: &dyn SizePredictor,
+    test: &[cascn_cascades::Cascade],
+    window: f64,
+    k: usize,
+) -> f64 {
+    // Ground truth: the k posts with the largest actual growth.
+    let mut actual: Vec<(usize, usize)> = test
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, c.increment_size(window)))
+        .collect();
+    actual.sort_by_key(|&(_, inc)| std::cmp::Reverse(inc));
+    let top_actual: std::collections::HashSet<usize> =
+        actual[..k].iter().map(|&(i, _)| i).collect();
+
+    let mut predicted: Vec<(usize, f32)> = test
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, model.predict_log(c, window)))
+        .collect();
+    predicted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite predictions"));
+    let hits = predicted[..k]
+        .iter()
+        .filter(|&&(i, _)| top_actual.contains(&i))
+        .count();
+    hits as f64 / k as f64
+}
+
+fn main() {
+    let window = 3600.0;
+    let data = WeiboGenerator::new(WeiboConfig {
+        num_cascades: 1600,
+        seed: 11,
+        ..WeiboConfig::default()
+    })
+    .generate()
+    .filter_observed_size(window, 5, 100);
+    let (train, val, test) = (
+        data.split(Split::Train),
+        data.split(Split::Validation),
+        data.split(Split::Test),
+    );
+    println!(
+        "feed: {} posts observed for 1 hour ({} train / {} val / {} test)",
+        data.cascades.len(),
+        train.len(),
+        val.len(),
+        test.len()
+    );
+
+    // CasCN.
+    let mut cascn = CascnModel::new(CascnConfig {
+        hidden: 8,
+        mlp_hidden: 8,
+        max_nodes: 30,
+        max_steps: 10,
+        ..CascnConfig::default()
+    });
+    cascn.fit(
+        train,
+        val,
+        window,
+        &TrainOpts {
+            epochs: 6,
+            patience: 6,
+            ..TrainOpts::default()
+        },
+    );
+
+    // Feature baseline.
+    let features = FeatureLinear::fit(train, val, window);
+
+    let k = (test.len() / 10).max(3);
+    println!("\nranking quality (precision@{k} for spotting the top-{k} growers):");
+    for (name, p, msle) in [
+        (
+            "CasCN",
+            precision_at_k(&cascn, test, window, k),
+            cascn::evaluate(&cascn, test, window),
+        ),
+        (
+            "Feature-linear",
+            precision_at_k(&features, test, window, k),
+            cascn::evaluate(&features, test, window),
+        ),
+    ] {
+        println!("  {name:<15} precision@{k} = {p:.2}, MSLE = {msle:.3}");
+    }
+
+    // Show the triage view an analyst would see.
+    println!("\ntop-5 posts by predicted future growth (CasCN):");
+    let mut ranked: Vec<(&cascn_cascades::Cascade, f32)> = test
+        .iter()
+        .map(|c| (c, cascn.predict_log(c, window)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite predictions"));
+    for (c, pred) in ranked.iter().take(5) {
+        println!(
+            "  post {:>5}: {} adopters observed → predicted +{:.0}, actual +{}",
+            c.id,
+            c.size_at(window),
+            pred.exp() - 1.0,
+            c.increment_size(window)
+        );
+    }
+}

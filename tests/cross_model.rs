@@ -1,0 +1,161 @@
+//! Cross-crate integration of every Table III model behind the shared
+//! `SizePredictor` interface.
+
+use cascn::{CascnConfig, CascnModel, SizePredictor, TrainOpts};
+use cascn_baselines::{
+    DeepCas, DeepHawkes, FeatureDeep, FeatureLinear, Lis, LisConfig, Node2VecModel,
+    Node2VecModelConfig, TopoLstm,
+};
+use cascn_cascades::synth::{CitationConfig, CitationGenerator, WeiboConfig, WeiboGenerator};
+use cascn_cascades::{Cascade, Split};
+
+fn weibo() -> cascn_cascades::Dataset {
+    WeiboGenerator::new(WeiboConfig {
+        num_cascades: 300,
+        seed: 99,
+        max_size: 200,
+    })
+    .generate()
+    .filter_observed_size(3600.0, 4, 60)
+}
+
+/// Trains every model for one epoch and returns (name, msle) pairs.
+fn train_all(
+    train: &[Cascade],
+    val: &[Cascade],
+    test: &[Cascade],
+    window: f64,
+) -> Vec<(String, f32)> {
+    let opts = TrainOpts {
+        epochs: 1,
+        ..TrainOpts::default()
+    };
+    let mut results: Vec<(String, f32)> = Vec::new();
+
+    let fl = FeatureLinear::fit(train, val, window);
+    results.push((fl.name(), cascn::evaluate(&fl, test, window)));
+
+    let mut fd = FeatureDeep::new(1);
+    fd.fit(train, val, window, &opts);
+    results.push((fd.name(), cascn::evaluate(&fd, test, window)));
+
+    let lis = Lis::fit(
+        train,
+        window,
+        &LisConfig {
+            epochs: 1,
+            ..LisConfig::default()
+        },
+    );
+    results.push((lis.name(), cascn::evaluate(&lis, test, window)));
+
+    let (n2v, _) = Node2VecModel::fit(
+        train,
+        val,
+        window,
+        Node2VecModelConfig {
+            sgns_epochs: 1,
+            ..Node2VecModelConfig::default()
+        },
+        &opts,
+    );
+    results.push((n2v.name(), cascn::evaluate(&n2v, test, window)));
+
+    let mut dc = DeepCas::new(train, window, 4, 1);
+    dc.fit(train, val, window, &opts);
+    results.push((dc.name(), cascn::evaluate(&dc, test, window)));
+
+    let mut topo = TopoLstm::new(train, window, 4, 1);
+    topo.fit(train, val, window, &opts);
+    results.push((topo.name(), cascn::evaluate(&topo, test, window)));
+
+    let mut dh = DeepHawkes::new(train, window, 4, 1);
+    dh.fit(train, val, window, &opts);
+    results.push((dh.name(), cascn::evaluate(&dh, test, window)));
+
+    let mut cn = CascnModel::new(CascnConfig {
+        hidden: 4,
+        mlp_hidden: 4,
+        max_nodes: 15,
+        max_steps: 6,
+        ..CascnConfig::default()
+    });
+    cn.fit(train, val, window, &opts);
+    results.push((cn.name(), cascn::evaluate(&cn, test, window)));
+
+    results
+}
+
+#[test]
+fn all_eight_models_produce_finite_msle_on_weibo() {
+    let data = weibo();
+    let window = 3600.0;
+    let train: Vec<_> = data.split(Split::Train).iter().take(50).cloned().collect();
+    let val: Vec<_> = data.split(Split::Validation).iter().take(12).cloned().collect();
+    let test: Vec<_> = data.split(Split::Test).iter().take(15).cloned().collect();
+    assert!(train.len() >= 20 && !val.is_empty() && !test.is_empty());
+
+    let results = train_all(&train, &val, &test, window);
+    assert_eq!(results.len(), 8, "all Table III models must run");
+    for (name, msle) in &results {
+        assert!(
+            msle.is_finite() && *msle >= 0.0 && *msle < 50.0,
+            "{name} produced implausible MSLE {msle}"
+        );
+    }
+    // Distinct names (trait wiring sanity).
+    let mut names: Vec<&String> = results.iter().map(|(n, _)| n).collect();
+    names.dedup();
+    assert_eq!(names.len(), 8);
+}
+
+#[test]
+fn models_work_on_citation_data_too() {
+    let window = 3.0 * 365.0;
+    let data = CitationGenerator::new(CitationConfig {
+        num_cascades: 500,
+        seed: 3,
+        max_size: 200,
+    })
+    .generate()
+    .filter_observed_size(window, 3, 60);
+    let train: Vec<_> = data.split(Split::Train).iter().take(40).cloned().collect();
+    let test: Vec<_> = data.split(Split::Test).iter().take(10).cloned().collect();
+    assert!(train.len() >= 15 && !test.is_empty());
+
+    // Spot-check one model per family on the citation scenario.
+    let fl = FeatureLinear::fit(&train, &[], window);
+    assert!(cascn::evaluate(&fl, &test, window).is_finite());
+
+    let mut cn = CascnModel::new(CascnConfig {
+        hidden: 4,
+        mlp_hidden: 4,
+        max_nodes: 15,
+        max_steps: 6,
+        ..CascnConfig::default()
+    });
+    cn.fit(
+        &train,
+        &[],
+        window,
+        &TrainOpts {
+            epochs: 1,
+            ..TrainOpts::default()
+        },
+    );
+    assert!(cascn::evaluate(&cn, &test, window).is_finite());
+}
+
+#[test]
+fn predictors_compose_as_trait_objects() {
+    let data = weibo();
+    let window = 3600.0;
+    let train: Vec<_> = data.split(Split::Train).iter().take(30).cloned().collect();
+    let fl = FeatureLinear::fit(&train, &[], window);
+    let lis = Lis::fit(&train, window, &LisConfig::default());
+    let models: Vec<Box<dyn SizePredictor>> = vec![Box::new(fl), Box::new(lis)];
+    for m in &models {
+        let p = m.predict_log(&train[0], window);
+        assert!(p.is_finite(), "{} broke as a trait object", m.name());
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: generate → serialize → reload → train → predict,
+//! across the whole crate stack.
+
+use cascn::{CascnConfig, CascnModel, TrainOpts, Variant};
+use cascn_cascades::io;
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::Split;
+
+fn tiny_cfg() -> CascnConfig {
+    CascnConfig {
+        hidden: 4,
+        mlp_hidden: 4,
+        max_nodes: 15,
+        max_steps: 6,
+        ..CascnConfig::default()
+    }
+}
+
+fn tiny_data() -> cascn_cascades::Dataset {
+    WeiboGenerator::new(WeiboConfig {
+        num_cascades: 400,
+        seed: 404,
+        max_size: 300,
+    })
+    .generate()
+    .filter_observed_size(3600.0, 5, 80)
+}
+
+#[test]
+fn full_pipeline_through_serialization() {
+    let window = 3600.0;
+    let data = tiny_data();
+    assert!(data.cascades.len() > 60, "generator yield too low: {}", data.cascades.len());
+
+    // Serialize → reload → identical dataset.
+    let dir = std::env::temp_dir().join("cascn_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("weibo.cascades");
+    io::write_dataset(&path, &data).unwrap();
+    let reloaded = io::read_dataset(&path).unwrap();
+    assert_eq!(reloaded.cascades, data.cascades);
+    std::fs::remove_file(&path).ok();
+
+    // Train on the reloaded copy.
+    let mut model = CascnModel::new(tiny_cfg());
+    let opts = TrainOpts {
+        epochs: 3,
+        patience: 3,
+        ..TrainOpts::default()
+    };
+    let history = model.fit(
+        reloaded.split(Split::Train),
+        reloaded.split(Split::Validation),
+        window,
+        &opts,
+    );
+    assert!(!history.records().is_empty());
+    assert!(history.records().iter().all(|r| r.val_loss.is_finite()));
+
+    // Trained model beats the untrained initialization on test MSLE.
+    let untrained = CascnModel::new(tiny_cfg());
+    let test = reloaded.split(Split::Test);
+    let trained_msle = cascn::evaluate(&model, test, window);
+    let untrained_msle = cascn::evaluate(&untrained, test, window);
+    assert!(
+        trained_msle < untrained_msle,
+        "training must help: {trained_msle} vs untrained {untrained_msle}"
+    );
+
+    // Predictions decode to non-negative sizes.
+    for c in test.iter().take(10) {
+        let p = model.predict_log(c, window);
+        assert!(p.is_finite());
+        assert!(p.exp() - 1.0 >= -1.0);
+    }
+}
+
+#[test]
+fn all_variants_train_one_epoch() {
+    let window = 3600.0;
+    let data = tiny_data();
+    let train: Vec<_> = data.split(Split::Train).iter().take(40).cloned().collect();
+    let val: Vec<_> = data.split(Split::Validation).iter().take(10).cloned().collect();
+    let opts = TrainOpts {
+        epochs: 1,
+        ..TrainOpts::default()
+    };
+    for variant in Variant::all() {
+        let msle = match variant {
+            Variant::Gl => {
+                let mut m = cascn::GlModel::new(tiny_cfg());
+                m.fit(&train, &val, window, &opts);
+                cascn::evaluate(&m, &val, window)
+            }
+            Variant::Path => {
+                let mut m = cascn::PathModel::new(tiny_cfg(), &train, window);
+                m.fit(&train, &val, window, &opts);
+                cascn::evaluate(&m, &val, window)
+            }
+            other => {
+                let mut m = CascnModel::new(tiny_cfg().with_variant(other));
+                m.fit(&train, &val, window, &opts);
+                cascn::evaluate(&m, &val, window)
+            }
+        };
+        assert!(msle.is_finite(), "{} produced non-finite MSLE", variant.name());
+    }
+}
+
+#[test]
+fn window_monotonicity_of_observations() {
+    // Longer windows observe at least as much and leave at most as much
+    // growth — an invariant every model's labels rely on.
+    let data = tiny_data();
+    for c in data.cascades.iter().take(50) {
+        let mut prev_obs = 0;
+        let mut prev_inc = usize::MAX;
+        for hours in [1.0, 2.0, 3.0, 24.0] {
+            let w = hours * 3600.0;
+            let obs = c.size_at(w);
+            let inc = c.increment_size(w);
+            assert!(obs >= prev_obs);
+            assert!(inc <= prev_inc);
+            assert_eq!(obs + inc, c.final_size());
+            prev_obs = obs;
+            prev_inc = inc;
+        }
+    }
+}
