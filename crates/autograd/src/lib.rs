@@ -42,6 +42,7 @@ mod params;
 mod tape;
 
 pub use gradcheck::{assert_gradients_close, check_gradients, numeric_gradient, GradCheckReport};
-pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use serialize::{atomic_write, fnv1a64};
 pub use tape::{Tape, Var};

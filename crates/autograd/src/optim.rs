@@ -92,6 +92,19 @@ pub struct Adam {
     v: Vec<Matrix>,
 }
 
+/// A serializable snapshot of Adam's mutable state (step counter and both
+/// moment estimates), used by resumable checkpoints so a restarted run
+/// continues bit-exactly instead of re-warming the moments from zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamState {
+    /// Number of update steps applied.
+    pub step: u64,
+    /// First-moment estimates, in parameter registration order.
+    pub m: Vec<Matrix>,
+    /// Second-moment estimates, in parameter registration order.
+    pub v: Vec<Matrix>,
+}
+
 impl Adam {
     /// Creates an Adam optimizer with the given configuration.
     pub fn new(cfg: AdamConfig) -> Self {
@@ -124,6 +137,26 @@ impl Adam {
     /// Overrides the learning rate (for decay schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.cfg.lr = lr;
+    }
+
+    /// Snapshots the mutable optimizer state for checkpointing.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            step: self.step,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a snapshot captured by [`Adam::state`].
+    ///
+    /// # Panics
+    /// Panics if the moment vectors have mismatched lengths.
+    pub fn set_state(&mut self, state: AdamState) {
+        assert_eq!(state.m.len(), state.v.len(), "Adam state m/v length mismatch");
+        self.step = state.step;
+        self.m = state.m;
+        self.v = state.v;
     }
 }
 

@@ -78,10 +78,12 @@ impl ParamStore {
         self.grads[id.0].axpy(1.0, g);
     }
 
-    /// Resets all accumulated gradients to zero.
+    /// Resets all accumulated gradients to zero. Writes literal zeros
+    /// rather than scaling by 0.0, which would keep NaN/Inf entries alive
+    /// (NaN × 0 = NaN) and make a single poisoned batch permanent.
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
-            g.scale_in_place(0.0);
+            g.as_mut_slice().fill(0.0);
         }
     }
 
@@ -129,6 +131,24 @@ impl ParamStore {
     pub fn any_non_finite(&self) -> bool {
         self.values.iter().any(|v| !v.all_finite()) || self.grads.iter().any(|g| !g.all_finite())
     }
+
+    /// True if any parameter *or* gradient contains NaN/inf — the anomaly
+    /// guard's per-batch health check.
+    pub fn has_non_finite(&self) -> bool {
+        self.any_non_finite()
+    }
+
+    /// True if any accumulated gradient contains NaN/inf (checked before an
+    /// optimizer step so a poisoned batch can be discarded).
+    pub fn grads_non_finite(&self) -> bool {
+        self.grads.iter().any(|g| !g.all_finite())
+    }
+
+    /// True if any parameter value contains NaN/inf (checked after an
+    /// optimizer step to catch update overflow).
+    pub fn values_non_finite(&self) -> bool {
+        self.values.iter().any(|v| !v.all_finite())
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +194,17 @@ mod tests {
         let pre = s.clip_grad_norm(1.0);
         assert!((pre - 5.0).abs() < 1e-6);
         assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_grads_clears_nan() {
+        let mut s = ParamStore::new();
+        let a = s.register("a", Matrix::zeros(1, 2));
+        s.accumulate_grad(a, &Matrix::row_vector(&[f32::NAN, f32::INFINITY]));
+        assert!(s.grads_non_finite());
+        s.zero_grads();
+        assert!(!s.grads_non_finite(), "zeroing must clear poisoned grads");
+        assert_eq!(s.grad(a).as_slice(), &[0.0, 0.0]);
     }
 
     #[test]

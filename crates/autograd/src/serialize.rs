@@ -85,9 +85,10 @@ impl ParamStore {
         Ok(store)
     }
 
-    /// Writes the checkpoint to `path`.
+    /// Writes the checkpoint to `path` atomically (temp file + rename), so
+    /// a crash mid-write can never leave a truncated checkpoint behind.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_text())
+        atomic_write(path.as_ref(), self.to_text().as_bytes())
     }
 
     /// Reads a checkpoint from `path`.
@@ -121,6 +122,42 @@ impl ParamStore {
         }
         Ok(restored)
     }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling temp
+/// file first and are moved into place with `rename`, which is atomic on
+/// POSIX filesystems. Readers therefore see either the old file or the new
+/// one, never a partial write.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("invalid checkpoint path {}", path.display())))?;
+    let mut tmp = std::ffi::OsString::from(".");
+    tmp.push(file_name);
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp),
+        None => std::path::PathBuf::from(&tmp),
+    };
+    std::fs::write(&tmp_path, contents)?;
+    match std::fs::rename(&tmp_path, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp_path);
+            Err(e)
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash, the integrity checksum of checkpoint format v2.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -178,6 +215,32 @@ mod tests {
         assert_eq!(restored, 2);
         let w = fresh.ids().nth(1).unwrap();
         assert_eq!(fresh.value(w)[(0, 0)], 1.5);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("cascn_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.params");
+        atomic_write(&path, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        atomic_write(&path, b"world").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"world");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl Node2VecModel {
         let mut embeddings = vec![0.0f32; n_users * cfg.dim];
         let mut context = vec![0.0f32; n_users * cfg.dim];
         for x in embeddings.iter_mut() {
-            *x = rng.random_range(-0.5..0.5) / cfg.dim as f32;
+            *x = rng.random_range(-0.5..0.5f32) / cfg.dim as f32;
         }
 
         // Walk corpus: biased walks over each observed cascade graph.

@@ -31,25 +31,14 @@ pub struct Cascade {
 impl Cascade {
     /// Creates a cascade from its parts, validating the invariants:
     /// a root-first event list, sorted times, and in-range parents.
+    /// Use [`Cascade::try_new`] to report violations instead of panicking.
     ///
     /// # Panics
     /// Panics if the event list is empty or malformed.
     pub fn new(id: u64, start_time: f64, events: Vec<Event>) -> Self {
-        assert!(!events.is_empty(), "cascade {id}: no events");
-        assert!(events[0].parent.is_none(), "cascade {id}: event 0 must be the root");
-        assert_eq!(events[0].time, 0.0, "cascade {id}: root must be at t=0");
-        for (i, e) in events.iter().enumerate().skip(1) {
-            let p = e.parent.unwrap_or_else(|| panic!("cascade {id}: event {i} has no parent"));
-            assert!(p < i, "cascade {id}: event {i} references later parent {p}");
-            assert!(
-                e.time >= events[i - 1].time,
-                "cascade {id}: events not time-sorted at {i}"
-            );
-        }
-        Self {
-            id,
-            start_time,
-            events,
+        match Self::try_new(id, start_time, events) {
+            Ok(c) => c,
+            Err(fault) => panic!("cascade {id}: {fault}"),
         }
     }
 

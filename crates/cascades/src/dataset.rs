@@ -27,11 +27,7 @@ pub struct Dataset {
 impl Dataset {
     /// Creates a dataset, sorting cascades by publication time.
     pub fn new(name: impl Into<String>, mut cascades: Vec<Cascade>) -> Self {
-        cascades.sort_by(|a, b| {
-            a.start_time
-                .partial_cmp(&b.start_time)
-                .expect("start times are finite")
-        });
+        cascades.sort_by(|a, b| a.start_time.total_cmp(&b.start_time));
         Self {
             name: name.into(),
             cascades,

@@ -106,8 +106,7 @@ fn parse_line(line: &str, lineno: usize) -> Result<Cascade, FormatError> {
     // Sort by time; the root path (single user at t=0) must come first.
     records.sort_by(|a, b| {
         a.time
-            .partial_cmp(&b.time)
-            .expect("finite times")
+            .total_cmp(&b.time)
             .then(a.users.len().cmp(&b.users.len()))
     });
     if records[0].users.len() != 1 || records[0].time != 0.0 {

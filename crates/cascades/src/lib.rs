@@ -33,6 +33,8 @@ pub mod deephawkes_format;
 pub mod io;
 pub mod stats;
 pub mod synth;
+pub mod validate;
 
 pub use cascade::{Cascade, Event, ObservedCascade};
 pub use dataset::{Dataset, Split, SplitStats};
+pub use validate::{validate_events, CascadeFault, QuarantineReport, QuarantinedCascade};

@@ -110,11 +110,20 @@ mod tests {
     fn size_distribution_decays() {
         let d = dataset();
         let hist = size_distribution(&d);
-        // Counts in the tail must be (weakly) smaller than near the head —
-        // the heavy-tail shape of Fig. 4.
-        let head = hist[0].1 + hist.get(1).map_or(0, |x| x.1);
-        let tail: usize = hist.iter().skip(4).map(|&(_, c)| c).sum();
-        assert!(head > tail, "head {head} should dominate tail {tail}");
+        // Heavy-tail shape of Fig. 4: most cascades are small, and counts
+        // decay (weakly) monotonically past the modal bin.
+        let small: usize = hist.iter().take(4).map(|&(_, c)| c).sum();
+        let large: usize = hist.iter().skip(4).map(|&(_, c)| c).sum();
+        assert!(small > 2 * large, "small {small} should dominate large {large}");
+        let modal = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(_, c))| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        for w in hist[modal..].windows(2) {
+            assert!(w[1].1 <= w[0].1, "tail must decay: {hist:?}");
+        }
     }
 
     #[test]

@@ -249,7 +249,7 @@ fn branching_cascade(id: u64, start: f64, cfg: &BranchingConfig, rng: &mut StdRn
 
     // Sort by time and remap parent indices.
     let mut order: Vec<usize> = (0..raw.len()).collect();
-    order.sort_by(|&a, &b| raw[a].2.partial_cmp(&raw[b].2).expect("finite times"));
+    order.sort_by(|&a, &b| raw[a].2.total_cmp(&raw[b].2));
     let mut rank = vec![0usize; raw.len()];
     for (new_idx, &old_idx) in order.iter().enumerate() {
         rank[old_idx] = new_idx;
@@ -462,7 +462,7 @@ mod tests {
         assert!(rows.len() > 100, "band too small: {}", rows.len());
         let corr = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
             let n = rows.len() as f64;
-            let mx = rows.iter().map(|r| f(r)).sum::<f64>() / n;
+            let mx = rows.iter().map(f).sum::<f64>() / n;
             let my = rows.iter().map(|r| r.2).sum::<f64>() / n;
             let cov: f64 = rows.iter().map(|r| (f(r) - mx) * (r.2 - my)).sum();
             let vx: f64 = rows.iter().map(|r| (f(r) - mx).powi(2)).sum();
@@ -496,7 +496,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (c, theta) = (900.0, 0.5);
         let mut samples: Vec<f64> = (0..20_001).map(|_| sample_lomax(c, theta, &mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let median = samples[10_000];
         // Median: c·(2^{1/θ} − 1) = 900·3 = 2700.
         let expect = c * (2.0f64.powf(1.0 / theta) - 1.0);

@@ -13,7 +13,7 @@
 
 use std::process::exit;
 
-use cascn::{CascnConfig, CascnModel, TrainOpts};
+use cascn::{CascnConfig, CascnModel, CheckpointPolicy, TrainCheckpoint, TrainOpts};
 use cascn_cascades::{deephawkes_format, io, Dataset, Split};
 
 fn main() {
@@ -43,7 +43,8 @@ fn usage_and_exit() -> ! {
         "cascn — cascade size prediction (CasCN, ICDE 2019)\n\n\
          USAGE:\n  cascn generate --dataset weibo|hepph [--n N] [--seed S] --out FILE\n  \
          cascn stats FILE [--window SECS]\n  \
-         cascn train --data FILE --window SECS [--epochs N] [--hidden H] [--out MODEL]\n  \
+         cascn train --data FILE --window SECS [--epochs N] [--hidden H] [--out MODEL]\n    \
+         [--checkpoint CKPT [--checkpoint-every N]] [--resume CKPT]\n  \
          cascn predict --data FILE --window SECS --model MODEL [--top K]"
     );
     exit(2);
@@ -102,6 +103,26 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
             deephawkes_format::parse(&text, path).map_err(|e| e.to_string())
         }
         _ => io::dataset_from_str(&text, path).map_err(|e| e.to_string()),
+    }
+}
+
+/// Like [`load_dataset`], but quarantines malformed cascades (native format
+/// only) instead of failing; the quarantine summary is returned alongside.
+fn load_dataset_lenient(path: &str) -> Result<(Dataset, Option<String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let first_data_line = text
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    match first_data_line {
+        Some(l) if l.contains('\t') => {
+            let d = deephawkes_format::parse(&text, path).map_err(|e| e.to_string())?;
+            Ok((d, None))
+        }
+        _ => {
+            let (d, report) = io::dataset_from_str_lenient(&text, path);
+            let summary = (!report.is_clean()).then(|| report.summary());
+            Ok((d, summary))
+        }
     }
 }
 
@@ -185,7 +206,11 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         .require("window")?
         .parse()
         .map_err(|_| "invalid --window")?;
-    let dataset = load_dataset(data_path)?
+    let (dataset, quarantine) = load_dataset_lenient(data_path)?;
+    if let Some(summary) = quarantine {
+        eprintln!("warning: {summary}");
+    }
+    let dataset = dataset
         .filter_observed_size(window, flags.parse_or("min-size", 5)?, flags.parse_or("max-size", 100)?);
     if dataset.cascades.len() < 20 {
         return Err(format!(
@@ -193,23 +218,57 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             dataset.cascades.len()
         ));
     }
-    let (cfg, opts) = train_config(flags)?;
+    let (cfg, mut opts) = train_config(flags)?;
+    let resume = match flags.get("resume") {
+        Some(p) => Some(TrainCheckpoint::load(p).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    if let Some(ckpt) = &resume {
+        // Continue the interrupted run's shuffle stream, whatever seed it
+        // used.
+        opts.shuffle_seed = ckpt.shuffle_seed;
+    }
+    let checkpoint = match flags.get("checkpoint") {
+        Some(p) => Some(CheckpointPolicy {
+            path: p.into(),
+            every: flags.parse_or("checkpoint-every", 1)?,
+        }),
+        None => None,
+    };
     let mut model = CascnModel::new(cfg);
-    println!(
-        "training CasCN ({} parameters) on {} cascades…",
-        model.num_parameters(),
-        dataset.split(Split::Train).len()
-    );
-    let history = model.fit(
-        dataset.split(Split::Train),
-        dataset.split(Split::Validation),
-        window,
-        &opts,
-    );
+    match &resume {
+        Some(ckpt) => println!(
+            "resuming CasCN training from epoch {} ({} parameters)…",
+            ckpt.epoch,
+            model.num_parameters()
+        ),
+        None => println!(
+            "training CasCN ({} parameters) on {} cascades…",
+            model.num_parameters(),
+            dataset.split(Split::Train).len()
+        ),
+    }
+    let history = model
+        .fit_resumable(
+            dataset.split(Split::Train),
+            dataset.split(Split::Validation),
+            window,
+            &opts,
+            resume.as_ref(),
+            checkpoint.as_ref(),
+        )
+        .map_err(|e| e.to_string())?;
     for r in history.records() {
         println!(
             "epoch {:>3}: train {:.4}  val {:.4}",
             r.epoch, r.train_loss, r.val_loss
+        );
+    }
+    if !history.anomalies().is_empty() {
+        println!(
+            "anomaly guard: {} discarded steps, {} rollbacks",
+            history.skipped_steps(),
+            history.rollbacks()
         );
     }
     let msle = cascn::evaluate(&model, dataset.split(Split::Test), window);
@@ -241,7 +300,7 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
             (c.id, c.size_at(window), pred)
         })
         .collect();
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite predictions"));
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     println!("top {top} cascades by predicted growth:");
     println!("{:>10}  {:>9}  {:>12}", "cascade", "observed", "predicted +");
     for (id, observed, pred) in rows.into_iter().take(top) {

@@ -1,0 +1,99 @@
+//! The structured error taxonomy of the training runtime.
+//!
+//! Load and train paths return [`CascnError`] instead of panicking, so the
+//! CLI can exit with a clean one-line message and callers can distinguish
+//! recoverable conditions (a corrupt checkpoint, a malformed dataset) from
+//! programming errors (which still panic).
+
+use std::io;
+
+use cascn_cascades::io::ReadError;
+
+/// Everything that can go wrong on the load/train/predict paths.
+#[derive(Debug)]
+pub enum CascnError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed dataset input, with the 1-based offending line.
+    DataParse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A checkpoint file is corrupt, truncated, or from an unknown format
+    /// version.
+    Checkpoint(String),
+    /// A checkpoint does not match the model architecture it is being loaded
+    /// into (shape-header or parameter-count mismatch).
+    Architecture(String),
+    /// Invalid configuration or option combination.
+    Config(String),
+    /// A failure inside the training loop itself.
+    Train(String),
+}
+
+impl std::fmt::Display for CascnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CascnError::Io(e) => write!(f, "io error: {e}"),
+            CascnError::DataParse { line, message } => {
+                write!(f, "data parse error at line {line}: {message}")
+            }
+            CascnError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            CascnError::Architecture(m) => write!(f, "architecture mismatch: {m}"),
+            CascnError::Config(m) => write!(f, "config error: {m}"),
+            CascnError::Train(m) => write!(f, "training error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CascnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CascnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CascnError {
+    fn from(e: io::Error) -> Self {
+        CascnError::Io(e)
+    }
+}
+
+impl From<ReadError> for CascnError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(e) => CascnError::Io(e),
+            ReadError::Parse { line, message } => CascnError::DataParse { line, message },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let errors: Vec<CascnError> = vec![
+            io::Error::other("disk gone").into(),
+            ReadError::Parse { line: 12, message: "bad parent".into() }.into(),
+            CascnError::Checkpoint("checksum mismatch".into()),
+            CascnError::Architecture("hidden 8 vs 16".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.contains('\n'), "multi-line error display: {s}");
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn read_error_conversion_keeps_line() {
+        let e: CascnError = ReadError::Parse { line: 7, message: "x".into() }.into();
+        assert!(matches!(e, CascnError::DataParse { line: 7, .. }));
+    }
+}

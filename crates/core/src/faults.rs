@@ -1,0 +1,227 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A seeded [`FaultInjector`] produces reproducible corruption — NaN/Inf
+//! gradients, truncated checkpoint files, mangled dataset lines — so the
+//! integration tests can drive the anomaly guard, the checkpoint checksum,
+//! and the data quarantine through their recovery paths on every CI run,
+//! not just when the stars align.
+
+use std::io;
+use std::path::Path;
+
+use cascn_autograd::ParamStore;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Seeded source of reproducible faults.
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector; the same seed yields the same fault sequence.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Poisons one random accumulated-gradient entry with NaN or ±Inf.
+    pub fn corrupt_grads(&mut self, store: &mut ParamStore) {
+        let Some((id, len)) = self.pick_tensor(store) else {
+            return;
+        };
+        let at = self.rng.random_range(0..len);
+        let poison = self.pick_poison();
+        let mut g = store.grad(id).clone();
+        g.as_mut_slice()[at] = poison;
+        // Re-accumulate: zero first so the poisoned copy replaces the
+        // original rather than adding to it.
+        let ids: Vec<_> = store.ids().collect();
+        let saved: Vec<_> = ids.iter().map(|&i| store.grad(i).clone()).collect();
+        store.zero_grads();
+        for (&i, s) in ids.iter().zip(&saved) {
+            if i == id {
+                store.accumulate_grad(i, &g);
+            } else {
+                store.accumulate_grad(i, s);
+            }
+        }
+    }
+
+    /// Poisons one random parameter value with NaN or ±Inf.
+    pub fn corrupt_values(&mut self, store: &mut ParamStore) {
+        let Some((id, len)) = self.pick_tensor(store) else {
+            return;
+        };
+        let at = self.rng.random_range(0..len);
+        let poison = self.pick_poison();
+        store.value_mut(id).as_mut_slice()[at] = poison;
+    }
+
+    /// Truncates the file at `path` to a random fraction of its length
+    /// (between 10% and 90%), simulating a crash mid-write. Returns the new
+    /// length.
+    pub fn truncate_file(&mut self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let frac = self.rng.random_range(0.1..0.9f64);
+        let keep = ((bytes.len() as f64) * frac) as usize;
+        std::fs::write(path, &bytes[..keep])?;
+        Ok(keep)
+    }
+
+    /// Mangles up to `n` random data lines of a cascade file's text:
+    /// corrupting a token into garbage, swapping a parent index out of
+    /// range, or negating a timestamp. Comment lines are left alone so the
+    /// file still parses as the cascade format.
+    pub fn mangle_dataset_lines(&mut self, text: &str, n: usize) -> String {
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let candidates: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return text.to_string();
+        }
+        for _ in 0..n {
+            let at = candidates[self.rng.random_range(0..candidates.len())];
+            let toks: Vec<&str> = lines[at].split_whitespace().collect();
+            let mangled = match self.rng.random_range(0..3u32) {
+                // Garble the record keyword so the line no longer parses.
+                0 => {
+                    let mut t = toks.clone();
+                    if !t.is_empty() {
+                        t[0] = "evnt";
+                    }
+                    t.join(" ")
+                }
+                // Point a parent reference far out of range.
+                1 if toks.first() == Some(&"event") && toks.len() == 4 => {
+                    format!("event {} 9999999 {}", toks[1], toks[3])
+                }
+                // Negate the timestamp.
+                _ if toks.first() == Some(&"event") && toks.len() == 4 => {
+                    format!("event {} {} -{}", toks[1], toks[2], toks[3].trim_start_matches('-'))
+                }
+                _ => {
+                    let mut t = toks.clone();
+                    if !t.is_empty() {
+                        t[0] = "evnt";
+                    }
+                    t.join(" ")
+                }
+            };
+            lines[at] = mangled;
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    fn pick_tensor(&mut self, store: &ParamStore) -> Option<(cascn_autograd::ParamId, usize)> {
+        let ids: Vec<_> = store.ids().collect();
+        if ids.is_empty() {
+            return None;
+        }
+        let id = ids[self.rng.random_range(0..ids.len())];
+        let len = store.value(id).len();
+        if len == 0 {
+            return None;
+        }
+        Some((id, len))
+    }
+
+    fn pick_poison(&mut self) -> f32 {
+        match self.rng.random_range(0..3u32) {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_tensor::Matrix;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.register("a", Matrix::full(2, 3, 1.0));
+        s.register("b", Matrix::full(1, 4, 2.0));
+        s
+    }
+
+    #[test]
+    fn corrupt_grads_introduces_non_finite() {
+        let mut s = store();
+        let mut inj = FaultInjector::new(1);
+        assert!(!s.grads_non_finite());
+        inj.corrupt_grads(&mut s);
+        assert!(s.grads_non_finite());
+        assert!(!s.values_non_finite(), "values untouched");
+    }
+
+    #[test]
+    fn corrupt_values_introduces_non_finite() {
+        let mut s = store();
+        let mut inj = FaultInjector::new(2);
+        inj.corrupt_values(&mut s);
+        assert!(s.values_non_finite());
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let run = |seed: u64| {
+            let mut s = store();
+            FaultInjector::new(seed).corrupt_values(&mut s);
+            s.ids()
+                .flat_map(|id| s.value(id).as_slice().to_vec())
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn truncate_file_shrinks() {
+        let dir = std::env::temp_dir().join("cascn_faults_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.txt");
+        std::fs::write(&path, vec![b'x'; 1000]).unwrap();
+        let kept = FaultInjector::new(3).truncate_file(&path).unwrap();
+        assert!(kept < 1000);
+        assert_eq!(std::fs::read(&path).unwrap().len(), kept);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mangled_lines_break_strict_parsing_but_not_lenient() {
+        use cascn_cascades::io;
+        use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+        let d = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 20,
+            seed: 5,
+            max_size: 80,
+        })
+        .generate();
+        let text = io::dataset_to_string(&d);
+        let mangled = FaultInjector::new(4).mangle_dataset_lines(&text, 5);
+        assert_ne!(mangled, text);
+        assert!(io::dataset_from_str(&mangled, "x").is_err(), "strict must fail");
+        let (kept, report) = io::dataset_from_str_lenient(&mangled, "x");
+        assert!(!report.is_clean());
+        assert!(kept.cascades.len() > d.cascades.len() / 2, "most cascades survive");
+        assert!(
+            kept.cascades.len() < d.cascades.len(),
+            "a mangled cascade must not be silently kept"
+        );
+    }
+}

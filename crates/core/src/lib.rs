@@ -43,7 +43,10 @@
 //! println!("predicted ΔS ≈ {}", pred.exp() - 1.0);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod gl;
 pub mod input;
 pub mod model;
@@ -51,10 +54,13 @@ pub mod path;
 pub mod predictor;
 pub mod trainer;
 
+pub use checkpoint::{StopperState, TrainCheckpoint};
 pub use config::{CascnConfig, DecayMode, LambdaMax, LaplacianKind, Pooling, RecurrentKind, Variant};
+pub use error::CascnError;
+pub use faults::FaultInjector;
 pub use gl::GlModel;
 pub use input::{preprocess, PreprocessedCascade};
 pub use model::CascnModel;
 pub use path::PathModel;
 pub use predictor::{evaluate, SizePredictor};
-pub use trainer::TrainOpts;
+pub use trainer::{CheckpointPolicy, GuardOpts, TrainHooks, TrainOpts};

@@ -10,9 +10,13 @@ use cascn_nn::train::History;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::TrainCheckpoint;
 use crate::config::{CascnConfig, DecayMode, Pooling, RecurrentKind};
+use crate::error::CascnError;
 use crate::input::{preprocess, PreprocessedCascade};
-use crate::trainer::{predict_with, train_loop, TrainOpts};
+use crate::trainer::{
+    predict_with, train_loop, train_loop_resumable, CheckpointPolicy, TrainHooks, TrainOpts,
+};
 
 
 /// The recurrent core, selected by [`RecurrentKind`].
@@ -225,6 +229,46 @@ impl CascnModel {
         )
     }
 
+    /// [`CascnModel::fit`] with fault tolerance: optionally resumes from a
+    /// [`TrainCheckpoint`] and/or writes periodic checkpoints per the
+    /// [`CheckpointPolicy`]. An interrupted run resumed from its checkpoint
+    /// finishes bit-identically to an uninterrupted one.
+    pub fn fit_resumable(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint: Option<&CheckpointPolicy>,
+    ) -> Result<History, CascnError> {
+        let train_samples: Vec<PreprocessedCascade> = train
+            .iter()
+            .map(|c| preprocess(c, window, &self.cfg))
+            .collect();
+        let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
+        let val_samples: Vec<PreprocessedCascade> =
+            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+        let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
+        let model = self.clone();
+        let forward = move |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
+            model.forward(tape, store, s)
+        };
+        train_loop_resumable(
+            &mut self.store,
+            &forward,
+            &train_samples,
+            &train_labels,
+            &val_samples,
+            &val_increments,
+            opts,
+            resume,
+            checkpoint,
+            &mut |_, _| {},
+            TrainHooks::default(),
+        )
+    }
+
     /// [`CascnModel::fit`] with a per-epoch observer receiving the epoch
     /// index and the current parameters (used to trace metrics on
     /// sub-populations during training, as in Fig. 8).
@@ -289,14 +333,22 @@ impl CascnModel {
     }
 
     /// Loads parameters from a checkpoint written by [`CascnModel::save`]
-    /// into a freshly built model with the same configuration.
+    /// (v1 params file) or from a v2 train checkpoint (preferring the best
+    /// validation-epoch parameters) into a freshly built model with the same
+    /// configuration.
     ///
     /// # Errors
     /// Fails on I/O or parse errors, or when the checkpoint does not cover
     /// every parameter of this architecture.
     pub fn load(cfg: CascnConfig, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let mut model = Self::new(cfg);
-        let checkpoint = ParamStore::load(path)?;
+        let text = std::fs::read_to_string(path)?;
+        let checkpoint = if TrainCheckpoint::is_v2(&text) {
+            let ckpt = TrainCheckpoint::from_text(&text).map_err(std::io::Error::other)?;
+            ckpt.best_params.unwrap_or(ckpt.params)
+        } else {
+            ParamStore::from_text(&text).map_err(std::io::Error::other)?
+        };
         let restored = model
             .store
             .restore_from(&checkpoint)

@@ -1,11 +1,45 @@
 //! The Algorithm 2 training loop, shared by CasCN, its variants, and the
-//! deep baselines.
+//! deep baselines — hardened with an anomaly guard, periodic resumable
+//! checkpoints, and deterministic fault-injection hooks.
 
-use cascn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
+use std::path::PathBuf;
+
+use cascn_autograd::{Adam, AdamState, Optimizer, ParamStore, Tape, Var};
 use cascn_nn::metrics;
-use cascn_nn::train::{shuffled_batches, EarlyStopping, History};
+use cascn_nn::train::{shuffled_batches, AnomalyKind, EarlyStopping, History};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use crate::checkpoint::{StopperState, TrainCheckpoint};
+use crate::error::CascnError;
+
+/// Anomaly-guard configuration: what the training loop does when a batch
+/// produces a non-finite loss, gradient, or parameter update.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardOpts {
+    /// Master switch; when false the loop behaves exactly like the unguarded
+    /// Algorithm 2.
+    pub enabled: bool,
+    /// Multiplier applied to the effective learning rate after a bad batch.
+    pub lr_backoff: f32,
+    /// Multiplier applied after a good batch, recovering toward the base
+    /// learning rate (never exceeding it).
+    pub lr_recovery: f32,
+    /// Number of *consecutive* bad batches after which the parameters and
+    /// optimizer are rolled back to the last good epoch snapshot.
+    pub rollback_after: usize,
+}
+
+impl Default for GuardOpts {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            lr_backoff: 0.5,
+            lr_recovery: 1.25,
+            rollback_after: 5,
+        }
+    }
+}
 
 /// Training options (paper defaults: Adam, learning rate 5e-3, batch 32,
 /// stop after 10 stagnant validation epochs).
@@ -23,6 +57,8 @@ pub struct TrainOpts {
     pub grad_clip: f32,
     /// Seed for batch shuffling.
     pub shuffle_seed: u64,
+    /// Anomaly-guard behavior.
+    pub guard: GuardOpts,
 }
 
 impl Default for TrainOpts {
@@ -34,8 +70,32 @@ impl Default for TrainOpts {
             patience: 10,
             grad_clip: 5.0,
             shuffle_seed: 7,
+            guard: GuardOpts::default(),
         }
     }
+}
+
+/// When and where the loop writes resumable checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file (written atomically, overwritten in place).
+    pub path: PathBuf,
+    /// Write after every `every` completed epochs (0 disables).
+    pub every: usize,
+}
+
+/// Signature of the post-gradient hook: 1-based epoch, 0-based batch index,
+/// and the parameter store whose gradients were just accumulated.
+pub type PostGradHook<'a> = &'a mut dyn FnMut(usize, usize, &mut ParamStore);
+
+/// Test and fault-injection hooks into the training loop. All hooks default
+/// to `None`; production runs never pay for them.
+#[derive(Default)]
+pub struct TrainHooks<'a> {
+    /// Called after a batch's gradients are accumulated, scaled and clipped,
+    /// *before* the anomaly check and optimizer step — the seam where the
+    /// fault injector corrupts gradients.
+    pub post_grad: Option<PostGradHook<'a>>,
 }
 
 /// Runs the generic train loop over preprocessed samples.
@@ -80,25 +140,123 @@ pub fn train_loop_observed<S>(
     opts: &TrainOpts,
     observer: &mut dyn FnMut(usize, &ParamStore),
 ) -> History {
+    train_loop_resumable(
+        store,
+        forward,
+        train,
+        train_labels,
+        val,
+        val_increments,
+        opts,
+        None,
+        None,
+        observer,
+        TrainHooks::default(),
+    )
+    .expect("train_loop without checkpointing cannot fail")
+}
+
+/// The full-fat training loop: [`train_loop_observed`] plus resumable
+/// checkpointing and fault-injection hooks.
+///
+/// * `resume` — continue a run from a [`TrainCheckpoint`]: parameters, Adam
+///   moments, early-stopping state, loss history, effective learning rate
+///   and the batch-shuffle stream are all restored, so an interrupted run
+///   finishes bit-identically to an uninterrupted one. The caller's
+///   `opts.shuffle_seed` must match the checkpoint's.
+/// * `checkpoint` — write a checkpoint after every `every` completed epochs.
+///
+/// The anomaly guard (see [`GuardOpts`]) checks every batch: a non-finite
+/// loss or gradient discards the step and halves the effective learning
+/// rate (recovering gradually on good batches); `rollback_after`
+/// consecutive bad batches — or a non-finite *parameter* after a step —
+/// roll the model and optimizer back to the last healthy epoch snapshot.
+/// Every event lands in the returned [`History`]'s anomaly log.
+#[allow(clippy::too_many_arguments)]
+pub fn train_loop_resumable<S>(
+    store: &mut ParamStore,
+    forward: &dyn Fn(&mut Tape, &ParamStore, &S) -> Var,
+    train: &[S],
+    train_labels: &[f32],
+    val: &[S],
+    val_increments: &[usize],
+    opts: &TrainOpts,
+    resume: Option<&TrainCheckpoint>,
+    checkpoint: Option<&CheckpointPolicy>,
+    observer: &mut dyn FnMut(usize, &ParamStore),
+    mut hooks: TrainHooks<'_>,
+) -> Result<History, CascnError> {
     assert_eq!(train.len(), train_labels.len(), "train labels mismatch");
     assert_eq!(val.len(), val_increments.len(), "val labels mismatch");
     assert!(!train.is_empty(), "train_loop: empty training set");
 
+    let guard = opts.guard;
     let mut opt = Adam::with_lr(opts.lr);
     let mut rng = StdRng::seed_from_u64(opts.shuffle_seed);
     let mut stopper = EarlyStopping::new(opts.patience);
     let mut history = History::new();
     let mut best_params: Option<ParamStore> = None;
+    let mut eff_lr = opts.lr;
+    let mut bad_streak = 0usize;
+    let mut start_epoch = 0usize;
 
-    for epoch in 0..opts.epochs {
+    if let Some(ckpt) = resume {
+        if ckpt.shuffle_seed != opts.shuffle_seed {
+            return Err(CascnError::Config(format!(
+                "resume shuffle seed mismatch: checkpoint has {}, options have {}",
+                ckpt.shuffle_seed, opts.shuffle_seed
+            )));
+        }
+        restore_params(store, &ckpt.params)?;
+        restore_adam(&mut opt, store, &ckpt.adam)?;
+        let s = ckpt.stopper;
+        stopper = EarlyStopping::from_state(
+            opts.patience,
+            s.best,
+            s.best_epoch,
+            s.stale,
+            s.epochs_seen,
+        );
+        history = ckpt.history.clone();
+        if let Some(best) = &ckpt.best_params {
+            let mut restored = store.clone();
+            restore_params(&mut restored, best)?;
+            best_params = Some(restored);
+        }
+        eff_lr = ckpt.eff_lr;
+        bad_streak = ckpt.bad_streak;
+        start_epoch = ckpt.epoch;
+        // The batch shuffles are a pure function of (seed, n, batch_size,
+        // epoch); replaying the completed epochs resumes the stream exactly
+        // without serializing RNG internals.
+        for _ in 0..start_epoch {
+            let _ = shuffled_batches(train.len(), opts.batch_size, &mut rng);
+        }
+    }
+
+    // The rollback target: parameters + optimizer state at the end of the
+    // last healthy epoch (or at initialization).
+    let mut snapshot: (ParamStore, AdamState) = (store.clone(), opt.state());
+
+    for epoch in start_epoch..opts.epochs {
+        // A resumed run whose patience was already exhausted must not train
+        // further (fresh runs skip this: epochs_seen == 0).
+        if stopper.epochs_seen() > 0 && stopper.stale() >= stopper.patience() {
+            break;
+        }
         let mut train_loss = 0.0f64;
-        for batch in shuffled_batches(train.len(), opts.batch_size, &mut rng) {
+        let mut counted = 0usize;
+        for (batch_idx, batch) in shuffled_batches(train.len(), opts.batch_size, &mut rng)
+            .into_iter()
+            .enumerate()
+        {
             store.zero_grads();
+            let mut batch_loss = 0.0f64;
             for &i in &batch {
                 let mut tape = Tape::new();
                 let pred = forward(&mut tape, store, &train[i]);
                 let loss = tape.squared_error(pred, train_labels[i]);
-                train_loss += tape.scalar(loss) as f64;
+                batch_loss += tape.scalar(loss) as f64;
                 tape.backward(loss);
                 tape.accumulate_param_grads(store);
             }
@@ -106,9 +264,56 @@ pub fn train_loop_observed<S>(
             if opts.grad_clip > 0.0 {
                 store.clip_grad_norm(opts.grad_clip);
             }
+            if let Some(hook) = hooks.post_grad.as_mut() {
+                hook(epoch + 1, batch_idx, store);
+            }
+
+            if guard.enabled {
+                let kind = if !batch_loss.is_finite() {
+                    Some(AnomalyKind::NonFiniteLoss)
+                } else if store.grads_non_finite() {
+                    Some(AnomalyKind::NonFiniteGrad)
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    history.log_anomaly(epoch + 1, batch_idx, kind);
+                    bad_streak += 1;
+                    eff_lr *= guard.lr_backoff;
+                    if guard.rollback_after > 0 && bad_streak >= guard.rollback_after {
+                        roll_back(store, &mut opt, &snapshot, &mut history, epoch + 1, batch_idx);
+                        bad_streak = 0;
+                    }
+                    continue; // discard this step
+                }
+            }
+
+            opt.set_lr(eff_lr);
             opt.step(store);
+
+            if guard.enabled && store.values_non_finite() {
+                // Update overflow: the parameters themselves are poisoned, so
+                // roll back immediately — skipping alone cannot recover.
+                history.log_anomaly(epoch + 1, batch_idx, AnomalyKind::NonFiniteParam);
+                roll_back(store, &mut opt, &snapshot, &mut history, epoch + 1, batch_idx);
+                bad_streak = 0;
+                eff_lr *= guard.lr_backoff;
+                continue;
+            }
+
+            bad_streak = 0;
+            eff_lr = (eff_lr * guard.lr_recovery).min(opts.lr);
+            train_loss += batch_loss;
+            counted += batch.len();
         }
-        let train_loss = (train_loss / train.len() as f64) as f32;
+        // An epoch in which the guard discarded every batch has no
+        // meaningful loss; NaN keeps it out of best-epoch tracking (both
+        // `History::best` and `EarlyStopping` treat NaN as non-improving).
+        let train_loss = if counted == 0 {
+            f32::NAN
+        } else {
+            (train_loss / counted as f64) as f32
+        };
 
         let val_loss = if val.is_empty() {
             train_loss
@@ -122,14 +327,106 @@ pub fn train_loop_observed<S>(
         if improved || best_params.is_none() {
             best_params = Some(store.clone());
         }
-        if stopper.observe(val_loss) {
+        let stop = stopper.observe(val_loss);
+        if !guard.enabled || !store.values_non_finite() {
+            snapshot = (store.clone(), opt.state());
+        }
+        if let Some(cp) = checkpoint {
+            if cp.every > 0 && (epoch + 1 - start_epoch).is_multiple_of(cp.every) {
+                let ckpt = TrainCheckpoint {
+                    epoch: epoch + 1,
+                    shuffle_seed: opts.shuffle_seed,
+                    base_lr: opts.lr,
+                    eff_lr,
+                    bad_streak,
+                    stopper: StopperState {
+                        patience: stopper.patience(),
+                        best: stopper.best(),
+                        best_epoch: stopper.best_epoch(),
+                        stale: stopper.stale(),
+                        epochs_seen: stopper.epochs_seen(),
+                    },
+                    history: history.clone(),
+                    adam: opt.state(),
+                    params: store.clone(),
+                    best_params: best_params.clone(),
+                };
+                ckpt.save(&cp.path)?;
+            }
+        }
+        if stop {
             break;
         }
     }
     if let Some(best) = best_params {
         *store = best;
     }
-    history
+    Ok(history)
+}
+
+/// Restores `store`'s values from `saved`, requiring full name/shape
+/// coverage.
+fn restore_params(store: &mut ParamStore, saved: &ParamStore) -> Result<(), CascnError> {
+    let restored = store
+        .restore_from(saved)
+        .map_err(CascnError::Architecture)?;
+    if restored != store.len() {
+        return Err(CascnError::Architecture(format!(
+            "checkpoint covers {restored} of {} parameters — wrong architecture?",
+            store.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Restores Adam state from a checkpoint, validating against the store's
+/// parameter shapes (moments are stored in registration order).
+fn restore_adam(
+    opt: &mut Adam,
+    store: &ParamStore,
+    state: &AdamState,
+) -> Result<(), CascnError> {
+    if state.m.len() != state.v.len() {
+        return Err(CascnError::Checkpoint(format!(
+            "adam moments mismatch: {} first vs {} second",
+            state.m.len(),
+            state.v.len()
+        )));
+    }
+    if !state.m.is_empty() && state.m.len() != store.len() {
+        return Err(CascnError::Architecture(format!(
+            "adam state has {} moment tensors for {} parameters",
+            state.m.len(),
+            store.len()
+        )));
+    }
+    for (id, m) in store.ids().zip(&state.m) {
+        if store.value(id).shape() != m.shape() {
+            return Err(CascnError::Architecture(format!(
+                "adam moment shape mismatch for `{}`: {:?} vs {:?}",
+                store.name(id),
+                store.value(id).shape(),
+                m.shape()
+            )));
+        }
+    }
+    opt.set_state(state.clone());
+    Ok(())
+}
+
+/// Rolls parameters and optimizer back to the last healthy snapshot,
+/// recording the event.
+fn roll_back(
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    snapshot: &(ParamStore, AdamState),
+    history: &mut History,
+    epoch: usize,
+    batch: usize,
+) {
+    *store = snapshot.0.clone();
+    opt.set_state(snapshot.1.clone());
+    history.log_anomaly(epoch, batch, AnomalyKind::Rollback);
 }
 
 /// Runs `forward` for one sample on a fresh tape and returns the scalar
@@ -176,6 +473,7 @@ mod tests {
         let last = hist.records().last().unwrap().train_loss;
         assert!(last < first * 0.1, "loss should shrink: {first} → {last}");
         assert!((store.value(w)[(0, 0)] - 2.0).abs() < 0.2);
+        assert!(hist.anomalies().is_empty(), "healthy run logs no anomalies");
     }
 
     #[test]
@@ -216,5 +514,150 @@ mod tests {
         let mut store = ParamStore::new();
         let forward = |_: &mut Tape, _: &ParamStore, _: &f32| unreachable!();
         let _ = train_loop::<f32>(&mut store, &forward, &[], &[], &[], &[], &TrainOpts::default());
+    }
+
+    #[test]
+    fn guard_skips_nan_gradient_batches() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 1));
+        let forward = move |tape: &mut Tape, store: &ParamStore, x: &f32| {
+            let wv = tape.param(store, w);
+            let xv = tape.constant(Matrix::from_vec(1, 1, vec![*x]));
+            tape.hadamard(wv, xv)
+        };
+        let train: Vec<f32> = vec![1.0; 32];
+        let labels: Vec<f32> = vec![2.0; 32];
+        let opts = TrainOpts {
+            epochs: 25,
+            patience: 25,
+            lr: 0.05,
+            batch_size: 8,
+            ..TrainOpts::default()
+        };
+        // Poison the gradient of every batch in epoch 2.
+        let mut inject = |epoch: usize, _batch: usize, s: &mut ParamStore| {
+            if epoch == 2 {
+                let id = s.ids().next().unwrap();
+                let g = s.grad(id).clone();
+                let mut g = g;
+                g.as_mut_slice()[0] = f32::NAN;
+                s.zero_grads();
+                s.accumulate_grad(id, &g);
+            }
+        };
+        let hist = train_loop_resumable(
+            &mut store,
+            &forward,
+            &train,
+            &labels,
+            &[],
+            &[],
+            &opts,
+            None,
+            None,
+            &mut |_, _| {},
+            TrainHooks { post_grad: Some(&mut inject) },
+        )
+        .unwrap();
+        assert!(hist.skipped_steps() >= 4, "all epoch-2 batches skipped");
+        assert!(
+            !store.values_non_finite(),
+            "parameters stay finite through the poisoned epoch"
+        );
+        assert!(hist.records().last().unwrap().train_loss.is_finite());
+        // Training still converges afterwards.
+        assert!((store.value(w)[(0, 0)] - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn guard_disabled_matches_legacy_behavior() {
+        // With the guard off, a poisoned batch propagates NaN into the
+        // parameters (the legacy failure mode) — proving the guard is what
+        // prevents it.
+        let run = |enabled: bool| {
+            let mut store = ParamStore::new();
+            let w = store.register("w", Matrix::zeros(1, 1));
+            let forward = move |tape: &mut Tape, store: &ParamStore, x: &f32| {
+                let wv = tape.param(store, w);
+                let xv = tape.constant(Matrix::from_vec(1, 1, vec![*x]));
+                tape.hadamard(wv, xv)
+            };
+            let train: Vec<f32> = vec![1.0; 8];
+            let labels: Vec<f32> = vec![2.0; 8];
+            let opts = TrainOpts {
+                epochs: 2,
+                batch_size: 8,
+                guard: GuardOpts { enabled, ..GuardOpts::default() },
+                ..TrainOpts::default()
+            };
+            let mut inject = |_e: usize, _b: usize, s: &mut ParamStore| {
+                let id = s.ids().next().unwrap();
+                let mut g = s.grad(id).clone();
+                g.as_mut_slice()[0] = f32::NAN;
+                s.zero_grads();
+                s.accumulate_grad(id, &g);
+            };
+            let _ = train_loop_resumable(
+                &mut store,
+                &forward,
+                &train,
+                &labels,
+                &[],
+                &[],
+                &opts,
+                None,
+                None,
+                &mut |_, _| {},
+                TrainHooks { post_grad: Some(&mut inject) },
+            )
+            .unwrap();
+            store.values_non_finite()
+        };
+        assert!(run(false), "without the guard, NaN reaches the parameters");
+        assert!(!run(true), "the guard keeps parameters finite");
+    }
+
+    #[test]
+    fn rollback_fires_after_consecutive_bad_batches() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 1));
+        let forward = move |tape: &mut Tape, store: &ParamStore, x: &f32| {
+            let wv = tape.param(store, w);
+            let xv = tape.constant(Matrix::from_vec(1, 1, vec![*x]));
+            tape.hadamard(wv, xv)
+        };
+        let train: Vec<f32> = vec![1.0; 24];
+        let labels: Vec<f32> = vec![2.0; 24];
+        let opts = TrainOpts {
+            epochs: 3,
+            batch_size: 4, // 6 batches per epoch > rollback_after
+            guard: GuardOpts { rollback_after: 3, ..GuardOpts::default() },
+            ..TrainOpts::default()
+        };
+        let mut inject = |epoch: usize, _b: usize, s: &mut ParamStore| {
+            if epoch == 2 {
+                let id = s.ids().next().unwrap();
+                let mut g = s.grad(id).clone();
+                g.as_mut_slice()[0] = f32::INFINITY;
+                s.zero_grads();
+                s.accumulate_grad(id, &g);
+            }
+        };
+        let hist = train_loop_resumable(
+            &mut store,
+            &forward,
+            &train,
+            &labels,
+            &[],
+            &[],
+            &opts,
+            None,
+            None,
+            &mut |_, _| {},
+            TrainHooks { post_grad: Some(&mut inject) },
+        )
+        .unwrap();
+        assert!(hist.rollbacks() >= 1, "expected a rollback: {:?}", hist.anomalies());
+        assert!(!store.values_non_finite());
     }
 }

@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn vocab_respects_max_size() {
-        let v = Vocab::build((0..100u64).into_iter(), 5);
+        let v = Vocab::build(0..100u64, 5);
         assert_eq!(v.len(), 5);
         assert_eq!(v.lookup(99), 0);
     }

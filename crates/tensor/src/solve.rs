@@ -19,10 +19,7 @@ impl Matrix {
             // Partial pivot.
             let pivot_row = (col..n)
                 .max_by(|&r1, &r2| {
-                    a[(r1, col)]
-                        .abs()
-                        .partial_cmp(&a[(r2, col)].abs())
-                        .expect("finite entries")
+                    a[(r1, col)].abs().total_cmp(&a[(r2, col)].abs())
                 })
                 .expect("non-empty range");
             let pivot = a[(pivot_row, col)];

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate: release build, clippy with warnings-as-errors, the full test
+# suite, and the kill-and-resume smoke test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo clippy --all-targets -- -D warnings
+cargo test -q
+scripts/resume_smoke.sh

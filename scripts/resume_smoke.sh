@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: starts a checkpointing training run, SIGKILLs
+# it mid-flight, resumes from the surviving checkpoint, and asserts the
+# resumed run's final parameters are byte-identical to an uninterrupted
+# control run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=target/release/cascn
+if [ ! -x "$BIN" ]; then
+    cargo build --release -q
+fi
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BIN" generate --dataset weibo --n 400 --seed 9 --out "$TMP/d.cascades" > /dev/null
+
+COMMON=(--data "$TMP/d.cascades" --window 3600 --hidden 4 --max-nodes 10
+        --max-steps 5 --min-size 3 --patience 6 --epochs 6)
+
+# Control: uninterrupted run.
+"$BIN" train "${COMMON[@]}" --out "$TMP/control.params" > /dev/null
+
+# Interrupted run: checkpoint after every epoch, kill -9 as soon as the
+# first checkpoint lands (i.e. mid-epoch of a later epoch).
+"$BIN" train "${COMMON[@]}" --checkpoint "$TMP/run.ckpt" > /dev/null &
+PID=$!
+for _ in $(seq 1 600); do
+    [ -s "$TMP/run.ckpt" ] && break
+    sleep 0.1
+done
+kill -9 "$PID" 2> /dev/null || true
+wait "$PID" 2> /dev/null || true
+if [ ! -s "$TMP/run.ckpt" ]; then
+    echo "resume smoke FAILED: no checkpoint was written before the kill" >&2
+    exit 1
+fi
+
+# Resume to completion; the final model must match the control exactly.
+"$BIN" train "${COMMON[@]}" --resume "$TMP/run.ckpt" --out "$TMP/resumed.params" > /dev/null
+if cmp -s "$TMP/control.params" "$TMP/resumed.params"; then
+    echo "resume smoke OK: resumed parameters are identical to the control run"
+else
+    echo "resume smoke FAILED: resumed parameters differ from the control run" >&2
+    exit 1
+fi

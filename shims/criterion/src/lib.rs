@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `Criterion`/`BenchmarkGroup`/`Bencher` API subset the
+//! workspace's benches use. Instead of criterion's full statistical pipeline
+//! it warms each benchmark up briefly, then reports the median of a small
+//! number of timed iterations — enough to compare orders of magnitude and to
+//! keep `cargo bench` / `cargo clippy --all-targets` working without network
+//! access to crates.io.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&id.to_string(), &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing a group label.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+    }
+
+    /// Ends the group (display-only in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: Some(name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier distinguished by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}/{}", self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting a handful of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up plus sample count chosen so even multi-ms routines finish
+        // a bench binary in seconds rather than minutes.
+        black_box(routine());
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+const SAMPLES: usize = 7;
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(SAMPLES),
+    };
+    f(&mut b);
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    eprintln!("  bench {label}: median {median:?} over {} samples", b.samples.len());
+}
+
+/// Collects benchmark functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("plain", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("with", 3), &3usize, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(5), &5usize, |b, &n| {
+                b.iter(|| black_box(n + 1))
+            });
+            g.finish();
+        }
+        assert!(runs > 0, "bencher must execute the routine");
+    }
+
+    criterion_group!(smoke, smoke_fn);
+
+    fn smoke_fn(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn generated_group_fn_is_callable() {
+        smoke();
+    }
+}
