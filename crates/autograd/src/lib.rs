@@ -43,6 +43,6 @@ mod tape;
 
 pub use gradcheck::{assert_gradients_close, check_gradients, numeric_gradient, GradCheckReport};
 pub use optim::{Adam, AdamConfig, AdamState, Optimizer, Sgd};
-pub use params::{ParamId, ParamStore};
+pub use params::{ParamGrads, ParamId, ParamStore};
 pub use serialize::{atomic_write, fnv1a64};
 pub use tape::{Tape, Var};

@@ -6,6 +6,35 @@ use cascn_tensor::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+/// One example's parameter gradients, extracted from a tape by
+/// [`crate::Tape::param_grads`] as `(parameter, gradient)` pairs in
+/// *binding order*.
+///
+/// This is the unit of work that crosses thread boundaries in data-parallel
+/// training: worker threads run forward/backward on thread-local tapes and
+/// hand back a `ParamGrads`; the reducer then calls
+/// [`ParamStore::merge_grads`] in a fixed example order. Because merging
+/// replays the exact same `accumulate_grad` calls the serial loop would have
+/// made — same per-binding matrices, same order — the reduced gradient is
+/// bit-identical to serial accumulation for any worker count.
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrads {
+    pub(crate) entries: Vec<(ParamId, Matrix)>,
+}
+
+impl ParamGrads {
+    /// Number of `(parameter, gradient)` entries (bindings, not parameters —
+    /// a parameter bound `t` times on the tape contributes `t` entries).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no gradients were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Owns model parameters and their accumulated gradients.
 ///
 /// A `ParamStore` outlives the per-example [`crate::Tape`]s. Gradients
@@ -84,6 +113,23 @@ impl ParamStore {
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
             g.as_mut_slice().fill(0.0);
+        }
+    }
+
+    /// Merges one example's extracted gradients ([`ParamGrads`]) into the
+    /// accumulated gradients, replaying `accumulate_grad` per binding in
+    /// binding order.
+    ///
+    /// Calling this once per example, in example-index order, produces
+    /// gradient sums bit-identical to the serial loop that calls
+    /// `Tape::accumulate_param_grads` directly — the determinism contract of
+    /// the parallel training engine (see `docs/performance.md`).
+    ///
+    /// # Panics
+    /// Panics if an entry's shape does not match its parameter's shape.
+    pub fn merge_grads(&mut self, grads: &ParamGrads) {
+        for (id, g) in &grads.entries {
+            self.accumulate_grad(*id, g);
         }
     }
 
@@ -205,6 +251,38 @@ mod tests {
         s.zero_grads();
         assert!(!s.grads_non_finite(), "zeroing must clear poisoned grads");
         assert_eq!(s.grad(a).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_grads_replays_accumulation_order() {
+        let mut direct = ParamStore::new();
+        let a = direct.register("a", Matrix::zeros(1, 2));
+        let b = direct.register("b", Matrix::zeros(1, 1));
+        let mut merged = direct.clone();
+        // Two "examples", the first binding `a` twice (as an unrolled RNN
+        // step would).
+        let ex1 = ParamGrads {
+            entries: vec![
+                (a, Matrix::row_vector(&[0.1, 0.2])),
+                (a, Matrix::row_vector(&[0.3, 0.4])),
+                (b, Matrix::from_vec(1, 1, vec![1.0])),
+            ],
+        };
+        let ex2 = ParamGrads {
+            entries: vec![(a, Matrix::row_vector(&[-0.5, 0.25]))],
+        };
+        for ex in [&ex1, &ex2] {
+            for (id, g) in &ex.entries {
+                direct.accumulate_grad(*id, g);
+            }
+        }
+        merged.merge_grads(&ex1);
+        merged.merge_grads(&ex2);
+        for id in direct.ids() {
+            assert_eq!(direct.grad(id).as_slice(), merged.grad(id).as_slice());
+        }
+        assert_eq!(ex1.len(), 3);
+        assert!(!ex1.is_empty());
     }
 
     #[test]

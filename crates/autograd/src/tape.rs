@@ -594,6 +594,24 @@ impl Tape {
             }
         }
     }
+
+    /// Extracts the gradients of all [`Tape::param`]-bound variables in
+    /// binding order, without touching a store. Call after
+    /// [`Tape::backward`].
+    ///
+    /// `store.merge_grads(&tape.param_grads())` is bit-identical to
+    /// `tape.accumulate_param_grads(&mut store)` — the extracted form exists
+    /// so worker threads can run backward on thread-local tapes and ship the
+    /// result back for a deterministic, example-ordered reduction.
+    pub fn param_grads(&self) -> crate::ParamGrads {
+        let mut entries = Vec::with_capacity(self.bindings.len());
+        for &(id, var) in &self.bindings {
+            if let Some(g) = self.grad(var) {
+                entries.push((id, g.clone()));
+            }
+        }
+        crate::ParamGrads { entries }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,100 @@
+//! Serial-vs-threaded throughput of the parallel execution engine:
+//! cascade preprocessing (Fig. 3 sampling + CasLaplacian + Chebyshev
+//! bases), a full one-epoch training pass, and a prediction sweep, each at
+//! 1 / 2 / 4 worker threads. Results are bit-identical across thread counts
+//! (see `docs/performance.md`), so the only thing these numbers measure is
+//! wall-clock scaling — on a single-core host the thread counts tie.
+
+use cascn::{try_evaluate, CascnConfig, CascnModel, TrainOpts};
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::{Dataset, Split};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn dataset() -> Dataset {
+    WeiboGenerator::new(WeiboConfig {
+        num_cascades: 300,
+        seed: 55,
+        max_size: 200,
+    })
+    .generate()
+    .filter_observed_size(3600.0, 5, 60)
+}
+
+fn cfg(threads: usize) -> CascnConfig {
+    CascnConfig {
+        hidden: 8,
+        mlp_hidden: 8,
+        max_nodes: 30,
+        max_steps: 10,
+        threads,
+        ..CascnConfig::default()
+    }
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let data = dataset();
+    let window = 3600.0;
+    let mut group = c.benchmark_group("parallel_preprocess");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    cascn::parallel_map(threads, &data.cascades, |_, cascade| {
+                        cascn::preprocess(std::hint::black_box(cascade), window, &cfg(threads))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let data = dataset();
+    let window = 3600.0;
+    let train: Vec<_> = data.split(Split::Train).iter().take(48).cloned().collect();
+    let mut group = c.benchmark_group("parallel_train_epoch");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut model = CascnModel::new(cfg(threads));
+                    let opts = TrainOpts {
+                        epochs: 1,
+                        threads,
+                        ..TrainOpts::default()
+                    };
+                    model.fit(std::hint::black_box(&train), &[], window, &opts)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let data = dataset();
+    let window = 3600.0;
+    let test = data.split(Split::Test);
+    let model = CascnModel::new(cfg(1));
+    let mut group = c.benchmark_group("parallel_evaluate");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| try_evaluate(&model, std::hint::black_box(test), window, threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_train_epoch, bench_evaluate);
+criterion_main!(benches);

@@ -44,8 +44,10 @@ fn usage_and_exit() -> ! {
          USAGE:\n  cascn generate --dataset weibo|hepph [--n N] [--seed S] --out FILE\n  \
          cascn stats FILE [--window SECS]\n  \
          cascn train --data FILE --window SECS [--epochs N] [--hidden H] [--out MODEL]\n    \
-         [--checkpoint CKPT [--checkpoint-every N]] [--resume CKPT]\n  \
-         cascn predict --data FILE --window SECS --model MODEL [--top K]"
+         [--threads N] [--checkpoint CKPT [--checkpoint-every N]] [--resume CKPT]\n  \
+         cascn predict --data FILE --window SECS --model MODEL [--top K] [--threads N]\n\n\
+         --threads N: worker threads for preprocessing, training, and\n\
+         prediction (default: all cores; results are identical for any N)"
     );
     exit(2);
 }
@@ -183,18 +185,23 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
 fn train_config(flags: &Flags) -> Result<(CascnConfig, TrainOpts), String> {
     let hidden: usize = flags.parse_or("hidden", 16)?;
     let epochs: usize = flags.parse_or("epochs", 10)?;
+    // `--threads 0` (the default) resolves to all available cores; any
+    // value produces bit-identical models, so this is purely a speed knob.
+    let threads: usize = flags.parse_or("threads", 0)?;
     let cfg = CascnConfig {
         hidden,
         mlp_hidden: hidden,
         max_nodes: flags.parse_or("max-nodes", 30)?,
         max_steps: flags.parse_or("max-steps", 10)?,
         seed: flags.parse_or("seed", 42)?,
+        threads,
         ..CascnConfig::default()
     };
     let opts = TrainOpts {
         epochs,
         patience: flags.parse_or("patience", epochs.div_ceil(2))?,
         lr: flags.parse_or("lr", 5e-3)?,
+        threads,
         ..TrainOpts::default()
     };
     Ok((cfg, opts))
@@ -236,14 +243,15 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         None => None,
     };
     let mut model = CascnModel::new(cfg);
+    let threads = cascn::resolve_threads(opts.threads);
     match &resume {
         Some(ckpt) => println!(
-            "resuming CasCN training from epoch {} ({} parameters)…",
+            "resuming CasCN training from epoch {} ({} parameters, {threads} threads)…",
             ckpt.epoch,
             model.num_parameters()
         ),
         None => println!(
-            "training CasCN ({} parameters) on {} cascades…",
+            "training CasCN ({} parameters) on {} cascades, {threads} threads…",
             model.num_parameters(),
             dataset.split(Split::Train).len()
         ),
@@ -271,8 +279,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             history.rollbacks()
         );
     }
-    let msle = cascn::evaluate(&model, dataset.split(Split::Test), window);
-    println!("test MSLE: {msle:.4}");
+    match cascn::try_evaluate(&model, dataset.split(Split::Test), window, opts.threads) {
+        Ok(msle) => println!("test MSLE: {msle:.4}"),
+        Err(e) => eprintln!("warning: skipping test metric — {e}"),
+    }
     if let Some(out) = flags.get("out") {
         model.save(out).map_err(|e| e.to_string())?;
         println!("saved model to {out}");
@@ -292,13 +302,12 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
     let dataset = load_dataset(data_path)?;
     let top: usize = flags.parse_or("top", 10)?;
 
+    let preds = model.predict_logs(&dataset.cascades, window);
     let mut rows: Vec<(u64, usize, f32)> = dataset
         .cascades
         .iter()
-        .map(|c| {
-            let pred = model.predict_log(c, window).exp() - 1.0;
-            (c.id, c.size_at(window), pred)
-        })
+        .zip(preds)
+        .map(|(c, p)| (c.id, c.size_at(window), p.exp() - 1.0))
         .collect();
     rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     println!("top {top} cascades by predicted growth:");

@@ -108,6 +108,11 @@ pub struct CascnConfig {
     pub pooling: Pooling,
     /// Parameter-initialization seed.
     pub seed: u64,
+    /// Worker threads for cascade preprocessing and prediction sweeps:
+    /// `1` (the default) is the exact serial path, `0` means all available
+    /// parallelism. Results are identical for any value (see
+    /// [`crate::parallel`]).
+    pub threads: usize,
 }
 
 impl Default for CascnConfig {
@@ -126,6 +131,7 @@ impl Default for CascnConfig {
             decay: DecayMode::Learned,
             pooling: Pooling::Sum,
             seed: 42,
+            threads: 1,
         }
     }
 }

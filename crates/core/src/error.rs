@@ -31,6 +31,10 @@ pub enum CascnError {
     Config(String),
     /// A failure inside the training loop itself.
     Train(String),
+    /// An operation that needs at least one example received none — e.g.
+    /// evaluating a metric over a split whose cascades were all filtered or
+    /// quarantined away.
+    EmptyDataset(String),
 }
 
 impl std::fmt::Display for CascnError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for CascnError {
             CascnError::Architecture(m) => write!(f, "architecture mismatch: {m}"),
             CascnError::Config(m) => write!(f, "config error: {m}"),
             CascnError::Train(m) => write!(f, "training error: {m}"),
+            CascnError::EmptyDataset(m) => write!(f, "empty dataset: {m}"),
         }
     }
 }
@@ -83,6 +88,7 @@ mod tests {
             ReadError::Parse { line: 12, message: "bad parent".into() }.into(),
             CascnError::Checkpoint("checksum mismatch".into()),
             CascnError::Architecture("hidden 8 vs 16".into()),
+            CascnError::EmptyDataset("no test cascades after filtering".into()),
         ];
         for e in errors {
             let s = e.to_string();

@@ -13,6 +13,7 @@ use rand::SeedableRng;
 
 use crate::config::{CascnConfig, DecayMode};
 use crate::input::{preprocess, PreprocessedCascade};
+use crate::parallel::parallel_map;
 use crate::trainer::{predict_with, train_loop, TrainOpts};
 
 /// The GCN-then-LSTM ablation model.
@@ -132,13 +133,11 @@ impl GlModel {
         window: f64,
         opts: &TrainOpts,
     ) -> History {
-        let train_samples: Vec<PreprocessedCascade> = train
-            .iter()
-            .map(|c| preprocess(c, window, &self.cfg))
-            .collect();
+        let train_samples: Vec<PreprocessedCascade> =
+            parallel_map(self.cfg.threads, train, |_, c| preprocess(c, window, &self.cfg));
         let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
         let val_samples: Vec<PreprocessedCascade> =
-            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+            parallel_map(self.cfg.threads, val, |_, c| preprocess(c, window, &self.cfg));
         let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
         let model = self.clone();
         let forward = move |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {

@@ -50,6 +50,7 @@ pub mod faults;
 pub mod gl;
 pub mod input;
 pub mod model;
+pub mod parallel;
 pub mod path;
 pub mod predictor;
 pub mod trainer;
@@ -61,6 +62,7 @@ pub use faults::FaultInjector;
 pub use gl::GlModel;
 pub use input::{preprocess, PreprocessedCascade};
 pub use model::CascnModel;
+pub use parallel::{parallel_map, resolve_threads};
 pub use path::PathModel;
-pub use predictor::{evaluate, SizePredictor};
+pub use predictor::{evaluate, try_evaluate, SizePredictor};
 pub use trainer::{CheckpointPolicy, GuardOpts, TrainHooks, TrainOpts};

@@ -14,6 +14,7 @@ use crate::checkpoint::TrainCheckpoint;
 use crate::config::{CascnConfig, DecayMode, Pooling, RecurrentKind};
 use crate::error::CascnError;
 use crate::input::{preprocess, PreprocessedCascade};
+use crate::parallel::parallel_map;
 use crate::trainer::{
     predict_with, train_loop, train_loop_resumable, CheckpointPolicy, TrainHooks, TrainOpts,
 };
@@ -196,6 +197,16 @@ impl CascnModel {
         self.mlp.forward(tape, store, rep)
     }
 
+    /// Preprocesses a cascade set (Fig. 3 sampling + Laplacian + Chebyshev
+    /// bases), fanned out across `cfg.threads` workers. Preprocessing is a
+    /// pure per-cascade function and results come back in cascade order, so
+    /// the output is identical for any thread count.
+    fn preprocess_all(&self, cascades: &[Cascade], window: f64) -> Vec<PreprocessedCascade> {
+        parallel_map(self.cfg.threads, cascades, |_, c| {
+            preprocess(c, window, &self.cfg)
+        })
+    }
+
     /// Trains on `train`, early-stopping on `val` (Algorithm 2). Returns the
     /// loss history; the model keeps the best-validation parameters.
     pub fn fit(
@@ -205,13 +216,9 @@ impl CascnModel {
         window: f64,
         opts: &TrainOpts,
     ) -> History {
-        let train_samples: Vec<PreprocessedCascade> = train
-            .iter()
-            .map(|c| preprocess(c, window, &self.cfg))
-            .collect();
+        let train_samples = self.preprocess_all(train, window);
         let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
-        let val_samples: Vec<PreprocessedCascade> =
-            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+        let val_samples = self.preprocess_all(val, window);
         let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
 
         let model = self.clone(); // immutable view for the forward closure
@@ -242,13 +249,9 @@ impl CascnModel {
         resume: Option<&TrainCheckpoint>,
         checkpoint: Option<&CheckpointPolicy>,
     ) -> Result<History, CascnError> {
-        let train_samples: Vec<PreprocessedCascade> = train
-            .iter()
-            .map(|c| preprocess(c, window, &self.cfg))
-            .collect();
+        let train_samples = self.preprocess_all(train, window);
         let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
-        let val_samples: Vec<PreprocessedCascade> =
-            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+        let val_samples = self.preprocess_all(val, window);
         let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
         let model = self.clone();
         let forward = move |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
@@ -280,13 +283,9 @@ impl CascnModel {
         opts: &TrainOpts,
         observer: &mut dyn FnMut(usize, &ParamStore),
     ) -> History {
-        let train_samples: Vec<PreprocessedCascade> = train
-            .iter()
-            .map(|c| preprocess(c, window, &self.cfg))
-            .collect();
+        let train_samples = self.preprocess_all(train, window);
         let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
-        let val_samples: Vec<PreprocessedCascade> =
-            val.iter().map(|c| preprocess(c, window, &self.cfg)).collect();
+        let val_samples = self.preprocess_all(val, window);
         let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
         let model = self.clone();
         let forward = move |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
@@ -311,6 +310,15 @@ impl CascnModel {
             self.forward(tape, store, s)
         };
         predict_with(&self.store, &forward, &sample)
+    }
+
+    /// Predicted log-increments for a batch of cascades, with preprocessing
+    /// and the forward passes fanned out across `cfg.threads` workers.
+    /// Output order matches the input and is identical for any thread count.
+    pub fn predict_logs(&self, cascades: &[Cascade], window: f64) -> Vec<f32> {
+        parallel_map(self.cfg.threads, cascades, |_, c| {
+            self.predict_log(c, window)
+        })
     }
 
     /// The learned cascade representation `h(C_i(t))` — the vector Fig. 9

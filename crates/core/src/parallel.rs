@@ -1,0 +1,154 @@
+//! Deterministic data-parallel execution on scoped threads.
+//!
+//! CasCN's per-cascade pipeline (CasLaplacian → Chebyshev bases →
+//! RNN-over-snapshots) is embarrassingly parallel across cascades, and
+//! within a mini-batch every example's forward/backward pass is independent
+//! of the others. This module is the single fan-out primitive the whole
+//! workspace uses to exploit that:
+//!
+//! * [`parallel_map`] applies a pure function to every item of a slice on a
+//!   pool of scoped worker threads and returns the results **in item
+//!   order**, regardless of which worker computed what, when. Work is
+//!   distributed dynamically (an atomic cursor), so stragglers — one huge
+//!   cascade among many small ones — do not idle the other workers.
+//! * `threads <= 1` runs inline on the calling thread with no pool at all:
+//!   the exact serial path, preserved for `--threads 1`.
+//!
+//! # Determinism contract
+//!
+//! `parallel_map(t, items, f)` returns the same `Vec` for every `t` as long
+//! as `f` is a pure function of `(index, item)`. Training builds on this:
+//! workers compute per-example losses and gradients, and the caller reduces
+//! them *in example-index order* (see `ParamStore::merge_grads`), so
+//! threaded training is bit-identical to serial — the property the
+//! resume-parity guarantee and `tests/thread_parity.rs` depend on.
+//!
+//! No external dependencies: plain `std::thread::scope`, one allocation per
+//! call, no channels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `0` means "use all available
+/// parallelism" (the `--threads` CLI default); any other value is taken
+/// as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Applies `f(index, &item)` to every item and returns the results in item
+/// order.
+///
+/// `threads` is resolved via [`resolve_threads`] and clamped to the item
+/// count; a resolved count of 1 (or a slice with fewer than two items) runs
+/// inline on the calling thread without spawning anything.
+///
+/// `f` must be a pure function of its arguments for the determinism
+/// contract to hold; it may freely read shared state (`&ParamStore`, model
+/// clones) since it only gets `&self` access.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Claim items one at a time off the shared cursor; buffer
+                // results locally and publish them under a single lock per
+                // worker so the mutex is never on the hot path.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                let mut published = slots.lock().expect("no worker panicked holding the lock");
+                for (i, r) in local {
+                    published[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("workers joined by scope exit")
+        .into_iter()
+        .map(|r| r.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_matches_serial_exactly() {
+        let items: Vec<f32> = (0..100).map(|i| i as f32 * 0.37).collect();
+        let f = |_: usize, x: &f32| (x.sin() * 1e6).to_bits();
+        let serial = parallel_map(1, &items, f);
+        for threads in [2, 4, 16] {
+            assert_eq!(parallel_map(threads, &items, f), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(64, &[1u32, 2, 3], |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        // And the auto setting still produces ordered results.
+        let items: Vec<usize> = (0..50).collect();
+        assert_eq!(parallel_map(0, &items, |_, &x| x), items);
+    }
+
+    #[test]
+    fn workers_share_read_only_state() {
+        let table: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let items: Vec<usize> = (0..32).collect();
+        let out = parallel_map(4, &items, |_, &i| table[i] + 1.0);
+        assert_eq!(out[31], 32.0);
+    }
+}

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::CascnConfig;
+use crate::parallel::parallel_map;
 use crate::trainer::{predict_with, train_loop, TrainOpts};
 
 /// A cascade reduced to random-walk sequences of embedding-table rows.
@@ -136,10 +137,10 @@ impl PathModel {
         opts: &TrainOpts,
     ) -> History {
         let train_samples: Vec<PathSample> =
-            train.iter().map(|c| self.preprocess(c, window)).collect();
+            parallel_map(self.cfg.threads, train, |_, c| self.preprocess(c, window));
         let train_labels: Vec<f32> = train_samples.iter().map(|s| s.label_log).collect();
         let val_samples: Vec<PathSample> =
-            val.iter().map(|c| self.preprocess(c, window)).collect();
+            parallel_map(self.cfg.threads, val, |_, c| self.preprocess(c, window));
         let val_increments: Vec<usize> = val_samples.iter().map(|s| s.increment).collect();
         let model = self.clone();
         let forward = move |tape: &mut Tape, store: &ParamStore, s: &PathSample| {

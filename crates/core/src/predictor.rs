@@ -4,6 +4,8 @@
 use cascn_cascades::Cascade;
 use cascn_nn::metrics;
 
+use crate::error::CascnError;
+use crate::parallel::parallel_map;
 use crate::{CascnModel, GlModel, PathModel};
 
 /// A trained cascade-size predictor: maps an observed cascade prefix to the
@@ -19,12 +21,32 @@ pub trait SizePredictor {
 /// Evaluates a predictor's MSLE (Eq. 20) over a cascade set.
 ///
 /// # Panics
-/// Panics if `cascades` is empty.
-pub fn evaluate(model: &dyn SizePredictor, cascades: &[Cascade], window: f64) -> f32 {
+/// Panics if `cascades` is empty. Callers that can legitimately see an
+/// empty split (e.g. after lenient loading quarantined everything) should
+/// use [`try_evaluate`] instead.
+pub fn evaluate(model: &(dyn SizePredictor + Sync), cascades: &[Cascade], window: f64) -> f32 {
     assert!(!cascades.is_empty(), "evaluate: empty cascade set");
-    let preds: Vec<f32> = cascades.iter().map(|c| model.predict_log(c, window)).collect();
+    try_evaluate(model, cascades, window, 1).expect("non-empty by assertion")
+}
+
+/// [`evaluate`] with an empty-set error instead of a panic, fanned out
+/// across `threads` workers (`1` = serial, `0` = all cores). Prediction is
+/// read-only per cascade and results are reduced in cascade order, so the
+/// score is identical for any thread count.
+pub fn try_evaluate(
+    model: &(dyn SizePredictor + Sync),
+    cascades: &[Cascade],
+    window: f64,
+    threads: usize,
+) -> Result<f32, CascnError> {
+    if cascades.is_empty() {
+        return Err(CascnError::EmptyDataset(
+            "no cascades to evaluate — every cascade was filtered or quarantined".into(),
+        ));
+    }
+    let preds = parallel_map(threads, cascades, |_, c| model.predict_log(c, window));
     let labels: Vec<usize> = cascades.iter().map(|c| c.increment_size(window)).collect();
-    metrics::msle(&preds, &labels)
+    Ok(metrics::msle(&preds, &labels))
 }
 
 impl SizePredictor for CascnModel {
@@ -107,5 +129,24 @@ mod tests {
     fn evaluate_rejects_empty_set() {
         let m = ConstPredictor(0.0);
         let _ = evaluate(&m, &[], 1.0);
+    }
+
+    #[test]
+    fn try_evaluate_reports_empty_set_as_error() {
+        let m = ConstPredictor(0.0);
+        let err = try_evaluate(&m, &[], 1.0, 1).unwrap_err();
+        assert!(matches!(err, CascnError::EmptyDataset(_)), "{err}");
+    }
+
+    #[test]
+    fn try_evaluate_is_thread_count_invariant() {
+        let cascades: Vec<Cascade> = (1..=9).map(cascade_with_growth).collect();
+        let m = ConstPredictor(0.7);
+        let serial = try_evaluate(&m, &cascades, 50.0, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let threaded = try_evaluate(&m, &cascades, 50.0, threads).unwrap();
+            assert_eq!(serial.to_bits(), threaded.to_bits(), "threads={threads}");
+        }
+        assert_eq!(serial.to_bits(), evaluate(&m, &cascades, 50.0).to_bits());
     }
 }

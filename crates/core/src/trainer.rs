@@ -12,6 +12,7 @@ use rand::SeedableRng;
 
 use crate::checkpoint::{StopperState, TrainCheckpoint};
 use crate::error::CascnError;
+use crate::parallel::parallel_map;
 
 /// Anomaly-guard configuration: what the training loop does when a batch
 /// produces a non-finite loss, gradient, or parameter update.
@@ -57,6 +58,12 @@ pub struct TrainOpts {
     pub grad_clip: f32,
     /// Seed for batch shuffling.
     pub shuffle_seed: u64,
+    /// Worker threads for per-example forward/backward passes and
+    /// validation sweeps: `1` (the default) is the exact serial path, `0`
+    /// means all available parallelism. Any value produces bit-identical
+    /// results — gradients are reduced in fixed example order (see
+    /// [`crate::parallel`]).
+    pub threads: usize,
     /// Anomaly-guard behavior.
     pub guard: GuardOpts,
 }
@@ -70,6 +77,7 @@ impl Default for TrainOpts {
             patience: 10,
             grad_clip: 5.0,
             shuffle_seed: 7,
+            threads: 1,
             guard: GuardOpts::default(),
         }
     }
@@ -105,9 +113,9 @@ pub struct TrainHooks<'a> {
 /// `train_labels` (Eq. 19); after every epoch the validation MSLE (Eq. 20)
 /// is recorded, and the parameters of the best validation epoch are restored
 /// before returning.
-pub fn train_loop<S>(
+pub fn train_loop<S: Sync>(
     store: &mut ParamStore,
-    forward: &dyn Fn(&mut Tape, &ParamStore, &S) -> Var,
+    forward: &(dyn Fn(&mut Tape, &ParamStore, &S) -> Var + Sync),
     train: &[S],
     train_labels: &[f32],
     val: &[S],
@@ -130,9 +138,9 @@ pub fn train_loop<S>(
 /// receives the (1-based) epoch index and the current parameters — used by
 /// the Fig. 8 experiment to trace MSLE on sub-populations during training.
 #[allow(clippy::too_many_arguments)]
-pub fn train_loop_observed<S>(
+pub fn train_loop_observed<S: Sync>(
     store: &mut ParamStore,
-    forward: &dyn Fn(&mut Tape, &ParamStore, &S) -> Var,
+    forward: &(dyn Fn(&mut Tape, &ParamStore, &S) -> Var + Sync),
     train: &[S],
     train_labels: &[f32],
     val: &[S],
@@ -173,9 +181,9 @@ pub fn train_loop_observed<S>(
 /// roll the model and optimizer back to the last healthy epoch snapshot.
 /// Every event lands in the returned [`History`]'s anomaly log.
 #[allow(clippy::too_many_arguments)]
-pub fn train_loop_resumable<S>(
+pub fn train_loop_resumable<S: Sync>(
     store: &mut ParamStore,
-    forward: &dyn Fn(&mut Tape, &ParamStore, &S) -> Var,
+    forward: &(dyn Fn(&mut Tape, &ParamStore, &S) -> Var + Sync),
     train: &[S],
     train_labels: &[f32],
     val: &[S],
@@ -251,14 +259,24 @@ pub fn train_loop_resumable<S>(
             .enumerate()
         {
             store.zero_grads();
-            let mut batch_loss = 0.0f64;
-            for &i in &batch {
+            // Each example's forward/backward runs on its own tape against a
+            // shared read-only view of the parameters; gradients come back as
+            // per-binding (ParamId, Matrix) lists and are merged below in
+            // example-index order — replaying exactly the accumulate calls
+            // the serial loop makes, so any thread count is bit-identical.
+            let store_view: &ParamStore = store;
+            let per_example = parallel_map(opts.threads, &batch, |_, &i| {
                 let mut tape = Tape::new();
-                let pred = forward(&mut tape, store, &train[i]);
+                let pred = forward(&mut tape, store_view, &train[i]);
                 let loss = tape.squared_error(pred, train_labels[i]);
-                batch_loss += tape.scalar(loss) as f64;
+                let loss_val = tape.scalar(loss) as f64;
                 tape.backward(loss);
-                tape.accumulate_param_grads(store);
+                (loss_val, tape.param_grads())
+            });
+            let mut batch_loss = 0.0f64;
+            for (loss_val, grads) in &per_example {
+                batch_loss += loss_val;
+                store.merge_grads(grads);
             }
             store.scale_grads(1.0 / batch.len() as f32);
             if opts.grad_clip > 0.0 {
@@ -318,7 +336,10 @@ pub fn train_loop_resumable<S>(
         let val_loss = if val.is_empty() {
             train_loss
         } else {
-            let preds: Vec<f32> = val.iter().map(|s| predict_with(store, forward, s)).collect();
+            let store_view: &ParamStore = store;
+            let preds = parallel_map(opts.threads, val, |_, s| {
+                predict_with(store_view, forward, s)
+            });
             metrics::msle(&preds, val_increments)
         };
         history.push(train_loss, val_loss);
@@ -433,7 +454,7 @@ fn roll_back(
 /// prediction.
 pub fn predict_with<S>(
     store: &ParamStore,
-    forward: &dyn Fn(&mut Tape, &ParamStore, &S) -> Var,
+    forward: &(dyn Fn(&mut Tape, &ParamStore, &S) -> Var + Sync),
     sample: &S,
 ) -> f32 {
     let mut tape = Tape::new();

@@ -44,18 +44,57 @@ pub fn transition_matrix(g: &DiGraph, alpha: f32) -> Matrix {
     p
 }
 
+/// Iteration cap of the stationary-distribution power iteration.
+const STATIONARY_MAX_ITERS: usize = 10_000;
+
+/// What the stationary-distribution power iteration actually did — callers
+/// on the preprocessing hot path need to distinguish a converged φ from a
+/// best-effort iterate or a degeneracy fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryOutcome {
+    /// The distribution: converged φ, the last iterate, or uniform when
+    /// `fallback` is set. Always finite with entries summing to ~1.
+    pub phi: Vec<f32>,
+    /// Whether the iteration reached the `1e-10` max-norm tolerance.
+    pub converged: bool,
+    /// Whether a non-finite `P` or a degenerate (NaN/Inf/zero/negative)
+    /// normalizer forced the uniform-distribution fallback.
+    pub fallback: bool,
+    /// Power-iteration rounds performed before returning.
+    pub iterations: usize,
+}
+
 /// Solves `φᵀ P = φᵀ` with `φᵀe = 1` by power iteration (step 3 of
-/// Algorithm 1). `P` must be row-stochastic and irreducible (which Eq. 7
-/// guarantees); convergence is then geometric.
+/// Algorithm 1), reporting convergence and degeneracy explicitly.
+///
+/// `P` should be row-stochastic and irreducible (which Eq. 7 guarantees);
+/// convergence is then geometric. Inputs that violate that contract — a
+/// NaN-poisoned `P`, or one whose iterate normalizer becomes non-finite or
+/// non-positive — do **not** poison the result: the uniform distribution is
+/// returned with `fallback` set, so `cas_laplacian` and every Chebyshev
+/// basis built from it stay finite.
 ///
 /// # Panics
-/// Panics if `p` is not square.
-pub fn stationary_distribution(p: &Matrix) -> Vec<f32> {
+/// Panics if `p` is not square or empty.
+pub fn stationary_distribution_checked(p: &Matrix) -> StationaryOutcome {
     assert_eq!(p.rows(), p.cols(), "stationary_distribution: non-square P");
+    assert!(p.rows() > 0, "stationary_distribution: empty P");
     let n = p.rows();
-    let mut phi = vec![1.0 / n as f32; n];
+    let uniform = vec![1.0 / n as f32; n];
+    if !p.all_finite() {
+        return StationaryOutcome {
+            phi: uniform,
+            converged: false,
+            fallback: true,
+            iterations: 0,
+        };
+    }
+    let mut phi = uniform.clone();
     let mut next = vec![0.0f32; n];
-    for _ in 0..10_000 {
+    let mut converged = false;
+    let mut iterations = 0;
+    for it in 0..STATIONARY_MAX_ITERS {
+        iterations = it + 1;
         next.iter_mut().for_each(|x| *x = 0.0);
         for (r, &pr) in phi.iter().enumerate() {
             if pr == 0.0 {
@@ -66,6 +105,17 @@ pub fn stationary_distribution(p: &Matrix) -> Vec<f32> {
             }
         }
         let sum: f32 = next.iter().sum();
+        if !sum.is_finite() || sum <= 0.0 {
+            // Overflow/underflow mid-iteration: normalizing by this sum
+            // would spread NaN/Inf into φ and from there into the
+            // CasLaplacian. Give up on this P instead.
+            return StationaryOutcome {
+                phi: uniform,
+                converged: false,
+                fallback: true,
+                iterations,
+            };
+        }
         for x in &mut next {
             *x /= sum;
         }
@@ -76,10 +126,47 @@ pub fn stationary_distribution(p: &Matrix) -> Vec<f32> {
             .fold(0.0, f32::max);
         std::mem::swap(&mut phi, &mut next);
         if delta < 1e-10 {
+            converged = true;
             break;
         }
     }
-    phi
+    StationaryOutcome {
+        phi,
+        converged,
+        fallback: false,
+        iterations,
+    }
+}
+
+/// [`stationary_distribution_checked`] collapsed to the distribution alone,
+/// warning on stderr when the result is a fallback or unconverged — the
+/// compatibility surface for callers that only need φ.
+///
+/// # Panics
+/// Panics if `p` is not square or empty.
+pub fn stationary_distribution(p: &Matrix) -> Vec<f32> {
+    let out = stationary_distribution_checked(p);
+    if out.fallback {
+        eprintln!(
+            "warning: stationary_distribution: degenerate or non-finite P \
+             ({}x{}); falling back to the uniform distribution",
+            p.rows(),
+            p.cols()
+        );
+    } else if !out.converged {
+        // Benign slow convergence can recur on every cascade of a training
+        // run; report it once per process instead of flooding stderr.
+        static NONCONVERGENCE_WARNED: std::sync::Once = std::sync::Once::new();
+        NONCONVERGENCE_WARNED.call_once(|| {
+            eprintln!(
+                "warning: stationary_distribution: power iteration did not \
+                 converge within {STATIONARY_MAX_ITERS} rounds; using the last \
+                 iterate (reported once; callers needing per-matrix outcomes \
+                 should use stationary_distribution_checked)"
+            );
+        });
+    }
+    out.phi
 }
 
 /// Computes the CasLaplacian of Eq. 8 / Algorithm 1:
@@ -288,6 +375,53 @@ mod tests {
                 phi[c]
             );
         }
+    }
+
+    #[test]
+    fn stationary_reports_convergence_on_healthy_input() {
+        let p = transition_matrix(&fig1(), 0.85);
+        let out = stationary_distribution_checked(&p);
+        assert!(out.converged, "Eq. 7 transition matrices converge geometrically");
+        assert!(!out.fallback);
+        assert!(out.iterations < 10_000, "converged after {} rounds", out.iterations);
+        assert_eq!(out.phi, stationary_distribution(&p));
+        assert!((out.phi.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stationary_falls_back_to_uniform_on_nan_input() {
+        // Regression: a NaN-poisoned P used to flow straight through the
+        // `sum` normalizer into φ — and from there into cas_laplacian and
+        // every Chebyshev basis.
+        let mut p = transition_matrix(&fig1(), 0.85);
+        p[(2, 3)] = f32::NAN;
+        let out = stationary_distribution_checked(&p);
+        assert!(out.fallback, "NaN P must trigger the uniform fallback");
+        assert!(!out.converged);
+        let n = p.rows();
+        assert_eq!(out.phi, vec![1.0 / n as f32; n]);
+        let phi = stationary_distribution(&p);
+        assert!(phi.iter().all(|x| x.is_finite()), "fallback φ must be finite");
+    }
+
+    #[test]
+    fn stationary_falls_back_on_degenerate_normalizer() {
+        // An all-zero "transition matrix" drives the iterate sum to 0.
+        let p = Matrix::zeros(4, 4);
+        let out = stationary_distribution_checked(&p);
+        assert!(out.fallback);
+        assert_eq!(out.phi, vec![0.25; 4]);
+        assert_eq!(out.iterations, 1, "degeneracy is detected on the first round");
+    }
+
+    #[test]
+    fn cas_laplacian_stays_finite_for_degenerate_stationary_input() {
+        // End-to-end: even when φ falls back, the Laplacian built from it
+        // must be finite (the anomaly guard depends on preprocessing never
+        // emitting NaN bases for structurally valid cascades).
+        let g = fig1();
+        let lap = cas_laplacian(&g, 0.85);
+        assert!(lap.all_finite());
     }
 
     #[test]

@@ -36,6 +36,29 @@ pub fn msle(pred_logs: &[f32], increments: &[usize]) -> f32 {
         / pred_logs.len() as f32
 }
 
+/// [`msle`] that returns `None` on empty input instead of panicking.
+///
+/// The eval/predict CLI path can legitimately reach an empty pairing — e.g.
+/// a dataset whose cascades were all quarantined by lenient loading — and
+/// must skip metric emission rather than abort.
+///
+/// # Panics
+/// Still panics on a length mismatch (a programming error, not a data
+/// condition).
+pub fn try_msle(pred_logs: &[f32], increments: &[usize]) -> Option<f32> {
+    assert_eq!(pred_logs.len(), increments.len(), "msle: length mismatch");
+    (!pred_logs.is_empty()).then(|| msle(pred_logs, increments))
+}
+
+/// [`male`] that returns `None` on empty input instead of panicking.
+///
+/// # Panics
+/// Still panics on a length mismatch.
+pub fn try_male(pred_logs: &[f32], increments: &[usize]) -> Option<f32> {
+    assert_eq!(pred_logs.len(), increments.len(), "male: length mismatch");
+    (!pred_logs.is_empty()).then(|| male(pred_logs, increments))
+}
+
 /// Mean absolute error in log space (a secondary diagnostic).
 pub fn male(pred_logs: &[f32], increments: &[usize]) -> f32 {
     assert_eq!(pred_logs.len(), increments.len(), "male: length mismatch");
@@ -89,5 +112,21 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn msle_rejects_empty() {
         let _ = msle(&[], &[]);
+    }
+
+    #[test]
+    fn try_variants_return_none_on_empty_and_match_otherwise() {
+        assert_eq!(try_msle(&[], &[]), None);
+        assert_eq!(try_male(&[], &[]), None);
+        let incs = vec![0usize, 3, 10];
+        let preds = vec![0.5f32, 1.0, 2.0];
+        assert_eq!(try_msle(&preds, &incs), Some(msle(&preds, &incs)));
+        assert_eq!(try_male(&preds, &incs), Some(male(&preds, &incs)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn try_msle_still_rejects_mismatched_lengths() {
+        let _ = try_msle(&[0.0], &[]);
     }
 }

@@ -29,6 +29,16 @@ mod solve;
 
 pub use matrix::Matrix;
 
+// `Matrix` buffers cross thread boundaries in the parallel training engine
+// (worker threads ship snapshots, Chebyshev bases, and gradients back to the
+// reducer), so losing `Send + Sync` — e.g. by introducing interior
+// mutability or a raw pointer — must be a compile error, not a distant
+// trait-bound failure in `cascn::parallel`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Matrix>();
+};
+
 /// Tolerance-based float comparison used by tests across the workspace.
 ///
 /// Returns `true` when `a` and `b` differ by at most `tol` absolutely, or

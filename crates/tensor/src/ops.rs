@@ -11,6 +11,15 @@ impl Matrix {
     /// row-major (cache-friendly; see the Rust Performance Book on access
     /// patterns).
     ///
+    /// Rows of zeros in `self` skip their inner loop (adjacency-style inputs
+    /// are sparse in practice), but only when `other` is entirely finite:
+    /// skipping `0 · NaN` would otherwise *mask* a poisoned operand and
+    /// produce a fully finite product, hiding exactly the values the
+    /// training anomaly guard exists to catch. With a non-finite `other` the
+    /// dense loop runs instead, so `0 · NaN = NaN` propagates as IEEE-754
+    /// demands. The `O(kn)` finiteness scan is negligible next to the
+    /// `O(mkn)` product.
+    ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -24,13 +33,14 @@ impl Matrix {
             other.cols()
         );
         let (m, n) = (self.rows(), other.cols());
+        let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue; // adjacency-style inputs are sparse in practice
+                if skip_zeros && a_ip == 0.0 {
+                    continue;
                 }
                 let b_row = &other.as_slice()[p * n..(p + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
@@ -41,7 +51,25 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::matmul`] that surfaces poisoned operands to the caller:
+    /// returns `None` when either operand contains NaN/±inf, `Some(product)`
+    /// otherwise.
+    ///
+    /// This is the variant for guard paths (e.g. the training anomaly guard)
+    /// that must *detect* non-finite inputs rather than merely propagate
+    /// them — `matmul` guarantees propagation, `matmul_checked` additionally
+    /// reports which call first saw the poison.
+    pub fn matmul_checked(&self, other: &Matrix) -> Option<Matrix> {
+        if !self.all_finite() || !other.all_finite() {
+            return None;
+        }
+        Some(self.matmul(other))
+    }
+
     /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// The zero-skip fast path is disabled when `other` contains non-finite
+    /// values, for the same NaN-masking reason as [`Matrix::matmul`].
     ///
     /// # Panics
     /// Panics if `self.rows() != other.rows()`.
@@ -56,12 +84,13 @@ impl Matrix {
             other.cols()
         );
         let (m, n) = (self.cols(), other.cols());
+        let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(m, n);
         for p in 0..self.rows() {
             let a_row = self.row(p);
             let b_row = other.row(p);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zeros && a == 0.0 {
                     continue;
                 }
                 let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
@@ -253,6 +282,42 @@ mod tests {
     #[should_panic(expected = "matmul")]
     fn matmul_rejects_mismatched_shapes() {
         let _ = a().matmul(&a());
+    }
+
+    #[test]
+    fn matmul_propagates_nan_under_zero_row() {
+        // Regression: the zero-skip fast path used to drop `0 · NaN`
+        // contributions, so a poisoned B under a zero row of A produced a
+        // fully finite product and the anomaly guard never fired.
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0]]);
+        let mut b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        b[(0, 0)] = f32::NAN;
+        let c = a.matmul(&b);
+        assert!(
+            !c.all_finite(),
+            "NaN in B must propagate through a zero row of A: {c:?}"
+        );
+        assert!(c[(0, 0)].is_nan(), "0 · NaN must be NaN");
+        assert!(a.matmul_checked(&b).is_none(), "checked matmul must detect the poison");
+        assert!(b.matmul_checked(&a).is_none(), "poison in either operand is detected");
+    }
+
+    #[test]
+    fn matmul_at_b_propagates_inf_under_zero_column() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0]]);
+        let mut b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        b[(0, 1)] = f32::INFINITY;
+        // Column 0 of A is all zeros; row 0 of the Aᵀ·B result used to be
+        // silently finite despite the Inf in B's row 0.
+        let c = a.matmul_at_b(&b);
+        assert!(!c.all_finite(), "Inf in B must propagate: {c:?}");
+        assert!(c[(0, 1)].is_nan(), "0 · inf must be NaN");
+    }
+
+    #[test]
+    fn matmul_checked_matches_matmul_on_finite_inputs() {
+        let c = a().matmul_checked(&b()).expect("finite inputs");
+        assert_matrix_eq(&c, &a().matmul(&b()), 0.0);
     }
 
     #[test]

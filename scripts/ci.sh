@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: release build, clippy with warnings-as-errors, the full test
-# suite, and the kill-and-resume smoke test.
+# suite, the thread-parity suite in release (optimized float codegen is the
+# configuration that ships), bench compilation, and the kill-and-resume
+# smoke test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo clippy --all-targets -- -D warnings
 cargo test -q
+cargo test -q --release -p cascn --test thread_parity
+cargo bench --no-run -p cascn-bench
 scripts/resume_smoke.sh

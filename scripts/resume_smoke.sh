@@ -2,7 +2,9 @@
 # Kill-and-resume smoke test: starts a checkpointing training run, SIGKILLs
 # it mid-flight, resumes from the surviving checkpoint, and asserts the
 # resumed run's final parameters are byte-identical to an uninterrupted
-# control run.
+# control run. The interrupted/resumed cycle runs under --threads 4, so the
+# script also proves the parallel engine's determinism contract end to end:
+# serial control == threaded control == killed-and-resumed threaded run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,12 +20,22 @@ trap 'rm -rf "$TMP"' EXIT
 COMMON=(--data "$TMP/d.cascades" --window 3600 --hidden 4 --max-nodes 10
         --max-steps 5 --min-size 3 --patience 6 --epochs 6)
 
-# Control: uninterrupted run.
-"$BIN" train "${COMMON[@]}" --out "$TMP/control.params" > /dev/null
+# Control: uninterrupted serial run (--threads 1 is the exact legacy path).
+"$BIN" train "${COMMON[@]}" --threads 1 --out "$TMP/control.params" > /dev/null
 
-# Interrupted run: checkpoint after every epoch, kill -9 as soon as the
-# first checkpoint lands (i.e. mid-epoch of a later epoch).
-"$BIN" train "${COMMON[@]}" --checkpoint "$TMP/run.ckpt" > /dev/null &
+# Thread-parity: the same run on 4 worker threads must produce a
+# byte-identical model.
+"$BIN" train "${COMMON[@]}" --threads 4 --out "$TMP/threaded.params" > /dev/null
+if cmp -s "$TMP/control.params" "$TMP/threaded.params"; then
+    echo "thread parity OK: --threads 4 parameters are identical to --threads 1"
+else
+    echo "thread parity FAILED: --threads 4 parameters differ from --threads 1" >&2
+    exit 1
+fi
+
+# Interrupted run (threaded): checkpoint after every epoch, kill -9 as soon
+# as the first checkpoint lands (i.e. mid-epoch of a later epoch).
+"$BIN" train "${COMMON[@]}" --threads 4 --checkpoint "$TMP/run.ckpt" > /dev/null &
 PID=$!
 for _ in $(seq 1 600); do
     [ -s "$TMP/run.ckpt" ] && break
@@ -36,10 +48,11 @@ if [ ! -s "$TMP/run.ckpt" ]; then
     exit 1
 fi
 
-# Resume to completion; the final model must match the control exactly.
-"$BIN" train "${COMMON[@]}" --resume "$TMP/run.ckpt" --out "$TMP/resumed.params" > /dev/null
+# Resume to completion under --threads 4; the final model must match the
+# serial control exactly.
+"$BIN" train "${COMMON[@]}" --threads 4 --resume "$TMP/run.ckpt" --out "$TMP/resumed.params" > /dev/null
 if cmp -s "$TMP/control.params" "$TMP/resumed.params"; then
-    echo "resume smoke OK: resumed parameters are identical to the control run"
+    echo "resume smoke OK: resumed threaded parameters are identical to the control run"
 else
     echo "resume smoke FAILED: resumed parameters differ from the control run" >&2
     exit 1
