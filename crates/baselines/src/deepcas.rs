@@ -113,8 +113,11 @@ impl DeepCas {
             let bwd_inputs: Vec<Var> = fwd_inputs.iter().rev().copied().collect();
             let hf = self.gru_fwd.run(tape, store, &fwd_inputs, 1);
             let hb = self.gru_bwd.run(tape, store, &bwd_inputs, 1);
-            let last_f = *hf.last().expect("non-empty walk");
-            let last_b = *hb.last().expect("non-empty walk");
+            // Walks are non-empty by construction (they start at a node);
+            // skip defensively rather than panic if that ever changes.
+            let (Some(&last_f), Some(&last_b)) = (hf.last(), hb.last()) else {
+                continue;
+            };
             walk_reprs.push(tape.concat_cols(last_f, last_b));
         }
         let stacked = tape.concat_rows(&walk_reprs); // m x 2h

@@ -105,13 +105,14 @@ impl DeepHawkes {
             let emb = self.embedding.forward(tape, store, path.clone());
             let inputs: Vec<Var> = (0..path.len()).map(|i| tape.slice_rows(emb, i, 1)).collect();
             let hs = self.gru.run(tape, store, &inputs, 1);
-            let last = *hs.last().expect("paths contain at least the root");
+            let Some(&last) = hs.last() else { continue };
             let weighted = self.decay.apply(tape, store, last, end_time, sample.window);
             acc = Some(match acc {
                 Some(a) => tape.add(a, weighted),
                 None => weighted,
             });
         }
+        // lint: allow(no-panic) — preprocess always emits at least the root path, so the fold is non-empty
         let pooled = acc.expect("at least one path");
         self.mlp.forward(tape, store, pooled)
     }

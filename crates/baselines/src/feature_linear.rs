@@ -68,6 +68,7 @@ impl FeatureLinear {
                 best = Some((score, beta, l2));
             }
         }
+        // lint: allow(no-panic) — the L2 grid is a non-empty const and ridge with positive regularization is nonsingular
         let (_, beta, chosen_l2) = best.expect("at least one L2 value must fit");
         Self {
             standardizer,

@@ -101,7 +101,7 @@ impl Lis {
                 adopters.push(users[u]);
             }
             for (i, e) in o.events().iter().enumerate().skip(1) {
-                let p = e.parent.expect("non-root events have parents");
+                let Some(p) = e.parent else { continue };
                 pairs.push((users[&us[p]], users[&us[i]]));
             }
         }

@@ -11,7 +11,7 @@ use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
 use cascn_bench::report;
 use cascn_bench::runner::{run, ModelKind};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Decay ablation: learned vs. parametric kernels (Weibo) ==\n");
 
@@ -50,7 +50,7 @@ fn main() {
         measured.push((name, values));
         table.push(row);
     }
-    report::emit("ablation_decay", &table);
+    report::emit("ablation_decay", &table)?;
 
     let avg = |v: &[f32; 3]| v.iter().sum::<f32>() / 3.0;
     let learned = avg(&measured[0].1);
@@ -63,4 +63,5 @@ fn main() {
             learned <= avg(values)
         );
     }
+    Ok(())
 }

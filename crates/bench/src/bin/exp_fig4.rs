@@ -7,7 +7,7 @@ use cascn_bench::datasets::{build, DatasetKind, Scale};
 use cascn_bench::report;
 use cascn_cascades::stats;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Fig. 4: cascade size distributions ==\n");
     for kind in [DatasetKind::Weibo, DatasetKind::HepPh] {
@@ -36,6 +36,7 @@ fn main() {
             &format!("fig4_{}", kind.name().to_lowercase().replace('-', "")),
             &["size_bin", "count"],
             &rows,
-        );
+        )?;
     }
+    Ok(())
 }

@@ -9,7 +9,7 @@ use cascn_bench::datasets::{build, DatasetKind, Scale};
 use cascn_bench::report;
 use cascn_cascades::stats;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Fig. 5: popularity vs. time ==\n");
 
@@ -51,10 +51,11 @@ fn main() {
             &format!("fig5_{}", kind.name().to_lowercase().replace('-', "")),
             &["time", "fraction_of_final"],
             &rows,
-        );
+        )?;
     }
     println!(
         "shape check: Weibo saturates within its 24h horizon (steep early growth),\n\
          HEP-PH grows over years and is still rising late — matching Fig. 5(a)/(b)."
     );
+    Ok(())
 }

@@ -8,7 +8,7 @@ use cascn::{CascnConfig, CascnModel, TrainOpts};
 use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
 use cascn_bench::report;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Fig. 7: validation loss vs. epoch for K in {{1,2,3}} ==\n");
 
@@ -44,11 +44,12 @@ fn main() {
             format!("{:.4}", vals[2]),
         ]);
     }
-    report::emit_csv("fig7", &["epoch", "k1_val_loss", "k2_val_loss", "k3_val_loss"], &rows);
+    report::emit_csv("fig7", &["epoch", "k1_val_loss", "k2_val_loss", "k3_val_loss"], &rows)?;
 
     for (k, losses) in &curves {
         let first = losses.first().copied().unwrap_or(f32::NAN);
         let last = losses.iter().copied().fold(f32::INFINITY, f32::min);
         println!("K={k}: first epoch {first:.3} → best {last:.3} (paper: steady decline)");
     }
+    Ok(())
 }

@@ -12,7 +12,7 @@ use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
 use cascn_bench::{paper, report};
 use cascn_cascades::stats;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Fig. 8: small-cascade observations (Weibo) ==\n");
 
@@ -28,7 +28,7 @@ fn main() {
         println!("  {m:>4.0} min: {s:.2}");
         rows.push(vec![format!("{m:.0}"), format!("{s:.3}")]);
     }
-    report::emit_csv("fig8a", &["minutes", "avg_observed_size"], &rows);
+    report::emit_csv("fig8a", &["minutes", "avg_observed_size"], &rows)?;
 
     // (b) MSLE per size cap, traced over epochs.
     let setting = weibo_settings()[0]; // 1 hour
@@ -95,11 +95,13 @@ fn main() {
         "fig8b",
         &["epoch", "cap10", "cap20", "cap30", "cap40", "cap50"],
         &rows,
-    );
+    )?;
 
     // Final MSLE* per cap vs paper.
     println!("\nfinal MSLE* per cap (paper values from Fig. 8b):");
-    let last = trace.last().expect("at least one epoch");
+    let Some(last) = trace.last() else {
+        return Ok(());
+    };
     for ((cap, paper_value), measured) in paper::FIG8_MSLE_BY_CAP.iter().zip(last) {
         println!("  size < {cap}: measured {measured:.3} (paper {paper_value:.3})");
     }
@@ -109,4 +111,5 @@ fn main() {
         "shape check: larger observed caps give lower MSLE in {monotone}/{} adjacent pairs (paper: monotone).",
         finite.len().saturating_sub(1)
     );
+    Ok(())
 }

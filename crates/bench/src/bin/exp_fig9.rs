@@ -17,7 +17,7 @@ use cascn_bench::datasets::{all_settings, build, prepare, DatasetKind, Scale};
 use cascn_bench::report;
 use cascn_cascades::features;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Fig. 9: representation heatmaps and t-SNE ==\n");
 
@@ -42,7 +42,9 @@ fn main() {
         // Representations + per-cascade metadata on the test set.
         let mut rows: Vec<(Vec<f32>, usize, f32, f32)> = Vec::new(); // (rep, increment, leaves, mean_time)
         let names = features::feature_names();
+        // lint: allow(no-panic) — feature_names() is a static list that contains both entries
         let leaf_idx = names.iter().position(|n| n == "num_leaves").unwrap();
+        // lint: allow(no-panic) — feature_names() is a static list that contains both entries
         let mt_idx = names.iter().position(|n| n == "mean_time").unwrap();
         for c in &test {
             let rep = model.representation(c, setting.window);
@@ -90,7 +92,7 @@ fn main() {
                 &format!("fig9_tsne_{}", kind.name().to_lowercase().replace('-', "")),
                 &["x", "y", "increment", "num_leaves", "mean_time"],
                 &csv,
-            );
+            )?;
         }
 
         let inc: Vec<f64> = rows.iter().map(|r| ((r.1 + 1) as f64).ln()).collect();
@@ -110,4 +112,5 @@ fn main() {
         );
         println!();
     }
+    Ok(())
 }

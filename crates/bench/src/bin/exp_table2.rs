@@ -7,7 +7,7 @@ use cascn_analysis::Table;
 use cascn_bench::datasets::{all_settings, build, prepare, DatasetKind, Scale};
 use cascn_bench::{paper, report};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Table II: dataset statistics (synthetic stand-ins) ==\n");
     let weibo = build(DatasetKind::Weibo, &scale);
@@ -74,9 +74,10 @@ fn main() {
             ]);
         }
     }
-    report::emit("table2", &table);
+    report::emit("table2", &table)?;
     println!(
         "shape check: like the paper, HEP-PH splits are ~10x smaller than Weibo's\n\
          and average observed sizes are far larger on Weibo than HEP-PH."
     );
+    Ok(())
 }

@@ -11,7 +11,7 @@ use cascn_bench::datasets::{all_settings, build, prepare, DatasetKind, Scale};
 use cascn_bench::runner::{run, ModelKind};
 use cascn_bench::{paper, report};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Table III: MSLE of all methods across settings ==\n");
 
@@ -61,9 +61,10 @@ fn main() {
         measured.push((name, values));
         table.push(row);
     }
-    report::emit("table3", &table);
+    report::emit("table3", &table)?;
 
     // Shape summary.
+    // lint: allow(no-panic) — every queried name was pushed into `measured` in the loop above
     let get = |n: &str| measured.iter().find(|(m, _)| m == n).map(|(_, v)| *v).unwrap();
     let cascn = get("CasCN");
     let mut wins = 0;
@@ -77,4 +78,5 @@ fn main() {
     let longer_window_helps = (0..2).all(|i| cascn[i] >= cascn[i + 1] - 0.5)
         && (3..5).all(|i| cascn[i] >= cascn[i + 1] - 0.5);
     println!("longer observation windows help (paper trend): {longer_window_helps}");
+    Ok(())
 }

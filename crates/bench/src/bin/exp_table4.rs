@@ -9,7 +9,7 @@ use cascn_bench::datasets::{all_settings, build, prepare, DatasetKind, Scale};
 use cascn_bench::runner::{run, ModelKind};
 use cascn_bench::{paper, report};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Table IV: CasCN vs. its variants ==\n");
 
@@ -58,7 +58,7 @@ fn main() {
         measured.push((name, values));
         table.push(row);
     }
-    report::emit("table4", &table);
+    report::emit("table4", &table)?;
 
     let full = measured[0].1;
     println!("\nshape check (paper: full CasCN beats each variant in most columns):");
@@ -66,4 +66,5 @@ fn main() {
         let wins = full.iter().zip(row).filter(|(f, r)| f <= r).count();
         println!("  vs {name}: full model better or equal in {wins}/6 settings");
     }
+    Ok(())
 }

@@ -9,7 +9,7 @@ use cascn_bench::datasets::{build, prepare, weibo_settings, DatasetKind, Scale};
 use cascn_bench::runner::{run, ModelKind};
 use cascn_bench::{paper, report};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_args();
     println!("== Table V: parameter impact (Weibo) ==\n");
 
@@ -58,7 +58,7 @@ fn main() {
         measured.push((name.clone(), values));
         table.push(row);
     }
-    report::emit("table5", &table);
+    report::emit("table5", &table)?;
 
     let avg = |v: &[f32; 3]| v.iter().sum::<f32>() / 3.0;
     let k2 = avg(&measured[1].1);
@@ -78,4 +78,5 @@ fn main() {
         avg(&measured[4].1),
         avg(&measured[3].1)
     );
+    Ok(())
 }

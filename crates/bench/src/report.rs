@@ -2,6 +2,7 @@
 //! writing for every experiment binary.
 
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 
 use cascn_analysis::Table;
@@ -9,29 +10,31 @@ use cascn_cascades::io::write_csv;
 
 /// The artifact directory (created on demand). Overridable with the
 /// `CASCN_EXPERIMENTS_DIR` environment variable.
-pub fn out_dir() -> PathBuf {
+pub fn out_dir() -> io::Result<PathBuf> {
     let dir = std::env::var("CASCN_EXPERIMENTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/experiments"));
-    fs::create_dir_all(&dir).expect("create experiments dir");
-    dir
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// Writes a rendered table to stdout and its CSV form to
 /// `target/experiments/<name>.csv`.
-pub fn emit(name: &str, table: &Table) {
+pub fn emit(name: &str, table: &Table) -> io::Result<()> {
     println!("{}", table.render());
     let (header, rows) = table.to_csv_rows();
-    let path = out_dir().join(format!("{name}.csv"));
-    write_csv(&path, &header, &rows).expect("write csv");
+    let path = out_dir()?.join(format!("{name}.csv"));
+    write_csv(&path, &header, &rows)?;
     println!("[written {}]", path.display());
+    Ok(())
 }
 
 /// Writes raw CSV series (for figures).
-pub fn emit_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
-    let path = out_dir().join(format!("{name}.csv"));
-    write_csv(&path, header, rows).expect("write csv");
+pub fn emit_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let path = out_dir()?.join(format!("{name}.csv"));
+    write_csv(&path, header, rows)?;
     println!("[written {}]", path.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -42,7 +45,7 @@ mod tests {
     fn out_dir_respects_env_override() {
         let tmp = std::env::temp_dir().join("cascn_report_test");
         std::env::set_var("CASCN_EXPERIMENTS_DIR", &tmp);
-        let d = out_dir();
+        let d = out_dir().unwrap();
         assert_eq!(d, tmp);
         assert!(d.exists());
         std::env::remove_var("CASCN_EXPERIMENTS_DIR");

@@ -38,6 +38,7 @@ impl Cascade {
     pub fn new(id: u64, start_time: f64, events: Vec<Event>) -> Self {
         match Self::try_new(id, start_time, events) {
             Ok(c) => c,
+            // lint: allow(no-panic) — documented panicking constructor; the fallible route is try_new
             Err(fault) => panic!("cascade {id}: {fault}"),
         }
     }
@@ -101,8 +102,10 @@ impl ObservedCascade<'_> {
     pub fn graph(&self) -> DiGraph {
         let mut g = DiGraph::new(self.n);
         for (i, e) in self.events().iter().enumerate().skip(1) {
-            let p = e.parent.expect("non-root events have parents");
-            g.add_edge(p, i, 1.0);
+            // try_new validated that every non-root event has a parent.
+            if let Some(p) = e.parent {
+                g.add_edge(p, i, 1.0);
+            }
         }
         g
     }
@@ -136,8 +139,10 @@ impl ObservedCascade<'_> {
         for &b in &boundaries {
             while next_event < b {
                 let e = &self.events()[next_event];
-                let p = e.parent.expect("non-root events have parents");
-                adj[(p, next_event)] = 1.0;
+                // try_new validated that every non-root event has a parent.
+                if let Some(p) = e.parent {
+                    adj[(p, next_event)] = 1.0;
+                }
                 next_event += 1;
             }
             out.push(adj.clone());

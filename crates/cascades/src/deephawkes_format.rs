@@ -109,6 +109,7 @@ fn parse_line(line: &str, lineno: usize) -> Result<Cascade, FormatError> {
             .total_cmp(&b.time)
             .then(a.users.len().cmp(&b.users.len()))
     });
+    // lint: allow(float-eq) — the DeepHawkes format pins the root path at exactly t=0
     if records[0].users.len() != 1 || records[0].time != 0.0 {
         return Err(err("first path must be the root `<user>:0`".into()));
     }
@@ -119,7 +120,9 @@ fn parse_line(line: &str, lineno: usize) -> Result<Cascade, FormatError> {
     let mut index: HashMap<u64, usize> = HashMap::new();
     let mut events: Vec<Event> = Vec::new();
     for rec in &records {
-        let adopter = *rec.users.last().expect("non-empty path");
+        let Some(&adopter) = rec.users.last() else {
+            continue; // unreachable: record parsing rejects empty user chains
+        };
         if index.contains_key(&adopter) {
             continue; // duplicate adoption of the same user
         }

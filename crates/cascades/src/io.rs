@@ -97,8 +97,21 @@ pub fn dataset_from_str(text: &str, name_hint: &str) -> Result<Dataset, ReadErro
 /// quarantined (skipped with a recorded reason) instead of failing the whole
 /// load, so a handful of corrupt records cannot take down a training run.
 pub fn dataset_from_str_lenient(text: &str, name_hint: &str) -> (Dataset, QuarantineReport) {
-    parse_dataset(text, name_hint, Mode::Lenient)
-        .expect("lenient parsing quarantines instead of failing")
+    match parse_dataset(text, name_hint, Mode::Lenient) {
+        Ok(parsed) => parsed,
+        // Defensive: lenient mode quarantines instead of failing, so this
+        // arm is unreachable — but if it ever fires, degrade to an empty
+        // dataset with the failure recorded rather than aborting the run.
+        Err(e) => {
+            let (line, reason) = match e {
+                ReadError::Parse { line, message } => (line, message),
+                ReadError::Io(e) => (0, e.to_string()),
+            };
+            let mut report = QuarantineReport::default();
+            report.quarantined.push(QuarantinedCascade { id: None, line, reason });
+            (Dataset::new(name_hint.to_string(), Vec::new()), report)
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -224,19 +237,25 @@ fn parse_dataset(
                     Ok(e) => e,
                     Err(message) => fault!(lineno, "{message}"),
                 };
-                let pending = current.as_mut().expect("checked above");
+                let Some(pending) = current.as_mut() else {
+                    continue; // unreachable: the header check above rejected headerless events
+                };
                 let idx = pending.events.len();
                 // Validate incrementally so the error points at this line.
-                let fault = if idx == 0 {
-                    if event.parent.is_some() {
-                        Some(CascadeFault::RootHasParent)
-                    } else if event.time != 0.0 {
-                        Some(CascadeFault::RootTimeNonZero { time: event.time })
-                    } else {
-                        None
+                // `events.last()` doubles as the root/follow-on dispatch: the
+                // first event has no predecessor and must be the root.
+                let fault = match pending.events.last() {
+                    None => {
+                        if event.parent.is_some() {
+                            Some(CascadeFault::RootHasParent)
+                        // lint: allow(float-eq) — the format contract pins the root at exactly t=0
+                        } else if event.time != 0.0 {
+                            Some(CascadeFault::RootTimeNonZero { time: event.time })
+                        } else {
+                            None
+                        }
                     }
-                } else {
-                    check_follow_on(pending.events.last().expect("idx > 0"), &event, idx)
+                    Some(prev) => check_follow_on(prev, &event, idx),
                 };
                 if let Some(f) = fault {
                     fault!(lineno, "{f}");

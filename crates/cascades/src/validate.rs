@@ -81,6 +81,7 @@ pub fn validate_events(events: &[Event]) -> Result<(), CascadeFault> {
     if root.parent.is_some() {
         return Err(CascadeFault::RootHasParent);
     }
+    // lint: allow(float-eq) — the cascade contract pins the root at exactly t=0
     if root.time != 0.0 {
         return Err(CascadeFault::RootTimeNonZero { time: root.time });
     }

@@ -96,6 +96,7 @@ impl GlModel {
                 });
             }
             let b = tape.param(store, self.conv_b);
+            // lint: allow(no-panic) — the filter bank has K+1 ≥ 1 entries by construction
             let pre = acc.expect("K+1 >= 1 filters");
             let pre = tape.add_bias(pre, b);
             let act = tape.relu(pre);
@@ -121,6 +122,7 @@ impl GlModel {
                 None => weighted,
             });
         }
+        // lint: allow(no-panic) — the snapshot sequence is non-empty (snapshots() emits ≥ 1)
         let pooled = acc.expect("non-empty sequence");
         self.mlp.forward(tape, store, pooled)
     }

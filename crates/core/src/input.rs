@@ -47,9 +47,11 @@ pub fn preprocess(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> Preproce
     // dropped with them).
     let mut g = DiGraph::new(n);
     for (i, e) in observed.events().iter().enumerate().take(n).skip(1) {
-        let p = e.parent.expect("non-root events have parents");
-        if p < n {
-            g.add_edge(p, i, 1.0);
+        // Cascade validation guarantees non-root events carry parents.
+        if let Some(p) = e.parent {
+            if p < n {
+                g.add_edge(p, i, 1.0);
+            }
         }
     }
 
@@ -105,9 +107,11 @@ impl TruncatedView<'_> {
         for &b in &boundaries {
             while next_event < b {
                 let e = &events[next_event];
-                let p = e.parent.expect("non-root events have parents");
-                if p < n && next_event < width {
-                    adj[(p, next_event)] = 1.0;
+                // Cascade validation guarantees non-root events carry parents.
+                if let Some(p) = e.parent {
+                    if p < n && next_event < width {
+                        adj[(p, next_event)] = 1.0;
+                    }
                 }
                 next_event += 1;
             }

@@ -165,6 +165,7 @@ impl CascnModel {
                         None => w,
                     });
                 }
+                // lint: allow(no-panic) — snapshots() emits ≥ 1 matrix (max_steps ≥ 1 is asserted), so the fold is never empty
                 let summed = acc.expect("at least one snapshot");
                 tape.sum_rows(summed)
             }

@@ -82,6 +82,7 @@ where
                     }
                     local.push((i, f(i, &items[i])));
                 }
+                // lint: allow(no-panic) — lock poisoning implies a sibling worker panicked, which the scope is already propagating
                 let mut published = slots.lock().expect("no worker panicked holding the lock");
                 for (i, r) in local {
                     published[i] = Some(r);
@@ -92,8 +93,10 @@ where
 
     slots
         .into_inner()
+        // lint: allow(no-panic) — scope exit joined every worker; the mutex cannot be held or poisoned here
         .expect("workers joined by scope exit")
         .into_iter()
+        // lint: allow(no-panic) — the atomic cursor hands each index to exactly one worker, so every slot is filled
         .map(|r| r.expect("every index was claimed exactly once"))
         .collect()
 }

@@ -119,7 +119,10 @@ impl PathModel {
                 .map(|i| tape.slice_rows(emb, i, 1))
                 .collect();
             let hs = self.lstm.run(tape, store, &inputs, 1);
-            finals.push(*hs.last().expect("walks are non-empty"));
+            let Some(&last) = hs.last() else {
+                continue; // unreachable: the walk sampler never emits empty walks
+            };
+            finals.push(last);
         }
         let stacked = tape.concat_rows(&finals);
         let pooled = tape.mean_rows(stacked);

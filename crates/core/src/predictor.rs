@@ -26,6 +26,7 @@ pub trait SizePredictor {
 /// use [`try_evaluate`] instead.
 pub fn evaluate(model: &(dyn SizePredictor + Sync), cascades: &[Cascade], window: f64) -> f32 {
     assert!(!cascades.is_empty(), "evaluate: empty cascade set");
+    // lint: allow(no-panic) — documented panicking wrapper; the fallible route is try_evaluate
     try_evaluate(model, cascades, window, 1).expect("non-empty by assertion")
 }
 

@@ -161,6 +161,7 @@ pub fn train_loop_observed<S: Sync>(
         observer,
         TrainHooks::default(),
     )
+    // lint: allow(no-panic) — infallible here: every Err path in train_loop_resumable requires checkpoint/resume, and both are None
     .expect("train_loop without checkpointing cannot fail")
 }
 

@@ -51,6 +51,7 @@ impl Csr {
         row_ptr.push(0);
         for r in 0..m.rows() {
             for (c, &v) in m.row(r).iter().enumerate() {
+                // lint: allow(float-eq) — exact-zero sparsity test: only true zeros are dropped from the CSR
                 if v != 0.0 {
                     entries.push((c, v));
                 }
@@ -125,6 +126,7 @@ impl Csr {
         assert_eq!(x.len(), self.n_rows, "spmv_transpose: dimension mismatch");
         let mut y = vec![0.0f32; self.n_cols];
         for (r, &xr) in x.iter().enumerate() {
+            // lint: allow(float-eq) — exact-zero skip: NaN/Inf compare unequal and still take the dense path
             if xr == 0.0 {
                 continue;
             }

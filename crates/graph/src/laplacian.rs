@@ -29,6 +29,7 @@ pub fn transition_matrix(g: &DiGraph, alpha: f32) -> Matrix {
     let mut w = g.adjacency();
     let deg = g.weighted_out_degrees();
     for (i, &d) in deg.iter().enumerate() {
+        // lint: allow(float-eq) — dangling nodes have an exactly-zero out-degree by construction
         if d == 0.0 {
             w[(i, i)] = 1.0; // self-loop for dangling nodes
         }
@@ -97,6 +98,7 @@ pub fn stationary_distribution_checked(p: &Matrix) -> StationaryOutcome {
         iterations = it + 1;
         next.iter_mut().for_each(|x| *x = 0.0);
         for (r, &pr) in phi.iter().enumerate() {
+            // lint: allow(float-eq) — exact-zero skip: NaN/Inf compare unequal and still propagate
             if pr == 0.0 {
                 continue;
             }
@@ -217,6 +219,7 @@ pub fn undirected_normalized_laplacian(g: &DiGraph) -> Matrix {
     }
     for i in 0..n {
         let row_sum: f32 = sym.row(i).iter().sum();
+        // lint: allow(float-eq) — isolated nodes have an exactly-zero row sum; NaN falls through to the general path
         if row_sum == 0.0 {
             sym[(i, i)] = 1.0;
         }

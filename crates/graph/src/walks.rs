@@ -100,20 +100,21 @@ pub fn node2vec_walk(
     rng: &mut StdRng,
 ) -> Vec<usize> {
     let mut walk = Vec::with_capacity(cfg.walk_length);
-    walk.push(start);
+    let mut prev: Option<usize> = None;
+    let mut cur = start;
+    walk.push(cur);
     while walk.len() < cfg.walk_length {
-        let cur = *walk.last().expect("walk is non-empty");
         let neighbors = undirected.row(cur);
         if neighbors.is_empty() {
             break;
         }
-        let next = if walk.len() == 1 {
-            weighted_choice(neighbors, rng)
-        } else {
-            let prev = walk[walk.len() - 2];
-            biased_choice(undirected, prev, neighbors, cfg.p, cfg.q, rng)
+        let next = match prev {
+            None => weighted_choice(neighbors, rng),
+            Some(p) => biased_choice(undirected, p, neighbors, cfg.p, cfg.q, rng),
         };
         walk.push(next);
+        prev = Some(cur);
+        cur = next;
     }
     walk
 }
@@ -142,13 +143,18 @@ pub fn undirected_csr(g: &DiGraph) -> Csr {
 fn weighted_choice(row: &[(usize, f32)], rng: &mut StdRng) -> usize {
     let total: f32 = row.iter().map(|&(_, w)| w).sum();
     let mut target = rng.random_range(0.0..total.max(f32::MIN_POSITIVE));
+    // Rounding can walk `target` past every bucket; the last candidate seen
+    // is then the correct choice. Empty rows (guarded by every caller)
+    // fall back to node 0 rather than panicking.
+    let mut chosen = 0;
     for &(c, w) in row {
+        chosen = c;
         if target < w {
             return c;
         }
         target -= w;
     }
-    row.last().expect("non-empty row").0
+    chosen
 }
 
 fn biased_choice(

@@ -1,0 +1,423 @@
+//! The ratchet baseline: grandfathered violation counts per (file, rule).
+//!
+//! `lint-baseline.json` pins the number of allowed findings for every file
+//! and rule. `cascn-lint --check` fails when any (file, rule) count rises
+//! above its baselined value — or appears at all when not baselined — so
+//! contract debt can only shrink. `--update-baseline` regenerates the entry
+//! map from the current scan while preserving the `pre_pr` header, which
+//! records the violation counts measured before this tooling landed (the
+//! reference point for burn-down accounting).
+//!
+//! The workspace builds offline with no serde, so this module carries a
+//! ~100-line recursive-descent parser for exactly the JSON subset the
+//! baseline uses (objects, strings, non-negative integers).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// Parsed `lint-baseline.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Total finding counts per rule measured before the lint pass existed;
+    /// kept verbatim across `--update-baseline` runs.
+    pub pre_pr: BTreeMap<String, u64>,
+    /// Allowed finding counts: file → rule → count.
+    pub entries: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// One ratchet failure: a (file, rule) pair whose count rose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetViolation {
+    pub file: String,
+    pub rule: String,
+    pub baselined: u64,
+    pub current: u64,
+}
+
+/// Aggregates findings into per-(file, rule) counts.
+pub fn count_findings(findings: &[Finding]) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.file.clone()).or_default().entry(f.rule.to_string()).or_default() += 1;
+    }
+    counts
+}
+
+impl Baseline {
+    /// Builds a baseline whose entries match `findings`, carrying `pre_pr`.
+    pub fn from_findings(findings: &[Finding], pre_pr: BTreeMap<String, u64>) -> Baseline {
+        Baseline { pre_pr, entries: count_findings(findings) }
+    }
+
+    /// Compares a scan against the baseline. Every (file, rule) whose count
+    /// exceeds its baselined value (0 when absent) is a violation.
+    pub fn check(&self, findings: &[Finding]) -> Vec<RatchetViolation> {
+        let mut out = Vec::new();
+        for (file, rules) in count_findings(findings) {
+            for (rule, current) in rules {
+                let baselined =
+                    self.entries.get(&file).and_then(|r| r.get(&rule)).copied().unwrap_or(0);
+                if current > baselined {
+                    out.push(RatchetViolation { file: file.clone(), rule, baselined, current });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total baselined count across the given rules (burn-down accounting).
+    pub fn total_for(&self, rules: &[&str]) -> u64 {
+        self.entries
+            .values()
+            .flat_map(|m| m.iter())
+            .filter(|(r, _)| rules.contains(&r.as_str()))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Serializes to the checked-in JSON format (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"pre_pr\": {");
+        write_counts(&mut s, &self.pre_pr, 4);
+        s.push_str("},\n  \"entries\": {");
+        let mut first = true;
+        for (file, rules) in &self.entries {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\n    {}: {{", quote(file));
+            write_counts(&mut s, rules, 6);
+            s.push('}');
+        }
+        if !first {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parses the JSON format written by [`Baseline::to_json`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let top = value.as_obj().ok_or("baseline: top level must be an object")?;
+        let mut baseline = Baseline::default();
+        for (key, val) in top {
+            match key.as_str() {
+                "version" if val.as_u64() != Some(1) => {
+                    return Err(format!("baseline: unsupported version {val:?}"));
+                }
+                "version" => {}
+                "pre_pr" => baseline.pre_pr = parse_counts(val)?,
+                "entries" => {
+                    let files = val.as_obj().ok_or("baseline: entries must be an object")?;
+                    for (file, rules) in files {
+                        baseline.entries.insert(file.clone(), parse_counts(rules)?);
+                    }
+                }
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+fn write_counts(s: &mut String, counts: &BTreeMap<String, u64>, indent: usize) {
+    let mut first = true;
+    for (rule, n) in counts {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "\n{:indent$}{}: {}", "", quote(rule), n);
+    }
+    if !first {
+        let _ = write!(s, "\n{:indent$}", "", indent = indent.saturating_sub(2));
+    }
+}
+
+fn parse_counts(val: &Json) -> Result<BTreeMap<String, u64>, String> {
+    let obj = val.as_obj().ok_or("baseline: counts must be an object")?;
+    let mut out = BTreeMap::new();
+    for (rule, n) in obj {
+        let n = n.as_u64().ok_or_else(|| format!("baseline: count for {rule} must be an integer"))?;
+        out.insert(rule.clone(), n);
+    }
+    Ok(out)
+}
+
+/// Quotes and escapes a JSON string.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (objects, arrays, strings,
+// integers, bool, null — the subset the baseline format needs).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            // lint: allow(float-eq) — exact integrality test on a parsed JSON number
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while matches!(b.get(*pos), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at offset {pos}", ch as char, pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *pos += 1;
+            }
+            let text = String::from_utf8_lossy(&b[start..*pos]);
+            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+        _ => Err(format!("unexpected byte at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(String::from_utf8_lossy(&out).into_owned());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'u') => {
+                        // \uXXXX — decode the code unit (BMP only; enough
+                        // for the control-char escapes `quote` emits).
+                        let hex = b.get(*pos + 1..*pos + 5).unwrap_or_default();
+                        let code = u32::from_str_radix(&String::from_utf8_lossy(hex), 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        let ch = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    Some(&c) => out.push(c),
+                    None => return Err("unterminated escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn finding(file: &str, rule: &'static str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".into(),
+            excerpt: "e".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_counts_and_header() {
+        let findings = vec![
+            finding("a.rs", "no-panic", 1),
+            finding("a.rs", "no-panic", 9),
+            finding("b.rs", "float-eq", 3),
+        ];
+        let mut pre = BTreeMap::new();
+        pre.insert("no-panic".to_string(), 36);
+        let b = Baseline::from_findings(&findings, pre);
+        let text = b.to_json();
+        let back = Baseline::parse(&text).expect("roundtrip parses");
+        assert_eq!(back, b);
+        assert_eq!(back.entries["a.rs"]["no-panic"], 2);
+        assert_eq!(back.pre_pr["no-panic"], 36);
+    }
+
+    #[test]
+    fn check_flags_increases_and_new_files_only() {
+        let b = Baseline::from_findings(&[finding("a.rs", "no-panic", 1)], BTreeMap::new());
+        // Same count: clean.
+        assert!(b.check(&[finding("a.rs", "no-panic", 2)]).is_empty());
+        // Count rose.
+        let v = b.check(&[finding("a.rs", "no-panic", 1), finding("a.rs", "no-panic", 2)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].baselined, v[0].current), (1, 2));
+        // New file not in the baseline.
+        let v = b.check(&[finding("new.rs", "float-eq", 1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].baselined, 0);
+        // Fewer findings than baselined: clean (the ratchet only tightens).
+        assert!(b.check(&[]).is_empty());
+    }
+
+    #[test]
+    fn total_for_sums_selected_rules() {
+        let findings = vec![
+            finding("a.rs", "no-panic", 1),
+            finding("a.rs", "float-eq", 2),
+            finding("b.rs", "no-partial-cmp", 3),
+        ];
+        let b = Baseline::from_findings(&findings, BTreeMap::new());
+        assert_eq!(b.total_for(&["no-panic", "no-partial-cmp"]), 2);
+        assert_eq!(b.total_for(&["float-eq"]), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"version\": 2}").is_err());
+        assert!(Baseline::parse("{\"entries\": {\"f\": {\"r\": \"x\"}}}").is_err());
+    }
+
+    #[test]
+    fn quote_escapes() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,451 @@
+//! A hand-written Rust lexer producing a flat token stream with line numbers.
+//!
+//! The lexer is deliberately forgiving: it never fails. Anything it cannot
+//! classify is emitted as a one-character operator token, and an unterminated
+//! string or comment simply runs to end-of-file. Rules operate on tokens, so
+//! `unwrap` inside a string literal or a comment can never produce a finding.
+//!
+//! Comments are not tokens — they are collected separately (with their line
+//! numbers) so the rule engine can match `// lint: allow(...)` suppression
+//! directives against finding lines.
+
+/// Token classification. Operators keep their full multi-character text
+/// (`==`, `->`, `::`, ...); brackets get their own kinds so rules can match
+/// delimited groups without re-deriving nesting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `as`, ...).
+    Ident,
+    /// Integer literal, including its suffix if any (`42`, `0xff`, `3u64`).
+    Int,
+    /// Float literal (`1.0`, `2.`, `1e-3`, `1f32`).
+    Float,
+    /// String literal of any flavor (`"a"`, `r#"b"#`, `b"c"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Operator / punctuation (`==`, `.`, `#`, `;`, ...).
+    Op,
+    /// Opening bracket: `(`, `[`, or `{`.
+    Open,
+    /// Closing bracket: `)`, `]`, or `}`.
+    Close,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// Consumes bytes while `f` holds, returning the consumed slice.
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) -> &'a [u8] {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+        &self.src[start..self.pos]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never fails; see module docs.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let text = ascii_str(cur.eat_while(|b| b != b'\n'));
+                out.comments.push(Comment { line, text });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                out.comments.push(Comment { line, text: block_comment(&mut cur) });
+            }
+            b'"' => {
+                string_literal(&mut cur);
+                out.tokens.push(tok(TokKind::Str, "\"..\"", line));
+            }
+            b'r' | b'b' if starts_prefixed_literal(&cur) => {
+                let kind = prefixed_literal(&mut cur);
+                out.tokens.push(tok(kind, "\"..\"", line));
+            }
+            b'\'' => {
+                let (kind, text) = quote_token(&mut cur);
+                out.tokens.push(Token { kind, text, line });
+            }
+            _ if is_ident_start(b) => {
+                let text = ascii_str(cur.eat_while(is_ident_continue));
+                out.tokens.push(Token { kind: TokKind::Ident, text, line });
+            }
+            _ if b.is_ascii_digit() => {
+                let (kind, text) = number(&mut cur);
+                out.tokens.push(Token { kind, text, line });
+            }
+            b'(' | b'[' | b'{' => {
+                cur.bump();
+                out.tokens.push(tok(TokKind::Open, ascii_char(b), line));
+            }
+            b')' | b']' | b'}' => {
+                cur.bump();
+                out.tokens.push(tok(TokKind::Close, ascii_char(b), line));
+            }
+            _ => {
+                let text = operator(&mut cur);
+                out.tokens.push(Token { kind: TokKind::Op, text, line });
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Token {
+    Token { kind, text: text.to_string(), line }
+}
+
+fn ascii_str(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+fn ascii_char(b: u8) -> &'static str {
+    match b {
+        b'(' => "(",
+        b'[' => "[",
+        b'{' => "{",
+        b')' => ")",
+        b']' => "]",
+        b'}' => "}",
+        _ => "?",
+    }
+}
+
+/// Whether the cursor sits at `r"`, `r#"`, `b"`, `br"`, `b'`, or a raw
+/// identifier prefix — i.e. the `r`/`b` is a literal prefix, not an ident.
+fn starts_prefixed_literal(cur: &Cursor) -> bool {
+    let (mut i, b0) = (1, cur.peek(0));
+    if b0 == Some(b'b') && cur.peek(1) == Some(b'r') {
+        i = 2;
+    }
+    loop {
+        match cur.peek(i) {
+            Some(b'#') => i += 1,
+            Some(b'"') => return true,
+            Some(b'\'') => return b0 == Some(b'b') && i == 1,
+            _ => return false,
+        }
+    }
+}
+
+/// Consumes a prefixed literal (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`).
+fn prefixed_literal(cur: &mut Cursor) -> TokKind {
+    if cur.peek(0) == Some(b'b') && cur.peek(1) == Some(b'\'') {
+        cur.bump(); // b
+        let (kind, _) = quote_token(cur);
+        return kind;
+    }
+    let mut raw = false;
+    while matches!(cur.peek(0), Some(b'r') | Some(b'b')) {
+        raw |= cur.peek(0) == Some(b'r');
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    // Raw strings have no escapes: scan for `"` followed by `hashes` hashes.
+    'scan: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        if !raw && b == b'\\' {
+            cur.bump();
+        }
+    }
+    TokKind::Str
+}
+
+/// Consumes a cooked string literal body (opening quote at cursor).
+fn string_literal(cur: &mut Cursor) {
+    cur.bump(); // opening "
+    while let Some(b) = cur.bump() {
+        match b {
+            b'"' => break,
+            b'\\' => {
+                cur.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn quote_token(cur: &mut Cursor) -> (TokKind, String) {
+    cur.bump(); // opening '
+    match cur.peek(0) {
+        Some(b) if is_ident_start(b) && cur.peek(1) != Some(b'\'') => {
+            let name = ascii_str(cur.eat_while(is_ident_continue));
+            (TokKind::Lifetime, format!("'{name}"))
+        }
+        _ => {
+            // Char literal: consume one (possibly escaped) char up to `'`.
+            while let Some(b) = cur.bump() {
+                match b {
+                    b'\'' => break,
+                    b'\\' => {
+                        // Consume the escaped char; `\u{…}` spans to `}`.
+                        let esc = cur.bump();
+                        if esc == Some(b'u') && cur.peek(0) == Some(b'{') {
+                            cur.eat_while(|b| b != b'}');
+                            cur.bump();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            (TokKind::Char, "'..'".to_string())
+        }
+    }
+}
+
+/// Lexes a numeric literal, classifying floats by shape or suffix.
+fn number(cur: &mut Cursor) -> (TokKind, String) {
+    let start = cur.pos;
+    let mut float = false;
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return (TokKind::Int, ascii_str(&cur.src[start..cur.pos]));
+    }
+    cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    // Fractional part: `1.5`, `1.` — but not `1..2` (range) or `1.méthode`.
+    if cur.peek(0) == Some(b'.') {
+        let after = cur.peek(1);
+        let fraction = match after {
+            Some(b) if b.is_ascii_digit() => true,
+            Some(b'.') => false,
+            Some(b) if is_ident_start(b) => false,
+            _ => true, // `2.` at end of expression
+        };
+        if fraction {
+            float = true;
+            cur.bump();
+            cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Exponent: `1e3`, `2.5E-7`.
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E')) {
+        let (a, b) = (cur.peek(1), cur.peek(2));
+        let exp = match a {
+            Some(d) if d.is_ascii_digit() => true,
+            Some(b'+') | Some(b'-') => matches!(b, Some(d) if d.is_ascii_digit()),
+            _ => false,
+        };
+        if exp {
+            float = true;
+            cur.bump();
+            cur.bump();
+            cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Suffix: `u64`, `f32`, ... — an `f` suffix makes it a float (`1f32`).
+    let suffix = ascii_str(cur.eat_while(is_ident_continue));
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    let kind = if float { TokKind::Float } else { TokKind::Int };
+    (kind, ascii_str(&cur.src[start..cur.pos]))
+}
+
+/// Consumes a (possibly multi-character) operator.
+fn operator(cur: &mut Cursor) -> String {
+    for op in MULTI_OPS {
+        let bytes = op.as_bytes();
+        if (0..bytes.len()).all(|k| cur.peek(k) == Some(bytes[k])) {
+            for _ in 0..bytes.len() {
+                cur.bump();
+            }
+            return (*op).to_string();
+        }
+    }
+    match cur.bump() {
+        Some(b) => (b as char).to_string(),
+        None => String::new(),
+    }
+}
+
+/// Consumes a (possibly nested) block comment, returning its text.
+fn block_comment(cur: &mut Cursor) -> String {
+    let start = cur.pos;
+    cur.bump(); // /
+    cur.bump(); // *
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    ascii_str(&cur.src[start..cur.pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_calls() {
+        assert_eq!(texts("x.unwrap()"), ["x", ".", "unwrap", "(", ")"]);
+        assert_eq!(texts("a == b != c"), ["a", "==", "b", "!=", "c"]);
+        assert_eq!(texts("a::b->c"), ["a", "::", "b", "->", "c"]);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let l = lex("1 2.5 1e-3 1f32 0..n 0xff 3usize 2.");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Op,
+                TokKind::Ident,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Float,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let l = lex("let s = \"x.unwrap()\"; // call .unwrap() here\n/* panic! */ let y = 1;");
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r####"let s = r#"quote " inside"#; let t = 5;"####);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(l.tokens.iter().any(|t| t.text == "5"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("&'a str; let c = 'x'; let nl = '\\n'; let q = '\\''; &'static u8");
+        let lifes: Vec<&str> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifes, ["'a", "'static"]);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let l = lex("let s = \"oops");
+        assert_eq!(l.tokens.last().map(|t| t.kind), Some(TokKind::Str));
+    }
+}

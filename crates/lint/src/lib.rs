@@ -1,0 +1,168 @@
+//! cascn-lint — workspace-native static analysis for the cascn contracts.
+//!
+//! Clippy cannot express project rules like "`partial_cmp(..).unwrap()` is
+//! banned because the training loop's ordering must be NaN-total" or
+//! "`HashMap` iteration must not feed ordered results in compute crates".
+//! This crate implements them from scratch: a hand-written lexer
+//! ([`lexer`]), a token-tree rule engine ([`rules`]), and a ratchet
+//! baseline ([`baseline`]) that grandfathers existing debt while failing CI
+//! on any regression. See `docs/static-analysis.md` for the contract text.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, RatchetViolation};
+pub use rules::{classify, scan_source, Finding, RULES};
+
+/// Name of the checked-in ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Collects every `.rs` file under `crates/*/src`, sorted for deterministic
+/// output. Paths are returned relative to `root`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    for p in &mut out {
+        if let Ok(rel) = p.strip_prefix(root) {
+            *p = rel.to_path_buf();
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root`. Returns the findings (file
+/// paths relative to the root, `/`-separated) and the number of files read.
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let label = path_label(rel);
+        let src = fs::read_to_string(root.join(rel))?;
+        findings.extend(scan_source(&label, &src, classify(&label)));
+    }
+    Ok((findings, files.len()))
+}
+
+/// Normalizes a path to the `/`-separated form used in findings and the
+/// baseline, so results are identical across platforms.
+pub fn path_label(path: &Path) -> String {
+    let mut label = String::new();
+    for comp in path.components() {
+        if !label.is_empty() {
+            label.push('/');
+        }
+        label.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    label
+}
+
+/// Renders findings for humans: `file:line: [rule] message` plus the
+/// offending source line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.excerpt.is_empty() {
+            let _ = writeln!(out, "    {}", f.excerpt);
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (stable field order).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"excerpt\": {}}}",
+            baseline::quote(&f.file),
+            f.line,
+            baseline::quote(f.rule),
+            baseline::quote(&f.message),
+            baseline::quote(&f.excerpt),
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders ratchet violations for humans.
+pub fn render_violations(violations: &[RatchetViolation], findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        let _ = writeln!(
+            out,
+            "RATCHET: {} has {} `{}` finding(s), baseline allows {}",
+            v.file, v.current, v.rule, v.baselined
+        );
+        for f in findings.iter().filter(|f| f.file == v.file && f.rule == v.rule) {
+            let _ = writeln!(out, "  {}:{}: {}", f.file, f.line, f.message);
+            if !f.excerpt.is_empty() {
+                let _ = writeln!(out, "      {}", f.excerpt);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn json_rendering_is_valid_and_escaped() {
+        let findings = vec![Finding {
+            file: "a\"b.rs".into(),
+            line: 7,
+            rule: "no-panic",
+            message: "msg".into(),
+            excerpt: "x.unwrap()".into(),
+        }];
+        let text = render_json(&findings);
+        let parsed = baseline::Json::parse(&text).expect("render_json output parses");
+        match parsed {
+            baseline::Json::Arr(items) => assert_eq!(items.len(), 1),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn path_label_is_slash_separated() {
+        let p = Path::new("crates").join("tensor").join("src").join("ops.rs");
+        assert_eq!(path_label(&p), "crates/tensor/src/ops.rs");
+    }
+}

@@ -1,0 +1,197 @@
+//! `cascn-lint` CLI.
+//!
+//! ```text
+//! cascn-lint                  # scan, print every finding (ignores baseline)
+//! cascn-lint --check          # fail (exit 1) on any non-baselined finding
+//! cascn-lint --update-baseline# regenerate lint-baseline.json (keeps pre_pr)
+//! cascn-lint --json           # machine-readable findings
+//! cascn-lint --rules          # list the rules and their contracts
+//! cascn-lint --root DIR       # workspace root (default: this crate's ../..)
+//! cascn-lint FILE...          # scan specific files instead of the workspace
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cascn_lint::{
+    baseline::count_findings, classify, path_label, render_human, render_json, render_violations,
+    scan_source, scan_workspace, Baseline, Finding, BASELINE_FILE, RULES,
+};
+
+struct Opts {
+    check: bool,
+    update_baseline: bool,
+    json: bool,
+    list_rules: bool,
+    root: PathBuf,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        check: false,
+        update_baseline: false,
+        json: false,
+        list_rules: false,
+        root: default_root(),
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => opts.json = true,
+            "--rules" => opts.list_rules = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "cascn-lint — static analysis for the cascn numerics/error-handling/determinism contracts
+
+USAGE:
+  cascn-lint [--check | --update-baseline] [--json] [--root DIR] [FILE...]
+
+MODES:
+  (default)          scan and print every finding, ignoring the baseline
+  --check            apply the ratchet baseline; exit 1 on any regression
+  --update-baseline  rewrite lint-baseline.json from the current scan
+  --rules            list the rules
+  --json             emit findings as JSON";
+
+/// The workspace root, assuming the binary runs from the source tree (the
+/// only supported mode: the tool lints this workspace's own sources).
+fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("cascn-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.list_rules {
+        for r in RULES {
+            println!("{:<16} {}", r.id, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let start = std::time::Instant::now();
+    let (findings, n_files) = if opts.files.is_empty() {
+        scan_workspace(&opts.root).map_err(|e| format!("scanning workspace: {e}"))?
+    } else {
+        let mut all = Vec::new();
+        for f in &opts.files {
+            let label = path_label(f);
+            let src =
+                std::fs::read_to_string(f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+            all.extend(scan_source(&label, &src, classify(&label)));
+        }
+        (all, opts.files.len())
+    };
+    let elapsed = start.elapsed();
+
+    let baseline_path = opts.root.join(BASELINE_FILE);
+    if opts.update_baseline {
+        // Preserve the pre-PR reference counts across regenerations; on
+        // first generation, record the current totals as the reference.
+        let pre_pr = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)?.pre_pr,
+            Err(_) => totals(&findings),
+        };
+        let baseline = Baseline::from_findings(&findings, pre_pr);
+        std::fs::write(&baseline_path, baseline.to_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "cascn-lint: baseline updated — {} finding(s) across {} file(s) grandfathered",
+            findings.len(),
+            baseline.entries.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)?,
+            Err(_) => Baseline::default(), // no baseline: everything must be clean
+        };
+        let violations = baseline.check(&findings);
+        if opts.json {
+            let flagged: Vec<Finding> = findings
+                .iter()
+                .filter(|f| {
+                    violations.iter().any(|v| v.file == f.file && v.rule == f.rule)
+                })
+                .cloned()
+                .collect();
+            print!("{}", render_json(&flagged));
+        } else if !violations.is_empty() {
+            print!("{}", render_violations(&violations, &findings));
+        }
+        if violations.is_empty() {
+            if !opts.json {
+                println!(
+                    "cascn-lint: clean — {n_files} file(s), {} baselined finding(s), {:?}",
+                    findings.len(),
+                    elapsed
+                );
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+        eprintln!(
+            "cascn-lint: {} ratchet violation(s) — fix them or (for intentional, justified cases) add `// lint: allow(<rule>) — <why>`",
+            violations.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &findings {
+            *by_rule.entry(f.rule).or_default() += 1;
+        }
+        let summary: Vec<String> =
+            by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        println!(
+            "cascn-lint: {} finding(s) in {n_files} file(s) ({}) in {:?}",
+            findings.len(),
+            if summary.is_empty() { "clean".to_string() } else { summary.join(", ") },
+            elapsed
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-rule totals over the whole scan (the `pre_pr` header shape).
+fn totals(findings: &[Finding]) -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for rules in count_findings(findings).values() {
+        for (rule, n) in rules {
+            *out.entry(rule.clone()).or_default() += n;
+        }
+    }
+    out
+}

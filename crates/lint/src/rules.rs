@@ -1,0 +1,527 @@
+//! The cascn contract rules, evaluated over the token stream.
+//!
+//! Five rules encode the invariants PR 1 (error taxonomy, NaN-safe ordering)
+//! and PR 2 (bit-identical parallel training) established by hand:
+//!
+//! | id                | contract                                              |
+//! |-------------------|-------------------------------------------------------|
+//! | `no-panic`        | no `unwrap`/`expect`/`panic!`/`todo!`/`unreachable!`/ |
+//! |                   | `unimplemented!` in non-test library code             |
+//! | `no-partial-cmp`  | no `partial_cmp(..).unwrap()` — use `total_cmp`       |
+//! | `float-eq`        | no `==`/`!=` against float expressions                |
+//! | `nondeterminism`  | no `HashMap`/`HashSet`/`SystemTime`/`Instant` in      |
+//! |                   | compute crates (tensor/autograd/nn/graph)             |
+//! | `cast-truncation` | no narrowing `as` casts in index arithmetic in the    |
+//! |                   | tensor/graph hot loops                                |
+//!
+//! Code under `#[cfg(test)]` / `#[test]` is exempt from every rule — tests
+//! assert exact values and unwrap fixtures by design. Intentional violations
+//! in library code are suppressed with
+//! `// lint: allow(<rule>) — <justification>` on the finding line or the
+//! line above; a directive without a justification is itself a finding
+//! (`allow-justification`).
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// One rule's identity and one-line contract, for `--rules` and the docs.
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// The rule registry. `allow-justification` is a meta-rule emitted by the
+/// suppression machinery itself and cannot be allowed away.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "no-panic",
+        summary: "no unwrap/expect/panic!/todo!/unreachable!/unimplemented! in non-test library code — route failures through CascnError",
+    },
+    Rule {
+        id: "no-partial-cmp",
+        summary: "no partial_cmp(..).unwrap() — use total_cmp for a NaN-safe total order",
+    },
+    Rule {
+        id: "float-eq",
+        summary: "no ==/!= comparisons against f32/f64 expressions — exact float equality hides NaN and rounding hazards",
+    },
+    Rule {
+        id: "nondeterminism",
+        summary: "no HashMap/HashSet/SystemTime/Instant in compute crates — iteration order and wall-clock reads break bit-identical training",
+    },
+    Rule {
+        id: "cast-truncation",
+        summary: "no narrowing `as` casts inside index arithmetic in tensor/graph hot loops — silent wrap corrupts indexing",
+    },
+];
+
+/// One finding: where, which rule, why, and the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+    pub excerpt: String,
+}
+
+/// Which rule families apply to a file, derived from its crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// tensor / autograd / nn / graph: the deterministic compute core.
+    pub compute: bool,
+    /// tensor / graph: indexing-heavy hot loops.
+    pub hot: bool,
+}
+
+/// Derives the [`FileClass`] from a workspace-relative path.
+pub fn classify(path: &str) -> FileClass {
+    let compute = ["crates/tensor/", "crates/autograd/", "crates/nn/", "crates/graph/"]
+        .iter()
+        .any(|p| path.contains(p));
+    let hot = ["crates/tensor/", "crates/graph/"].iter().any(|p| path.contains(p));
+    FileClass { compute, hot }
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unreachable", "unimplemented"];
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const CLOCK_TYPES: &[&str] = &["SystemTime", "Instant"];
+const NARROWING: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Keywords that can precede `[` without making it an index expression
+/// (slice patterns, array types, repeat expressions).
+const NON_INDEX_BEFORE_BRACKET: &[&str] = &[
+    "let", "mut", "ref", "in", "match", "return", "if", "while", "else", "const", "static", "as",
+    "box", "move", "dyn", "impl", "where", "for",
+];
+
+/// Scans one file's source and returns its findings, already filtered
+/// through test-code masking and `lint: allow` suppression directives.
+pub fn scan_source(file: &str, src: &str, class: FileClass) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let masked = test_mask(toks);
+    let allows = parse_allows(&lexed.comments);
+    let lines: Vec<&str> = src.lines().collect();
+    let excerpt = |line: u32| -> String {
+        lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    };
+
+    let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
+    rule_no_panic(toks, &masked, &mut raw);
+    rule_no_partial_cmp(toks, &masked, &mut raw);
+    rule_float_eq(toks, &masked, &mut raw);
+    if class.compute {
+        rule_nondeterminism(toks, &masked, &mut raw);
+    }
+    if class.hot {
+        rule_cast_truncation(toks, &masked, &mut raw);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (line, rule, message) in raw {
+        let covered = allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule));
+        if !covered {
+            findings.push(Finding { file: file.to_string(), line, rule, message, excerpt: excerpt(line) });
+        }
+    }
+    // An allow directive must carry a justification: the contract is that
+    // every suppression documents *why* the violation is sound.
+    for a in &allows {
+        if !a.justified {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "allow-justification",
+                message: "lint: allow(..) directive without a justification — append `— <why this is sound>`".to_string(),
+                excerpt: excerpt(a.line),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Test-code masking
+// ---------------------------------------------------------------------------
+
+fn is_op(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Op && t.text == s
+}
+
+fn is_open(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Open && t.text == s
+}
+
+fn is_close(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Close && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Finds the index of the bracket that closes the opener at `open`, matching
+/// only the opener's own bracket kind (sufficient for well-formed code).
+fn matching_close(toks: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if is_open(t, o) {
+            depth += 1;
+        } else if is_close(t, c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Marks every token that belongs to test-only code: items annotated
+/// `#[test]` or `#[cfg(test)]` (attribute containing the ident `test` but
+/// not `not`, so `#[cfg(not(test))]` stays live code), including the whole
+/// body of `#[cfg(test)] mod tests { ... }`.
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_op(&toks[i], "#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = matches!(toks.get(j), Some(t) if is_op(t, "!"));
+        if inner {
+            j += 1;
+        }
+        let Some(tj) = toks.get(j) else { break };
+        if !is_open(tj, "[") {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_close(toks, j) else { break };
+        let attr = &toks[j + 1..attr_end];
+        let is_test = attr.iter().any(|t| is_ident(t, "test")) && !attr.iter().any(|t| is_ident(t, "not"));
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the entire file is test code.
+            mask.iter_mut().for_each(|m| *m = true);
+            return mask;
+        }
+        // Skip any further attributes on the same item.
+        let mut p = attr_end + 1;
+        while p + 1 < toks.len() && is_op(&toks[p], "#") && is_open(&toks[p + 1], "[") {
+            match matching_close(toks, p + 1) {
+                Some(e) => p = e + 1,
+                None => break,
+            }
+        }
+        // Find the item body: the first `{` outside parens/brackets, unless a
+        // `;` ends the item first (`#[cfg(test)] use …;`, `mod tests;`).
+        let mut depth = 0isize;
+        let mut body: Option<usize> = None;
+        let mut q = p;
+        while let Some(t) = toks.get(q) {
+            match t.kind {
+                TokKind::Open if t.text != "{" => depth += 1,
+                TokKind::Close if t.text != "}" => depth -= 1,
+                TokKind::Open if depth == 0 => {
+                    body = Some(q);
+                    break;
+                }
+                TokKind::Open => {}
+                TokKind::Op if t.text == ";" && depth == 0 => break,
+                _ => {}
+            }
+            q += 1;
+        }
+        let end = match body.and_then(|b| matching_close(toks, b)) {
+            Some(close) => close,
+            None => q.min(toks.len().saturating_sub(1)),
+        };
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+struct Allow {
+    line: u32,
+    rules: Vec<String>,
+    justified: bool,
+}
+
+/// Parses `lint: allow(rule-a, rule-b) — justification` directives out of
+/// the comment side-channel.
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("lint:") else { continue };
+        let rest = c.text[pos + 5..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let rules: Vec<String> =
+            rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+        let justification: String = rest[close + 1..]
+            .trim_start_matches(|ch: char| ch.is_whitespace() || matches!(ch, '-' | '—' | '–' | ':'))
+            .trim()
+            .to_string();
+        out.push(Allow { line: c.line, rules, justified: justification.len() >= 3 });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+fn rule_no_panic(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static str, String)>) {
+    for (i, t) in toks.iter().enumerate() {
+        if masked[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && is_op(&toks[i - 1], ".")
+            && matches!(toks.get(i + 1), Some(n) if is_open(n, "("));
+        if method {
+            out.push((
+                t.line,
+                "no-panic",
+                format!("`.{}(..)` in non-test library code — return a `CascnError` instead of panicking", t.text),
+            ));
+            continue;
+        }
+        let mac = PANIC_MACROS.contains(&t.text.as_str())
+            && matches!(toks.get(i + 1), Some(n) if is_op(n, "!"));
+        if mac {
+            out.push((
+                t.line,
+                "no-panic",
+                format!("`{}!` in non-test library code — return a `CascnError` instead of panicking", t.text),
+            ));
+        }
+    }
+}
+
+fn rule_no_partial_cmp(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static str, String)>) {
+    for (i, t) in toks.iter().enumerate() {
+        if masked[i] || !is_ident(t, "partial_cmp") {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|n| is_open(n, "(")) else { continue };
+        let _ = open;
+        let Some(close) = matching_close(toks, i + 1) else { continue };
+        let chained_panic = matches!(toks.get(close + 1), Some(d) if is_op(d, "."))
+            && matches!(toks.get(close + 2), Some(m) if is_ident(m, "unwrap") || is_ident(m, "expect"));
+        if chained_panic {
+            out.push((
+                t.line,
+                "no-partial-cmp",
+                "`partial_cmp(..).unwrap()` — NaN makes this panic; use `total_cmp` for a total order".to_string(),
+            ));
+        }
+    }
+}
+
+fn rule_float_eq(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static str, String)>) {
+    for (i, t) in toks.iter().enumerate() {
+        if masked[i] || t.kind != TokKind::Op || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_side = (i > 0 && toks[i - 1].kind == TokKind::Float)
+            || matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Float);
+        if float_side {
+            out.push((
+                t.line,
+                "float-eq",
+                format!("float `{}` comparison — exact equality hides NaN and rounding; compare with an epsilon or justify with `lint: allow`", t.text),
+            ));
+        }
+    }
+}
+
+fn rule_nondeterminism(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static str, String)>) {
+    for (i, t) in toks.iter().enumerate() {
+        if masked[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if HASH_TYPES.contains(&t.text.as_str()) {
+            out.push((
+                t.line,
+                "nondeterminism",
+                format!("`{}` in a compute crate — iteration order is nondeterministic and can leak into results; use a sorted structure or justify lookup-only use", t.text),
+            ));
+        } else if CLOCK_TYPES.contains(&t.text.as_str()) {
+            out.push((
+                t.line,
+                "nondeterminism",
+                format!("wall-clock `{}` in a compute crate — timing reads break bit-identical reproducibility", t.text),
+            ));
+        }
+    }
+}
+
+fn rule_cast_truncation(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static str, String)>) {
+    // Collect the token ranges of postfix index expressions `expr[ ... ]`.
+    let mut in_index = vec![false; toks.len()];
+    for (i, t) in toks.iter().enumerate() {
+        if !is_open(t, "[") || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let postfix = match prev.kind {
+            TokKind::Ident => !NON_INDEX_BEFORE_BRACKET.contains(&prev.text.as_str()),
+            TokKind::Close => true,
+            _ => false,
+        };
+        if !postfix {
+            continue;
+        }
+        if let Some(close) = matching_close(toks, i) {
+            for flag in in_index.iter_mut().take(close).skip(i + 1) {
+                *flag = true;
+            }
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if masked[i] || !in_index[i] || !is_ident(t, "as") {
+            continue;
+        }
+        if let Some(ty) = toks.get(i + 1) {
+            if ty.kind == TokKind::Ident && NARROWING.contains(&ty.text.as_str()) {
+                out.push((
+                    t.line,
+                    "cast-truncation",
+                    format!("narrowing `as {}` inside index arithmetic — values past {}::MAX wrap silently; do index math in usize", ty.text, ty.text),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_source("test.rs", src, FileClass { compute: true, hot: true })
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged() {
+        let f = scan("fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(rules_of(&f), ["no-panic"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); panic!(); }\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_live_code() {
+        let src = "#[cfg(not(test))]\nfn f() { panic!(\"x\") }";
+        assert_eq!(rules_of(&scan(src)), ["no-panic"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(scan("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "fn f() -> &'static str { // call .unwrap() and panic!\n  \"x.unwrap() == 0.0\" }";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_is_flagged_and_total_cmp_is_not() {
+        let bad = "fn s(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(rules_of(&scan(bad)), ["no-panic", "no-partial-cmp"]);
+        let good = "fn s(v: &mut [f32]) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(scan(good).is_empty());
+    }
+
+    #[test]
+    fn float_eq_is_flagged_on_either_side() {
+        assert_eq!(rules_of(&scan("fn f(x: f32) -> bool { x == 0.0 }")), ["float-eq"]);
+        assert_eq!(rules_of(&scan("fn f(x: f32) -> bool { 1e-3 != x }")), ["float-eq"]);
+        assert!(scan("fn f(x: usize) -> bool { x == 0 }").is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_justification() {
+        let src = "fn f(x: f32) -> bool {\n  // lint: allow(float-eq) — exact sparsity sentinel\n  x == 0.0\n}";
+        assert!(scan(src).is_empty());
+        let same_line = "fn f(x: f32) -> bool { x == 0.0 } // lint: allow(float-eq) — sentinel check";
+        assert!(scan(same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let src = "fn f(x: f32) -> bool {\n  // lint: allow(float-eq)\n  x == 0.0\n}";
+        let f = scan(src);
+        assert_eq!(rules_of(&f), ["allow-justification"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(x: f32) -> bool {\n  // lint: allow(no-panic) — wrong rule\n  x == 0.0\n}";
+        assert_eq!(rules_of(&scan(src)), ["float-eq"]);
+    }
+
+    #[test]
+    fn hash_and_clock_flagged_only_in_compute_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); }";
+        let compute = scan_source("crates/nn/src/x.rs", src, classify("crates/nn/src/x.rs"));
+        assert_eq!(rules_of(&compute), ["nondeterminism", "nondeterminism"]);
+        let io = scan_source("crates/cascades/src/x.rs", src, classify("crates/cascades/src/x.rs"));
+        assert!(io.is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_in_index_flagged_only_in_hot_crates() {
+        let src = "fn f(v: &[f32], i: u64) -> f32 { v[(i as u32) as usize] }";
+        let hot = scan_source("crates/tensor/src/x.rs", src, classify("crates/tensor/src/x.rs"));
+        assert_eq!(rules_of(&hot), ["cast-truncation"]);
+        let cold = scan_source("crates/core/src/x.rs", src, classify("crates/core/src/x.rs"));
+        assert!(cold.is_empty());
+        // `as usize` alone is not narrowing; slice patterns are not indexing.
+        assert!(scan("fn f(v: &[f32], i: u64) -> f32 { let [a, ..] = [v[i as usize]]; a }").is_empty());
+    }
+
+    #[test]
+    fn classify_maps_crates() {
+        assert!(classify("crates/tensor/src/ops.rs").hot);
+        assert!(classify("crates/autograd/src/tape.rs").compute);
+        assert!(!classify("crates/autograd/src/tape.rs").hot);
+        assert!(!classify("crates/core/src/trainer.rs").compute);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fixture coverage: every rule has a positive (flagged) and negative
+//! (clean) fixture, plus the suppression-directive matrix. The fixtures in
+//! `tests/fixtures/` are plain text to the lint — they are never compiled.
+
+use cascn_lint::rules::FileClass;
+use cascn_lint::scan_source;
+
+const COMPUTE_HOT: FileClass = FileClass {
+    compute: true,
+    hot: true,
+};
+
+fn rules_of(src: &str, class: FileClass) -> Vec<&'static str> {
+    scan_source("fixture.rs", src, class)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn no_panic_flags_every_panicking_construct() {
+    let src = include_str!("fixtures/no_panic_bad.rs");
+    let found = rules_of(src, COMPUTE_HOT);
+    assert_eq!(
+        found,
+        ["no-panic"; 6],
+        "unwrap, expect, panic!, todo!, unreachable!, unimplemented!"
+    );
+}
+
+#[test]
+fn no_panic_ignores_fallbacks_strings_and_test_code() {
+    let src = include_str!("fixtures/no_panic_ok.rs");
+    assert_eq!(rules_of(src, COMPUTE_HOT), Vec::<&str>::new());
+}
+
+#[test]
+fn partial_cmp_unwrap_and_expect_are_flagged() {
+    let src = include_str!("fixtures/no_partial_cmp.rs");
+    let found = rules_of(src, COMPUTE_HOT);
+    // Each bad line trips both the chained-panic rule and no-panic itself;
+    // the safe total_cmp / Option-propagating forms add nothing.
+    assert_eq!(found.iter().filter(|r| **r == "no-partial-cmp").count(), 2);
+    assert_eq!(found.iter().filter(|r| **r == "no-panic").count(), 2);
+    assert_eq!(found.len(), 4);
+}
+
+#[test]
+fn float_eq_flags_exact_comparisons_only() {
+    let src = include_str!("fixtures/float_eq.rs");
+    assert_eq!(rules_of(src, COMPUTE_HOT), ["float-eq", "float-eq"]);
+}
+
+#[test]
+fn nondeterminism_applies_only_to_compute_crates() {
+    let src = include_str!("fixtures/nondeterminism.rs");
+    let compute = rules_of(src, COMPUTE_HOT);
+    assert_eq!(
+        compute,
+        ["nondeterminism"; 4],
+        "HashMap, HashSet, SystemTime, Instant"
+    );
+    // The same file in a non-compute crate (baselines, bench, …) is clean.
+    assert_eq!(rules_of(src, FileClass::default()), Vec::<&str>::new());
+}
+
+#[test]
+fn cast_truncation_flags_narrowing_in_index_arithmetic_only() {
+    let src = include_str!("fixtures/cast_truncation.rs");
+    let hot = rules_of(src, COMPUTE_HOT);
+    assert_eq!(hot, ["cast-truncation", "cast-truncation"]);
+    // Outside the hot crates the rule does not run at all.
+    assert_eq!(
+        rules_of(
+            src,
+            FileClass {
+                compute: true,
+                hot: false
+            }
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn allow_directive_matrix() {
+    let src = include_str!("fixtures/allow_cases.rs");
+    let findings = scan_source("fixture.rs", src, COMPUTE_HOT);
+    let found: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    // Justified allow: fully suppressed. Bare allow: suppresses the
+    // violation but reports the missing justification. Wrong-rule allow:
+    // the original violation survives.
+    assert_eq!(found, ["allow-justification", "float-eq"]);
+    assert!(
+        findings[0].line < findings[1].line,
+        "meta-finding comes from the earlier bare directive"
+    );
+}

@@ -1,0 +1,19 @@
+// Fixture: suppression-directive handling. One justified allow
+// (suppressed, no finding), one bare allow (meta-finding), one wrong-rule
+// allow (original finding survives). Not compiled — consumed as text by
+// tests/fixtures.rs.
+
+fn justified(x: f32) -> bool {
+    // lint: allow(float-eq) — exact-zero sparsity sentinel, never computed
+    x == 0.0
+}
+
+fn unjustified(x: f32) -> bool {
+    // lint: allow(float-eq)
+    x == 0.0
+}
+
+fn wrong_rule(x: f32) -> bool {
+    // lint: allow(no-panic) — this justifies a different rule
+    x == 0.0
+}

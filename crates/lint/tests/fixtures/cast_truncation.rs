@@ -1,0 +1,26 @@
+// Fixture: narrowing casts inside index arithmetic. Two violations, then
+// safe casts. Not compiled — consumed as text by tests/fixtures.rs.
+
+fn bad_row_index(data: &[f32], row: u64, cols: u64, c: usize) -> f32 {
+    data[(row * cols) as u32 as usize + c]
+}
+
+fn bad_offset(v: &[u8], i: i64) -> u8 {
+    v[(i as i32) as usize]
+}
+
+fn good_widening_index(v: &[u8], i: u32) -> u8 {
+    // Widening to usize is the contract-approved form.
+    v[i as usize]
+}
+
+fn good_narrowing_outside_index(x: u64) -> u32 {
+    // Narrowing outside index arithmetic is a different concern; not this
+    // rule's business.
+    x as u32
+}
+
+fn good_array_type() -> [u8; 4] {
+    // `[u8; 4]` is an array type, not an index expression.
+    [0u8; 4]
+}

@@ -1,0 +1,25 @@
+// Fixture: exact float equality. Two violations, then safe comparisons.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+fn bad_eq(x: f32) -> bool {
+    x == 0.0
+}
+
+fn bad_ne(x: f64) -> bool {
+    1e-9 != x
+}
+
+fn good_integer_eq(x: usize) -> bool {
+    // Integer equality is exact and fine.
+    x == 0
+}
+
+fn good_epsilon(x: f32) -> bool {
+    (x - 1.0).abs() < 1e-6
+}
+
+fn good_range(n: usize) -> usize {
+    // `0..n` must lex as a range of ints, not a float `0.` — guard against
+    // the classic tokenizer false positive.
+    (0..n).sum()
+}

@@ -1,0 +1,26 @@
+// Fixture: every no-panic construct that must be flagged in library code.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+fn unwrap_site(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn expect_site(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+fn panic_site() {
+    panic!("boom");
+}
+
+fn todo_site() {
+    todo!()
+}
+
+fn unreachable_site() {
+    unreachable!("cannot happen")
+}
+
+fn unimplemented_site() {
+    unimplemented!()
+}

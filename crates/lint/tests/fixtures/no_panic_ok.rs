@@ -1,0 +1,27 @@
+// Fixture: constructs that look like panics but must NOT be flagged.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+fn fallback_variants(x: Option<u8>) -> u8 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default never panic.
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+fn text_only() -> &'static str {
+    // A comment saying .unwrap() or panic! is not code.
+    "docs may say x.unwrap() or panic! without tripping the lexer"
+}
+
+fn unwrap_as_plain_ident() {
+    // An identifier named `unwrap` without a leading dot is not a call.
+    let unwrap = 3;
+    let _ = unwrap;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        None::<u8>.unwrap();
+        panic!("tests assert exact fixtures by design");
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: NaN-unsafe float ordering. Two violations, then safe forms.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+fn bad_sort(v: &mut [f32]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn bad_expect(v: &mut [f32]) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+}
+
+fn good_sort(v: &mut [f32]) {
+    // total_cmp is the contract-approved NaN-total order.
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn good_partial_cmp_without_unwrap(a: f32, b: f32) -> Option<std::cmp::Ordering> {
+    // Propagating the Option is fine; only the chained panic is banned.
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,25 @@
+// Fixture: nondeterminism sources banned from compute crates. Four
+// violations (HashMap, HashSet, SystemTime, Instant), then safe forms.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+use std::collections::HashMap;
+
+fn bad_hash_set() {
+    let _s: std::collections::HashSet<u32> = Default::default();
+}
+
+fn bad_clocks() {
+    let _t = std::time::SystemTime::now();
+    let _i = std::time::Instant::now();
+}
+
+fn good_btree() {
+    // Ordered containers are deterministic and allowed everywhere.
+    let mut m = std::collections::BTreeMap::new();
+    m.insert(1u32, 2u32);
+}
+
+fn good_sorted_vec(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}

@@ -1,0 +1,55 @@
+//! The live workspace must scan clean modulo the checked-in ratchet
+//! baseline, and the full scan must stay fast enough to run on every CI
+//! invocation.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cascn_lint::{scan_workspace, Baseline, BASELINE_FILE};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_no_unbaselined_findings() {
+    let root = workspace_root();
+    let (findings, files) = scan_workspace(&root).expect("scan workspace");
+    assert!(files > 50, "expected the full workspace, scanned {files} files");
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+
+    let violations = baseline.check(&findings);
+    assert!(
+        violations.is_empty(),
+        "ratchet violations:\n{}",
+        cascn_lint::render_violations(&violations, &findings)
+    );
+}
+
+#[test]
+fn full_scan_is_fast() {
+    let root = workspace_root();
+    let start = Instant::now();
+    let (_, files) = scan_workspace(&root).expect("scan workspace");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "scanned {files} files in {elapsed:?}; the CI hook budget is 2s"
+    );
+}
+
+#[test]
+fn baseline_header_records_pre_pr_debt() {
+    // The ratchet file carries the pre-PR counts so the burn-down is
+    // auditable: no-panic + no-partial-cmp started at 36 findings.
+    let text =
+        std::fs::read_to_string(workspace_root().join(BASELINE_FILE)).expect("baseline exists");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let pre_panic = baseline.pre_pr.get("no-panic").copied().unwrap_or(0);
+    let pre_partial = baseline.pre_pr.get("no-partial-cmp").copied().unwrap_or(0);
+    assert_eq!(pre_panic + pre_partial, 36);
+}

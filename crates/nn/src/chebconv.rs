@@ -75,6 +75,7 @@ impl ConvGate {
             });
         }
         let b = tape.param(store, self.b);
+        // lint: allow(no-panic) — the weight bank has K+1 ≥ 1 entries by construction
         let pre = acc.expect("at least one Chebyshev order");
         tape.add_bias(pre, b)
     }

@@ -1,5 +1,6 @@
 //! User-identity embeddings and the id vocabulary.
 
+// lint: allow(nondeterminism) — Vocab's map is lookup-only; its iteration order is never observed
 use std::collections::HashMap;
 
 use cascn_autograd::{ParamId, ParamStore, Tape, Var};
@@ -11,6 +12,7 @@ use crate::init;
 /// for out-of-vocabulary users (test-set users unseen during training).
 #[derive(Debug, Clone, Default)]
 pub struct Vocab {
+    // lint: allow(nondeterminism) — ids are assigned on insertion order and read by point lookup; the map is never iterated
     index: HashMap<u64, usize>,
 }
 
@@ -18,6 +20,7 @@ impl Vocab {
     /// Builds a vocabulary from training-set user ids. `max_size` bounds the
     /// table (0 = unbounded); ids are admitted first-come-first-served.
     pub fn build(users: impl Iterator<Item = u64>, max_size: usize) -> Self {
+        // lint: allow(nondeterminism) — populated in caller-supplied order, read only via get
         let mut index = HashMap::new();
         for u in users {
             if max_size > 0 && index.len() >= max_size {

@@ -117,9 +117,10 @@ impl Mlp {
         x
     }
 
-    /// Output dimension of the final layer.
+    /// Output dimension of the final layer (0 for the impossible empty MLP;
+    /// `new` asserts at least one layer).
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").out_dim()
+        self.layers.last().map_or(0, |l| l.out_dim())
     }
 }
 

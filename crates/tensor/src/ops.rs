@@ -38,7 +38,10 @@ impl Matrix {
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
+            debug_assert_eq!(a_row.len(), other.rows(), "matmul: row {i} width");
+            debug_assert_eq!(out_row.len(), n, "matmul: output row {i} width");
             for (p, &a_ip) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) — exact-zero sparsity skip, only taken when `other` is all-finite (no NaN masking)
                 if skip_zeros && a_ip == 0.0 {
                     continue;
                 }
@@ -89,7 +92,10 @@ impl Matrix {
         for p in 0..self.rows() {
             let a_row = self.row(p);
             let b_row = other.row(p);
+            debug_assert_eq!(a_row.len(), m, "matmul_at_b: row {p} width");
+            debug_assert_eq!(b_row.len(), n, "matmul_at_b: rhs row {p} width");
             for (i, &a) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) — exact-zero sparsity skip, only taken when `other` is all-finite (no NaN masking)
                 if skip_zeros && a == 0.0 {
                     continue;
                 }
@@ -121,8 +127,10 @@ impl Matrix {
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
+            debug_assert_eq!(a_row.len(), self.cols(), "matmul_a_bt: row {i} width");
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = other.row(j);
+                debug_assert_eq!(b_row.len(), a_row.len(), "matmul_a_bt: rhs row {j} width");
                 *o = dot(a_row, b_row);
             }
         }
@@ -219,6 +227,7 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        debug_assert_eq!(self.as_slice().len(), other.as_slice().len(), "{op}: buffer length");
         Matrix::from_vec(
             self.rows(),
             self.cols(),
@@ -282,6 +291,39 @@ mod tests {
     #[should_panic(expected = "matmul")]
     fn matmul_rejects_mismatched_shapes() {
         let _ = a().matmul(&a());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_at_b")]
+    fn matmul_at_b_rejects_mismatched_shapes() {
+        // 2x3 ᵀ· 3x2: row counts 2 vs 3 differ, so the dimension check
+        // (assert in every profile, reinforced by debug_assert_eq! row-width
+        // checks in debug builds) must fire.
+        let _ = a().matmul_at_b(&b());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_a_bt")]
+    fn matmul_a_bt_rejects_mismatched_shapes() {
+        let _ = a().matmul_a_bt(&b());
+    }
+
+    #[test]
+    #[should_panic(expected = "hadamard")]
+    fn elementwise_rejects_mismatched_shapes() {
+        let _ = a().hadamard(&b());
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy")]
+    fn axpy_rejects_mismatched_shapes() {
+        a().axpy(1.0, &b());
+    }
+
+    #[test]
+    #[should_panic(expected = "add_row_broadcast")]
+    fn broadcast_rejects_non_row_bias() {
+        let _ = a().add_row_broadcast(&b());
     }
 
     #[test]

@@ -16,12 +16,16 @@ impl Matrix {
         let mut a = self.clone();
         let mut x = b.clone();
         for col in 0..n {
-            // Partial pivot.
-            let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[(r1, col)].abs().total_cmp(&a[(r2, col)].abs())
-                })
-                .expect("non-empty range");
+            // Partial pivot: explicit scan instead of `max_by(..).expect(..)`
+            // so there is no panicking path. `>` never selects a NaN entry;
+            // a NaN pivot can then only happen when the whole column is NaN,
+            // and it propagates into the solution as IEEE-754 demands.
+            let mut pivot_row = col;
+            for r in col + 1..n {
+                if a[(r, col)].abs() > a[(pivot_row, col)].abs() {
+                    pivot_row = r;
+                }
+            }
             let pivot = a[(pivot_row, col)];
             if pivot.abs() < 1e-12 {
                 return None;
@@ -39,6 +43,7 @@ impl Matrix {
             // Eliminate below.
             for r in col + 1..n {
                 let factor = a[(r, col)] / a[(col, col)];
+                // lint: allow(float-eq) — exact-zero elimination skip; NaN factors compare unequal and still eliminate
                 if factor == 0.0 {
                     continue;
                 }

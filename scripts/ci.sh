@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: release build, clippy with warnings-as-errors, the full test
-# suite, the thread-parity suite in release (optimized float codegen is the
-# configuration that ships), bench compilation, and the kill-and-resume
-# smoke test.
+# CI gate: release build, the cascn-lint contract ratchet, clippy with
+# warnings-as-errors, the full test suite, the thread-parity suite in
+# release (optimized float codegen is the configuration that ships), bench
+# compilation, and the kill-and-resume smoke test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 cargo build --release
+cargo run --release -p cascn-lint -- --check
 cargo clippy --all-targets -- -D warnings
 cargo test -q
 cargo test -q --release -p cascn --test thread_parity
