@@ -1,0 +1,293 @@
+//! Load generator for `cascn-serve`: concurrent keep-alive clients,
+//! client-side latency percentiles, and optional metrics scrape/shutdown.
+//!
+//! ```text
+//! cargo run --release -p cascn-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:8077 --requests 200 --concurrency 4 \
+//!     --n-cascades 20 --window 25 --print-metrics --shutdown
+//! ```
+//!
+//! Requests draw from a fixed pool of `--n-cascades` synthetic cascades,
+//! two per request, rotating — so a run longer than the pool revisits
+//! payloads and exercises the server's spectral cache. Exits nonzero if
+//! any request fails outright (connection error, unexpected status).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::time::Instant;
+
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::Cascade;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid {name} `{v}`")),
+    }
+}
+
+/// Outcome counts plus every successful request's latency in µs.
+#[derive(Default)]
+struct WorkerReport {
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    latencies_us: Vec<u64>,
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").ok_or("missing --addr HOST:PORT")?.to_string();
+    let requests: usize = parse_or(args, "--requests", 100)?;
+    let concurrency: usize = parse_or(args, "--concurrency", 4)?.max(1);
+    let window: f64 = parse_or(args, "--window", 25.0)?;
+    let n_cascades: usize = parse_or(args, "--n-cascades", 20)?.max(2);
+    let seed: u64 = parse_or(args, "--seed", 7)?;
+    let print_metrics = args.iter().any(|a| a == "--print-metrics");
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    // A fixed pool of payload bodies; request i sends pool[i % len].
+    let dataset = WeiboGenerator::new(WeiboConfig {
+        num_cascades: n_cascades,
+        seed,
+        max_size: 40,
+    })
+    .generate();
+    let bodies: Vec<String> = dataset
+        .cascades
+        .chunks(2)
+        .map(serialize_cascades)
+        .collect();
+
+    let started = Instant::now();
+    let reports: Vec<WorkerReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|w| {
+                let addr = addr.as_str();
+                let bodies = &bodies;
+                // Worker w sends requests w, w+C, w+2C, … so the request
+                // count is exact for any concurrency.
+                s.spawn(move || {
+                    let mut report = WorkerReport::default();
+                    let mut conn: Option<BufReader<TcpStream>> = None;
+                    for i in (w..requests).step_by(concurrency) {
+                        let body = &bodies[i % bodies.len()];
+                        let t0 = Instant::now();
+                        // A send error on a cached keep-alive connection
+                        // usually means the server closed it; one retry on
+                        // a fresh connection separates that from real
+                        // failures.
+                        let mut outcome = send_predict(&mut conn, addr, body, window);
+                        if outcome.is_err() {
+                            outcome = send_predict(&mut conn, addr, body, window);
+                        }
+                        match outcome {
+                            Ok(200) => {
+                                report.ok += 1;
+                                report
+                                    .latencies_us
+                                    .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                            }
+                            Ok(503) => report.shed += 1,
+                            Ok(status) => {
+                                eprintln!("request {i}: unexpected status {status}");
+                                report.failed += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("request {i}: {e}");
+                                report.failed += 1;
+                                conn = None;
+                            }
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => {
+                    let mut r = WorkerReport::default();
+                    r.failed += 1;
+                    r
+                }
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut shed, mut failed) = (0usize, 0usize, 0usize);
+    for r in reports {
+        ok += r.ok;
+        shed += r.shed;
+        failed += r.failed;
+        latencies.extend(r.latencies_us);
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    println!(
+        "loadgen: {ok} ok, {shed} shed, {failed} failed in {elapsed:.2}s ({:.1} req/s)",
+        ok as f64 / elapsed.max(1e-9)
+    );
+    println!(
+        "client latency: p50 {}us  p90 {}us  p99 {}us",
+        pct(0.5),
+        pct(0.9),
+        pct(0.99)
+    );
+
+    if print_metrics {
+        let text = simple_request(&addr, "GET", "/metrics")?;
+        print!("{text}");
+    }
+    if shutdown {
+        let _ = simple_request(&addr, "POST", "/shutdown")?;
+        println!("loadgen: shutdown sent");
+    }
+    if failed > 0 || ok == 0 {
+        return Err(format!("{failed} failed requests, {ok} ok"));
+    }
+    Ok(())
+}
+
+/// Writes cascades in the server's request text format.
+fn serialize_cascades(cascades: &[Cascade]) -> String {
+    let mut s = String::new();
+    for c in cascades {
+        s.push_str(&format!("cascade {} {}\n", c.id, c.start_time));
+        for e in &c.events {
+            let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+            s.push_str(&format!("event {} {parent} {}\n", e.user, e.time));
+        }
+    }
+    s
+}
+
+/// Sends one predict over a cached keep-alive connection, reconnecting on
+/// demand. Returns the response status.
+fn send_predict(
+    conn: &mut Option<BufReader<TcpStream>>,
+    addr: &str,
+    body: &str,
+    window: f64,
+) -> Result<u16, String> {
+    if conn.is_none() {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        *conn = Some(BufReader::new(stream));
+    }
+    let Some(reader) = conn.as_mut() else {
+        return Err("no connection".into());
+    };
+    let raw = format!(
+        "POST /predict?window={window} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let outcome = (|| -> Result<(u16, bool), String> {
+        reader
+            .get_mut()
+            .write_all(raw.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let (status, _body, keep_alive) = read_response(reader)?;
+        Ok((status, keep_alive))
+    })();
+    match outcome {
+        Ok((status, keep_alive)) => {
+            // The server says when it will close (shed responses, errors);
+            // reusing such a connection would hit a dead socket.
+            if !keep_alive {
+                *conn = None;
+            }
+            Ok(status)
+        }
+        Err(e) => {
+            *conn = None;
+            Err(e)
+        }
+    }
+}
+
+/// One request on a fresh connection; returns the body.
+fn simple_request(addr: &str, method: &str, path: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let raw = format!("{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: 0\r\n\r\n");
+    reader
+        .get_mut()
+        .write_all(raw.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let (status, body, _) = read_response(&mut reader)?;
+    if status != 200 {
+        return Err(format!("{method} {path}: status {status}: {body}"));
+    }
+    Ok(body)
+}
+
+/// Reads one HTTP/1.1 response: status, body, and whether the server will
+/// keep the connection alive.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, String, bool), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", status_line.trim()))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        if n == 0 {
+            return Err("eof inside headers".into());
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad content-length: {e}"))?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                keep_alive = false;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned(), keep_alive))
+}

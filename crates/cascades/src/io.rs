@@ -287,7 +287,8 @@ fn parse_dataset(
 
 /// Validates a non-root `event` (at cascade index `idx`) against its
 /// predecessor — the incremental form of [`crate::validate_events`].
-fn check_follow_on(prev: &Event, event: &Event, idx: usize) -> Option<CascadeFault> {
+/// Shared with the streaming request parser (`crate::stream`).
+pub(crate) fn check_follow_on(prev: &Event, event: &Event, idx: usize) -> Option<CascadeFault> {
     if event.time < 0.0 {
         return Some(CascadeFault::NegativeTime { index: idx, time: event.time });
     }
@@ -351,7 +352,7 @@ fn stem_hint(path: &Path) -> String {
         .unwrap_or_else(|| "dataset".into())
 }
 
-fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+pub(crate) fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
     let tok = tok.ok_or_else(|| format!("missing {what}"))?;
     tok.parse()
         .map_err(|_| format!("invalid {what}: `{tok}`"))

@@ -32,6 +32,7 @@ pub mod features;
 pub mod deephawkes_format;
 pub mod io;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 pub mod validate;
 

@@ -1,0 +1,308 @@
+//! Incremental, bounded parsing of the cascade text format — the request
+//! parser of the serving layer.
+//!
+//! [`crate::io::dataset_from_str`] slurps a whole file and builds a
+//! [`crate::Dataset`]; a server handling untrusted request bodies needs
+//! neither. [`CascadeStream`] consumes the same line format one line at a
+//! time, enforces caps on cascade and event counts *as it reads* (so an
+//! oversized body is rejected at the first line that exceeds a limit, not
+//! after buffering everything), and yields each cascade as soon as the next
+//! header — or the end of input — proves it complete.
+//!
+//! The grammar is the one [`crate::io`] writes:
+//!
+//! ```text
+//! cascade <id> <start_time>
+//! event <user> <parent_index|-> <time>
+//! ```
+//!
+//! Comments (`#`) and blank lines are skipped. Every cascade invariant is
+//! validated incrementally with the same checks as the strict loader, so a
+//! body accepted here parses identically under [`crate::io`].
+
+use crate::io::{check_follow_on, parse_tok, ReadError};
+use crate::validate::CascadeFault;
+use crate::{Cascade, Event};
+
+/// Caps applied while streaming. Both limits are inclusive maxima.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamLimits {
+    /// Maximum number of cascades one stream may carry.
+    pub max_cascades: usize,
+    /// Maximum number of events in any single cascade.
+    pub max_events: usize,
+}
+
+impl Default for StreamLimits {
+    fn default() -> Self {
+        Self {
+            max_cascades: 64,
+            max_events: 10_000,
+        }
+    }
+}
+
+/// The cascade currently being assembled.
+struct Pending {
+    id: u64,
+    start: f64,
+    events: Vec<Event>,
+}
+
+/// An incremental parser over the cascade line format.
+pub struct CascadeStream {
+    limits: StreamLimits,
+    lineno: usize,
+    emitted: usize,
+    current: Option<Pending>,
+}
+
+impl CascadeStream {
+    /// Creates a stream enforcing `limits`.
+    pub fn new(limits: StreamLimits) -> Self {
+        Self {
+            limits,
+            lineno: 0,
+            emitted: 0,
+            current: None,
+        }
+    }
+
+    /// 1-based number of lines consumed so far.
+    pub fn lines_read(&self) -> usize {
+        self.lineno
+    }
+
+    /// Feeds one line. Returns `Ok(Some(cascade))` when this line completed
+    /// the *previous* cascade (i.e. it was the next `cascade` header), and
+    /// `Ok(None)` otherwise. Errors carry the 1-based line number.
+    pub fn push_line(&mut self, raw: &str) -> Result<Option<Cascade>, ReadError> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        let line = raw.trim();
+        let err = |message: String| ReadError::Parse { line: lineno, message };
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("cascade") => {
+                let header = (|| -> Result<Pending, String> {
+                    let id = parse_tok(parts.next(), "cascade id")?;
+                    let start = parse_tok(parts.next(), "start time")?;
+                    Ok(Pending { id, start, events: Vec::new() })
+                })()
+                .map_err(err)?;
+                if self.emitted + usize::from(self.current.is_some()) >= self.limits.max_cascades {
+                    return Err(err(format!(
+                        "too many cascades (limit {})",
+                        self.limits.max_cascades
+                    )));
+                }
+                let done = self.flush()?;
+                self.current = Some(header);
+                Ok(done)
+            }
+            Some("event") => {
+                let Some(pending) = self.current.as_mut() else {
+                    return Err(err("event before any cascade header".into()));
+                };
+                if pending.events.len() >= self.limits.max_events {
+                    return Err(err(format!(
+                        "cascade {} exceeds the event limit ({})",
+                        pending.id, self.limits.max_events
+                    )));
+                }
+                let event = (|| -> Result<Event, String> {
+                    let user = parse_tok(parts.next(), "user")?;
+                    let parent_tok = parts.next().ok_or("missing parent field")?;
+                    let parent = if parent_tok == "-" {
+                        None
+                    } else {
+                        Some(parse_tok(Some(parent_tok), "parent")?)
+                    };
+                    let time = parse_tok(parts.next(), "time")?;
+                    Ok(Event { user, parent, time })
+                })()
+                .map_err(err)?;
+                let idx = pending.events.len();
+                // Same incremental invariants as the strict file loader.
+                let fault = match pending.events.last() {
+                    None => {
+                        if event.parent.is_some() {
+                            Some(CascadeFault::RootHasParent)
+                        // lint: allow(float-eq) — the format contract pins the root at exactly t=0
+                        } else if event.time != 0.0 {
+                            Some(CascadeFault::RootTimeNonZero { time: event.time })
+                        } else {
+                            None
+                        }
+                    }
+                    Some(prev) => check_follow_on(prev, &event, idx),
+                };
+                if let Some(f) = fault {
+                    return Err(err(f.to_string()));
+                }
+                pending.events.push(event);
+                Ok(None)
+            }
+            Some(other) => Err(err(format!("unknown record type `{other}`"))),
+            None => Ok(None),
+        }
+    }
+
+    /// Signals end of input, returning the final cascade if one is pending.
+    pub fn finish(mut self) -> Result<Option<Cascade>, ReadError> {
+        self.flush()
+    }
+
+    /// Completes the pending cascade. Per-line validation already enforced
+    /// the event invariants, so only emptiness can fail here.
+    fn flush(&mut self) -> Result<Option<Cascade>, ReadError> {
+        let Some(p) = self.current.take() else {
+            return Ok(None);
+        };
+        let line = self.lineno;
+        if p.events.is_empty() {
+            return Err(ReadError::Parse {
+                line,
+                message: format!("cascade {} has no events", p.id),
+            });
+        }
+        let id = p.id;
+        let cascade = Cascade::try_new(p.id, p.start, p.events).map_err(|f| ReadError::Parse {
+            line,
+            message: format!("cascade {id}: {f}"),
+        })?;
+        self.emitted += 1;
+        Ok(Some(cascade))
+    }
+}
+
+/// Drives a [`CascadeStream`] over a complete request body, collecting every
+/// cascade. An empty (or comment-only) body yields an empty vector.
+pub fn parse_cascades(text: &str, limits: StreamLimits) -> Result<Vec<Cascade>, ReadError> {
+    let mut stream = CascadeStream::new(limits);
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(c) = stream.push_line(line)? {
+            out.push(c);
+        }
+    }
+    if let Some(c) = stream.finish()? {
+        out.push(c);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{dataset_from_str, dataset_to_string};
+    use crate::synth::{WeiboConfig, WeiboGenerator};
+
+    fn limits() -> StreamLimits {
+        StreamLimits::default()
+    }
+
+    #[test]
+    fn streaming_matches_the_batch_loader() {
+        let d = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 30,
+            seed: 5,
+            max_size: 120,
+        })
+        .generate();
+        let text = dataset_to_string(&d);
+        let streamed = parse_cascades(&text, StreamLimits { max_cascades: 30, max_events: 10_000 })
+            .expect("valid dataset streams");
+        let batch = dataset_from_str(&text, "x").expect("valid dataset parses");
+        assert_eq!(streamed, batch.cascades);
+    }
+
+    #[test]
+    fn cascades_are_yielded_incrementally() {
+        let mut s = CascadeStream::new(limits());
+        assert!(s.push_line("cascade 1 0.0").unwrap().is_none());
+        assert!(s.push_line("event 5 - 0.0").unwrap().is_none());
+        assert!(s.push_line("event 6 0 1.0").unwrap().is_none());
+        // The next header completes cascade 1.
+        let done = s.push_line("cascade 2 0.0").unwrap().expect("cascade 1 completes");
+        assert_eq!(done.id, 1);
+        assert_eq!(done.final_size(), 2);
+        assert!(s.push_line("event 7 - 0.0").unwrap().is_none());
+        let last = s.finish().unwrap().expect("cascade 2 completes");
+        assert_eq!(last.id, 2);
+    }
+
+    #[test]
+    fn empty_body_is_empty_not_an_error() {
+        assert!(parse_cascades("", limits()).unwrap().is_empty());
+        assert!(parse_cascades("# just a comment\n\n", limits()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_cascades("cascade 1 0.0\nevent 5 - 0.0\nevent 6 bogus 1.0\n", limits())
+            .unwrap_err();
+        match err {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("parent"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invariants_are_enforced_incrementally() {
+        for (body, needle) in [
+            ("event 1 - 0.0\n", "before any cascade header"),
+            ("cascade 1 0.0\nevent 5 - 2.0\n", "root must be at t=0"),
+            ("cascade 1 0.0\nevent 5 - 0.0\nevent 6 9 1.0\n", "later parent"),
+            ("cascade 1 0.0\nevent 5 - 0.0\nevent 6 0 9.0\nevent 7 1 4.0\n", "not time-sorted"),
+            ("cascade 1 0.0\nwat 1 2 3\n", "unknown record type"),
+            ("cascade 1 0.0\n", "has no events"),
+        ] {
+            let err = parse_cascades(body, limits()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "body {body:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_count_limit_is_enforced_at_the_header() {
+        let body = "cascade 1 0.0\nevent 5 - 0.0\ncascade 2 0.0\nevent 6 - 0.0\n";
+        let tight = StreamLimits { max_cascades: 1, max_events: 100 };
+        let err = parse_cascades(body, tight).unwrap_err();
+        match err {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 3, "rejected at the second header");
+                assert!(message.contains("too many cascades"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Exactly at the limit is fine.
+        let ok = parse_cascades(body, StreamLimits { max_cascades: 2, max_events: 100 });
+        assert_eq!(ok.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn event_count_limit_is_enforced_mid_cascade() {
+        let mut body = String::from("cascade 1 0.0\nevent 0 - 0.0\n");
+        for i in 1..10 {
+            body.push_str(&format!("event {i} 0 {}.0\n", i));
+        }
+        let tight = StreamLimits { max_cascades: 4, max_events: 5 };
+        let err = parse_cascades(&body, tight).unwrap_err();
+        match err {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 7, "rejected at the first event past the cap");
+                assert!(message.contains("event limit"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+}

@@ -312,25 +312,46 @@ impl TrainCheckpoint {
                 CascnError::Checkpoint(m) => {
                     CascnError::Checkpoint(format!("{}: {m}", path.display()))
                 }
+                CascnError::CheckpointTruncated { offset, message } => {
+                    CascnError::CheckpointTruncated {
+                        offset,
+                        message: format!("{}: {message}", path.display()),
+                    }
+                }
                 other => other,
             })
     }
 }
 
 /// Splits off and verifies the checksum footer, returning the covered body.
+///
+/// A file whose final line is not a complete checksum footer was cut short
+/// — the footer is always the last thing written — so that case surfaces
+/// as [`CascnError::CheckpointTruncated`] with the byte offset at which
+/// the file ended. A present, well-formed footer that fails to match is
+/// corruption instead ([`CascnError::Checkpoint`]).
 fn verify_checksum(text: &str) -> Result<&str, CascnError> {
+    let truncated = |message: String| CascnError::CheckpointTruncated {
+        offset: text.len(),
+        message,
+    };
     let footer_at = text
         .lines()
         .last()
         .filter(|l| l.starts_with(CHECKSUM_PREFIX))
         .and_then(|l| text.rfind(l))
         .ok_or_else(|| {
-            CascnError::Checkpoint(
-                "missing checksum footer — file truncated or not a v2 checkpoint".into(),
-            )
+            truncated("missing checksum footer — file cut short or not a v2 checkpoint".into())
         })?;
     let footer = text[footer_at..].trim_end();
     let hex = &footer[CHECKSUM_PREFIX.len()..];
+    if hex.len() < 16 {
+        // The 16-hex-digit checksum itself was cut mid-write.
+        return Err(truncated(format!(
+            "checksum footer cut short after {} of 16 hex digits (`{hex}`)",
+            hex.len()
+        )));
+    }
     let expected = u64::from_str_radix(hex.trim(), 16).map_err(|_| {
         CascnError::Checkpoint(format!("malformed checksum footer `{hex}`"))
     })?;
@@ -467,6 +488,48 @@ mod tests {
                 msg.contains("checksum") || msg.contains("truncated"),
                 "cut at {frac}: {msg}"
             );
+        }
+    }
+
+    #[test]
+    fn truncation_reports_distinct_variant_with_byte_offset() {
+        // Regression: a truncated file used to surface as a generic
+        // `Checkpoint` parse error; it must be its own variant carrying the
+        // byte offset where the file ended.
+        let text = sample().to_text();
+        for cut in [text.len() / 3, text.len() - 40, text.len() - 5] {
+            match TrainCheckpoint::from_text(&text[..cut]).unwrap_err() {
+                CascnError::CheckpointTruncated { offset, .. } => {
+                    assert_eq!(offset, cut, "offset must be where the bytes stop");
+                }
+                other => panic!("cut at {cut}: expected CheckpointTruncated, got {other}"),
+            }
+        }
+        // And the file loader preserves the variant while prefixing the path.
+        let dir = std::env::temp_dir().join("cascn_ckpt_trunc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.ckpt");
+        let cut = text.len() / 2;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        match TrainCheckpoint::load(&path).unwrap_err() {
+            CascnError::CheckpointTruncated { offset, message } => {
+                assert_eq!(offset, cut);
+                assert!(message.contains("cut.ckpt"), "{message}");
+            }
+            other => panic!("expected CheckpointTruncated, got {other}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corruption_keeps_the_generic_checkpoint_variant() {
+        // A full-length file with a matching-length footer but flipped body
+        // bytes is corruption, not truncation.
+        let text = sample().to_text();
+        let flipped = text.replacen("0.25", "0.26", 1);
+        match TrainCheckpoint::from_text(&flipped).unwrap_err() {
+            CascnError::Checkpoint(m) => assert!(m.contains("checksum mismatch"), "{m}"),
+            other => panic!("expected Checkpoint, got {other}"),
         }
     }
 

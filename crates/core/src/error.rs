@@ -21,9 +21,19 @@ pub enum CascnError {
         /// Explanation.
         message: String,
     },
-    /// A checkpoint file is corrupt, truncated, or from an unknown format
-    /// version.
+    /// A checkpoint file is corrupt or from an unknown format version.
     Checkpoint(String),
+    /// A checkpoint file ends before its checksum footer — the signature of
+    /// a truncated copy (crash mid-write on a non-atomic filesystem, a
+    /// partial download). Distinct from [`CascnError::Checkpoint`] so
+    /// callers can tell "re-fetch the file" from "the file is garbage".
+    CheckpointTruncated {
+        /// Byte offset at which the file ended (where the remainder of the
+        /// checkpoint, up to its footer, was expected).
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
     /// A checkpoint does not match the model architecture it is being loaded
     /// into (shape-header or parameter-count mismatch).
     Architecture(String),
@@ -45,6 +55,9 @@ impl std::fmt::Display for CascnError {
                 write!(f, "data parse error at line {line}: {message}")
             }
             CascnError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            CascnError::CheckpointTruncated { offset, message } => {
+                write!(f, "checkpoint truncated at byte {offset}: {message}")
+            }
             CascnError::Architecture(m) => write!(f, "architecture mismatch: {m}"),
             CascnError::Config(m) => write!(f, "config error: {m}"),
             CascnError::Train(m) => write!(f, "training error: {m}"),
@@ -87,6 +100,7 @@ mod tests {
             io::Error::other("disk gone").into(),
             ReadError::Parse { line: 12, message: "bad parent".into() }.into(),
             CascnError::Checkpoint("checksum mismatch".into()),
+            CascnError::CheckpointTruncated { offset: 512, message: "missing footer".into() },
             CascnError::Architecture("hidden 8 vs 16".into()),
             CascnError::EmptyDataset("no test cascades after filtering".into()),
         ];
@@ -95,6 +109,17 @@ mod tests {
             assert!(!s.contains('\n'), "multi-line error display: {s}");
             assert!(!s.is_empty());
         }
+    }
+
+    #[test]
+    fn truncation_display_carries_byte_offset() {
+        let e = CascnError::CheckpointTruncated {
+            offset: 4096,
+            message: "missing checksum footer".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("truncated at byte 4096"), "{s}");
+        assert!(s.contains("missing checksum footer"), "{s}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! once per cascade and cache the result across epochs.
 
 use cascn_cascades::Cascade;
-use cascn_graph::{laplacian, DiGraph};
+use cascn_graph::{laplacian, DiGraph, SpectralBasis};
 use cascn_tensor::Matrix;
 
 use crate::config::{CascnConfig, LambdaMax, LaplacianKind};
@@ -40,6 +40,17 @@ pub struct PreprocessedCascade {
 /// 4. emit the Fig. 3 adjacency snapshot sequence, column-padded to
 ///    `cfg.max_nodes` so every cascade shares the filter width.
 pub fn preprocess(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> PreprocessedCascade {
+    let basis = spectral_basis(cascade, window, cfg);
+    assemble(cascade, window, cfg, basis)
+}
+
+/// Step 2–3 of [`preprocess`] in isolation: the cascade's spectral handle
+/// (Laplacian → scaling → Chebyshev bases).
+///
+/// This is the expensive, model-parameter-independent part of
+/// preprocessing, so serving layers compute it once per (cascade, window)
+/// and reuse it across requests via [`preprocess_with_basis`].
+pub fn spectral_basis(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> SpectralBasis {
     let observed = cascade.observe(window);
     let n = observed.num_nodes().min(cfg.max_nodes);
 
@@ -60,11 +71,39 @@ pub fn preprocess(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> Preproce
         LaplacianKind::Undirected => laplacian::undirected_normalized_laplacian(&g),
     };
     let lambda_max = match cfg.lambda_max {
-        LambdaMax::Exact => laplacian::largest_eigenvalue(&lap),
-        LambdaMax::Approx2 => 2.0,
+        LambdaMax::Exact => None,
+        LambdaMax::Approx2 => Some(2.0),
     };
-    let scaled = laplacian::scale_laplacian(&lap, lambda_max);
-    let bases = laplacian::chebyshev_bases(&scaled, cfg.k);
+    SpectralBasis::from_laplacian(&lap, lambda_max, cfg.k)
+}
+
+/// [`preprocess`] with the spectral work already done — the cache-hit path
+/// of the serving layer. `basis` must have been built by
+/// [`spectral_basis`] for the same `(cascade, window, cfg)`; the output is
+/// then bit-identical to [`preprocess`].
+pub fn preprocess_with_basis(
+    cascade: &Cascade,
+    window: f64,
+    cfg: &CascnConfig,
+    basis: &SpectralBasis,
+) -> PreprocessedCascade {
+    assemble(cascade, window, cfg, basis.clone())
+}
+
+/// The shared tail of preprocessing: snapshot sampling and label
+/// extraction around an owned spectral handle.
+fn assemble(
+    cascade: &Cascade,
+    window: f64,
+    cfg: &CascnConfig,
+    basis: SpectralBasis,
+) -> PreprocessedCascade {
+    let n = basis.num_nodes();
+    debug_assert_eq!(
+        n,
+        cascade.observe(window).num_nodes().min(cfg.max_nodes),
+        "spectral basis node count disagrees with the observed prefix"
+    );
 
     // Snapshot sequence over the truncated prefix, column-padded.
     let truncated = TruncatedView { cascade, n };
@@ -72,14 +111,14 @@ pub fn preprocess(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> Preproce
 
     let increment = cascade.increment_size(window);
     PreprocessedCascade {
-        bases,
+        lambda_max: basis.lambda_max,
+        bases: basis.bases,
         snapshots,
         times,
         n,
         window,
         label_log: cascn_nn::metrics::log_label(increment),
         increment,
-        lambda_max,
     }
 }
 
@@ -237,6 +276,36 @@ mod tests {
                 assert!((t1[(r, cidx)] - t1[(cidx, r)]).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn cached_basis_path_is_bit_identical() {
+        // The serving cache depends on preprocess_with_basis(spectral_basis(…))
+        // reproducing preprocess(…) exactly.
+        for window in [25.0, 60.0] {
+            let direct = preprocess(&fig1(), window, &cfg());
+            let basis = spectral_basis(&fig1(), window, &cfg());
+            let cached = preprocess_with_basis(&fig1(), window, &cfg(), &basis);
+            assert_eq!(direct.n, cached.n);
+            assert_eq!(direct.lambda_max.to_bits(), cached.lambda_max.to_bits());
+            assert_eq!(direct.bases.len(), cached.bases.len());
+            for (a, b) in direct.bases.iter().zip(&cached.bases) {
+                assert_eq!(a.as_slice(), b.as_slice(), "bases must match bit-for-bit");
+            }
+            for (a, b) in direct.snapshots.iter().zip(&cached.snapshots) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+            assert_eq!(direct.times, cached.times);
+            assert_eq!(direct.increment, cached.increment);
+        }
+    }
+
+    #[test]
+    fn spectral_basis_respects_node_truncation() {
+        let small = CascnConfig { max_nodes: 4, ..cfg() };
+        let basis = spectral_basis(&fig1(), 60.0, &small);
+        assert_eq!(basis.num_nodes(), 4);
+        assert_eq!(basis.order(), small.k);
     }
 
     #[test]

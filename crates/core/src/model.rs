@@ -307,19 +307,26 @@ impl CascnModel {
     /// Predicted log-increment `ln(1 + ΔS)` for a cascade.
     pub fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
         let sample = preprocess(cascade, window, &self.cfg);
+        self.predict_log_sample(&sample)
+    }
+
+    /// Predicted log-increment for an already-preprocessed sample — the
+    /// entry point the serving layer uses after a spectral-cache hit
+    /// ([`crate::preprocess_with_basis`]). `predict_log` is exactly
+    /// `preprocess` followed by this, so cached and direct predictions are
+    /// bit-identical.
+    pub fn predict_log_sample(&self, sample: &PreprocessedCascade) -> f32 {
         let forward = |tape: &mut Tape, store: &ParamStore, s: &PreprocessedCascade| {
             self.forward(tape, store, s)
         };
-        predict_with(&self.store, &forward, &sample)
+        predict_with(&self.store, &forward, sample)
     }
 
     /// Predicted log-increments for a batch of cascades, with preprocessing
     /// and the forward passes fanned out across `cfg.threads` workers.
     /// Output order matches the input and is identical for any thread count.
     pub fn predict_logs(&self, cascades: &[Cascade], window: f64) -> Vec<f32> {
-        parallel_map(self.cfg.threads, cascades, |_, c| {
-            self.predict_log(c, window)
-        })
+        crate::predictor::SizePredictor::predict_many(self, cascades, window, self.cfg.threads)
     }
 
     /// The learned cascade representation `h(C_i(t))` — the vector Fig. 9
@@ -350,20 +357,42 @@ impl CascnModel {
     /// Fails on I/O or parse errors, or when the checkpoint does not cover
     /// every parameter of this architecture.
     pub fn load(cfg: CascnConfig, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
-        let mut model = Self::new(cfg);
         let text = std::fs::read_to_string(path)?;
-        let checkpoint = if TrainCheckpoint::is_v2(&text) {
+        if TrainCheckpoint::is_v2(&text) {
             let ckpt = TrainCheckpoint::from_text(&text).map_err(std::io::Error::other)?;
-            ckpt.best_params.unwrap_or(ckpt.params)
+            Self::from_checkpoint(cfg, &ckpt).map_err(std::io::Error::other)
         } else {
-            ParamStore::from_text(&text).map_err(std::io::Error::other)?
-        };
+            let params = ParamStore::from_text(&text).map_err(std::io::Error::other)?;
+            Self::with_params(cfg, &params).map_err(std::io::Error::other)
+        }
+    }
+
+    /// Builds an inference-ready model of configuration `cfg` from an
+    /// in-memory [`TrainCheckpoint`], preferring the best-validation-epoch
+    /// parameters — the constructor the serving registry uses after
+    /// verifying a checkpoint file.
+    ///
+    /// # Errors
+    /// [`CascnError::Architecture`] when the checkpoint does not cover
+    /// every parameter of this architecture.
+    pub fn from_checkpoint(cfg: CascnConfig, ckpt: &TrainCheckpoint) -> Result<Self, CascnError> {
+        let params = ckpt.best_params.as_ref().unwrap_or(&ckpt.params);
+        Self::with_params(cfg, params)
+    }
+
+    /// Builds a model of configuration `cfg` and restores `params` into it.
+    ///
+    /// # Errors
+    /// [`CascnError::Architecture`] on a shape mismatch or when `params`
+    /// does not cover every parameter of the architecture.
+    pub fn with_params(cfg: CascnConfig, params: &ParamStore) -> Result<Self, CascnError> {
+        let mut model = Self::new(cfg);
         let restored = model
             .store
-            .restore_from(&checkpoint)
-            .map_err(std::io::Error::other)?;
+            .restore_from(params)
+            .map_err(CascnError::Architecture)?;
         if restored != model.store.len() {
-            return Err(std::io::Error::other(format!(
+            return Err(CascnError::Architecture(format!(
                 "checkpoint restored {restored} of {} parameters — wrong architecture?",
                 model.store.len()
             )));
@@ -513,6 +542,60 @@ mod tests {
             },
         );
         assert!(hist.records()[0].train_loss.is_finite());
+    }
+
+    #[test]
+    fn from_checkpoint_prefers_best_params_and_matches_load() {
+        use cascn_autograd::AdamState;
+        use cascn_nn::train::History;
+        use crate::checkpoint::{StopperState, TrainCheckpoint};
+
+        let mut model = CascnModel::new(tiny_cfg());
+        let id = model.store.ids().next().unwrap();
+        model.store.value_mut(id).as_mut_slice()[0] = 0.5;
+        let mut best = model.store.clone();
+        best.value_mut(id).as_mut_slice()[0] = 0.9;
+        let ckpt = TrainCheckpoint {
+            epoch: 1,
+            shuffle_seed: 3,
+            base_lr: 1e-3,
+            eff_lr: 1e-3,
+            bad_streak: 0,
+            stopper: StopperState {
+                patience: 5,
+                best: 1.0,
+                best_epoch: 1,
+                stale: 0,
+                epochs_seen: 1,
+            },
+            history: History::new(),
+            adam: AdamState { step: 0, m: vec![], v: vec![] },
+            params: model.store.clone(),
+            best_params: Some(best),
+        };
+        let restored = CascnModel::from_checkpoint(tiny_cfg(), &ckpt).unwrap();
+        let rid = restored.store.ids().next().unwrap();
+        assert_eq!(restored.store.value(rid).as_slice()[0], 0.9, "best params win");
+
+        // Wrong architecture is an Architecture error, not a panic.
+        let bigger = CascnConfig { hidden: 8, ..tiny_cfg() };
+        let err = CascnModel::from_checkpoint(bigger, &ckpt).unwrap_err();
+        assert!(matches!(err, crate::CascnError::Architecture(_)), "{err}");
+    }
+
+    #[test]
+    fn predict_many_matches_serial_predict_log() {
+        use crate::predictor::SizePredictor;
+        let model = CascnModel::new(tiny_cfg());
+        let data = tiny_data();
+        let cascades: Vec<_> = data.cascades.iter().take(12).cloned().collect();
+        let serial: Vec<f32> = cascades.iter().map(|c| model.predict_log(c, 3600.0)).collect();
+        for threads in [1, 2, 0] {
+            let batch = model.predict_many(&cascades, 3600.0, threads);
+            let serial_bits: Vec<u32> = serial.iter().map(|x| x.to_bits()).collect();
+            let batch_bits: Vec<u32> = batch.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(serial_bits, batch_bits, "threads={threads}");
+        }
     }
 
     #[test]

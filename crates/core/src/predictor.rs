@@ -10,12 +10,27 @@ use crate::{CascnModel, GlModel, PathModel};
 
 /// A trained cascade-size predictor: maps an observed cascade prefix to the
 /// predicted log-increment `ln(1 + ΔS)`.
-pub trait SizePredictor {
+///
+/// Predictors are `Sync`: prediction is read-only, and both offline
+/// evaluation and the serving layer fan batches out across threads.
+pub trait SizePredictor: Sync {
     /// Display name used in experiment tables.
     fn name(&self) -> String;
 
     /// Predicted `ln(1 + ΔS)` for `cascade` observed over `[0, window)`.
     fn predict_log(&self, cascade: &Cascade, window: f64) -> f32;
+
+    /// Predicted log-increments for a whole batch, fanned across `threads`
+    /// workers (`1` = a plain serial loop, `0` = all cores). Output order
+    /// matches the input and — because each prediction is a pure function
+    /// of its cascade — is bit-identical for any thread count.
+    ///
+    /// This is the single batched-inference entry point: offline
+    /// evaluation ([`try_evaluate`]) and the `cascn-serve` micro-batcher
+    /// both route through it, so the two paths cannot drift apart.
+    fn predict_many(&self, cascades: &[Cascade], window: f64, threads: usize) -> Vec<f32> {
+        parallel_map(threads, cascades, |_, c| self.predict_log(c, window))
+    }
 }
 
 /// Evaluates a predictor's MSLE (Eq. 20) over a cascade set.
@@ -45,7 +60,7 @@ pub fn try_evaluate(
             "no cascades to evaluate — every cascade was filtered or quarantined".into(),
         ));
     }
-    let preds = parallel_map(threads, cascades, |_, c| model.predict_log(c, window));
+    let preds = model.predict_many(cascades, window, threads);
     let labels: Vec<usize> = cascades.iter().map(|c| c.increment_size(window)).collect();
     Ok(metrics::msle(&preds, &labels))
 }
@@ -57,6 +72,14 @@ impl SizePredictor for CascnModel {
 
     fn predict_log(&self, cascade: &Cascade, window: f64) -> f32 {
         CascnModel::predict_log(self, cascade, window)
+    }
+
+    /// Parallel override: an explicit `1` stays serial, but the auto
+    /// setting (`0`) defers to the model's configured worker pool so the
+    /// CLI's `--threads` flag governs batch inference too.
+    fn predict_many(&self, cascades: &[Cascade], window: f64, threads: usize) -> Vec<f32> {
+        let threads = if threads == 0 { self.config().threads } else { threads };
+        parallel_map(threads, cascades, |_, c| self.predict_log(c, window))
     }
 }
 
@@ -137,6 +160,27 @@ mod tests {
         let m = ConstPredictor(0.0);
         let err = try_evaluate(&m, &[], 1.0, 1).unwrap_err();
         assert!(matches!(err, CascnError::EmptyDataset(_)), "{err}");
+    }
+
+    #[test]
+    fn default_predict_many_is_an_ordered_loop() {
+        struct Echo;
+        impl SizePredictor for Echo {
+            fn name(&self) -> String {
+                "echo".into()
+            }
+            fn predict_log(&self, c: &Cascade, _: f64) -> f32 {
+                c.final_size() as f32
+            }
+        }
+        let cascades: Vec<Cascade> = (1..=7).map(cascade_with_growth).collect();
+        let expect: Vec<f32> = cascades.iter().map(|c| c.final_size() as f32).collect();
+        // Works through a trait object (the serving registry's view) and is
+        // identical for any thread count.
+        let dyn_model: &dyn SizePredictor = &Echo;
+        for threads in [1, 3, 0] {
+            assert_eq!(dyn_model.predict_many(&cascades, 9.0, threads), expect);
+        }
     }
 
     #[test]

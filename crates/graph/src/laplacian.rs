@@ -313,6 +313,59 @@ pub fn scale_laplacian(lap: &Matrix, lambda_max: f32) -> Matrix {
     out
 }
 
+/// The spectral quantities CasCN derives from one cascade Laplacian: the
+/// scaled operator `Δ̃` and its Chebyshev bases `T_0..T_K` — bundled into a
+/// single cacheable handle.
+///
+/// Building these (Eq. 2–8) dominates inference preprocessing, yet they
+/// depend only on the observed cascade structure, never on model
+/// parameters. A cascade re-queried across requests therefore reuses the
+/// same handle: the serving layer's spectral cache stores
+/// `Arc<SpectralBasis>` keyed by (cascade id, window) and every consumer
+/// shares it read-only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralBasis {
+    /// The λ_max the Laplacian was scaled by.
+    pub lambda_max: f32,
+    /// The scaled Laplacian `Δ̃ = (2/λ_max)·Δ − I` (Eq. 2).
+    pub scaled: Matrix,
+    /// Chebyshev bases `[T_0(Δ̃), …, T_K(Δ̃)]`, length `K + 1`.
+    pub bases: Vec<Matrix>,
+}
+
+impl SpectralBasis {
+    /// Builds the handle from an (unscaled) Laplacian. `lambda_max: None`
+    /// estimates the scaling constant with [`largest_eigenvalue`];
+    /// `Some(v)` pins it (the paper's `λ_max ≈ 2` shortcut).
+    ///
+    /// # Panics
+    /// Panics if `lap` is not square or a pinned `lambda_max` is not
+    /// positive (the [`scale_laplacian`] contract).
+    pub fn from_laplacian(lap: &Matrix, lambda_max: Option<f32>, k: usize) -> Self {
+        let lambda_max = lambda_max.unwrap_or_else(|| largest_eigenvalue(lap));
+        let scaled = scale_laplacian(lap, lambda_max);
+        let bases = chebyshev_bases(&scaled, k);
+        Self { lambda_max, scaled, bases }
+    }
+
+    /// Number of nodes the bases cover.
+    pub fn num_nodes(&self) -> usize {
+        self.scaled.rows()
+    }
+
+    /// The Chebyshev order `K` (the handle holds `K + 1` bases).
+    pub fn order(&self) -> usize {
+        self.bases.len().saturating_sub(1)
+    }
+
+    /// Approximate heap footprint in bytes — the scaled Laplacian plus
+    /// every basis — used by cache-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.num_nodes();
+        (self.bases.len() + 1) * n * n * std::mem::size_of::<f32>()
+    }
+}
+
 /// Chebyshev polynomial bases `[T_0(L̃), …, T_K(L̃)]` via the recursion
 /// `T_k = 2 L̃ T_{k-1} − T_{k-2}` (Eq. 2/3). Returns `K + 1` matrices.
 pub fn chebyshev_bases(scaled: &Matrix, k: usize) -> Vec<Matrix> {
@@ -518,5 +571,28 @@ mod tests {
     #[should_panic(expected = "alpha must be in (0,1)")]
     fn transition_rejects_bad_alpha() {
         let _ = transition_matrix(&fig1(), 1.5);
+    }
+
+    #[test]
+    fn spectral_basis_matches_manual_pipeline() {
+        let lap = cas_laplacian(&fig1(), 0.85);
+        let handle = SpectralBasis::from_laplacian(&lap, None, 3);
+        let lmax = largest_eigenvalue(&lap);
+        assert_eq!(handle.lambda_max, lmax);
+        let scaled = scale_laplacian(&lap, lmax);
+        assert_eq!(handle.scaled, scaled);
+        assert_eq!(handle.bases, chebyshev_bases(&scaled, 3));
+        assert_eq!(handle.num_nodes(), 6);
+        assert_eq!(handle.order(), 3);
+        assert!(handle.approx_bytes() >= 5 * 6 * 6 * 4);
+    }
+
+    #[test]
+    fn spectral_basis_pins_lambda_max() {
+        let lap = cas_laplacian(&fig1(), 0.85);
+        let handle = SpectralBasis::from_laplacian(&lap, Some(2.0), 2);
+        assert_eq!(handle.lambda_max, 2.0);
+        assert_eq!(handle.scaled, scale_laplacian(&lap, 2.0));
+        assert_eq!(handle.bases.len(), 3, "K + 1 bases");
     }
 }

@@ -35,3 +35,4 @@ pub mod walks;
 
 pub use csr::Csr;
 pub use digraph::DiGraph;
+pub use laplacian::SpectralBasis;

@@ -1,0 +1,335 @@
+//! The micro-batcher: coalesces concurrent predict requests into one
+//! batched forward pass.
+//!
+//! Connection workers parse requests and enqueue [`PredictJob`]s; a single
+//! executor thread drains the queue, flattens every queued cascade into
+//! one batch, and fans the forward passes across the model's worker pool
+//! ([`cascn::parallel_map`] — the same primitive offline evaluation uses).
+//! While a batch executes, new requests pile up behind it, so bursty load
+//! naturally produces larger batches and an idle server answers a lone
+//! request with a batch of one.
+//!
+//! The queue is bounded in *cascades*, not requests: a request whose
+//! cascades would overflow the bound is shed atomically (all or nothing)
+//! with `503 Retry-After`, never partially enqueued.
+//!
+//! Per cascade, the executor runs the cache-aware split pipeline:
+//! spectral basis from the [`BasisCache`] (content-keyed, so a reused id
+//! with different events can never alias), then
+//! [`cascn::preprocess_with_basis`] + `predict_log_sample` — bit-identical
+//! to `CascnModel::predict_log` on the same cascade.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+use cascn::{parallel_map, preprocess_with_basis, spectral_basis};
+use cascn_cascades::Cascade;
+
+use crate::cache::BasisCache;
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+
+/// Content fingerprint of a cascade — FNV-1a 64 over the id, start time,
+/// and every event. Used as the spectral-cache key so identical payloads
+/// share work while a colliding *id* with different events cannot alias.
+pub fn cascade_key(c: &Cascade) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(c.id);
+    mix(c.start_time.to_bits());
+    for e in &c.events {
+        mix(e.user);
+        mix(e.parent.map_or(u64::MAX, |p| p as u64));
+        mix(e.time.to_bits());
+    }
+    h
+}
+
+/// Where a request waits for its batch to execute.
+enum SlotState {
+    Pending,
+    Done(Vec<f32>),
+    Aborted(String),
+}
+
+/// A one-shot rendezvous between the connection worker and the executor.
+pub struct ResponseSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, preds: Vec<f32>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = SlotState::Done(preds);
+        self.cv.notify_all();
+    }
+
+    fn abort(&self, reason: String) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = SlotState::Aborted(reason);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the executor fulfills or aborts this slot.
+    pub fn wait(&self) -> Result<Vec<f32>, String> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                SlotState::Done(preds) => return Ok(preds.clone()),
+                SlotState::Aborted(reason) => return Err(reason.clone()),
+            }
+        }
+    }
+}
+
+/// One queued predict request: its cascades, window, and response slot.
+pub struct PredictJob {
+    pub cascades: Vec<Cascade>,
+    pub window: f64,
+    pub slot: Arc<ResponseSlot>,
+}
+
+/// Why a job was not enqueued.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// Queue bound exceeded — shed with `503 Retry-After`.
+    Overloaded { queued: usize, limit: usize },
+    /// The server is shutting down.
+    Closed,
+}
+
+struct Queue {
+    jobs: VecDeque<PredictJob>,
+    /// Total cascades across `jobs` — the bounded quantity.
+    queued_cascades: usize,
+    closed: bool,
+}
+
+/// The bounded job queue plus its executor entry point.
+pub struct Batcher {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+    /// Max cascades drained into one executed batch.
+    max_batch: usize,
+    /// Max cascades waiting in the queue; beyond this, requests shed.
+    max_queue: usize,
+}
+
+impl Batcher {
+    pub fn new(max_batch: usize, max_queue: usize) -> Self {
+        Self {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                queued_cascades: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            max_batch: max_batch.max(1),
+            max_queue: max_queue.max(1),
+        }
+    }
+
+    /// Admits `job` or sheds it atomically. A job larger than the whole
+    /// queue bound is only admitted into an empty queue (otherwise it
+    /// could never run).
+    pub fn enqueue(&self, job: PredictJob) -> Result<(), EnqueueError> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.closed {
+            return Err(EnqueueError::Closed);
+        }
+        let incoming = job.cascades.len();
+        if q.queued_cascades > 0 && q.queued_cascades + incoming > self.max_queue {
+            return Err(EnqueueError::Overloaded {
+                queued: q.queued_cascades,
+                limit: self.max_queue,
+            });
+        }
+        q.queued_cascades += incoming;
+        q.jobs.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Marks the queue closed and aborts everything still waiting.
+    pub fn close(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        for job in q.jobs.drain(..) {
+            job.slot.abort("server shutting down".into());
+        }
+        q.queued_cascades = 0;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until jobs are available (returning a drained batch of at
+    /// most `max_batch` cascades) or the queue closes (returning `None`).
+    fn next_batch(&self) -> Option<Vec<PredictJob>> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !q.jobs.is_empty() {
+                let mut batch = Vec::new();
+                let mut cascades = 0usize;
+                while let Some(job) = q.jobs.front() {
+                    let n = job.cascades.len();
+                    // Always take at least one job; stop before overflowing
+                    // the batch bound otherwise.
+                    if !batch.is_empty() && cascades + n > self.max_batch {
+                        break;
+                    }
+                    cascades += n;
+                    q.queued_cascades -= n;
+                    batch.extend(q.jobs.pop_front());
+                    if cascades >= self.max_batch {
+                        break;
+                    }
+                }
+                return Some(batch);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The executor loop: drain → one batched forward pass → fulfill.
+    /// Runs until [`close`](Self::close); call from a dedicated thread.
+    /// `threads` sets the intra-batch fan-out (`0` = all cores).
+    pub fn run_executor(
+        &self,
+        registry: &ModelRegistry,
+        cache: &BasisCache,
+        metrics: &ServeMetrics,
+        threads: usize,
+    ) {
+        while let Some(jobs) = self.next_batch() {
+            // One registry read per batch: every cascade in the batch is
+            // served by the same model version.
+            let loaded = registry.current();
+            let cfg = loaded.model.config();
+
+            let flat: Vec<(usize, usize)> = jobs
+                .iter()
+                .enumerate()
+                .flat_map(|(j, job)| (0..job.cascades.len()).map(move |c| (j, c)))
+                .collect();
+            metrics.batch_size.record(flat.len() as u64);
+
+            let preds = parallel_map(threads, &flat, |_, &(j, c)| {
+                let job = &jobs[j];
+                let cascade = &job.cascades[c];
+                let basis = cache.get_or_insert_with(cascade_key(cascade), job.window, || {
+                    spectral_basis(cascade, job.window, cfg)
+                });
+                let sample = preprocess_with_basis(cascade, job.window, cfg, &basis);
+                loaded.model.predict_log_sample(&sample)
+            });
+            metrics.predictions.fetch_add(flat.len() as u64, Ordering::Relaxed);
+
+            let mut preds = preds.into_iter();
+            for job in jobs {
+                let take: Vec<f32> = preds.by_ref().take(job.cascades.len()).collect();
+                job.slot.fulfill(take);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_cascades::Event;
+
+    fn cascade(id: u64, n: usize) -> Cascade {
+        let mut events = vec![Event { user: 0, parent: None, time: 0.0 }];
+        for i in 1..n {
+            events.push(Event { user: i as u64, parent: Some(0), time: i as f64 });
+        }
+        Cascade::new(id, 0.0, events)
+    }
+
+    fn job(n_cascades: usize) -> (PredictJob, Arc<ResponseSlot>) {
+        let slot = ResponseSlot::new();
+        let cascades = (0..n_cascades).map(|i| cascade(i as u64, 3)).collect();
+        (PredictJob { cascades, window: 10.0, slot: Arc::clone(&slot) }, slot)
+    }
+
+    #[test]
+    fn content_key_separates_same_id_different_events() {
+        let a = cascade(1, 3);
+        let b = cascade(1, 4);
+        assert_ne!(cascade_key(&a), cascade_key(&b));
+        assert_eq!(cascade_key(&a), cascade_key(&a.clone()));
+    }
+
+    #[test]
+    fn queue_bound_sheds_whole_requests() {
+        let b = Batcher::new(8, 4);
+        let (j1, _s1) = job(3);
+        assert!(b.enqueue(j1).is_ok());
+        // 3 queued; +2 would exceed 4 → shed atomically.
+        let (j2, _s2) = job(2);
+        match b.enqueue(j2) {
+            Err(EnqueueError::Overloaded { queued, limit }) => {
+                assert_eq!((queued, limit), (3, 4));
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // +1 still fits.
+        let (j3, _s3) = job(1);
+        assert!(b.enqueue(j3).is_ok());
+    }
+
+    #[test]
+    fn oversized_job_is_admitted_only_into_an_empty_queue() {
+        let b = Batcher::new(8, 4);
+        let (huge, _s) = job(6);
+        assert!(b.enqueue(huge).is_ok(), "empty queue must accept an oversized job");
+        let (next, _s2) = job(1);
+        assert!(matches!(b.enqueue(next), Err(EnqueueError::Overloaded { .. })));
+    }
+
+    #[test]
+    fn next_batch_coalesces_and_respects_the_bound() {
+        let b = Batcher::new(4, 100);
+        let slots: Vec<_> = (0..3).map(|_| job(2)).collect();
+        for (j, _) in slots {
+            b.enqueue(j).unwrap();
+        }
+        let first = b.next_batch().expect("jobs queued");
+        assert_eq!(first.len(), 2, "2+2 fills the 4-cascade batch bound");
+        let second = b.next_batch().expect("one job left");
+        assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn close_aborts_waiters_and_rejects_new_jobs() {
+        let b = Batcher::new(8, 8);
+        let (j, slot) = job(1);
+        b.enqueue(j).unwrap();
+        b.close();
+        assert_eq!(slot.wait().unwrap_err(), "server shutting down");
+        let (j2, _s) = job(1);
+        assert_eq!(b.enqueue(j2), Err(EnqueueError::Closed));
+        assert!(b.next_batch().is_none(), "closed and drained");
+    }
+}

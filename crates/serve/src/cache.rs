@@ -1,0 +1,225 @@
+//! Read-mostly LRU cache for spectral precomputation.
+//!
+//! The expensive, model-independent half of a CasCN prediction — building
+//! the CasLaplacian, scaling it, and expanding the Chebyshev bases
+//! (Eq. 7–10) — depends only on the cascade and the observation window,
+//! not on the learned parameters. A serving process that sees the same
+//! cascade repeatedly (polling clients, load tests, hot content) can reuse
+//! the [`SpectralBasis`] across requests *and across hot model reloads*.
+//!
+//! The cache is a sorted `Vec` searched by binary search — no `HashMap`,
+//! so lookup order and eviction are fully deterministic given the access
+//! sequence. Hits take only the read lock: recency is tracked by a relaxed
+//! per-entry [`AtomicU64`] stamped from a global tick, so the common path
+//! never serializes readers. Misses compute the basis *outside* any lock
+//! and take the write lock only to publish.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cascn_graph::SpectralBasis;
+
+/// Cache key: the cascade id and the exact window bits. Windows are keyed
+/// by `f64::to_bits` so two windows hit the same entry only when they are
+/// bit-identical — the same contract the spectral pipeline itself has.
+type Key = (u64, u64);
+
+struct Entry {
+    key: Key,
+    basis: Arc<SpectralBasis>,
+    /// Global tick at last access; relaxed ordering is fine because the
+    /// stamp only steers eviction, never correctness.
+    last_used: AtomicU64,
+}
+
+/// Point-in-time counters for the metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub approx_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when the cache has seen no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, deterministic LRU of spectral bases keyed by
+/// `(cascade id, window bits)`.
+pub struct BasisCache {
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl BasisCache {
+    /// A cache holding at most `capacity` bases. Zero disables caching:
+    /// every lookup computes and nothing is retained.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Returns the basis for `(cascade_id, window)`, computing it with
+    /// `compute` on a miss. The closure runs outside every lock, so slow
+    /// spectral work never blocks concurrent hits; when two threads race
+    /// on the same key the loser's computation is discarded in favor of
+    /// the published entry.
+    pub fn get_or_insert_with(
+        &self,
+        cascade_id: u64,
+        window: f64,
+        compute: impl FnOnce() -> SpectralBasis,
+    ) -> Arc<SpectralBasis> {
+        let key: Key = (cascade_id, window.to_bits());
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(compute());
+        }
+
+        {
+            let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+            if let Ok(idx) = entries.binary_search_by_key(&key, |e| e.key) {
+                let now = self.tick.fetch_add(1, Ordering::Relaxed);
+                entries[idx].last_used.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entries[idx].basis);
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let basis = Arc::new(compute());
+
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        match entries.binary_search_by_key(&key, |e| e.key) {
+            // Another thread published while we computed — keep theirs so
+            // every caller holding this key sees one shared allocation.
+            Ok(idx) => Arc::clone(&entries[idx].basis),
+            Err(_) => {
+                if entries.len() >= self.capacity {
+                    // Evict the least-recently-used entry; ties (only
+                    // possible before any hit bumps a stamp) break toward
+                    // the smallest key so eviction stays deterministic.
+                    if let Some(victim) = (0..entries.len())
+                        .min_by_key(|&i| (entries[i].last_used.load(Ordering::Relaxed), entries[i].key))
+                    {
+                        entries.remove(victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // Recompute the slot — eviction may have shifted it.
+                let at = entries
+                    .binary_search_by_key(&key, |e| e.key)
+                    .unwrap_or_else(|at| at);
+                let now = self.tick.fetch_add(1, Ordering::Relaxed);
+                entries.insert(
+                    at,
+                    Entry {
+                        key,
+                        basis: Arc::clone(&basis),
+                        last_used: AtomicU64::new(now),
+                    },
+                );
+                basis
+            }
+        }
+    }
+
+    /// Current counters and an estimate of resident bytes.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: entries.len(),
+            approx_bytes: entries.iter().map(|e| e.basis.approx_bytes()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_tensor::Matrix;
+
+    fn tiny_basis(value: f32) -> SpectralBasis {
+        let lap = Matrix::from_fn(2, 2, |r, c| if r == 0 && c == 0 { value } else { 0.0 });
+        SpectralBasis::from_laplacian(&lap, Some(2.0), 1)
+    }
+
+    #[test]
+    fn hit_returns_the_cached_allocation() {
+        let cache = BasisCache::new(4);
+        let a = cache.get_or_insert_with(7, 25.0, || tiny_basis(1.0));
+        let b = cache.get_or_insert_with(7, 25.0, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.approx_bytes > 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_bits_distinguish_entries() {
+        let cache = BasisCache::new(4);
+        let _ = cache.get_or_insert_with(7, 25.0, || tiny_basis(1.0));
+        let _ = cache.get_or_insert_with(7, 26.0, || tiny_basis(2.0));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = BasisCache::new(2);
+        let _ = cache.get_or_insert_with(1, 1.0, || tiny_basis(1.0));
+        let _ = cache.get_or_insert_with(2, 1.0, || tiny_basis(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        let _ = cache.get_or_insert_with(1, 1.0, || panic!("cached"));
+        let _ = cache.get_or_insert_with(3, 1.0, || tiny_basis(3.0));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // 1 survived, 2 was evicted.
+        let _ = cache.get_or_insert_with(1, 1.0, || panic!("1 must survive"));
+        let mut recomputed = false;
+        let _ = cache.get_or_insert_with(2, 1.0, || {
+            recomputed = true;
+            tiny_basis(2.0)
+        });
+        assert!(recomputed, "2 was evicted and must recompute");
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cache = BasisCache::new(0);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let _ = cache.get_or_insert_with(1, 1.0, || {
+                calls += 1;
+                tiny_basis(1.0)
+            });
+        }
+        assert_eq!(calls, 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 3, 0));
+    }
+}

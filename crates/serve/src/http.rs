@@ -1,0 +1,290 @@
+//! A minimal HTTP/1.1 request parser and response writer over `std::io`.
+//!
+//! The serving layer speaks just enough HTTP for `curl`, the `loadgen`
+//! bench client, and the protocol tests: request line + headers + an
+//! optional `Content-Length` body. Everything is bounded — header bytes,
+//! body bytes — and every malformed input maps to a specific 4xx status
+//! instead of a panic or an unbounded read.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line plus all header lines, in bytes. Requests
+/// whose head section exceeds this are rejected with `431`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path (query string split off), and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// Path with any `?query` suffix removed.
+    pub path: String,
+    /// Raw query string (without the `?`), empty if absent.
+    pub query: String,
+    pub body: Vec<u8>,
+    /// True when the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Looks up a `key=value` pair in the query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Why a request could not be parsed, each mapping to one response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    /// Not an error worth answering — the handler just drops the socket.
+    ConnectionClosed,
+    /// Malformed request line or header (400).
+    Malformed(String),
+    /// Head section exceeded [`MAX_HEAD_BYTES`] (431).
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeds the configured cap (413).
+    BodyTooLarge { declared: usize, limit: usize },
+    /// Socket-level failure mid-request.
+    Io(String),
+}
+
+impl ParseError {
+    /// The status line this error should be answered with, if any.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            ParseError::ConnectionClosed => None,
+            ParseError::Malformed(_) => Some((400, "Bad Request")),
+            ParseError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
+            ParseError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            ParseError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed before request"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ParseError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            ParseError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            ParseError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, counting consumed bytes
+/// against `budget`. Returns `Ok(None)` on clean EOF before any byte.
+fn read_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> Result<Option<String>, ParseError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| ParseError::Io(e.to_string()))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    *budget = budget
+        .checked_sub(n)
+        .ok_or(ParseError::HeadTooLarge)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Parses one request from `reader`, enforcing `max_body_bytes` on the
+/// declared `Content-Length` *before* reading the body.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Request, ParseError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut budget)? {
+        None => return Err(ParseError::ConnectionClosed),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("unsupported version `{version}`")));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed(format!("bad request target `{target}`")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length: usize = 0;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let header = match read_line(reader, &mut budget)? {
+            None => return Err(ParseError::Malformed("eof inside headers".into())),
+            Some(l) => l,
+        };
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header `{header}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ParseError::Malformed(format!("bad content-length `{value}`")))?;
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body).map_err(|e| ParseError::Io(e.to_string()))?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+/// Writes a complete response; `extra_headers` are `name: value` pairs.
+pub fn write_response(
+    writer: &mut (impl Write + ?Sized),
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str, max_body: usize) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = "POST /predict?window=25 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse(raw, 64).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.query_param("window"), Some("25"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!parse(raw, 0).unwrap().keep_alive);
+        let raw10 = "GET /metrics HTTP/1.0\r\n\r\n";
+        assert!(!parse(raw10, 0).unwrap().keep_alive);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x HTTP/1.1 EXTRA\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw, 64).unwrap_err();
+            assert_eq!(err.status(), Some((400, "Bad Request")), "{raw:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_before_reading_it() {
+        // Body bytes are not even present — the declared length is enough.
+        let raw = "POST /predict HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        let err = parse(raw, 64).unwrap_err();
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..600 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(20)));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw, 64).unwrap_err();
+        assert_eq!(err.status(), Some((431, "Request Header Fields Too Large")));
+    }
+
+    #[test]
+    fn eof_before_request_is_connection_closed() {
+        assert_eq!(parse("", 64).unwrap_err(), ParseError::ConnectionClosed);
+        assert!(ParseError::ConnectionClosed.status().is_none());
+    }
+
+    #[test]
+    fn response_writer_emits_content_length_and_extras() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "Service Unavailable", &[("Retry-After", "1")], "shed\n", false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 5\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nshed\n"), "{text}");
+    }
+}

@@ -1,0 +1,45 @@
+//! `cascn-serve` — a dependency-free inference server for trained CasCN
+//! checkpoints.
+//!
+//! The training side of this workspace produces [`cascn::TrainCheckpoint`]
+//! v2 files; this crate turns one into an HTTP service with the same
+//! determinism contract as offline evaluation: for a given checkpoint,
+//! a served prediction is bit-identical to `CascnModel::predict_log` on
+//! the same cascade and window, for any worker count, batch mix, or cache
+//! state.
+//!
+//! Architecture (one request's path through the crate):
+//!
+//! ```text
+//! TcpListener ── bounded conn queue ── worker pool      (server.rs, http.rs)
+//!                                        │ parse body   (cascn_cascades::stream)
+//!                                        ▼
+//!                                  bounded job queue    (batch.rs)
+//!                                        │ coalesce
+//!                                        ▼
+//!                                  batch executor ── spectral cache (cache.rs)
+//!                                        │              │
+//!                                        │        model registry    (registry.rs)
+//!                                        ▼
+//!                                  parallel_map forward pass
+//!                                        │
+//!                                  response slots → workers → sockets
+//! ```
+//!
+//! Everything is `std`-only, matching the workspace's no-external-deps
+//! policy; concurrency is scoped threads, mutexes, and condvars.
+//!
+//! See `docs/serving.md` for the operational guide.
+
+pub mod batch;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
+pub use cache::{BasisCache, CacheStats};
+pub use metrics::ServeMetrics;
+pub use registry::{LoadedModel, ModelRegistry};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,118 @@
+//! `cascn-serve` — serve a trained CasCN checkpoint over HTTP.
+//!
+//! ```text
+//! cascn-serve --model model.ckpt --addr 127.0.0.1:8077 --window 3600
+//! curl -s -X POST --data-binary @cascades.txt \
+//!     'http://127.0.0.1:8077/predict?window=3600'
+//! ```
+//!
+//! The architecture flags (`--hidden`, `--max-nodes`, …) must match the
+//! ones the checkpoint was trained with — the registry rejects mismatched
+//! shapes at startup. Defaults mirror `cascn train`.
+
+use std::process::exit;
+
+use cascn::CascnConfig;
+use cascn_cascades::stream::StreamLimits;
+use cascn_serve::{ModelRegistry, Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage_and_exit();
+    }
+    if let Err(e) = run(&Flags::parse(&args)) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "cascn-serve — CasCN inference server\n\n\
+         USAGE:\n  cascn-serve --model CKPT [--addr HOST:PORT] [--window SECS]\n    \
+         [--hidden H] [--max-nodes N] [--max-steps N] [--seed S]\n    \
+         [--workers N] [--threads N] [--max-batch N] [--max-queue N]\n    \
+         [--max-body-bytes N] [--cache-capacity N]\n\n\
+         --model CKPT: a `cascn train --checkpoint` v2 file\n\
+         --addr: bind address (default 127.0.0.1:8077; port 0 = ephemeral)\n\
+         --window: default prediction window when a request has no ?window=\n\
+         --workers/--threads: connection workers / forward-pass fan-out (0 = all cores)\n\
+         --max-batch/--max-queue: micro-batch size / shed bound, in cascades\n\n\
+         ROUTES:\n  GET /healthz   GET /metrics\n  \
+         POST /predict?window=SECS   (body: cascade text format)\n  \
+         POST /reload   POST /shutdown"
+    );
+    exit(2);
+}
+
+/// Minimal `--flag value` parser, same shape as the `cascn` CLI's.
+struct Flags {
+    named: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut named = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                named.push((name.to_string(), value));
+            }
+        }
+        Self { named }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} `{v}`")),
+        }
+    }
+}
+
+fn run(flags: &Flags) -> Result<(), String> {
+    let model_path = flags.require("model")?;
+    let hidden: usize = flags.parse_or("hidden", 16)?;
+    let threads: usize = flags.parse_or("threads", 0)?;
+    let cfg = CascnConfig {
+        hidden,
+        mlp_hidden: hidden,
+        max_nodes: flags.parse_or("max-nodes", 30)?,
+        max_steps: flags.parse_or("max-steps", 10)?,
+        seed: flags.parse_or("seed", 42)?,
+        threads,
+        ..CascnConfig::default()
+    };
+    let config = ServerConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:8077").to_string(),
+        workers: flags.parse_or("workers", 0)?,
+        threads,
+        max_batch: flags.parse_or("max-batch", 64)?,
+        max_queue: flags.parse_or("max-queue", 256)?,
+        max_body_bytes: flags.parse_or("max-body-bytes", 1 << 20)?,
+        cache_capacity: flags.parse_or("cache-capacity", 1024)?,
+        default_window: flags.parse_or("window", 25.0)?,
+        limits: StreamLimits {
+            max_cascades: flags.parse_or("max-cascades", 64)?,
+            max_events: flags.parse_or("max-events", 10_000)?,
+        },
+    };
+
+    let registry = ModelRegistry::open(model_path, cfg)
+        .map_err(|e| format!("loading {model_path}: {e}"))?;
+    let server = Server::bind(config, registry).map_err(|e| e.to_string())?;
+    // The smoke test and loadgen parse this line to discover an ephemeral
+    // port, so its shape is part of the crate's contract.
+    println!("listening on {}", server.local_addr());
+    server.run().map_err(|e| e.to_string())
+}

@@ -1,0 +1,219 @@
+//! Lock-free serving metrics rendered as plain text.
+//!
+//! Counters and histograms are plain relaxed atomics — recording a sample
+//! on the request path is a handful of `fetch_add`s, never a lock. The
+//! `GET /metrics` endpoint renders everything in the conventional
+//! `name{label="v"} value` line format so it is scrapable and greppable.
+//!
+//! Latencies land in log₂ microsecond buckets (1µs … ~67s); quantiles are
+//! read back from the histogram by walking the cumulative counts and
+//! reporting the upper bound of the bucket containing the quantile rank —
+//! an overestimate by at most one bucket width, which is exactly the
+//! resolution the histogram promises.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+
+/// Number of log₂ latency buckets: bucket `i` holds samples with
+/// `us < 2^(i+1)`, the last bucket is a catch-all.
+const LATENCY_BUCKETS: usize = 27;
+
+/// Batch-size distribution buckets: `1, 2, 4, 8, …` cascades per batch.
+const BATCH_BUCKETS: usize = 12;
+
+fn log2_bucket(value: u64, buckets: usize) -> usize {
+    let idx = (64 - value.max(1).leading_zeros()) as usize - 1;
+    idx.min(buckets - 1)
+}
+
+/// A fixed-bucket log₂ histogram with a total-count and total-sum, enough
+/// to report rates, means, and quantile bounds.
+pub struct Histogram<const N: usize> {
+    counts: [AtomicU64; N],
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl<const N: usize> Histogram<N> {
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, value: u64) {
+        self.counts[log2_bucket(value, N)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 with no samples.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << N
+    }
+
+    fn snapshot(&self) -> ([u64; N], u64, u64) {
+        (
+            std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            self.total(),
+            self.sum.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl<const N: usize> Default for Histogram<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All serving counters, shared across workers behind one `Arc`.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// Requests answered, by coarse class.
+    pub requests_ok: AtomicU64,
+    pub requests_client_error: AtomicU64,
+    pub requests_shed: AtomicU64,
+    /// Individual cascade predictions served.
+    pub predictions: AtomicU64,
+    /// Model hot-reloads that succeeded / failed.
+    pub reloads_ok: AtomicU64,
+    pub reloads_failed: AtomicU64,
+    /// End-to-end `POST /predict` latency, microseconds.
+    pub predict_latency_us: Histogram<LATENCY_BUCKETS>,
+    /// Cascades per executed micro-batch.
+    pub batch_size: Histogram<BATCH_BUCKETS>,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders every metric as `cascn_*` plain-text lines. `cache` and
+    /// `model_version` are owned elsewhere and passed in for the snapshot.
+    pub fn render(&self, cache: &CacheStats, model_version: u64) -> String {
+        let mut out = String::with_capacity(1024);
+        fn line(out: &mut String, name: &str, value: impl std::fmt::Display) {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        line(&mut out, "cascn_model_version", model_version);
+        line(&mut out, "cascn_requests_total{class=\"ok\"}", self.requests_ok.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "cascn_requests_total{class=\"client_error\"}",
+            self.requests_client_error.load(Ordering::Relaxed),
+        );
+        line(&mut out, "cascn_requests_total{class=\"shed\"}", self.requests_shed.load(Ordering::Relaxed));
+        line(&mut out, "cascn_predictions_total", self.predictions.load(Ordering::Relaxed));
+        line(&mut out, "cascn_model_reloads_total{result=\"ok\"}", self.reloads_ok.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "cascn_model_reloads_total{result=\"failed\"}",
+            self.reloads_failed.load(Ordering::Relaxed),
+        );
+
+        line(&mut out, "cascn_spectral_cache_hits_total", cache.hits);
+        line(&mut out, "cascn_spectral_cache_misses_total", cache.misses);
+        line(&mut out, "cascn_spectral_cache_evictions_total", cache.evictions);
+        line(&mut out, "cascn_spectral_cache_entries", cache.entries);
+        line(&mut out, "cascn_spectral_cache_bytes", cache.approx_bytes);
+        line(&mut out, "cascn_spectral_cache_hit_rate", format!("{:.4}", cache.hit_rate()));
+
+        let (lat_counts, lat_total, lat_sum) = self.predict_latency_us.snapshot();
+        for (i, c) in lat_counts.iter().enumerate() {
+            let _ = writeln!(out, "cascn_predict_latency_us_bucket{{le=\"{}\"}} {c}", 1u64 << (i + 1));
+        }
+        line(&mut out, "cascn_predict_latency_us_count", lat_total);
+        line(&mut out, "cascn_predict_latency_us_sum", lat_sum);
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "cascn_predict_latency_us{{quantile=\"{label}\"}} {}",
+                self.predict_latency_us.quantile_upper_bound(q)
+            );
+        }
+
+        let (batch_counts, batch_total, batch_sum) = self.batch_size.snapshot();
+        for (i, c) in batch_counts.iter().enumerate() {
+            let _ = writeln!(out, "cascn_batch_size_bucket{{le=\"{}\"}} {c}", 1u64 << (i + 1));
+        }
+        line(&mut out, "cascn_batch_size_count", batch_total);
+        line(&mut out, "cascn_batch_size_sum", batch_sum);
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(log2_bucket(0, 27), 0);
+        assert_eq!(log2_bucket(1, 27), 0);
+        assert_eq!(log2_bucket(2, 27), 1);
+        assert_eq!(log2_bucket(3, 27), 1);
+        assert_eq!(log2_bucket(1024, 27), 10);
+        assert_eq!(log2_bucket(u64::MAX, 27), 26, "clamped to the catch-all");
+    }
+
+    #[test]
+    fn quantiles_bound_the_recorded_samples() {
+        let h: Histogram<27> = Histogram::new();
+        assert_eq!(h.quantile_upper_bound(0.5), 0, "empty histogram");
+        for us in [10, 20, 30, 40, 1000] {
+            h.record(us);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        // The median sample (30µs) lives in the 16..32 bucket → bound 32.
+        assert_eq!(p50, 32);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p99 >= 1024, "p99 must cover the 1000µs outlier, got {p99}");
+    }
+
+    #[test]
+    fn render_contains_the_scrape_contract() {
+        let m = ServeMetrics::new();
+        m.requests_ok.fetch_add(3, Ordering::Relaxed);
+        m.predict_latency_us.record(100);
+        m.batch_size.record(4);
+        let cache = CacheStats { hits: 9, misses: 1, evictions: 0, entries: 1, approx_bytes: 64 };
+        let text = m.render(&cache, 2);
+        for needle in [
+            "cascn_model_version 2",
+            "cascn_requests_total{class=\"ok\"} 3",
+            "cascn_spectral_cache_hits_total 9",
+            "cascn_spectral_cache_hit_rate 0.9000",
+            "cascn_predict_latency_us{quantile=\"0.5\"}",
+            "cascn_predict_latency_us{quantile=\"0.99\"}",
+            "cascn_batch_size_count 1",
+            "cascn_batch_size_sum 4",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The model registry: immutable, `Arc`-shared predictors with atomic
+//! hot reload.
+//!
+//! A served model is loaded once from a [`TrainCheckpoint`] v2 file,
+//! wrapped in an [`Arc`], and never mutated — every in-flight batch keeps
+//! the `Arc` it grabbed, so a reload can swap the registry's pointer
+//! without synchronizing with prediction work at all. Reload is
+//! all-or-nothing: a corrupt or truncated checkpoint leaves the previous
+//! model serving and surfaces the structured [`CascnError`] to the caller.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cascn::{CascnConfig, CascnError, CascnModel, TrainCheckpoint};
+
+/// One immutable loaded model plus its registry version.
+pub struct LoadedModel {
+    pub model: CascnModel,
+    /// Monotonic version, bumped on every successful (re)load.
+    pub version: u64,
+}
+
+/// Loads checkpoints from a fixed path and publishes them atomically.
+pub struct ModelRegistry {
+    path: PathBuf,
+    cfg: CascnConfig,
+    next_version: AtomicU64,
+    current: RwLock<Arc<LoadedModel>>,
+}
+
+impl ModelRegistry {
+    /// Loads the checkpoint at `path` under `cfg` (the architecture must
+    /// match the checkpoint's parameter shapes) and opens the registry at
+    /// version 1.
+    pub fn open(path: impl AsRef<Path>, cfg: CascnConfig) -> Result<Self, CascnError> {
+        let path = path.as_ref().to_path_buf();
+        let model = Self::load_model(&path, cfg)?;
+        Ok(Self {
+            path,
+            cfg,
+            next_version: AtomicU64::new(2),
+            current: RwLock::new(Arc::new(LoadedModel { model, version: 1 })),
+        })
+    }
+
+    fn load_model(path: &Path, cfg: CascnConfig) -> Result<CascnModel, CascnError> {
+        let ckpt = TrainCheckpoint::load(path)?;
+        CascnModel::from_checkpoint(cfg, &ckpt)
+    }
+
+    /// The currently published model. Cheap: one read lock, one
+    /// `Arc::clone`. Callers hold the `Arc` for the duration of a batch so
+    /// a mid-batch reload never mixes parameters.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The published version without taking the model.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Re-reads the checkpoint file and atomically publishes it under a
+    /// bumped version. On any error — missing file, truncation, checksum
+    /// mismatch, architecture drift — the previous model stays published.
+    pub fn reload(&self) -> Result<u64, CascnError> {
+        let model = Self::load_model(&self.path, self.cfg)?;
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+        *slot = Arc::new(LoadedModel { model, version });
+        Ok(version)
+    }
+
+    /// The checkpoint path this registry watches.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn::TrainOpts;
+    use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+    use cascn_cascades::{Dataset, Split};
+
+    fn tiny_cfg() -> CascnConfig {
+        CascnConfig {
+            hidden: 4,
+            mlp_hidden: 4,
+            max_nodes: 10,
+            max_steps: 4,
+            threads: 1,
+            ..CascnConfig::default()
+        }
+    }
+
+    fn train_to(path: &Path, seed: u64) -> Dataset {
+        let dataset = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 24,
+            seed,
+            max_size: 40,
+        })
+        .generate();
+        let mut model = CascnModel::new(tiny_cfg());
+        let opts = TrainOpts { epochs: 1, ..TrainOpts::default() };
+        let ckpt_policy = cascn::CheckpointPolicy { path: path.to_path_buf(), every: 1 };
+        model
+            .fit_resumable(
+                dataset.split(Split::Train),
+                dataset.split(Split::Validation),
+                25.0,
+                &opts,
+                None,
+                Some(&ckpt_policy),
+            )
+            .expect("tiny training run succeeds");
+        dataset
+    }
+
+    #[test]
+    fn open_serves_and_reload_bumps_the_version() {
+        let dir = std::env::temp_dir().join("cascn_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("open_reload.ckpt");
+        let dataset = train_to(&path, 3);
+
+        let reg = ModelRegistry::open(&path, tiny_cfg()).expect("checkpoint loads");
+        assert_eq!(reg.version(), 1);
+        let before = reg.current();
+        let pred = before.model.predict_log(&dataset.cascades[0], 25.0);
+        assert!(pred.is_finite());
+
+        let v = reg.reload().expect("same file reloads");
+        assert_eq!(v, 2);
+        let after = reg.current();
+        assert_eq!(after.version, 2);
+        // Same checkpoint → bit-identical predictions across versions.
+        assert_eq!(
+            pred.to_bits(),
+            after.model.predict_log(&dataset.cascades[0], 25.0).to_bits()
+        );
+        // The old Arc is still usable by an in-flight batch.
+        assert_eq!(before.version, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_reload_keeps_the_previous_model() {
+        let dir = std::env::temp_dir().join("cascn_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt_reload.ckpt");
+        train_to(&path, 4);
+
+        let reg = ModelRegistry::open(&path, tiny_cfg()).unwrap();
+        let good = reg.current();
+
+        // Truncate the file mid-section.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = reg.reload().expect_err("truncated checkpoint must fail");
+        assert!(
+            matches!(err, CascnError::CheckpointTruncated { .. } | CascnError::Checkpoint(_)),
+            "{err}"
+        );
+        // Still serving version 1, same Arc.
+        assert_eq!(reg.version(), 1);
+        assert!(Arc::ptr_eq(&good, &reg.current()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage_gracefully() {
+        let dir = std::env::temp_dir().join("cascn_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let err = match ModelRegistry::open(&path, tiny_cfg()) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage must not load"),
+        };
+        let msg = err.to_string();
+        assert!(!msg.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

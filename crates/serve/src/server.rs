@@ -1,0 +1,386 @@
+//! The TCP accept loop, worker pool, and request routing.
+//!
+//! Thread shape: the caller's thread runs `accept()`; a fixed pool of
+//! connection workers drains a bounded connection queue; one executor
+//! thread drains the [`Batcher`]. Everything is a scoped `std::thread` —
+//! no runtime, no globals — and shuts down cleanly when a `POST /shutdown`
+//! flips the run flag and nudges the accept loop awake with a loopback
+//! connection.
+//!
+//! Routes:
+//!
+//! | route                      | behavior                                   |
+//! |----------------------------|--------------------------------------------|
+//! | `GET /healthz`             | liveness probe                             |
+//! | `GET /metrics`             | plain-text counters and histograms         |
+//! | `POST /predict?window=W`   | cascade text body → `prediction <id> <ŷ>`  |
+//! | `POST /reload`             | re-read the checkpoint, bump the version   |
+//! | `POST /shutdown`           | graceful stop                              |
+//!
+//! Predictions are formatted with `{:?}` so the decimal text round-trips
+//! to the exact `f32` the model produced — served output is bit-identical
+//! to a direct `predict_log` call on the same checkpoint.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use cascn::resolve_threads;
+use cascn_cascades::stream::{parse_cascades, StreamLimits};
+
+use crate::batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
+use crate::cache::BasisCache;
+use crate::http::{read_request, write_response, Request};
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+
+/// Everything tunable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8077` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Connection workers. `0` (auto) = one per core but at least 4: a
+    /// worker holds its socket for the life of a keep-alive connection,
+    /// and the floor keeps one chatty client from starving the rest on
+    /// small machines. Workers block on I/O; the forward pass runs on the
+    /// batch executor, so extra workers cost memory, not compute.
+    pub workers: usize,
+    /// Intra-batch forward-pass fan-out (`0` = all cores).
+    pub threads: usize,
+    /// Max cascades coalesced into one executed batch.
+    pub max_batch: usize,
+    /// Max cascades queued before requests shed with 503.
+    pub max_queue: usize,
+    /// Max `Content-Length` accepted on `POST /predict`.
+    pub max_body_bytes: usize,
+    /// Spectral-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Window used when a predict request has no `?window=` param.
+    pub default_window: f64,
+    /// Per-request cascade/event caps enforced by the streaming parser.
+    pub limits: StreamLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            threads: 0,
+            max_batch: 64,
+            max_queue: 256,
+            max_body_bytes: 1 << 20,
+            cache_capacity: 1024,
+            default_window: 25.0,
+            limits: StreamLimits::default(),
+        }
+    }
+}
+
+/// Bounded handoff of accepted sockets to the worker pool.
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+    bound: usize,
+}
+
+impl ConnQueue {
+    fn new(bound: usize) -> Self {
+        Self {
+            queue: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// Hands the stream back when the queue is full (the caller sheds).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.1 || q.0.len() >= self.bound {
+            return Err(stream);
+        }
+        q.0.push_back(stream);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(s) = q.0.pop_front() {
+                return Some(s);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A bound-but-not-yet-running server. Splitting bind from run lets the
+/// caller learn the ephemeral port before serving starts.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    registry: Arc<ModelRegistry>,
+    pub metrics: Arc<ServeMetrics>,
+    pub cache: Arc<BasisCache>,
+    batcher: Arc<Batcher>,
+}
+
+impl Server {
+    /// Binds the listen socket. The model is already loaded (the registry
+    /// rejects corrupt checkpoints before any socket exists).
+    pub fn bind(config: ServerConfig, registry: ModelRegistry) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let batcher = Arc::new(Batcher::new(config.max_batch, config.max_queue));
+        Ok(Self {
+            listener,
+            local_addr,
+            cache: Arc::new(BasisCache::new(config.cache_capacity)),
+            metrics: Arc::new(ServeMetrics::new()),
+            batcher,
+            registry: Arc::new(registry),
+            config,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `POST /shutdown` arrives. Blocks the calling thread;
+    /// workers and the batch executor run as scoped threads inside.
+    pub fn run(self) -> io::Result<()> {
+        let workers = if self.config.workers == 0 {
+            resolve_threads(0).max(4)
+        } else {
+            self.config.workers
+        };
+        let running = AtomicBool::new(true);
+        let conns = ConnQueue::new(workers * 2);
+        let Self {
+            listener,
+            local_addr,
+            config,
+            registry,
+            metrics,
+            cache,
+            batcher,
+        } = self;
+
+        std::thread::scope(|s| {
+            s.spawn(|| batcher.run_executor(&registry, &cache, &metrics, config.threads));
+            for _ in 0..workers {
+                s.spawn(|| {
+                    while let Some(stream) = conns.pop() {
+                        let ctx = HandlerCtx {
+                            config: &config,
+                            registry: &registry,
+                            metrics: &metrics,
+                            cache: &cache,
+                            batcher: &batcher,
+                            running: &running,
+                            local_addr,
+                        };
+                        handle_connection(stream, &ctx);
+                    }
+                });
+            }
+
+            for stream in listener.incoming() {
+                if !running.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Err(rejected) = conns.push(stream) {
+                    // Connection queue full: shed at the door.
+                    metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    let mut w = io::BufWriter::new(rejected);
+                    let _ = write_response(
+                        &mut w,
+                        503,
+                        "Service Unavailable",
+                        &[("Retry-After", "1")],
+                        "overloaded: connection queue full\n",
+                        false,
+                    );
+                }
+            }
+            conns.close();
+            batcher.close();
+        });
+        Ok(())
+    }
+}
+
+/// Shared references a connection handler needs.
+struct HandlerCtx<'a> {
+    config: &'a ServerConfig,
+    registry: &'a ModelRegistry,
+    metrics: &'a ServeMetrics,
+    cache: &'a BasisCache,
+    batcher: &'a Batcher,
+    running: &'a AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// Serves requests on one connection until close or parse failure.
+fn handle_connection(stream: TcpStream, ctx: &HandlerCtx<'_>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader, ctx.config.max_body_bytes) {
+            Ok(r) => r,
+            Err(err) => {
+                if let Some((status, reason)) = err.status() {
+                    ctx.metrics.requests_client_error.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(&mut writer, status, reason, &[], &format!("{err}\n"), false);
+                }
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let shutdown = request.method == "POST" && request.path == "/shutdown";
+        if !respond(&request, ctx, &mut writer) {
+            return;
+        }
+        if shutdown {
+            initiate_shutdown(ctx);
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Routes one request. Returns `false` when the connection must close.
+fn respond(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> bool {
+    let keep = req.keep_alive;
+    let m = ctx.metrics;
+    let ok = |w: &mut dyn io::Write, body: &str, m: &ServeMetrics| {
+        m.requests_ok.fetch_add(1, Ordering::Relaxed);
+        write_response(w, 200, "OK", &[], body, keep).is_ok()
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ok(writer, "ok\n", m),
+        ("GET", "/metrics") => {
+            let body = m.render(&ctx.cache.stats(), ctx.registry.version());
+            ok(writer, &body, m)
+        }
+        ("POST", "/reload") => match ctx.registry.reload() {
+            Ok(version) => {
+                m.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                ok(writer, &format!("reloaded version {version}\n"), m)
+            }
+            Err(e) => {
+                m.reloads_failed.fetch_add(1, Ordering::Relaxed);
+                m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+                write_response(writer, 500, "Internal Server Error", &[], &format!("reload failed: {e}\n"), keep)
+                    .is_ok()
+            }
+        },
+        ("POST", "/shutdown") => ok(writer, "shutting down\n", m),
+        ("POST", "/predict") => respond_predict(req, ctx, writer),
+        _ => {
+            m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                writer,
+                404,
+                "Not Found",
+                &[],
+                &format!("no route for {} {}\n", req.method, req.path),
+                keep,
+            )
+            .is_ok()
+        }
+    }
+}
+
+/// `POST /predict`: parse → enqueue → wait for the batch → answer.
+fn respond_predict(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> bool {
+    let started = Instant::now();
+    let keep = req.keep_alive;
+    let m = ctx.metrics;
+    let fail = |w: &mut dyn io::Write, body: String, m: &ServeMetrics| {
+        m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+        write_response(w, 400, "Bad Request", &[], &body, keep).is_ok()
+    };
+
+    let window = match req.query_param("window") {
+        None => ctx.config.default_window,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(w) if w.is_finite() && w > 0.0 => w,
+            _ => return fail(writer, format!("invalid window `{raw}`\n"), m),
+        },
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return fail(writer, "request body is not utf-8\n".into(), m);
+    };
+    let cascades = match parse_cascades(text, ctx.config.limits) {
+        Ok(c) => c,
+        Err(e) => return fail(writer, format!("invalid cascade payload: {e}\n"), m),
+    };
+    if cascades.is_empty() {
+        m.requests_ok.fetch_add(1, Ordering::Relaxed);
+        return write_response(writer, 200, "OK", &[], "", keep).is_ok();
+    }
+
+    let ids: Vec<u64> = cascades.iter().map(|c| c.id).collect();
+    let slot = ResponseSlot::new();
+    let job = PredictJob { cascades, window, slot: Arc::clone(&slot) };
+    if let Err(e) = ctx.batcher.enqueue(job) {
+        m.requests_shed.fetch_add(1, Ordering::Relaxed);
+        let body = match e {
+            EnqueueError::Overloaded { queued, limit } => {
+                format!("overloaded: {queued} cascades queued (limit {limit})\n")
+            }
+            EnqueueError::Closed => "server shutting down\n".to_string(),
+        };
+        return write_response(writer, 503, "Service Unavailable", &[("Retry-After", "1")], &body, keep)
+            .is_ok();
+    }
+    match slot.wait() {
+        Ok(preds) => {
+            let mut body = String::with_capacity(preds.len() * 32);
+            for (id, p) in ids.iter().zip(&preds) {
+                // `{:?}` prints the shortest decimal that round-trips to
+                // the exact f32 — the parity contract with predict_log.
+                body.push_str(&format!("prediction {id} {p:?}\n"));
+            }
+            m.requests_ok.fetch_add(1, Ordering::Relaxed);
+            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            m.predict_latency_us.record(us);
+            write_response(writer, 200, "OK", &[], &body, keep).is_ok()
+        }
+        Err(reason) => {
+            write_response(writer, 503, "Service Unavailable", &[], &format!("{reason}\n"), keep).is_ok()
+        }
+    }
+}
+
+/// Flips the run flag and pokes the accept loop awake.
+fn initiate_shutdown(ctx: &HandlerCtx<'_>) {
+    ctx.running.store(false, Ordering::SeqCst);
+    // The accept loop is blocked in `accept()`; a throwaway loopback
+    // connection gets it to re-check the flag. Errors are irrelevant —
+    // if connect fails the listener is already gone.
+    let _ = TcpStream::connect(ctx.local_addr);
+}

@@ -1,0 +1,324 @@
+//! End-to-end protocol tests: a real server on an ephemeral port, real
+//! sockets, and the parity contract — served predictions are byte-identical
+//! to direct `CascnModel::predict_log` on the same checkpoint.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use cascn::{CascnConfig, CascnModel, CheckpointPolicy, TrainCheckpoint, TrainOpts};
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::{Cascade, Dataset, Split};
+use cascn_serve::{ModelRegistry, Server, ServerConfig};
+
+const WINDOW: f64 = 25.0;
+
+fn tiny_cfg() -> CascnConfig {
+    CascnConfig {
+        hidden: 4,
+        mlp_hidden: 4,
+        max_nodes: 10,
+        max_steps: 4,
+        threads: 1,
+        ..CascnConfig::default()
+    }
+}
+
+struct TestEnv {
+    ckpt_path: PathBuf,
+    dataset: Dataset,
+}
+
+/// Trains one tiny checkpoint shared by every test in this binary.
+fn env() -> &'static TestEnv {
+    static ENV: OnceLock<TestEnv> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("cascn_protocol_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt_path = dir.join("protocol.ckpt");
+        let dataset = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 24,
+            seed: 11,
+            max_size: 40,
+        })
+        .generate();
+        let mut model = CascnModel::new(tiny_cfg());
+        let opts = TrainOpts { epochs: 1, ..TrainOpts::default() };
+        let policy = CheckpointPolicy { path: ckpt_path.clone(), every: 1 };
+        model
+            .fit_resumable(
+                dataset.split(Split::Train),
+                dataset.split(Split::Validation),
+                WINDOW,
+                &opts,
+                None,
+                Some(&policy),
+            )
+            .expect("tiny training run succeeds");
+        TestEnv { ckpt_path, dataset }
+    })
+}
+
+/// A running server plus the thread driving it. Shut down via the route.
+struct ServerHandle {
+    addr: std::net::SocketAddr,
+    join: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+fn start_server(mut config: ServerConfig) -> ServerHandle {
+    let e = env();
+    config.addr = "127.0.0.1:0".into();
+    config.default_window = WINDOW;
+    let registry = ModelRegistry::open(&e.ckpt_path, tiny_cfg()).expect("checkpoint loads");
+    let server = Server::bind(config, registry).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run());
+    ServerHandle { addr, join: Some(join) }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = raw_request(self.addr, "POST /shutdown HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n");
+        if let Some(join) = self.join.take() {
+            join.join().expect("server thread must not panic").expect("clean exit");
+        }
+    }
+}
+
+/// Sends raw bytes, returns (status code, body).
+fn raw_request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    read_response(&mut BufReader::new(stream))
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// One `POST /predict` over its own connection.
+fn predict(addr: std::net::SocketAddr, body: &str, window: f64) -> (u16, String) {
+    let raw = format!(
+        "POST /predict?window={window} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_request(addr, &raw)
+}
+
+/// Serializes cascades in the request text format.
+fn body_for(cascades: &[Cascade]) -> String {
+    let mut s = String::new();
+    for c in cascades {
+        s.push_str(&format!("cascade {} {}\n", c.id, c.start_time));
+        for e in &c.events {
+            let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+            s.push_str(&format!("event {} {parent} {}\n", e.user, e.time));
+        }
+    }
+    s
+}
+
+/// The exact lines the server must produce for `cascades`.
+fn expected_lines(cascades: &[Cascade]) -> String {
+    let e = env();
+    let ckpt = TrainCheckpoint::load(&e.ckpt_path).expect("checkpoint loads");
+    let model = CascnModel::from_checkpoint(tiny_cfg(), &ckpt).expect("params fit");
+    let mut s = String::new();
+    for c in cascades {
+        s.push_str(&format!("prediction {} {:?}\n", c.id, model.predict_log(c, WINDOW)));
+    }
+    s
+}
+
+#[test]
+fn malformed_request_lines_get_400_not_a_hang() {
+    let h = start_server(ServerConfig::default());
+    for raw in [
+        "GARBAGE\r\n\r\n",
+        "GET /predict HTTP/1.1 TRAILING\r\n\r\n",
+        "POST nopath HTTP/1.1\r\n\r\n",
+        "POST /predict HTTP/1.1\r\nContent-Length: zebra\r\n\r\n",
+    ] {
+        let (status, body) = raw_request(h.addr, raw);
+        assert_eq!(status, 400, "{raw:?} -> {body}");
+    }
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let h = start_server(ServerConfig { max_body_bytes: 64, ..ServerConfig::default() });
+    let raw = "POST /predict HTTP/1.1\r\nConnection: close\r\nContent-Length: 100000\r\n\r\n";
+    let (status, body) = raw_request(h.addr, raw);
+    assert_eq!(status, 413, "{body}");
+}
+
+#[test]
+fn invalid_cascade_payloads_get_400_with_line_numbers() {
+    let h = start_server(ServerConfig::default());
+    for (payload, needle) in [
+        ("event 1 - 0.0\n", "before any cascade header"),
+        ("cascade 1 0.0\nevent 5 - 3.0\n", "root must be at t=0"),
+        ("cascade 1 0.0\nnonsense\n", "unknown record type"),
+        ("not utf8 comes below", "unknown record type"),
+    ] {
+        let (status, body) = predict(h.addr, payload, WINDOW);
+        assert_eq!(status, 400, "{payload:?} -> {body}");
+        assert!(body.contains(needle), "{payload:?} -> {body}");
+    }
+    // Invalid window is also a 400.
+    let (status, body) = predict(h.addr, "cascade 1 0.0\nevent 5 - 0.0\n", -3.0);
+    assert_eq!(status, 400, "{body}");
+    // Non-utf8 body.
+    let raw_bytes: &[u8] = b"POST /predict HTTP/1.1\r\nConnection: close\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc";
+    let mut stream = TcpStream::connect(h.addr).unwrap();
+    stream.write_all(raw_bytes).unwrap();
+    let (status, body) = read_response(&mut BufReader::new(stream));
+    assert_eq!(status, 400);
+    assert!(body.contains("utf-8"), "{body}");
+}
+
+#[test]
+fn empty_payload_is_an_empty_200() {
+    let h = start_server(ServerConfig::default());
+    let (status, body) = predict(h.addr, "# nothing here\n", WINDOW);
+    assert_eq!(status, 200);
+    assert!(body.is_empty(), "{body}");
+}
+
+#[test]
+fn served_predictions_match_direct_predict_bit_for_bit() {
+    let e = env();
+    let h = start_server(ServerConfig::default());
+    let cascades = &e.dataset.cascades[..6];
+    let (status, body) = predict(h.addr, &body_for(cascades), WINDOW);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, expected_lines(cascades));
+}
+
+#[test]
+fn concurrent_clients_all_get_bit_identical_results() {
+    let e = env();
+    let h = start_server(ServerConfig {
+        // Enough workers for every client, but a tiny batch bound: force
+        // coalescing and queue pressure while every answer stays exact.
+        workers: 8,
+        max_batch: 4,
+        ..ServerConfig::default()
+    });
+    let addr = h.addr;
+    let slices: Vec<&[Cascade]> = (0..8)
+        .map(|i| &e.dataset.cascades[i..i + 3])
+        .collect();
+    let expected: Vec<String> = slices.iter().map(|s| expected_lines(s)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .map(|s| {
+                let body = body_for(s);
+                scope.spawn(move || predict(addr, &body, WINDOW))
+            })
+            .collect();
+        for (handle, want) in handles.into_iter().zip(&expected) {
+            let (status, got) = handle.join().expect("client thread");
+            assert_eq!(status, 200, "{got}");
+            assert_eq!(&got, want, "served response diverged from direct predict");
+        }
+    });
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let e = env();
+    let h = start_server(ServerConfig::default());
+    let cascades = &e.dataset.cascades[..2];
+    let body = body_for(cascades);
+    let mut stream = TcpStream::connect(h.addr).expect("connect");
+    for _ in 0..2 {
+        let raw = format!(
+            "POST /predict?window={WINDOW} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let (status, got) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(got, expected_lines(cascades));
+    }
+}
+
+#[test]
+fn metrics_report_cache_hits_and_latency_quantiles() {
+    let e = env();
+    let h = start_server(ServerConfig::default());
+    let cascades = &e.dataset.cascades[..3];
+    let body = body_for(cascades);
+    // Same payload twice: the second pass must hit the spectral cache.
+    for _ in 0..2 {
+        let (status, _) = predict(h.addr, &body, WINDOW);
+        assert_eq!(status, 200);
+    }
+    let (status, text) =
+        raw_request(h.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    let metric = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing metric {name} in:\n{text}"))
+    };
+    assert_eq!(metric("cascn_spectral_cache_hits_total"), 3);
+    assert_eq!(metric("cascn_spectral_cache_misses_total"), 3);
+    assert_eq!(metric("cascn_predictions_total"), 6);
+    assert_eq!(metric("cascn_predict_latency_us_count"), 2);
+    assert!(metric("cascn_predict_latency_us{quantile=\"0.5\"}") > 0);
+    assert!(metric("cascn_predict_latency_us{quantile=\"0.99\"}") > 0);
+    assert_eq!(metric("cascn_requests_total{class=\"ok\"}"), 2);
+}
+
+#[test]
+fn reload_bumps_the_version_and_keeps_parity() {
+    let e = env();
+    let h = start_server(ServerConfig::default());
+    let cascades = &e.dataset.cascades[..2];
+    let before = predict(h.addr, &body_for(cascades), WINDOW);
+    let (status, body) =
+        raw_request(h.addr, "POST /reload HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("reloaded version 2"), "{body}");
+    let after = predict(h.addr, &body_for(cascades), WINDOW);
+    assert_eq!(before, after, "same checkpoint must serve identical bits after reload");
+}
+
+#[test]
+fn unknown_routes_get_404() {
+    let h = start_server(ServerConfig::default());
+    let (status, _) = raw_request(h.addr, "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, body) = raw_request(h.addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+}

@@ -2,7 +2,7 @@
 # CI gate: release build, the cascn-lint contract ratchet, clippy with
 # warnings-as-errors, the full test suite, the thread-parity suite in
 # release (optimized float codegen is the configuration that ships), bench
-# compilation, and the kill-and-resume smoke test.
+# compilation, the kill-and-resume smoke test, and the serving smoke test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,3 +13,4 @@ cargo test -q
 cargo test -q --release -p cascn --test thread_parity
 cargo bench --no-run -p cascn-bench
 scripts/resume_smoke.sh
+scripts/serve_smoke.sh
