@@ -14,12 +14,14 @@
 //! with `503 Retry-After`, never partially enqueued.
 //!
 //! Per cascade, the executor runs the cache-aware split pipeline:
-//! spectral basis from the [`BasisCache`] (content-keyed, so a reused id
-//! with different events can never alias), then
+//! spectral basis from the [`BasisCache`] (content-fingerprinted *and*
+//! verified bit-for-bit on every hit, so neither a reused id nor a
+//! fingerprint collision can ever alias), then
 //! [`cascn::preprocess_with_basis`] + `predict_log_sample` — bit-identical
 //! to `CascnModel::predict_log` on the same cascade.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -27,31 +29,9 @@ use cascn::{parallel_map, preprocess_with_basis, spectral_basis};
 use cascn_cascades::Cascade;
 
 use crate::cache::BasisCache;
+pub use crate::cache::cascade_key;
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
-
-/// Content fingerprint of a cascade — FNV-1a 64 over the id, start time,
-/// and every event. Used as the spectral-cache key so identical payloads
-/// share work while a colliding *id* with different events cannot alias.
-pub fn cascade_key(c: &Cascade) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    mix(c.id);
-    mix(c.start_time.to_bits());
-    for e in &c.events {
-        mix(e.user);
-        mix(e.parent.map_or(u64::MAX, |p| p as u64));
-        mix(e.time.to_bits());
-    }
-    h
-}
 
 /// Where a request waits for its batch to execute.
 enum SlotState {
@@ -222,11 +202,6 @@ impl Batcher {
         threads: usize,
     ) {
         while let Some(jobs) = self.next_batch() {
-            // One registry read per batch: every cascade in the batch is
-            // served by the same model version.
-            let loaded = registry.current();
-            let cfg = loaded.model.config();
-
             let flat: Vec<(usize, usize)> = jobs
                 .iter()
                 .enumerate()
@@ -234,21 +209,42 @@ impl Batcher {
                 .collect();
             metrics.batch_size.record(flat.len() as u64);
 
-            let preds = parallel_map(threads, &flat, |_, &(j, c)| {
-                let job = &jobs[j];
-                let cascade = &job.cascades[c];
-                let basis = cache.get_or_insert_with(cascade_key(cascade), job.window, || {
-                    spectral_basis(cascade, job.window, cfg)
-                });
-                let sample = preprocess_with_basis(cascade, job.window, cfg, &basis);
-                loaded.model.predict_log_sample(&sample)
-            });
-            metrics.predictions.fetch_add(flat.len() as u64, Ordering::Relaxed);
-
-            let mut preds = preds.into_iter();
-            for job in jobs {
-                let take: Vec<f32> = preds.by_ref().take(job.cascades.len()).collect();
-                job.slot.fulfill(take);
+            // A panic must not cross the batch boundary: request-derived
+            // input reaches the spectral/forward code here, and an
+            // unwinding executor would strand every waiting slot in
+            // Pending forever and hang all future predicts. `parallel_map`
+            // re-raises worker panics on scope exit, so this catches
+            // fan-out panics too.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // One registry read per batch: every cascade in the batch
+                // is served by the same model version.
+                let loaded = registry.current();
+                let cfg = loaded.model.config();
+                parallel_map(threads, &flat, |_, &(j, c)| {
+                    let job = &jobs[j];
+                    let cascade = &job.cascades[c];
+                    let basis = cache.get_or_insert_with(cascade, job.window, || {
+                        spectral_basis(cascade, job.window, cfg)
+                    });
+                    let sample = preprocess_with_basis(cascade, job.window, cfg, &basis);
+                    loaded.model.predict_log_sample(&sample)
+                })
+            }));
+            match outcome {
+                Ok(preds) => {
+                    metrics.predictions.fetch_add(flat.len() as u64, Ordering::Relaxed);
+                    let mut preds = preds.into_iter();
+                    for job in jobs {
+                        let take: Vec<f32> = preds.by_ref().take(job.cascades.len()).collect();
+                        job.slot.fulfill(take);
+                    }
+                }
+                Err(_) => {
+                    metrics.batch_panics.fetch_add(1, Ordering::Relaxed);
+                    for job in &jobs {
+                        job.slot.abort("internal error: batch execution failed".into());
+                    }
+                }
             }
         }
     }
@@ -271,14 +267,6 @@ mod tests {
         let slot = ResponseSlot::new();
         let cascades = (0..n_cascades).map(|i| cascade(i as u64, 3)).collect();
         (PredictJob { cascades, window: 10.0, slot: Arc::clone(&slot) }, slot)
-    }
-
-    #[test]
-    fn content_key_separates_same_id_different_events() {
-        let a = cascade(1, 3);
-        let b = cascade(1, 4);
-        assert_ne!(cascade_key(&a), cascade_key(&b));
-        assert_eq!(cascade_key(&a), cascade_key(&a.clone()));
     }
 
     #[test]

@@ -17,15 +17,59 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use cascn_cascades::Cascade;
 use cascn_graph::SpectralBasis;
 
-/// Cache key: the cascade id and the exact window bits. Windows are keyed
-/// by `f64::to_bits` so two windows hit the same entry only when they are
-/// bit-identical — the same contract the spectral pipeline itself has.
+/// Content fingerprint of a cascade — FNV-1a 64 over the id, start time,
+/// and every event. Picks the cache slot; it is **not** collision
+/// resistant (FNV is not cryptographic, and an adversarial client can
+/// craft colliding payloads), so every hit is verified against the full
+/// cascade content stored in the entry before a basis is shared.
+pub fn cascade_key(c: &Cascade) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(c.id);
+    mix(c.start_time.to_bits());
+    for e in &c.events {
+        mix(e.user);
+        mix(e.parent.map_or(u64::MAX, |p| p as u64));
+        mix(e.time.to_bits());
+    }
+    h
+}
+
+/// Bitwise content equality: id, start-time bits, and every event field.
+/// Times compare by bit pattern — the same identity the spectral pipeline
+/// uses (an IEEE `==` would let `NaN != NaN` defeat verification).
+fn same_cascade(a: &Cascade, b: &Cascade) -> bool {
+    a.id == b.id
+        && a.start_time.to_bits() == b.start_time.to_bits()
+        && a.events.len() == b.events.len()
+        && a.events.iter().zip(&b.events).all(|(x, y)| {
+            x.user == y.user && x.parent == y.parent && x.time.to_bits() == y.time.to_bits()
+        })
+}
+
+/// Cache key: the cascade content fingerprint and the exact window bits.
+/// Windows are keyed by `f64::to_bits` so two windows hit the same entry
+/// only when they are bit-identical — the same contract the spectral
+/// pipeline itself has.
 type Key = (u64, u64);
 
 struct Entry {
     key: Key,
+    /// The exact cascade this entry was computed from. Hits compare their
+    /// cascade against it, so a fingerprint collision degrades to
+    /// recompute-and-replace — never to silently serving another
+    /// cascade's basis.
+    cascade: Cascade,
     basis: Arc<SpectralBasis>,
     /// Global tick at last access; relaxed ordering is fine because the
     /// stamp only steers eviction, never correctness.
@@ -38,6 +82,9 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Fingerprint collisions detected by content verification: a lookup
+    /// landed on an entry whose stored cascade differs bit-for-bit.
+    pub collisions: u64,
     pub entries: usize,
     pub approx_bytes: usize,
 }
@@ -62,6 +109,7 @@ pub struct BasisCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    collisions: AtomicU64,
     entries: RwLock<Vec<Entry>>,
 }
 
@@ -75,22 +123,40 @@ impl BasisCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
             entries: RwLock::new(Vec::new()),
         }
     }
 
-    /// Returns the basis for `(cascade_id, window)`, computing it with
+    /// Returns the basis for `(cascade, window)`, computing it with
     /// `compute` on a miss. The closure runs outside every lock, so slow
     /// spectral work never blocks concurrent hits; when two threads race
     /// on the same key the loser's computation is discarded in favor of
     /// the published entry.
+    ///
+    /// Entries are *located* by the [`cascade_key`] fingerprint but
+    /// *verified* by full content comparison, so two different cascades
+    /// whose fingerprints collide thrash one slot (recompute-and-replace,
+    /// counted in [`CacheStats::collisions`]) instead of silently sharing
+    /// a basis.
     pub fn get_or_insert_with(
         &self,
-        cascade_id: u64,
+        cascade: &Cascade,
         window: f64,
         compute: impl FnOnce() -> SpectralBasis,
     ) -> Arc<SpectralBasis> {
-        let key: Key = (cascade_id, window.to_bits());
+        self.get_or_insert_keyed((cascade_key(cascade), window.to_bits()), cascade, compute)
+    }
+
+    /// [`get_or_insert_with`](Self::get_or_insert_with) with the slot key
+    /// supplied by the caller — split out so tests can force two cascades
+    /// onto one slot without forging a real FNV collision.
+    fn get_or_insert_keyed(
+        &self,
+        key: Key,
+        cascade: &Cascade,
+        compute: impl FnOnce() -> SpectralBasis,
+    ) -> Arc<SpectralBasis> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(compute());
@@ -99,10 +165,14 @@ impl BasisCache {
         {
             let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
             if let Ok(idx) = entries.binary_search_by_key(&key, |e| e.key) {
-                let now = self.tick.fetch_add(1, Ordering::Relaxed);
-                entries[idx].last_used.store(now, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entries[idx].basis);
+                if same_cascade(&entries[idx].cascade, cascade) {
+                    let now = self.tick.fetch_add(1, Ordering::Relaxed);
+                    entries[idx].last_used.store(now, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&entries[idx].basis);
+                }
+                // Fingerprint collision: fall through to the miss path;
+                // the write lock below replaces the occupant.
             }
         }
 
@@ -111,9 +181,25 @@ impl BasisCache {
 
         let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
         match entries.binary_search_by_key(&key, |e| e.key) {
-            // Another thread published while we computed — keep theirs so
-            // every caller holding this key sees one shared allocation.
-            Ok(idx) => Arc::clone(&entries[idx].basis),
+            Ok(idx) => {
+                if same_cascade(&entries[idx].cascade, cascade) {
+                    // Another thread published the same content while we
+                    // computed — keep theirs so every caller holding this
+                    // key sees one shared allocation.
+                    Arc::clone(&entries[idx].basis)
+                } else {
+                    // Collision: last writer wins the slot. The colliding
+                    // pair will thrash it, but neither can ever be served
+                    // the other's basis.
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                    let now = self.tick.fetch_add(1, Ordering::Relaxed);
+                    let entry = &mut entries[idx];
+                    entry.cascade = cascade.clone();
+                    entry.basis = Arc::clone(&basis);
+                    entry.last_used.store(now, Ordering::Relaxed);
+                    basis
+                }
+            }
             Err(_) => {
                 if entries.len() >= self.capacity {
                     // Evict the least-recently-used entry; ties (only
@@ -135,6 +221,7 @@ impl BasisCache {
                     at,
                     Entry {
                         key,
+                        cascade: cascade.clone(),
                         basis: Arc::clone(&basis),
                         last_used: AtomicU64::new(now),
                     },
@@ -151,6 +238,7 @@ impl BasisCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
             entries: entries.len(),
             approx_bytes: entries.iter().map(|e| e.basis.approx_bytes()).sum(),
         }
@@ -160,6 +248,7 @@ impl BasisCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cascn_cascades::Event;
     use cascn_tensor::Matrix;
 
     fn tiny_basis(value: f32) -> SpectralBasis {
@@ -167,11 +256,29 @@ mod tests {
         SpectralBasis::from_laplacian(&lap, Some(2.0), 1)
     }
 
+    /// A one-plus-`extra`-event cascade whose content is a function of `id`.
+    fn cas(id: u64, extra: usize) -> Cascade {
+        let mut events = vec![Event { user: id, parent: None, time: 0.0 }];
+        for i in 1..=extra {
+            events.push(Event { user: id + i as u64, parent: Some(0), time: i as f64 });
+        }
+        Cascade::new(id, 0.0, events)
+    }
+
+    #[test]
+    fn content_key_separates_same_id_different_events() {
+        let a = cas(1, 2);
+        let b = cas(1, 3);
+        assert_ne!(cascade_key(&a), cascade_key(&b));
+        assert_eq!(cascade_key(&a), cascade_key(&a.clone()));
+    }
+
     #[test]
     fn hit_returns_the_cached_allocation() {
         let cache = BasisCache::new(4);
-        let a = cache.get_or_insert_with(7, 25.0, || tiny_basis(1.0));
-        let b = cache.get_or_insert_with(7, 25.0, || panic!("must not recompute"));
+        let c = cas(7, 0);
+        let a = cache.get_or_insert_with(&c, 25.0, || tiny_basis(1.0));
+        let b = cache.get_or_insert_with(&c, 25.0, || panic!("must not recompute"));
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -182,8 +289,9 @@ mod tests {
     #[test]
     fn window_bits_distinguish_entries() {
         let cache = BasisCache::new(4);
-        let _ = cache.get_or_insert_with(7, 25.0, || tiny_basis(1.0));
-        let _ = cache.get_or_insert_with(7, 26.0, || tiny_basis(2.0));
+        let c = cas(7, 0);
+        let _ = cache.get_or_insert_with(&c, 25.0, || tiny_basis(1.0));
+        let _ = cache.get_or_insert_with(&c, 26.0, || tiny_basis(2.0));
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().misses, 2);
     }
@@ -191,17 +299,18 @@ mod tests {
     #[test]
     fn lru_evicts_the_stalest_entry() {
         let cache = BasisCache::new(2);
-        let _ = cache.get_or_insert_with(1, 1.0, || tiny_basis(1.0));
-        let _ = cache.get_or_insert_with(2, 1.0, || tiny_basis(2.0));
+        let (c1, c2, c3) = (cas(1, 0), cas(2, 0), cas(3, 0));
+        let _ = cache.get_or_insert_with(&c1, 1.0, || tiny_basis(1.0));
+        let _ = cache.get_or_insert_with(&c2, 1.0, || tiny_basis(2.0));
         // Touch 1 so 2 becomes the LRU victim.
-        let _ = cache.get_or_insert_with(1, 1.0, || panic!("cached"));
-        let _ = cache.get_or_insert_with(3, 1.0, || tiny_basis(3.0));
+        let _ = cache.get_or_insert_with(&c1, 1.0, || panic!("cached"));
+        let _ = cache.get_or_insert_with(&c3, 1.0, || tiny_basis(3.0));
         let s = cache.stats();
         assert_eq!((s.entries, s.evictions), (2, 1));
         // 1 survived, 2 was evicted.
-        let _ = cache.get_or_insert_with(1, 1.0, || panic!("1 must survive"));
+        let _ = cache.get_or_insert_with(&c1, 1.0, || panic!("1 must survive"));
         let mut recomputed = false;
-        let _ = cache.get_or_insert_with(2, 1.0, || {
+        let _ = cache.get_or_insert_with(&c2, 1.0, || {
             recomputed = true;
             tiny_basis(2.0)
         });
@@ -211,9 +320,10 @@ mod tests {
     #[test]
     fn zero_capacity_disables_retention() {
         let cache = BasisCache::new(0);
+        let c = cas(1, 0);
         let mut calls = 0;
         for _ in 0..3 {
-            let _ = cache.get_or_insert_with(1, 1.0, || {
+            let _ = cache.get_or_insert_with(&c, 1.0, || {
                 calls += 1;
                 tiny_basis(1.0)
             });
@@ -221,5 +331,31 @@ mod tests {
         assert_eq!(calls, 3);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 3, 0));
+    }
+
+    #[test]
+    fn fingerprint_collisions_never_share_a_basis() {
+        let cache = BasisCache::new(4);
+        let (a, b) = (cas(1, 1), cas(2, 2));
+        // Force both cascades onto one slot, as a forged FNV collision
+        // (or a chance one at scale) would.
+        let key: Key = (42, 1.0f64.to_bits());
+        let first = cache.get_or_insert_keyed(key, &a, || tiny_basis(1.0));
+        let second = cache.get_or_insert_keyed(key, &b, || tiny_basis(2.0));
+        assert!(!Arc::ptr_eq(&first, &second), "colliding cascades must not alias");
+        let s = cache.stats();
+        assert_eq!(s.collisions, 1);
+        assert_eq!((s.hits, s.misses), (0, 2), "a collision is a miss, not a hit");
+        assert_eq!(s.entries, 1, "collisions replace the slot, never duplicate it");
+        // The last writer owns the slot: `b` now hits, `a` recomputes.
+        let again = cache.get_or_insert_keyed(key, &b, || panic!("b owns the slot"));
+        assert!(Arc::ptr_eq(&second, &again));
+        let mut recomputed = false;
+        let _ = cache.get_or_insert_keyed(key, &a, || {
+            recomputed = true;
+            tiny_basis(1.0)
+        });
+        assert!(recomputed, "a was displaced and must recompute");
+        assert_eq!(cache.stats().collisions, 2);
     }
 }

@@ -48,6 +48,12 @@ pub enum ParseError {
     HeadTooLarge,
     /// Declared `Content-Length` exceeds the configured cap (413).
     BodyTooLarge { declared: usize, limit: usize },
+    /// The socket's read timeout elapsed before a full request arrived —
+    /// an idle keep-alive peer or a trickling (slowloris) sender. The
+    /// connection handler answers `408` and closes; `status()` is `None`
+    /// because the handler needs to count this separately from client
+    /// errors.
+    TimedOut,
     /// Socket-level failure mid-request.
     Io(String),
 }
@@ -60,6 +66,7 @@ impl ParseError {
             ParseError::Malformed(_) => Some((400, "Bad Request")),
             ParseError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
             ParseError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            ParseError::TimedOut => None,
             ParseError::Io(_) => None,
         }
     }
@@ -76,31 +83,64 @@ impl std::fmt::Display for ParseError {
             ParseError::BodyTooLarge { declared, limit } => {
                 write!(f, "declared body of {declared} bytes exceeds the {limit}-byte limit")
             }
+            ParseError::TimedOut => write!(f, "read timed out"),
             ParseError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }
 
-/// Reads one CRLF- (or LF-) terminated line, counting consumed bytes
-/// against `budget`. Returns `Ok(None)` on clean EOF before any byte.
+/// Maps a socket error to its parse outcome: a read-timeout expiry
+/// (`WouldBlock` on Unix `SO_RCVTIMEO`, `TimedOut` on Windows) becomes
+/// [`ParseError::TimedOut`]; everything else is an opaque I/O failure.
+fn io_error(e: io::Error) -> ParseError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseError::TimedOut,
+        _ => ParseError::Io(e.to_string()),
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line incrementally via
+/// `fill_buf`/`consume`, charging bytes against `budget` chunk by chunk.
+/// A peer streaming an endless line costs at most `budget + 1` buffered
+/// bytes before the parse fails with [`ParseError::HeadTooLarge`] — it
+/// can never make the server allocate past the head cap. Returns
+/// `Ok(None)` on clean EOF before any byte.
 fn read_line(
     reader: &mut impl BufRead,
     budget: &mut usize,
 ) -> Result<Option<String>, ParseError> {
-    let mut line = String::new();
-    let n = reader
-        .read_line(&mut line)
-        .map_err(|e| ParseError::Io(e.to_string()))?;
-    if n == 0 {
-        return Ok(None);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        };
+        if chunk.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(ParseError::Malformed("eof inside request head".into()))
+            };
+        }
+        // One byte past the budget is enough to prove the head is
+        // oversized — never inspect or buffer more than that.
+        let take = chunk.len().min(*budget + 1);
+        let newline = chunk[..take].iter().position(|&b| b == b'\n');
+        let consumed = newline.map_or(take, |nl| nl + 1);
+        line.extend_from_slice(&chunk[..newline.unwrap_or(take)]);
+        reader.consume(consumed);
+        *budget = budget.checked_sub(consumed).ok_or(ParseError::HeadTooLarge)?;
+        if newline.is_some() {
+            while line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => Ok(Some(s)),
+                Err(_) => Err(ParseError::Malformed("request head is not valid utf-8".into())),
+            };
+        }
     }
-    *budget = budget
-        .checked_sub(n)
-        .ok_or(ParseError::HeadTooLarge)?;
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(Some(line))
 }
 
 /// Parses one request from `reader`, enforcing `max_body_bytes` on the
@@ -174,7 +214,7 @@ pub fn read_request(
         });
     }
     let mut body = vec![0u8; content_length];
-    io::Read::read_exact(reader, &mut body).map_err(|e| ParseError::Io(e.to_string()))?;
+    io::Read::read_exact(reader, &mut body).map_err(io_error)?;
 
     Ok(Request {
         method: method.to_string(),
@@ -273,6 +313,49 @@ mod tests {
     fn eof_before_request_is_connection_closed() {
         assert_eq!(parse("", 64).unwrap_err(), ParseError::ConnectionClosed);
         assert!(ParseError::ConnectionClosed.status().is_none());
+    }
+
+    /// A reader that yields `a` bytes forever — a request line with no
+    /// newline, as a memory-exhaustion attacker would send it.
+    struct EndlessLine;
+
+    impl io::Read for EndlessLine {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            buf.fill(b'a');
+            Ok(buf.len())
+        }
+    }
+
+    #[test]
+    fn endless_request_line_fails_431_within_the_head_budget() {
+        // Terminates (rather than allocating without bound) because the
+        // budget is charged before bytes are buffered.
+        let err = read_request(&mut BufReader::new(EndlessLine), 64).unwrap_err();
+        assert_eq!(err.status(), Some((431, "Request Header Fields Too Large")));
+    }
+
+    #[test]
+    fn read_line_never_buffers_past_the_budget() {
+        let mut budget = 100;
+        let err = read_line(&mut BufReader::new(EndlessLine), &mut budget).unwrap_err();
+        assert_eq!(err, ParseError::HeadTooLarge);
+        assert_eq!(budget, 100, "budget is only spent on consumed-and-kept bytes");
+    }
+
+    /// A reader whose every read reports a socket timeout.
+    struct AlwaysTimesOut;
+
+    impl io::Read for AlwaysTimesOut {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Err(io::Error::from(io::ErrorKind::WouldBlock))
+        }
+    }
+
+    #[test]
+    fn socket_timeouts_map_to_timed_out_with_no_auto_status() {
+        let err = read_request(&mut BufReader::new(AlwaysTimesOut), 64).unwrap_err();
+        assert_eq!(err, ParseError::TimedOut);
+        assert!(err.status().is_none(), "the handler answers 408 itself");
     }
 
     #[test]

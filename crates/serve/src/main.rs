@@ -33,12 +33,13 @@ fn usage_and_exit() -> ! {
          USAGE:\n  cascn-serve --model CKPT [--addr HOST:PORT] [--window SECS]\n    \
          [--hidden H] [--max-nodes N] [--max-steps N] [--seed S]\n    \
          [--workers N] [--threads N] [--max-batch N] [--max-queue N]\n    \
-         [--max-body-bytes N] [--cache-capacity N]\n\n\
+         [--max-body-bytes N] [--cache-capacity N] [--read-timeout-ms N]\n\n\
          --model CKPT: a `cascn train --checkpoint` v2 file\n\
          --addr: bind address (default 127.0.0.1:8077; port 0 = ephemeral)\n\
          --window: default prediction window when a request has no ?window=\n\
          --workers/--threads: connection workers / forward-pass fan-out (0 = all cores)\n\
-         --max-batch/--max-queue: micro-batch size / shed bound, in cascades\n\n\
+         --max-batch/--max-queue: micro-batch size / shed bound, in cascades\n\
+         --read-timeout-ms: slow/idle connections get 408 after this (default 5000; 0 = never)\n\n\
          ROUTES:\n  GET /healthz   GET /metrics\n  \
          POST /predict?window=SECS   (body: cascade text format)\n  \
          POST /reload   POST /shutdown"
@@ -102,6 +103,10 @@ fn run(flags: &Flags) -> Result<(), String> {
         max_body_bytes: flags.parse_or("max-body-bytes", 1 << 20)?,
         cache_capacity: flags.parse_or("cache-capacity", 1024)?,
         default_window: flags.parse_or("window", 25.0)?,
+        read_timeout: match flags.parse_or("read-timeout-ms", 5_000u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
         limits: StreamLimits {
             max_cascades: flags.parse_or("max-cascades", 64)?,
             max_events: flags.parse_or("max-events", 10_000)?,

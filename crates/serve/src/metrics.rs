@@ -96,8 +96,14 @@ pub struct ServeMetrics {
     pub requests_ok: AtomicU64,
     pub requests_client_error: AtomicU64,
     pub requests_shed: AtomicU64,
+    /// Connections closed with `408` because a read timed out (idle
+    /// keep-alive peers and trickling senders).
+    pub connections_timed_out: AtomicU64,
     /// Individual cascade predictions served.
     pub predictions: AtomicU64,
+    /// Batches whose execution panicked; every slot in the batch was
+    /// aborted with 503 instead of hanging.
+    pub batch_panics: AtomicU64,
     /// Model hot-reloads that succeeded / failed.
     pub reloads_ok: AtomicU64,
     pub reloads_failed: AtomicU64,
@@ -105,6 +111,27 @@ pub struct ServeMetrics {
     pub predict_latency_us: Histogram<LATENCY_BUCKETS>,
     /// Cascades per executed micro-batch.
     pub batch_size: Histogram<BATCH_BUCKETS>,
+}
+
+/// Renders one histogram in the Prometheus convention: **cumulative**
+/// per-bucket counts with inclusive `le` upper bounds, closed by an
+/// `le="+Inf"` bucket, plus `_count`/`_sum`. Bucket `i` holds integer
+/// samples in `[2^i, 2^(i+1) - 1]`, so its inclusive bound is
+/// `2^(i+1) - 1`; the top catch-all bucket has no finite bound and only
+/// surfaces through `+Inf`. `_count` and `+Inf` come from the bucket sum
+/// (not the separate total counter) so a scrape racing `record` stays
+/// internally consistent.
+fn render_histogram<const N: usize>(out: &mut String, name: &str, h: &Histogram<N>) {
+    let (counts, _, sum) = h.snapshot();
+    let total: u64 = counts.iter().sum();
+    let mut cumulative = 0u64;
+    for (i, c) in counts.iter().enumerate().take(N - 1) {
+        cumulative += c;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", (1u64 << (i + 1)) - 1);
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+    let _ = writeln!(out, "{name}_count {total}");
+    let _ = writeln!(out, "{name}_sum {sum}");
 }
 
 impl ServeMetrics {
@@ -127,7 +154,13 @@ impl ServeMetrics {
             self.requests_client_error.load(Ordering::Relaxed),
         );
         line(&mut out, "cascn_requests_total{class=\"shed\"}", self.requests_shed.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "cascn_connections_timed_out_total",
+            self.connections_timed_out.load(Ordering::Relaxed),
+        );
         line(&mut out, "cascn_predictions_total", self.predictions.load(Ordering::Relaxed));
+        line(&mut out, "cascn_batch_panics_total", self.batch_panics.load(Ordering::Relaxed));
         line(&mut out, "cascn_model_reloads_total{result=\"ok\"}", self.reloads_ok.load(Ordering::Relaxed));
         line(
             &mut out,
@@ -138,16 +171,12 @@ impl ServeMetrics {
         line(&mut out, "cascn_spectral_cache_hits_total", cache.hits);
         line(&mut out, "cascn_spectral_cache_misses_total", cache.misses);
         line(&mut out, "cascn_spectral_cache_evictions_total", cache.evictions);
+        line(&mut out, "cascn_spectral_cache_collisions_total", cache.collisions);
         line(&mut out, "cascn_spectral_cache_entries", cache.entries);
         line(&mut out, "cascn_spectral_cache_bytes", cache.approx_bytes);
         line(&mut out, "cascn_spectral_cache_hit_rate", format!("{:.4}", cache.hit_rate()));
 
-        let (lat_counts, lat_total, lat_sum) = self.predict_latency_us.snapshot();
-        for (i, c) in lat_counts.iter().enumerate() {
-            let _ = writeln!(out, "cascn_predict_latency_us_bucket{{le=\"{}\"}} {c}", 1u64 << (i + 1));
-        }
-        line(&mut out, "cascn_predict_latency_us_count", lat_total);
-        line(&mut out, "cascn_predict_latency_us_sum", lat_sum);
+        render_histogram(&mut out, "cascn_predict_latency_us", &self.predict_latency_us);
         for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
             let _ = writeln!(
                 out,
@@ -156,12 +185,7 @@ impl ServeMetrics {
             );
         }
 
-        let (batch_counts, batch_total, batch_sum) = self.batch_size.snapshot();
-        for (i, c) in batch_counts.iter().enumerate() {
-            let _ = writeln!(out, "cascn_batch_size_bucket{{le=\"{}\"}} {c}", 1u64 << (i + 1));
-        }
-        line(&mut out, "cascn_batch_size_count", batch_total);
-        line(&mut out, "cascn_batch_size_sum", batch_sum);
+        render_histogram(&mut out, "cascn_batch_size", &self.batch_size);
 
         out
     }
@@ -201,17 +225,49 @@ mod tests {
         m.requests_ok.fetch_add(3, Ordering::Relaxed);
         m.predict_latency_us.record(100);
         m.batch_size.record(4);
-        let cache = CacheStats { hits: 9, misses: 1, evictions: 0, entries: 1, approx_bytes: 64 };
+        let cache =
+            CacheStats { hits: 9, misses: 1, evictions: 0, collisions: 0, entries: 1, approx_bytes: 64 };
         let text = m.render(&cache, 2);
         for needle in [
             "cascn_model_version 2",
             "cascn_requests_total{class=\"ok\"} 3",
+            "cascn_connections_timed_out_total 0",
+            "cascn_batch_panics_total 0",
             "cascn_spectral_cache_hits_total 9",
+            "cascn_spectral_cache_collisions_total 0",
             "cascn_spectral_cache_hit_rate 0.9000",
+            "cascn_predict_latency_us_bucket{le=\"+Inf\"} 1",
             "cascn_predict_latency_us{quantile=\"0.5\"}",
             "cascn_predict_latency_us{quantile=\"0.99\"}",
+            "cascn_batch_size_bucket{le=\"+Inf\"} 1",
             "cascn_batch_size_count 1",
             "cascn_batch_size_sum 4",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_closed_by_inf() {
+        let m = ServeMetrics::new();
+        for us in [1, 1, 100] {
+            m.predict_latency_us.record(us);
+        }
+        let cache =
+            CacheStats { hits: 0, misses: 0, evictions: 0, collisions: 0, entries: 0, approx_bytes: 0 };
+        let text = m.render(&cache, 1);
+        // The two 1µs samples sit in the first bucket (le="1"); the 100µs
+        // sample lands in [64, 127]. Every bucket from there up, and
+        // +Inf, must carry the full cumulative count — the Prometheus
+        // histogram convention a scraper computes quantiles from.
+        for needle in [
+            "cascn_predict_latency_us_bucket{le=\"1\"} 2",
+            "cascn_predict_latency_us_bucket{le=\"63\"} 2",
+            "cascn_predict_latency_us_bucket{le=\"127\"} 3",
+            "cascn_predict_latency_us_bucket{le=\"255\"} 3",
+            "cascn_predict_latency_us_bucket{le=\"+Inf\"} 3",
+            "cascn_predict_latency_us_count 3",
+            "cascn_predict_latency_us_sum 102",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -26,14 +26,14 @@ use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cascn::resolve_threads;
 use cascn_cascades::stream::{parse_cascades, StreamLimits};
 
 use crate::batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
 use crate::cache::BasisCache;
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, ParseError, Request};
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 
@@ -60,6 +60,13 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Window used when a predict request has no `?window=` param.
     pub default_window: f64,
+    /// Socket read timeout, bounding how long a worker can sit in a
+    /// blocking read. An idle keep-alive peer or a trickling (slowloris)
+    /// sender is answered with `408` and disconnected when it elapses —
+    /// so slow clients cannot pin the whole worker pool, and shutdown
+    /// never waits longer than this for workers parked on silent
+    /// connections. `None` disables the timeout.
+    pub read_timeout: Option<Duration>,
     /// Per-request cascade/event caps enforced by the streaming parser.
     pub limits: StreamLimits,
 }
@@ -75,6 +82,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             cache_capacity: 1024,
             default_window: 25.0,
+            read_timeout: Some(Duration::from_secs(5)),
             limits: StreamLimits::default(),
         }
     }
@@ -206,6 +214,9 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Bound every blocking read so slow or silent peers can
+                // neither pin a worker forever nor stall shutdown.
+                let _ = stream.set_read_timeout(config.read_timeout);
                 if let Err(rejected) = conns.push(stream) {
                     // Connection queue full: shed at the door.
                     metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
@@ -248,6 +259,14 @@ fn handle_connection(stream: TcpStream, ctx: &HandlerCtx<'_>) {
     loop {
         let request = match read_request(&mut reader, ctx.config.max_body_bytes) {
             Ok(r) => r,
+            Err(ParseError::TimedOut) => {
+                // Idle keep-alive peer or a trickling sender: answer 408
+                // best-effort and free the worker. Counted apart from
+                // client errors — an expired keep-alive is routine.
+                ctx.metrics.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut writer, 408, "Request Timeout", &[], "read timed out\n", false);
+                return;
+            }
             Err(err) => {
                 if let Some((status, reason)) = err.status() {
                     ctx.metrics.requests_client_error.fetch_add(1, Ordering::Relaxed);

@@ -315,6 +315,31 @@ fn reload_bumps_the_version_and_keeps_parity() {
 }
 
 #[test]
+fn slow_and_idle_clients_time_out_and_never_block_shutdown() {
+    let h = start_server(ServerConfig {
+        read_timeout: Some(std::time::Duration::from_millis(200)),
+        ..ServerConfig::default()
+    });
+    // A trickling (slowloris-style) sender: partial request line, then
+    // silence. It must be answered 408 and disconnected, not hold a
+    // worker forever.
+    let mut slow = TcpStream::connect(h.addr).expect("connect");
+    slow.write_all(b"GET /heal").expect("partial send");
+    let (status, body) = read_response(&mut BufReader::new(slow));
+    assert_eq!(status, 408, "{body}");
+    // An idle keep-alive client that stays connected and sends nothing.
+    let idle = TcpStream::connect(h.addr).expect("connect");
+    // Other clients are still served while it idles...
+    let (status, body) = raw_request(h.addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    // ...and shutdown completes while it is still connected: Drop sends
+    // POST /shutdown and joins the server thread, which would hang here
+    // (until the harness timeout) if idle reads were unbounded.
+    drop(h);
+    drop(idle);
+}
+
+#[test]
 fn unknown_routes_get_404() {
     let h = start_server(ServerConfig::default());
     let (status, _) = raw_request(h.addr, "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
