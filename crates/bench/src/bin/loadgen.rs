@@ -11,11 +11,19 @@
 //! two per request, rotating — so a run longer than the pool revisits
 //! payloads and exercises the server's spectral cache. Exits nonzero if
 //! any request fails outright (connection error, unexpected status).
+//!
+//! Targets: `--addr HOST:PORT` for one server, or `--target-list FILE`
+//! (one `HOST:PORT` per line, `#` comments allowed) to spread requests
+//! round-robin over a tier — e.g. straight at the replicas behind a
+//! `cascn-router`. Before any load is sent, every target is dialed with
+//! `--connect-retries` attempts spaced `--connect-backoff-ms` apart, so
+//! starting loadgen in the same breath as the server (as the smoke
+//! scripts do) no longer races the server's bind.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
 use cascn_cascades::Cascade;
@@ -52,14 +60,38 @@ struct WorkerReport {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let addr = flag_value(args, "--addr").ok_or("missing --addr HOST:PORT")?.to_string();
+    let targets: Vec<String> = match flag_value(args, "--target-list") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading --target-list {path}: {e}"))?;
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        }
+        None => vec![flag_value(args, "--addr")
+            .ok_or("missing --addr HOST:PORT (or --target-list FILE)")?
+            .to_string()],
+    };
+    if targets.is_empty() {
+        return Err("--target-list named no targets".into());
+    }
     let requests: usize = parse_or(args, "--requests", 100)?;
     let concurrency: usize = parse_or(args, "--concurrency", 4)?.max(1);
     let window: f64 = parse_or(args, "--window", 25.0)?;
     let n_cascades: usize = parse_or(args, "--n-cascades", 20)?.max(2);
     let seed: u64 = parse_or(args, "--seed", 7)?;
+    let connect_retries: usize = parse_or(args, "--connect-retries", 20)?;
+    let connect_backoff = Duration::from_millis(parse_or(args, "--connect-backoff-ms", 50u64)?);
     let print_metrics = args.iter().any(|a| a == "--print-metrics");
     let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    // Don't let a racing startup read as load-test failures: a server
+    // launched a moment ago may not have bound yet.
+    for target in &targets {
+        wait_ready(target, connect_retries, connect_backoff)?;
+    }
 
     // A fixed pool of payload bodies; request i sends pool[i % len].
     let dataset = WeiboGenerator::new(WeiboConfig {
@@ -78,23 +110,27 @@ fn run(args: &[String]) -> Result<(), String> {
     let reports: Vec<WorkerReport> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..concurrency)
             .map(|w| {
-                let addr = addr.as_str();
+                let targets = &targets;
                 let bodies = &bodies;
                 // Worker w sends requests w, w+C, w+2C, … so the request
                 // count is exact for any concurrency.
                 s.spawn(move || {
                     let mut report = WorkerReport::default();
-                    let mut conn: Option<BufReader<TcpStream>> = None;
+                    // One cached keep-alive connection per target.
+                    let mut conns: Vec<Option<BufReader<TcpStream>>> =
+                        (0..targets.len()).map(|_| None).collect();
                     for i in (w..requests).step_by(concurrency) {
+                        let ti = i % targets.len();
+                        let addr = targets[ti].as_str();
                         let body = &bodies[i % bodies.len()];
                         let t0 = Instant::now();
                         // A send error on a cached keep-alive connection
                         // usually means the server closed it; one retry on
                         // a fresh connection separates that from real
                         // failures.
-                        let mut outcome = send_predict(&mut conn, addr, body, window);
+                        let mut outcome = send_predict(&mut conns[ti], addr, body, window);
                         if outcome.is_err() {
-                            outcome = send_predict(&mut conn, addr, body, window);
+                            outcome = send_predict(&mut conns[ti], addr, body, window);
                         }
                         match outcome {
                             Ok(200) => {
@@ -111,7 +147,7 @@ fn run(args: &[String]) -> Result<(), String> {
                             Err(e) => {
                                 eprintln!("request {i}: {e}");
                                 report.failed += 1;
-                                conn = None;
+                                conns[ti] = None;
                             }
                         }
                     }
@@ -161,17 +197,36 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     if print_metrics {
-        let text = simple_request(&addr, "GET", "/metrics")?;
+        let text = simple_request(&targets[0], "GET", "/metrics")?;
         print!("{text}");
     }
     if shutdown {
-        let _ = simple_request(&addr, "POST", "/shutdown")?;
+        let _ = simple_request(&targets[0], "POST", "/shutdown")?;
         println!("loadgen: shutdown sent");
     }
     if failed > 0 || ok == 0 {
         return Err(format!("{failed} failed requests, {ok} ok"));
     }
     Ok(())
+}
+
+/// Blocks until `addr` accepts a TCP connection, retrying with a fixed
+/// backoff. `retries == 0` skips the check entirely.
+fn wait_ready(addr: &str, retries: usize, backoff: Duration) -> Result<(), String> {
+    let mut last_err = String::new();
+    for attempt in 0..retries {
+        match TcpStream::connect(addr) {
+            Ok(_) => return Ok(()),
+            Err(e) => last_err = e.to_string(),
+        }
+        if attempt + 1 < retries {
+            std::thread::sleep(backoff);
+        }
+    }
+    if retries == 0 {
+        return Ok(());
+    }
+    Err(format!("target {addr} not reachable after {retries} attempts: {last_err}"))
 }
 
 /// Writes cascades in the server's request text format.

@@ -71,6 +71,37 @@ impl FaultInjector {
         Ok(keep)
     }
 
+    /// Flips one random bit in each of `n` random bytes of the file at
+    /// `path` — bit rot, a torn sector, a buggy writer — and returns the
+    /// corrupted offsets. Used by the serving chaos tests to prove a
+    /// corrupted cache snapshot cold-starts instead of serving garbage.
+    pub fn flip_bytes(&mut self, path: impl AsRef<Path>, n: usize) -> io::Result<Vec<usize>> {
+        let path = path.as_ref();
+        let mut bytes = std::fs::read(path)?;
+        if bytes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = self.rng.random_range(0..bytes.len());
+            let bit = self.rng.random_range(0..8u32);
+            bytes[at] ^= 1 << bit;
+            offsets.push(at);
+        }
+        std::fs::write(path, &bytes)?;
+        Ok(offsets)
+    }
+
+    /// Picks a victim index in `0..n` — e.g. which replica a chaos test
+    /// kills next. Deterministic under the injector's seed.
+    pub fn pick_index(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.rng.random_range(0..n)
+        }
+    }
+
     /// Mangles up to `n` random data lines of a cascade file's text:
     /// corrupting a token into garbage, swapping a parent index out of
     /// range, or negating a timestamp. Comment lines are left alone so the
@@ -188,6 +219,39 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn flip_bytes_corrupts_in_place_and_is_seed_deterministic() {
+        let dir = std::env::temp_dir().join("cascn_faults_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |seed: u64, name: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, vec![0u8; 64]).unwrap();
+            let offsets = FaultInjector::new(seed).flip_bytes(&path, 3).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            (offsets, bytes)
+        };
+        let (off_a, bytes_a) = run(7, "flip_a.bin");
+        let (off_b, bytes_b) = run(7, "flip_b.bin");
+        assert_eq!(off_a, off_b, "same seed, same offsets");
+        assert_eq!(bytes_a, bytes_b, "same seed, same corruption");
+        assert_eq!(off_a.len(), 3);
+        assert_ne!(bytes_a, vec![0u8; 64], "bits actually flipped");
+        assert_eq!(bytes_a.len(), 64, "length unchanged — corruption, not truncation");
+    }
+
+    #[test]
+    fn pick_index_stays_in_range_and_is_deterministic() {
+        let picks = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            (0..32).map(|_| inj.pick_index(5)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(11), picks(11));
+        assert!(picks(11).iter().all(|&i| i < 5));
+        assert_eq!(FaultInjector::new(0).pick_index(0), 0, "degenerate n is safe");
+        assert_eq!(FaultInjector::new(0).pick_index(1), 0);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! `cascn-router` — a self-healing front door for a tier of `cascn-serve`
+//! replicas.
+//!
+//! Two modes:
+//!
+//! **Supervised tier** (`--replicas N --replica-cmd BIN --replica-arg X ...`):
+//! the router spawns N replica processes itself, supervises them (health
+//! probes, circuit breaking, crash restarts with capped backoff), and
+//! routes over them. Replica addresses are discovered from each child's
+//! `listening on ADDR` stdout line; pass `--addr 127.0.0.1:0` in the
+//! replica args so every replica binds its own ephemeral port. Append
+//! `{i}` inside a replica arg to substitute the replica index — e.g.
+//! `--replica-arg --snapshot --replica-arg /tmp/cache-{i}.snap` gives
+//! each replica its own snapshot file.
+//!
+//! **External backends** (`--backend HOST:PORT` repeated): route over
+//! replicas someone else manages; the router probes and ejects but never
+//! spawns or restarts.
+//!
+//! ```text
+//! cascn-router --addr 127.0.0.1:8070 \
+//!   --replicas 3 --replica-cmd target/release/cascn-serve \
+//!   --replica-arg --model --replica-arg model.ckpt \
+//!   --replica-arg --addr  --replica-arg 127.0.0.1:0 \
+//!   --replica-arg --snapshot --replica-arg /tmp/spectral-{i}.snap
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cascn_cascades::stream::StreamLimits;
+use cascn_serve::router::{ReplicaSet, Router, RouterConfig};
+use cascn_serve::supervisor::{ReplicaCommand, Supervisor, SupervisorConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage_and_exit();
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "cascn-router — failover router + replica supervisor for cascn-serve\n\n\
+         USAGE:\n  cascn-router [--addr HOST:PORT] (--backend HOST:PORT ... | \\\n    \
+         --replicas N --replica-cmd BIN [--replica-arg ARG ...])\n\n\
+         TIER:\n\
+         --backend HOST:PORT: externally managed replica (repeatable)\n\
+         --replicas N: number of supervised replicas to spawn\n\
+         --replica-cmd BIN: replica binary (default: cascn-serve)\n\
+         --replica-arg ARG: argument passed to every replica, in order;\n    \
+         `{{i}}` inside an arg becomes the replica index (repeatable)\n\n\
+         ROUTING:\n\
+         --deadline-ms N: total budget per routed request (default 2000)\n\
+         --max-attempts N: backend attempts per request (default 3)\n\
+         --backoff-base-ms / --backoff-cap-ms: retry backoff (default 10/200)\n\
+         --connect-timeout-ms N: per-attempt connect budget (default 250)\n\
+         --failure-threshold N: consecutive failures before eject (default 3)\n\
+         --probe-interval-ms N: /healthz cadence (default 250)\n\
+         --restart-backoff-ms / --restart-backoff-cap-ms: supervisor restart\n    \
+         delays (default 100/5000)\n\
+         --workers N / --max-body-bytes N / --read-timeout-ms N / --seed S\n\n\
+         ROUTES:\n  GET /healthz   GET /metrics\n  \
+         POST /predict?window=SECS   (body: cascade text format)\n  \
+         POST /reload   POST /snapshot   (fan out to all replicas)\n  \
+         POST /shutdown"
+    );
+    exit(2);
+}
+
+/// `--flag value` pairs, with repeatable flags kept in order.
+struct Flags {
+    named: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut named = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                named.push((name.to_string(), value));
+            }
+        }
+        Self { named }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<String> {
+        self.named
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} `{v}`")),
+        }
+    }
+}
+
+fn millis(flags: &Flags, name: &str, default: u64) -> Result<Duration, String> {
+    Ok(Duration::from_millis(flags.parse_or(name, default)?))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args);
+    let backends = flags.get_all("backend");
+    let replica_count: usize = flags.parse_or("replicas", 0)?;
+    if backends.is_empty() && replica_count == 0 {
+        return Err("need --backend HOST:PORT or --replicas N (see --help)".into());
+    }
+    if !backends.is_empty() && replica_count > 0 {
+        return Err("--backend and --replicas are mutually exclusive".into());
+    }
+
+    let config = RouterConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:8070").to_string(),
+        workers: flags.parse_or("workers", 0)?,
+        max_body_bytes: flags.parse_or("max-body-bytes", 1 << 20)?,
+        read_timeout: match flags.parse_or("read-timeout-ms", 5_000u64)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        deadline: millis(&flags, "deadline-ms", 2_000)?,
+        max_attempts: flags.parse_or("max-attempts", 3usize)?.max(1),
+        backoff_base: millis(&flags, "backoff-base-ms", 10)?,
+        backoff_cap: millis(&flags, "backoff-cap-ms", 200)?,
+        connect_timeout: millis(&flags, "connect-timeout-ms", 250)?,
+        probe_interval: millis(&flags, "probe-interval-ms", 250)?,
+        probe_timeout: millis(&flags, "probe-timeout-ms", 500)?,
+        failure_threshold: flags.parse_or("failure-threshold", 3u32)?.max(1),
+        limits: StreamLimits {
+            max_cascades: flags.parse_or("max-cascades", 64)?,
+            max_events: flags.parse_or("max-events", 10_000)?,
+        },
+        seed: flags.parse_or("seed", 42u64)?,
+    };
+
+    let failure_threshold = config.failure_threshold;
+    let replicas = if backends.is_empty() {
+        Arc::new(ReplicaSet::new(replica_count, failure_threshold))
+    } else {
+        Arc::new(ReplicaSet::with_backends(&backends, failure_threshold))
+    };
+
+    let router = Router::bind(config, Arc::clone(&replicas)).map_err(|e| e.to_string())?;
+    let metrics = Arc::clone(&router.metrics);
+
+    let supervisor = if replica_count > 0 {
+        let program = flags.get("replica-cmd").unwrap_or("cascn-serve").to_string();
+        let template = flags.get_all("replica-arg");
+        let commands = (0..replica_count)
+            .map(|i| ReplicaCommand {
+                program: program.clone(),
+                args: template
+                    .iter()
+                    .map(|a| a.replace("{i}", &i.to_string()))
+                    .collect(),
+            })
+            .collect();
+        let sup_config = SupervisorConfig {
+            backoff_base: millis(&flags, "restart-backoff-ms", 100)?,
+            backoff_cap: millis(&flags, "restart-backoff-cap-ms", 5_000)?,
+            ..SupervisorConfig::default()
+        };
+        Some(Supervisor::start(commands, sup_config, replicas, metrics))
+    } else {
+        None
+    };
+
+    // Same stdout contract as cascn-serve: smoke scripts discover the
+    // router's ephemeral port from this exact line shape.
+    println!("listening on {}", router.local_addr());
+    let result = router.run().map_err(|e| e.to_string());
+    if let Some(sup) = supervisor {
+        sup.stop();
+    }
+    result
+}

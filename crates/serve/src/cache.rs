@@ -74,6 +74,10 @@ struct Entry {
     /// Global tick at last access; relaxed ordering is fine because the
     /// stamp only steers eviction, never correctness.
     last_used: AtomicU64,
+    /// True for entries restored from a disk snapshot ([`BasisCache::seed`])
+    /// that have not been recomputed since — hits on them are the
+    /// "warm-start" signal a restarted replica reports.
+    warm: bool,
 }
 
 /// Point-in-time counters for the metrics endpoint.
@@ -85,7 +89,13 @@ pub struct CacheStats {
     /// Fingerprint collisions detected by content verification: a lookup
     /// landed on an entry whose stored cascade differs bit-for-bit.
     pub collisions: u64,
+    /// Hits served from snapshot-restored (warm) entries — nonzero on a
+    /// restarted replica proves the persisted cache actually carried state
+    /// across the crash.
+    pub warm_hits: u64,
     pub entries: usize,
+    /// Entries currently resident that came from a snapshot restore.
+    pub warm_entries: usize,
     pub approx_bytes: usize,
 }
 
@@ -110,6 +120,7 @@ pub struct BasisCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     collisions: AtomicU64,
+    warm_hits: AtomicU64,
     entries: RwLock<Vec<Entry>>,
 }
 
@@ -124,6 +135,7 @@ impl BasisCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             entries: RwLock::new(Vec::new()),
         }
     }
@@ -169,6 +181,9 @@ impl BasisCache {
                     let now = self.tick.fetch_add(1, Ordering::Relaxed);
                     entries[idx].last_used.store(now, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if entries[idx].warm {
+                        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     return Arc::clone(&entries[idx].basis);
                 }
                 // Fingerprint collision: fall through to the miss path;
@@ -197,6 +212,7 @@ impl BasisCache {
                     entry.cascade = cascade.clone();
                     entry.basis = Arc::clone(&basis);
                     entry.last_used.store(now, Ordering::Relaxed);
+                    entry.warm = false;
                     basis
                 }
             }
@@ -224,6 +240,7 @@ impl BasisCache {
                         cascade: cascade.clone(),
                         basis: Arc::clone(&basis),
                         last_used: AtomicU64::new(now),
+                        warm: false,
                     },
                 );
                 basis
@@ -239,9 +256,62 @@ impl BasisCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             entries: entries.len(),
+            warm_entries: entries.iter().filter(|e| e.warm).count(),
             approx_bytes: entries.iter().map(|e| e.basis.approx_bytes()).sum(),
         }
+    }
+
+    /// A point-in-time copy of every resident entry in least-recently-used
+    /// order — the snapshot the persistence layer writes to disk. Restoring
+    /// the returned sequence through [`seed`](Self::seed) in the same order
+    /// reproduces the cache's eviction priority.
+    pub fn export(&self) -> Vec<(Cascade, f64, Arc<SpectralBasis>)> {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&i| (entries[i].last_used.load(Ordering::Relaxed), entries[i].key));
+        order
+            .into_iter()
+            .map(|i| {
+                let e = &entries[i];
+                (e.cascade.clone(), f64::from_bits(e.key.1), Arc::clone(&e.basis))
+            })
+            .collect()
+    }
+
+    /// Installs snapshot-restored entries, oldest first, marking each as
+    /// warm. Intended for startup, before the cache takes traffic; entries
+    /// beyond `capacity` and duplicate keys are dropped (first occurrence
+    /// wins). Returns how many entries were installed.
+    pub fn seed(&self, restored: Vec<(Cascade, f64, SpectralBasis)>) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        let mut installed = 0usize;
+        for (cascade, window, basis) in restored {
+            if entries.len() >= self.capacity {
+                break;
+            }
+            let key: Key = (cascade_key(&cascade), window.to_bits());
+            let Err(at) = entries.binary_search_by_key(&key, |e| e.key) else {
+                continue;
+            };
+            let now = self.tick.fetch_add(1, Ordering::Relaxed);
+            entries.insert(
+                at,
+                Entry {
+                    key,
+                    cascade,
+                    basis: Arc::new(basis),
+                    last_used: AtomicU64::new(now),
+                    warm: true,
+                },
+            );
+            installed += 1;
+        }
+        installed
     }
 }
 
@@ -331,6 +401,45 @@ mod tests {
         assert_eq!(calls, 3);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 3, 0));
+    }
+
+    #[test]
+    fn export_and_seed_round_trip_preserves_content_and_lru_order() {
+        let cache = BasisCache::new(4);
+        let (c1, c2, c3) = (cas(1, 1), cas(2, 2), cas(3, 3));
+        let _ = cache.get_or_insert_with(&c1, 1.0, || tiny_basis(1.0));
+        let _ = cache.get_or_insert_with(&c2, 1.0, || tiny_basis(2.0));
+        let _ = cache.get_or_insert_with(&c3, 1.0, || tiny_basis(3.0));
+        // Touch 1 so the LRU order becomes 2, 3, 1.
+        let _ = cache.get_or_insert_with(&c1, 1.0, || panic!("cached"));
+        let exported = cache.export();
+        let ids: Vec<u64> = exported.iter().map(|(c, _, _)| c.id).collect();
+        assert_eq!(ids, vec![2, 3, 1], "export is LRU order, oldest first");
+
+        let restored = BasisCache::new(2);
+        let installed = restored.seed(
+            exported
+                .iter()
+                .map(|(c, w, b)| (c.clone(), *w, (**b).clone()))
+                .collect(),
+        );
+        assert_eq!(installed, 2, "seed respects the new capacity");
+        let s = restored.stats();
+        assert_eq!((s.entries, s.warm_entries), (2, 2));
+        // The restored entries hit without recomputing, and count as warm.
+        let _ = restored.get_or_insert_with(&c2, 1.0, || panic!("warm entry"));
+        assert_eq!(restored.stats().warm_hits, 1);
+        // A recomputed slot loses its warm flag.
+        let _ = restored.get_or_insert_with(&cas(9, 1), 1.0, || tiny_basis(9.0));
+    }
+
+    #[test]
+    fn seeding_a_zero_capacity_cache_is_a_no_op() {
+        let cache = BasisCache::new(0);
+        let c = cas(1, 0);
+        let basis = tiny_basis(1.0);
+        assert_eq!(cache.seed(vec![(c, 1.0, basis)]), 0);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

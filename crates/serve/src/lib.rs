@@ -26,6 +26,14 @@
 //!                                  response slots → workers → sockets
 //! ```
 //!
+//! For more than one replica, `cascn-router` (router.rs, supervisor.rs)
+//! fronts a tier of these servers: rendezvous-hashed cache-affinity
+//! routing with deadlines, retries and failover, health probes with a
+//! circuit breaker per replica, and an optional supervisor that spawns
+//! and restarts replica processes with capped backoff. The spectral
+//! cache survives replica crashes via checksummed atomic snapshots
+//! (persist.rs) — see `docs/serving.md` § "Fleet & failure handling".
+//!
 //! Everything is `std`-only, matching the workspace's no-external-deps
 //! policy; concurrency is scoped threads, mutexes, and condvars.
 //!
@@ -35,11 +43,17 @@ pub mod batch;
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod persist;
 pub mod registry;
+pub mod router;
 pub mod server;
+pub mod supervisor;
 
 pub use batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
 pub use cache::{BasisCache, CacheStats};
-pub use metrics::ServeMetrics;
+pub use metrics::{RouterMetrics, ServeMetrics};
+pub use persist::{basis_fingerprint, load_snapshot, save_snapshot, SnapshotError};
 pub use registry::{LoadedModel, ModelRegistry};
+pub use router::{ReplicaSet, ReplicaState, ReplicaView, Router, RouterConfig};
 pub use server::{Server, ServerConfig};
+pub use supervisor::{ReplicaCommand, Supervisor, SupervisorConfig};

@@ -33,16 +33,20 @@ fn usage_and_exit() -> ! {
          USAGE:\n  cascn-serve --model CKPT [--addr HOST:PORT] [--window SECS]\n    \
          [--hidden H] [--max-nodes N] [--max-steps N] [--seed S]\n    \
          [--workers N] [--threads N] [--max-batch N] [--max-queue N]\n    \
-         [--max-body-bytes N] [--cache-capacity N] [--read-timeout-ms N]\n\n\
+         [--max-body-bytes N] [--cache-capacity N] [--read-timeout-ms N]\n    \
+         [--snapshot PATH] [--snapshot-interval-ms N]\n\n\
          --model CKPT: a `cascn train --checkpoint` v2 file\n\
          --addr: bind address (default 127.0.0.1:8077; port 0 = ephemeral)\n\
          --window: default prediction window when a request has no ?window=\n\
          --workers/--threads: connection workers / forward-pass fan-out (0 = all cores)\n\
          --max-batch/--max-queue: micro-batch size / shed bound, in cascades\n\
-         --read-timeout-ms: slow/idle connections get 408 after this (default 5000; 0 = never)\n\n\
+         --read-timeout-ms: slow/idle connections get 408 after this (default 5000; 0 = never)\n\
+         --snapshot: spectral-cache snapshot file; warm-start from it at boot,\n    \
+         save on POST /snapshot and at shutdown (corrupt file = cold start)\n\
+         --snapshot-interval-ms: also save on this cadence (0 = on demand only)\n\n\
          ROUTES:\n  GET /healthz   GET /metrics\n  \
          POST /predict?window=SECS   (body: cascade text format)\n  \
-         POST /reload   POST /shutdown"
+         POST /reload   POST /snapshot   POST /shutdown"
     );
     exit(2);
 }
@@ -110,6 +114,11 @@ fn run(flags: &Flags) -> Result<(), String> {
         limits: StreamLimits {
             max_cascades: flags.parse_or("max-cascades", 64)?,
             max_events: flags.parse_or("max-events", 10_000)?,
+        },
+        snapshot_path: flags.get("snapshot").map(std::path::PathBuf::from),
+        snapshot_interval: match flags.parse_or("snapshot-interval-ms", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
         },
     };
 

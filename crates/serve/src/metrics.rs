@@ -107,6 +107,16 @@ pub struct ServeMetrics {
     /// Model hot-reloads that succeeded / failed.
     pub reloads_ok: AtomicU64,
     pub reloads_failed: AtomicU64,
+    /// Spectral-cache snapshot saves that succeeded / failed.
+    pub snapshot_saves_ok: AtomicU64,
+    pub snapshot_saves_failed: AtomicU64,
+    /// Startup snapshot-load outcome, incremented exactly once per boot:
+    /// `warm` (entries restored), `cold_missing` (no snapshot file), or
+    /// `cold_rejected` (truncated/corrupt/version-skewed/foreign snapshot
+    /// refused — a clean cold start, never a panic).
+    pub snapshot_load_warm: AtomicU64,
+    pub snapshot_load_cold_missing: AtomicU64,
+    pub snapshot_load_cold_rejected: AtomicU64,
     /// End-to-end `POST /predict` latency, microseconds.
     pub predict_latency_us: Histogram<LATENCY_BUCKETS>,
     /// Cascades per executed micro-batch.
@@ -167,12 +177,39 @@ impl ServeMetrics {
             "cascn_model_reloads_total{result=\"failed\"}",
             self.reloads_failed.load(Ordering::Relaxed),
         );
+        line(
+            &mut out,
+            "cascn_snapshot_saves_total{result=\"ok\"}",
+            self.snapshot_saves_ok.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cascn_snapshot_saves_total{result=\"failed\"}",
+            self.snapshot_saves_failed.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cascn_snapshot_load{result=\"warm\"}",
+            self.snapshot_load_warm.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cascn_snapshot_load{result=\"cold_missing\"}",
+            self.snapshot_load_cold_missing.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cascn_snapshot_load{result=\"cold_rejected\"}",
+            self.snapshot_load_cold_rejected.load(Ordering::Relaxed),
+        );
 
         line(&mut out, "cascn_spectral_cache_hits_total", cache.hits);
         line(&mut out, "cascn_spectral_cache_misses_total", cache.misses);
         line(&mut out, "cascn_spectral_cache_evictions_total", cache.evictions);
         line(&mut out, "cascn_spectral_cache_collisions_total", cache.collisions);
+        line(&mut out, "cascn_spectral_cache_warm_hits_total", cache.warm_hits);
         line(&mut out, "cascn_spectral_cache_entries", cache.entries);
+        line(&mut out, "cascn_spectral_cache_warm_entries", cache.warm_entries);
         line(&mut out, "cascn_spectral_cache_bytes", cache.approx_bytes);
         line(&mut out, "cascn_spectral_cache_hit_rate", format!("{:.4}", cache.hit_rate()));
 
@@ -191,9 +228,105 @@ impl ServeMetrics {
     }
 }
 
+/// Tier-health counters for the failover router, rendered on the router's
+/// own `GET /metrics` in the same Prometheus-convention plain text as
+/// [`ServeMetrics`].
+#[derive(Default)]
+pub struct RouterMetrics {
+    /// Client requests relayed with a backend's answer.
+    pub requests_ok: AtomicU64,
+    /// Requests the router itself rejected as malformed.
+    pub requests_client_error: AtomicU64,
+    /// Requests answered `503 Retry-After` because no attempt succeeded
+    /// within the retry/deadline budget.
+    pub requests_shed: AtomicU64,
+    /// Requests that arrived while zero replicas were routable.
+    pub no_backend: AtomicU64,
+    /// Backend attempts beyond the first, across all requests.
+    pub retries: AtomicU64,
+    /// Requests answered by a replica other than their hash owner.
+    pub failovers: AtomicU64,
+    /// Health probes by outcome.
+    pub probes_ok: AtomicU64,
+    pub probes_failed: AtomicU64,
+    /// Replica processes restarted by the supervisor.
+    pub restarts: AtomicU64,
+    /// End-to-end routed `POST /predict` latency, microseconds.
+    pub route_latency_us: Histogram<LATENCY_BUCKETS>,
+}
+
+impl RouterMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders every router metric plus per-replica state gauges.
+    /// `replicas` is the routing table's point-in-time view; states encode
+    /// as `0`=down `1`=starting `2`=ejected `3`=half_open `4`=healthy.
+    pub fn render(&self, replicas: &[crate::router::ReplicaView]) -> String {
+        use crate::router::ReplicaState;
+        let mut out = String::with_capacity(1024);
+        fn line(out: &mut String, name: &str, value: impl std::fmt::Display) {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        line(&mut out, "cascn_router_replicas", replicas.len());
+        let live = replicas
+            .iter()
+            .filter(|r| matches!(r.state, ReplicaState::Healthy | ReplicaState::HalfOpen))
+            .count();
+        line(&mut out, "cascn_router_replicas_live", live);
+        for r in replicas {
+            let code = match r.state {
+                ReplicaState::Down => 0,
+                ReplicaState::Starting => 1,
+                ReplicaState::Ejected => 2,
+                ReplicaState::HalfOpen => 3,
+                ReplicaState::Healthy => 4,
+            };
+            let _ = writeln!(out, "cascn_router_replica_state{{replica=\"{}\"}} {code}", r.index);
+            let _ = writeln!(
+                out,
+                "cascn_router_replica_restarts_total{{replica=\"{}\"}} {}",
+                r.index, r.restarts
+            );
+        }
+        line(&mut out, "cascn_router_requests_total{class=\"ok\"}", self.requests_ok.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "cascn_router_requests_total{class=\"client_error\"}",
+            self.requests_client_error.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cascn_router_requests_total{class=\"shed\"}",
+            self.requests_shed.load(Ordering::Relaxed),
+        );
+        line(&mut out, "cascn_router_no_backend_total", self.no_backend.load(Ordering::Relaxed));
+        line(&mut out, "cascn_router_retries_total", self.retries.load(Ordering::Relaxed));
+        line(&mut out, "cascn_router_failovers_total", self.failovers.load(Ordering::Relaxed));
+        line(&mut out, "cascn_router_probes_total{result=\"ok\"}", self.probes_ok.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "cascn_router_probes_total{result=\"failed\"}",
+            self.probes_failed.load(Ordering::Relaxed),
+        );
+        line(&mut out, "cascn_router_restarts_total", self.restarts.load(Ordering::Relaxed));
+        render_histogram(&mut out, "cascn_router_latency_us", &self.route_latency_us);
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "cascn_router_latency_us{{quantile=\"{label}\"}} {}",
+                self.route_latency_us.quantile_upper_bound(q)
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::{ReplicaState, ReplicaView};
 
     #[test]
     fn buckets_are_log2_microseconds() {
@@ -225,16 +358,30 @@ mod tests {
         m.requests_ok.fetch_add(3, Ordering::Relaxed);
         m.predict_latency_us.record(100);
         m.batch_size.record(4);
-        let cache =
-            CacheStats { hits: 9, misses: 1, evictions: 0, collisions: 0, entries: 1, approx_bytes: 64 };
+        m.snapshot_load_warm.fetch_add(1, Ordering::Relaxed);
+        let cache = CacheStats {
+            hits: 9,
+            misses: 1,
+            evictions: 0,
+            collisions: 0,
+            warm_hits: 5,
+            entries: 1,
+            warm_entries: 1,
+            approx_bytes: 64,
+        };
         let text = m.render(&cache, 2);
         for needle in [
             "cascn_model_version 2",
             "cascn_requests_total{class=\"ok\"} 3",
             "cascn_connections_timed_out_total 0",
             "cascn_batch_panics_total 0",
+            "cascn_snapshot_saves_total{result=\"ok\"} 0",
+            "cascn_snapshot_load{result=\"warm\"} 1",
+            "cascn_snapshot_load{result=\"cold_missing\"} 0",
             "cascn_spectral_cache_hits_total 9",
             "cascn_spectral_cache_collisions_total 0",
+            "cascn_spectral_cache_warm_hits_total 5",
+            "cascn_spectral_cache_warm_entries 1",
             "cascn_spectral_cache_hit_rate 0.9000",
             "cascn_predict_latency_us_bucket{le=\"+Inf\"} 1",
             "cascn_predict_latency_us{quantile=\"0.5\"}",
@@ -253,8 +400,16 @@ mod tests {
         for us in [1, 1, 100] {
             m.predict_latency_us.record(us);
         }
-        let cache =
-            CacheStats { hits: 0, misses: 0, evictions: 0, collisions: 0, entries: 0, approx_bytes: 0 };
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            collisions: 0,
+            warm_hits: 0,
+            entries: 0,
+            warm_entries: 0,
+            approx_bytes: 0,
+        };
         let text = m.render(&cache, 1);
         // The two 1µs samples sit in the first bucket (le="1"); the 100µs
         // sample lands in [64, 127]. Every bucket from there up, and
@@ -268,6 +423,38 @@ mod tests {
             "cascn_predict_latency_us_bucket{le=\"+Inf\"} 3",
             "cascn_predict_latency_us_count 3",
             "cascn_predict_latency_us_sum 102",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn router_render_reports_per_replica_state_and_counters() {
+        let m = RouterMetrics::new();
+        m.requests_ok.fetch_add(7, Ordering::Relaxed);
+        m.retries.fetch_add(2, Ordering::Relaxed);
+        m.failovers.fetch_add(1, Ordering::Relaxed);
+        m.restarts.fetch_add(1, Ordering::Relaxed);
+        m.route_latency_us.record(500);
+        let replicas = vec![
+            ReplicaView { index: 0, state: ReplicaState::Healthy, addr: Some("a".into()), restarts: 0 },
+            ReplicaView { index: 1, state: ReplicaState::Ejected, addr: Some("b".into()), restarts: 1 },
+            ReplicaView { index: 2, state: ReplicaState::Down, addr: None, restarts: 2 },
+        ];
+        let text = m.render(&replicas);
+        for needle in [
+            "cascn_router_replicas 3",
+            "cascn_router_replicas_live 1",
+            "cascn_router_replica_state{replica=\"0\"} 4",
+            "cascn_router_replica_state{replica=\"1\"} 2",
+            "cascn_router_replica_state{replica=\"2\"} 0",
+            "cascn_router_replica_restarts_total{replica=\"1\"} 1",
+            "cascn_router_requests_total{class=\"ok\"} 7",
+            "cascn_router_retries_total 2",
+            "cascn_router_failovers_total 1",
+            "cascn_router_restarts_total 1",
+            "cascn_router_latency_us_count 1",
+            "cascn_router_latency_us{quantile=\"0.99\"}",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -1,0 +1,441 @@
+//! Crash-recoverable persistence for the spectral cache.
+//!
+//! A replica that dies — `kill -9`, OOM, power loss — loses its warm
+//! [`BasisCache`](crate::BasisCache) and pays the full spectral recompute
+//! cost for every request after restart. This module snapshots the cache
+//! to disk so a restarted replica warm-starts instead:
+//!
+//! - **Format** — plain text, one versioned header, a basis fingerprint of
+//!   the config fields that shape a spectral basis, the entries in LRU
+//!   order (oldest first), and an FNV-1a 64 checksum footer — the same
+//!   integrity scheme as training checkpoints. Floats are written with
+//!   `{:?}` (shortest round-trip), so a restore is **bit-identical** to
+//!   the in-memory cache it came from.
+//! - **Atomicity** — writes go through [`atomic_write`] (temp file in the
+//!   same directory + rename), so a crash mid-save leaves the previous
+//!   snapshot intact, never a torn file.
+//! - **Rejection is always a cold start, never a panic** — a truncated
+//!   file, a flipped bit, an unknown version, or a snapshot written under
+//!   a different basis-shaping config all load as a structured
+//!   [`SnapshotError`]; the server logs it, starts cold, and overwrites
+//!   the bad snapshot on the next save. A stale or foreign basis can never
+//!   be served.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use cascn::{atomic_write, fnv1a64, CascnConfig, LambdaMax, LaplacianKind};
+use cascn_cascades::{Cascade, Event};
+use cascn_graph::SpectralBasis;
+use cascn_tensor::Matrix;
+
+/// First line of every snapshot file.
+pub const SNAPSHOT_HEADER: &str = "# cascn spectral cache snapshot v1";
+const CHECKSUM_PREFIX: &str = "# checksum fnv1a64 ";
+
+/// One restored cache entry: the cascade, its window, and the basis.
+pub type SnapshotEntry = (Cascade, f64, SpectralBasis);
+
+/// Why a snapshot was rejected. Every variant cold-starts the cache; none
+/// of them is a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The checksum footer is missing — the file was cut short mid-write.
+    Truncated,
+    /// The footer is present but does not match the body — bit rot or a
+    /// partial overwrite.
+    ChecksumMismatch,
+    /// The header names a version this build does not read.
+    VersionSkew(String),
+    /// The snapshot was written under different basis-shaping config
+    /// (Chebyshev order, node cap, α, λ_max/Laplacian strategy) — its
+    /// bases would be stale for this server, so it is refused wholesale.
+    FingerprintMismatch { found: u64, expected: u64 },
+    /// Structurally invalid content inside a checksum-valid file.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated (no checksum footer)"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::VersionSkew(header) => {
+                write!(f, "unrecognized snapshot header `{header}` (expected `{SNAPSHOT_HEADER}`)")
+            }
+            SnapshotError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "snapshot basis fingerprint {found:016x} does not match this server's {expected:016x}"
+            ),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+        }
+    }
+}
+
+/// Fingerprint of the config fields a [`SpectralBasis`] depends on. Two
+/// servers agree on this exactly when `spectral_basis` would produce the
+/// same bases for the same cascade — model *parameters* are deliberately
+/// excluded (the basis is parameter-independent and survives hot reloads).
+pub fn basis_fingerprint(cfg: &CascnConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(40);
+    bytes.extend_from_slice(&(cfg.k as u64).to_le_bytes());
+    bytes.extend_from_slice(&(cfg.max_nodes as u64).to_le_bytes());
+    bytes.extend_from_slice(&cfg.alpha.to_bits().to_le_bytes());
+    bytes.push(match cfg.lambda_max {
+        LambdaMax::Exact => 0,
+        LambdaMax::Approx2 => 1,
+    });
+    bytes.push(match cfg.laplacian {
+        LaplacianKind::Directed => 0,
+        LaplacianKind::Undirected => 1,
+    });
+    fnv1a64(&bytes)
+}
+
+/// Serializes exported cache entries into snapshot text, footer included.
+pub fn snapshot_to_text(entries: &[(Cascade, f64, Arc<SpectralBasis>)], basis_fp: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(256 + entries.len() * 512);
+    let _ = writeln!(out, "{SNAPSHOT_HEADER}");
+    let _ = writeln!(out, "basis_fp {basis_fp:016x}");
+    let _ = writeln!(out, "entries {}", entries.len());
+    for (cascade, window, basis) in entries {
+        let _ = writeln!(out, "entry {:016x}", window.to_bits());
+        let _ = writeln!(out, "cascade {} {:?} {}", cascade.id, cascade.start_time, cascade.events.len());
+        for e in &cascade.events {
+            let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+            let _ = writeln!(out, "event {} {parent} {:?}", e.user, e.time);
+        }
+        let n = basis.scaled.rows();
+        let _ = writeln!(out, "basis {:?} {n} {}", basis.lambda_max, basis.bases.len());
+        write_matrix(&mut out, &basis.scaled);
+        for t in &basis.bases {
+            write_matrix(&mut out, t);
+        }
+    }
+    let checksum = fnv1a64(out.as_bytes());
+    let _ = writeln!(out, "{CHECKSUM_PREFIX}{checksum:016x}");
+    out
+}
+
+/// Atomically writes a snapshot of `entries` to `path`.
+pub fn save_snapshot(
+    path: &Path,
+    entries: &[(Cascade, f64, Arc<SpectralBasis>)],
+    basis_fp: u64,
+) -> std::io::Result<()> {
+    atomic_write(path, snapshot_to_text(entries, basis_fp).as_bytes())
+}
+
+/// Parses snapshot text, verifying the checksum footer *first* and then
+/// the version header and basis fingerprint, so no corrupt or foreign
+/// content is ever interpreted as cache state.
+pub fn snapshot_from_text(text: &str, expected_fp: u64) -> Result<Vec<SnapshotEntry>, SnapshotError> {
+    let body = verify_checksum(text)?;
+    let mut lines = body.lines();
+    let header = lines.next().unwrap_or_default();
+    if header.trim() != SNAPSHOT_HEADER {
+        return Err(SnapshotError::VersionSkew(header.trim().to_string()));
+    }
+    let found_fp = match lines.next().and_then(|l| l.strip_prefix("basis_fp ")) {
+        Some(hex) => u64::from_str_radix(hex.trim(), 16)
+            .map_err(|_| SnapshotError::Malformed(format!("bad basis_fp `{hex}`")))?,
+        None => return Err(SnapshotError::Malformed("missing basis_fp line".into())),
+    };
+    if found_fp != expected_fp {
+        return Err(SnapshotError::FingerprintMismatch { found: found_fp, expected: expected_fp });
+    }
+    let count: usize = match lines.next().and_then(|l| l.strip_prefix("entries ")) {
+        Some(n) => n
+            .trim()
+            .parse()
+            .map_err(|_| SnapshotError::Malformed(format!("bad entries count `{n}`")))?,
+        None => return Err(SnapshotError::Malformed("missing entries line".into())),
+    };
+
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(read_entry(&mut lines).map_err(|m| {
+            SnapshotError::Malformed(format!("entry {i}: {m}"))
+        })?);
+    }
+    if lines.next().is_some() {
+        return Err(SnapshotError::Malformed("trailing content after last entry".into()));
+    }
+    Ok(out)
+}
+
+/// Loads a snapshot file. `Ok(None)` means the file does not exist (a
+/// routine cold start); every other failure is a [`SnapshotError`].
+pub fn load_snapshot(
+    path: &Path,
+    expected_fp: u64,
+) -> Result<Option<Vec<SnapshotEntry>>, SnapshotError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SnapshotError::Malformed(format!("read {}: {e}", path.display()))),
+    };
+    snapshot_from_text(&text, expected_fp).map(Some)
+}
+
+fn verify_checksum(text: &str) -> Result<&str, SnapshotError> {
+    let tail = text.trim_end_matches(['\r', '\n']);
+    let footer_start = match tail.rfind('\n') {
+        Some(i) => i + 1,
+        None => return Err(SnapshotError::Truncated),
+    };
+    let footer = &tail[footer_start..];
+    let Some(hex) = footer.strip_prefix(CHECKSUM_PREFIX) else {
+        return Err(SnapshotError::Truncated);
+    };
+    let declared =
+        u64::from_str_radix(hex.trim(), 16).map_err(|_| SnapshotError::Truncated)?;
+    // The checksum covers every byte of the body as written, including the
+    // newline that precedes the footer line.
+    let body = &text[..footer_start];
+    if fnv1a64(body.as_bytes()) != declared {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+fn write_matrix(out: &mut String, m: &Matrix) {
+    use std::fmt::Write as _;
+    for r in 0..m.rows() {
+        let row: Vec<String> = m.row(r).iter().map(|x| format!("{x:?}")).collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+}
+
+fn read_entry<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<SnapshotEntry, String> {
+    let entry_line = lines.next().ok_or("missing entry line")?;
+    let window_bits = entry_line
+        .strip_prefix("entry ")
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .ok_or_else(|| format!("bad entry line `{entry_line}`"))?;
+    let window = f64::from_bits(window_bits);
+
+    let cas_line = lines.next().ok_or("missing cascade line")?;
+    let toks: Vec<&str> = cas_line.split_whitespace().collect();
+    let (id, start_time, n_events): (u64, f64, usize) = match toks.as_slice() {
+        ["cascade", id, start, n] => (
+            id.parse().map_err(|_| format!("bad cascade id `{id}`"))?,
+            start.parse().map_err(|_| format!("bad start time `{start}`"))?,
+            n.parse().map_err(|_| format!("bad event count `{n}`"))?,
+        ),
+        _ => return Err(format!("bad cascade line `{cas_line}`")),
+    };
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let line = lines.next().ok_or("missing event line")?;
+        let t: Vec<&str> = line.split_whitespace().collect();
+        let ["event", user, parent, time] = t.as_slice() else {
+            return Err(format!("bad event line `{line}`"));
+        };
+        events.push(Event {
+            user: user.parse().map_err(|_| format!("bad user `{user}`"))?,
+            parent: match *parent {
+                "-" => None,
+                p => Some(p.parse().map_err(|_| format!("bad parent `{p}`"))?),
+            },
+            time: time.parse().map_err(|_| format!("bad time `{time}`"))?,
+        });
+    }
+    // A checksum-valid snapshot written by this code always carries valid
+    // cascades, but the fallible constructor keeps even a hand-crafted
+    // file from panicking the server.
+    let cascade = Cascade::try_new(id, start_time, events)
+        .map_err(|fault| format!("invalid cascade {id}: {fault}"))?;
+
+    let basis_line = lines.next().ok_or("missing basis line")?;
+    let t: Vec<&str> = basis_line.split_whitespace().collect();
+    let (lambda_max, n, n_bases): (f32, usize, usize) = match t.as_slice() {
+        ["basis", l, n, b] => (
+            l.parse().map_err(|_| format!("bad lambda_max `{l}`"))?,
+            n.parse().map_err(|_| format!("bad node count `{n}`"))?,
+            b.parse().map_err(|_| format!("bad basis count `{b}`"))?,
+        ),
+        _ => return Err(format!("bad basis line `{basis_line}`")),
+    };
+    let scaled = read_matrix(lines, n)?;
+    let mut bases = Vec::with_capacity(n_bases);
+    for _ in 0..n_bases {
+        bases.push(read_matrix(lines, n)?);
+    }
+    Ok((cascade, window, SpectralBasis { lambda_max, scaled, bases }))
+}
+
+fn read_matrix<'a>(lines: &mut impl Iterator<Item = &'a str>, n: usize) -> Result<Matrix, String> {
+    let mut data = Vec::with_capacity(n * n);
+    for r in 0..n {
+        let line = lines.next().ok_or_else(|| format!("missing matrix row {r}"))?;
+        let before = data.len();
+        for tok in line.split_whitespace() {
+            data.push(tok.parse::<f32>().map_err(|_| format!("bad float `{tok}`"))?);
+        }
+        if data.len() - before != n {
+            return Err(format!("matrix row {r} has {} values, expected {n}", data.len() - before));
+        }
+    }
+    Ok(Matrix::from_vec(n, n, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascn_graph::SpectralBasis;
+
+    use crate::cache::BasisCache;
+
+    fn cfg() -> CascnConfig {
+        CascnConfig { max_nodes: 10, max_steps: 4, ..CascnConfig::default() }
+    }
+
+    fn cas(id: u64, extra: usize) -> Cascade {
+        let mut events = vec![Event { user: id, parent: None, time: 0.0 }];
+        for i in 1..=extra {
+            events.push(Event { user: id + i as u64, parent: Some(0), time: i as f64 });
+        }
+        Cascade::new(id, 0.0, events)
+    }
+
+    /// A cache warmed with real spectral bases for a few cascades.
+    fn warmed_cache() -> (BasisCache, Vec<Cascade>) {
+        let cache = BasisCache::new(8);
+        let cascades: Vec<Cascade> = (1..=3).map(|i| cas(i, i as usize + 1)).collect();
+        for c in &cascades {
+            let _ = cache.get_or_insert_with(c, 25.0, || cascn::spectral_basis(c, 25.0, &cfg()));
+        }
+        (cache, cascades)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_to_the_in_memory_lru() {
+        let (cache, cascades) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let exported = cache.export();
+        let text = snapshot_to_text(&exported, fp);
+        let restored = snapshot_from_text(&text, fp).expect("clean snapshot loads");
+        assert_eq!(restored.len(), cascades.len());
+        for ((c0, w0, b0), (c1, w1, b1)) in exported.iter().zip(&restored) {
+            assert_eq!(c0.id, c1.id);
+            assert_eq!(c0.start_time.to_bits(), c1.start_time.to_bits());
+            assert_eq!(c0.events.len(), c1.events.len());
+            assert_eq!(w0.to_bits(), w1.to_bits());
+            assert_eq!(b0.lambda_max.to_bits(), b1.lambda_max.to_bits());
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&b0.scaled), bits(&b1.scaled), "scaled Laplacian round-trips exactly");
+            assert_eq!(b0.bases.len(), b1.bases.len());
+            for (t0, t1) in b0.bases.iter().zip(&b1.bases) {
+                assert_eq!(bits(t0), bits(t1), "Chebyshev basis round-trips exactly");
+            }
+        }
+        // Seeding a fresh cache with the restored entries serves hits
+        // without recomputation — the warm-start contract.
+        let fresh = BasisCache::new(8);
+        assert_eq!(fresh.seed(restored), cascades.len());
+        for c in &cascades {
+            let _ = fresh.get_or_insert_with(c, 25.0, || panic!("restored entry must hit"));
+        }
+        assert_eq!(fresh.stats().warm_hits as usize, cascades.len());
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_text_format() {
+        let scaled = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        let bases = vec![Matrix::from_vec(1, 1, vec![f32::INFINITY]), Matrix::from_vec(1, 1, vec![f32::NEG_INFINITY])];
+        let basis = SpectralBasis { lambda_max: 2.0, scaled, bases };
+        let entries = vec![(cas(1, 0), 25.0, Arc::new(basis))];
+        let text = snapshot_to_text(&entries, 7);
+        let restored = snapshot_from_text(&text, 7).expect("loads");
+        assert!(restored[0].2.scaled.as_slice()[0].is_nan());
+        assert_eq!(restored[0].2.bases[0].as_slice()[0], f32::INFINITY);
+        assert_eq!(restored[0].2.bases[1].as_slice()[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn truncated_snapshot_cold_starts() {
+        let (cache, _) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let text = snapshot_to_text(&cache.export(), fp);
+        // Every truncation point must fail cleanly — never panic, never
+        // produce entries.
+        for keep in [0, 1, text.len() / 4, text.len() / 2, text.len() - 2] {
+            let cut = &text[..keep];
+            let err = snapshot_from_text(cut, fp).expect_err("truncation must be rejected");
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::ChecksumMismatch),
+                "cut at {keep}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_checksum() {
+        let (cache, _) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let text = snapshot_to_text(&cache.export(), fp);
+        let mut bytes = text.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        assert_eq!(
+            snapshot_from_text(&corrupted, fp).expect_err("bit flip rejected"),
+            SnapshotError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn version_skew_is_rejected_before_any_entry_parses() {
+        let (cache, _) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let text = snapshot_to_text(&cache.export(), fp);
+        let skewed = text.replace("snapshot v1", "snapshot v9");
+        // Re-checksum so only the version differs.
+        let body_end = skewed.rfind(CHECKSUM_PREFIX).unwrap();
+        let body = &skewed[..body_end];
+        let refooted = format!("{body}{CHECKSUM_PREFIX}{:016x}\n", cascn::fnv1a64(body.as_bytes()));
+        match snapshot_from_text(&refooted, fp) {
+            Err(SnapshotError::VersionSkew(h)) => assert!(h.contains("v9"), "{h}"),
+            other => panic!("expected version skew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_basis_fingerprint_is_refused_wholesale() {
+        let (cache, _) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let text = snapshot_to_text(&cache.export(), fp);
+        // A server with a different Chebyshev order must not accept it.
+        let other = basis_fingerprint(&CascnConfig { k: 3, ..cfg() });
+        assert_ne!(fp, other, "distinct configs get distinct fingerprints");
+        assert_eq!(
+            snapshot_from_text(&text, other).expect_err("fingerprint mismatch rejected"),
+            SnapshotError::FingerprintMismatch { found: fp, expected: other }
+        );
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_cold_start_and_save_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("cascn_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+        std::fs::remove_file(&path).ok();
+        let fp = basis_fingerprint(&cfg());
+        assert_eq!(load_snapshot(&path, fp), Ok(None), "missing file is not an error");
+
+        let (cache, cascades) = warmed_cache();
+        save_snapshot(&path, &cache.export(), fp).expect("save succeeds");
+        let restored = load_snapshot(&path, fp).expect("loads").expect("present");
+        assert_eq!(restored.len(), cascades.len());
+
+        // A snapshot truncated on disk (crash mid-rewrite simulated by a
+        // direct truncation) cold-starts instead of erroring the server.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(load_snapshot(&path, fp).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -76,6 +76,14 @@ impl ModelRegistry {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The architecture config every load uses. Reloads swap parameters,
+    /// never architecture, so this is fixed for the registry's lifetime —
+    /// which is what makes the spectral cache (and its snapshots) safe to
+    /// keep across reloads.
+    pub fn config(&self) -> &CascnConfig {
+        &self.cfg
+    }
 }
 
 #[cfg(test)]

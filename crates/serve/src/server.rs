@@ -15,7 +15,8 @@
 //! | `GET /metrics`             | plain-text counters and histograms         |
 //! | `POST /predict?window=W`   | cascade text body → `prediction <id> <ŷ>`  |
 //! | `POST /reload`             | re-read the checkpoint, bump the version   |
-//! | `POST /shutdown`           | graceful stop                              |
+//! | `POST /snapshot`           | persist the spectral cache to disk now     |
+//! | `POST /shutdown`           | graceful stop (also saves a snapshot)      |
 //!
 //! Predictions are formatted with `{:?}` so the decimal text round-trips
 //! to the exact `f32` the model produced — served output is bit-identical
@@ -24,6 +25,7 @@
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -35,7 +37,9 @@ use crate::batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
 use crate::cache::BasisCache;
 use crate::http::{read_request, write_response, ParseError, Request};
 use crate::metrics::ServeMetrics;
+use crate::persist;
 use crate::registry::ModelRegistry;
+use crate::router::ShutdownSignal;
 
 /// Everything tunable about a server instance.
 #[derive(Debug, Clone)]
@@ -69,6 +73,15 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Per-request cascade/event caps enforced by the streaming parser.
     pub limits: StreamLimits,
+    /// Spectral-cache snapshot file. When set, the server warm-starts
+    /// from it at bind (rejecting corrupt or foreign snapshots as clean
+    /// cold starts), saves to it on `POST /snapshot` and at shutdown, and
+    /// — with `snapshot_interval` — on a cadence. `None` disables
+    /// persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Cadence of the background snapshot saver. `None` = save only on
+    /// demand and at shutdown.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -84,19 +97,22 @@ impl Default for ServerConfig {
             default_window: 25.0,
             read_timeout: Some(Duration::from_secs(5)),
             limits: StreamLimits::default(),
+            snapshot_path: None,
+            snapshot_interval: None,
         }
     }
 }
 
-/// Bounded handoff of accepted sockets to the worker pool.
-struct ConnQueue {
+/// Bounded handoff of accepted sockets to the worker pool. Shared with
+/// the router front-end, which has the same accept/worker shape.
+pub(crate) struct ConnQueue {
     queue: Mutex<(VecDeque<TcpStream>, bool)>,
     cv: Condvar,
     bound: usize,
 }
 
 impl ConnQueue {
-    fn new(bound: usize) -> Self {
+    pub(crate) fn new(bound: usize) -> Self {
         Self {
             queue: Mutex::new((VecDeque::new(), false)),
             cv: Condvar::new(),
@@ -105,7 +121,7 @@ impl ConnQueue {
     }
 
     /// Hands the stream back when the queue is full (the caller sheds).
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    pub(crate) fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.1 || q.0.len() >= self.bound {
             return Err(stream);
@@ -115,7 +131,7 @@ impl ConnQueue {
         Ok(())
     }
 
-    fn pop(&self) -> Option<TcpStream> {
+    pub(crate) fn pop(&self) -> Option<TcpStream> {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(s) = q.0.pop_front() {
@@ -128,7 +144,7 @@ impl ConnQueue {
         }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.1 = true;
         self.cv.notify_all();
@@ -145,22 +161,74 @@ pub struct Server {
     pub metrics: Arc<ServeMetrics>,
     pub cache: Arc<BasisCache>,
     batcher: Arc<Batcher>,
+    snapshot: Option<SnapshotCtx>,
+}
+
+/// Where and under which basis fingerprint this server persists its
+/// spectral cache.
+struct SnapshotCtx {
+    path: PathBuf,
+    fp: u64,
+}
+
+impl SnapshotCtx {
+    /// Exports the cache and writes it atomically. Returns the number of
+    /// entries saved; every outcome is counted on `metrics`.
+    fn save(&self, cache: &BasisCache, metrics: &ServeMetrics) -> Result<usize, String> {
+        let entries = cache.export();
+        match persist::save_snapshot(&self.path, &entries, self.fp) {
+            Ok(()) => {
+                metrics.snapshot_saves_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(entries.len())
+            }
+            Err(e) => {
+                metrics.snapshot_saves_failed.fetch_add(1, Ordering::Relaxed);
+                Err(format!("saving snapshot {}: {e}", self.path.display()))
+            }
+        }
+    }
 }
 
 impl Server {
     /// Binds the listen socket. The model is already loaded (the registry
-    /// rejects corrupt checkpoints before any socket exists).
+    /// rejects corrupt checkpoints before any socket exists). When
+    /// snapshot persistence is configured, the spectral cache warm-starts
+    /// here — before the first request — and any unreadable snapshot is a
+    /// logged cold start, never a startup failure.
     pub fn bind(config: ServerConfig, registry: ModelRegistry) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let batcher = Arc::new(Batcher::new(config.max_batch, config.max_queue));
+        let cache = Arc::new(BasisCache::new(config.cache_capacity));
+        let metrics = Arc::new(ServeMetrics::new());
+        let snapshot = config.snapshot_path.clone().map(|path| SnapshotCtx {
+            fp: persist::basis_fingerprint(registry.config()),
+            path,
+        });
+        if let Some(snap) = &snapshot {
+            match persist::load_snapshot(&snap.path, snap.fp) {
+                Ok(Some(entries)) => {
+                    let n = cache.seed(entries);
+                    metrics.snapshot_load_warm.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("snapshot: warm start, {n} entries from {}", snap.path.display());
+                }
+                Ok(None) => {
+                    metrics.snapshot_load_cold_missing.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    metrics.snapshot_load_cold_rejected.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("snapshot: cold start, {} rejected: {e}", snap.path.display());
+                }
+            }
+        }
         Ok(Self {
             listener,
             local_addr,
-            cache: Arc::new(BasisCache::new(config.cache_capacity)),
-            metrics: Arc::new(ServeMetrics::new()),
+            cache,
+            metrics,
             batcher,
             registry: Arc::new(registry),
+            snapshot,
             config,
         })
     }
@@ -180,6 +248,7 @@ impl Server {
         };
         let running = AtomicBool::new(true);
         let conns = ConnQueue::new(workers * 2);
+        let stop = ShutdownSignal::new();
         let Self {
             listener,
             local_addr,
@@ -188,10 +257,24 @@ impl Server {
             metrics,
             cache,
             batcher,
+            snapshot,
         } = self;
 
         std::thread::scope(|s| {
             s.spawn(|| batcher.run_executor(&registry, &cache, &metrics, config.threads));
+            if let (Some(snap), Some(interval)) = (&snapshot, config.snapshot_interval) {
+                // Periodic saver: bounds how much warmth a crash can lose
+                // to one interval. The latch makes shutdown immediate.
+                let (stop, cache, metrics) = (&stop, &cache, &metrics);
+                s.spawn(move || loop {
+                    if stop.wait(interval) {
+                        return;
+                    }
+                    if let Err(e) = snap.save(cache, metrics) {
+                        eprintln!("snapshot: {e}");
+                    }
+                });
+            }
             for _ in 0..workers {
                 s.spawn(|| {
                     while let Some(stream) = conns.pop() {
@@ -202,6 +285,7 @@ impl Server {
                             cache: &cache,
                             batcher: &batcher,
                             running: &running,
+                            snapshot: snapshot.as_ref(),
                             local_addr,
                         };
                         handle_connection(stream, &ctx);
@@ -233,6 +317,14 @@ impl Server {
             }
             conns.close();
             batcher.close();
+            stop.raise();
+            // Final save: a graceful shutdown leaves the warmest possible
+            // snapshot for the next start.
+            if let Some(snap) = &snapshot {
+                if let Err(e) = snap.save(&cache, &metrics) {
+                    eprintln!("snapshot: {e}");
+                }
+            }
         });
         Ok(())
     }
@@ -246,6 +338,7 @@ struct HandlerCtx<'a> {
     cache: &'a BasisCache,
     batcher: &'a Batcher,
     running: &'a AtomicBool,
+    snapshot: Option<&'a SnapshotCtx>,
     local_addr: SocketAddr,
 }
 
@@ -315,6 +408,20 @@ fn respond(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> 
                 write_response(writer, 500, "Internal Server Error", &[], &format!("reload failed: {e}\n"), keep)
                     .is_ok()
             }
+        },
+        ("POST", "/snapshot") => match ctx.snapshot {
+            None => {
+                m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+                write_response(writer, 400, "Bad Request", &[], "snapshot persistence not configured (start with --snapshot PATH)\n", keep)
+                    .is_ok()
+            }
+            Some(snap) => match snap.save(ctx.cache, m) {
+                Ok(n) => ok(writer, &format!("snapshot saved: {n} entries\n"), m),
+                Err(e) => {
+                    write_response(writer, 500, "Internal Server Error", &[], &format!("{e}\n"), keep)
+                        .is_ok()
+                }
+            },
         },
         ("POST", "/shutdown") => ok(writer, "shutting down\n", m),
         ("POST", "/predict") => respond_predict(req, ctx, writer),

@@ -1,0 +1,333 @@
+//! Replica process supervision: spawn, watch, restart.
+//!
+//! The supervisor owns the replica *processes* the way the router owns
+//! their *health*: it spawns each `cascn-serve` child, learns the
+//! ephemeral port from the child's `listening on ADDR` stdout line,
+//! publishes the address into the shared [`ReplicaSet`], and then watches
+//! the process. When a replica dies — crash, OOM kill, `kill -9` from a
+//! chaos test — the supervisor marks it down immediately (so the router
+//! stops sending traffic before a single connect can fail against the
+//! dead port), waits out a capped exponential restart backoff, and
+//! respawns it. A replica that stays up long enough earns its backoff
+//! back; one that crash-loops is throttled at the cap rather than
+//! fork-bombing the host.
+//!
+//! Announce lines (machine-parseable, one per event, on the supervisor's
+//! own stdout):
+//!
+//! ```text
+//! replica 0 pid 12345
+//! replica 0 listening on 127.0.0.1:40001
+//! replica 0 exited: signal: 9 (SIGKILL)
+//! ```
+//!
+//! `scripts/fleet_smoke.sh` greps these to find victims for its kill
+//! phase, and tests use [`Supervisor::kill_replica`] directly as the
+//! deterministic chaos hook.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::RouterMetrics;
+use crate::router::{ReplicaSet, ShutdownSignal};
+
+/// How to launch one replica. Each replica gets its own command so
+/// per-replica state (snapshot paths, seeds) can differ.
+#[derive(Debug, Clone)]
+pub struct ReplicaCommand {
+    /// Path to the `cascn-serve` binary (or anything speaking its
+    /// stdout contract).
+    pub program: String,
+    /// Full argument list. Must bind an ephemeral port (`--addr
+    /// 127.0.0.1:0`) unless every replica has a distinct fixed port.
+    pub args: Vec<String>,
+}
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// First restart delay after a crash.
+    pub backoff_base: Duration,
+    /// Ceiling for the restart delay of a crash-looping replica.
+    pub backoff_cap: Duration,
+    /// A replica alive at least this long resets its backoff to base.
+    pub stable_after: Duration,
+    /// Print `replica i ...` announce lines to stdout.
+    pub announce: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            stable_after: Duration::from_secs(5),
+            announce: true,
+        }
+    }
+}
+
+struct SupervisorInner {
+    commands: Vec<ReplicaCommand>,
+    config: SupervisorConfig,
+    replicas: Arc<ReplicaSet>,
+    metrics: Arc<RouterMetrics>,
+    /// Live child handles, one slot per replica, so `kill_replica` and
+    /// `stop` can signal processes the monitor threads own.
+    children: Vec<Mutex<Option<Child>>>,
+    stopping: AtomicBool,
+    stop_signal: ShutdownSignal,
+}
+
+/// Handle to a running supervision tier. Dropping it does *not* stop the
+/// replicas — call [`Supervisor::stop`].
+pub struct Supervisor {
+    inner: Arc<SupervisorInner>,
+    monitors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawns every replica and one monitor thread per replica.
+    ///
+    /// `replicas` must have exactly `commands.len()` slots; addresses are
+    /// published into it as children report their ports.
+    pub fn start(
+        commands: Vec<ReplicaCommand>,
+        config: SupervisorConfig,
+        replicas: Arc<ReplicaSet>,
+        metrics: Arc<RouterMetrics>,
+    ) -> Self {
+        let n = commands.len();
+        let inner = Arc::new(SupervisorInner {
+            commands,
+            config,
+            replicas,
+            metrics,
+            children: (0..n).map(|_| Mutex::new(None)).collect(),
+            stopping: AtomicBool::new(false),
+            stop_signal: ShutdownSignal::new(),
+        });
+        let monitors = (0..n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || monitor_replica(&inner, i))
+            })
+            .collect();
+        Self { inner, monitors }
+    }
+
+    /// SIGKILLs replica `i`'s current process, if it has one. The monitor
+    /// thread observes the death and restarts it through the normal
+    /// backoff path — this is exactly what a chaos test needs: a real
+    /// process death with real recovery, on demand.
+    pub fn kill_replica(&self, i: usize) -> bool {
+        let Some(slot) = self.inner.children.get(i) else {
+            return false;
+        };
+        let mut child = slot.lock().unwrap_or_else(|e| e.into_inner());
+        match child.as_mut() {
+            Some(c) => c.kill().is_ok(),
+            None => false,
+        }
+    }
+
+    /// Current pid of replica `i`, if running.
+    pub fn pid(&self, i: usize) -> Option<u32> {
+        let slot = self.inner.children.get(i)?;
+        let child = slot.lock().unwrap_or_else(|e| e.into_inner());
+        child.as_ref().map(Child::id)
+    }
+
+    /// Stops supervision: no more restarts, kills every live replica,
+    /// joins the monitor threads.
+    pub fn stop(self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        self.inner.stop_signal.raise();
+        for slot in &self.inner.children {
+            let mut child = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = child.as_mut() {
+                let _ = c.kill();
+            }
+        }
+        for handle in self.monitors {
+            let _ = handle.join();
+        }
+        // Reap anything the monitors left behind (e.g. killed during a
+        // backoff sleep, after the monitor re-checked `stopping`).
+        for slot in &self.inner.children {
+            let mut child = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(mut c) = child.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+}
+
+fn announce(inner: &SupervisorInner, line: &str) {
+    if inner.config.announce {
+        println!("{line}");
+    }
+}
+
+/// The life of one replica slot: spawn → publish address → watch →
+/// mark down → back off → respawn, until the supervisor stops.
+fn monitor_replica(inner: &SupervisorInner, i: usize) {
+    let mut backoff = inner.config.backoff_base;
+    let mut spawned_before = false;
+    while !inner.stopping.load(Ordering::SeqCst) {
+        if spawned_before {
+            inner.replicas.bump_restarts(i);
+            inner.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        let started = Instant::now();
+        match spawn_replica(inner, i) {
+            Ok(()) => {
+                // Returned means the child exited (or spawn-side i/o
+                // died); a long stable run resets the crash-loop budget.
+                if started.elapsed() >= inner.config.stable_after {
+                    backoff = inner.config.backoff_base;
+                } else {
+                    backoff = (backoff * 2).min(inner.config.backoff_cap);
+                }
+            }
+            Err(e) => {
+                eprintln!("replica {i}: spawn failed: {e}");
+                backoff = (backoff * 2).min(inner.config.backoff_cap);
+            }
+        }
+        inner.replicas.mark_down(i);
+        spawned_before = true;
+        if inner.stopping.load(Ordering::SeqCst) || inner.stop_signal.wait(backoff) {
+            return;
+        }
+    }
+}
+
+/// Spawns one replica process and blocks until it exits. Publishes the
+/// address the moment the child prints its `listening on` line.
+fn spawn_replica(inner: &SupervisorInner, i: usize) -> std::io::Result<()> {
+    let cmd = &inner.commands[i];
+    let mut child = Command::new(&cmd.program)
+        .args(&cmd.args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    announce(inner, &format!("replica {i} pid {}", child.id()));
+    let stdout = child.stdout.take();
+    {
+        let mut slot = inner.children[i].lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(child);
+    }
+
+    // Drain the child's stdout on this thread; EOF doubles as the death
+    // notification, so no extra waiter thread is needed.
+    if let Some(out) = stdout {
+        let mut reader = BufReader::new(out);
+        let mut line = String::new();
+        let mut published = false;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if !published {
+                        if let Some(addr) = trimmed.strip_prefix("listening on ") {
+                            inner.replicas.set_addr(i, addr.trim().to_string());
+                            announce(inner, &format!("replica {i} listening on {}", addr.trim()));
+                            published = true;
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    // The pipe is closed: drop traffic before reaping, so the router
+    // never races a connect against the dead port.
+    inner.replicas.mark_down(i);
+    let status = {
+        let mut slot = inner.children[i].lock().unwrap_or_else(|e| e.into_inner());
+        slot.take()
+    };
+    if let Some(mut c) = status {
+        match c.wait() {
+            Ok(st) => announce(inner, &format!("replica {i} exited: {st}")),
+            Err(e) => announce(inner, &format!("replica {i} exited: wait failed: {e}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> ReplicaCommand {
+        ReplicaCommand {
+            program: "/bin/sh".into(),
+            args: vec!["-c".into(), script.into()],
+        }
+    }
+
+    fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        pred()
+    }
+
+    #[test]
+    fn supervisor_publishes_addr_restarts_after_kill_and_stops_cleanly() {
+        let replicas = Arc::new(ReplicaSet::new(1, 3));
+        let metrics = Arc::new(RouterMetrics::new());
+        let config = SupervisorConfig {
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(100),
+            stable_after: Duration::from_secs(60),
+            announce: false,
+        };
+        // A stand-in replica that speaks the stdout contract and then
+        // sleeps until killed. `exec` matters: the shell must *become*
+        // the sleep, so killing the child pid closes the stdout pipe.
+        let sup = Supervisor::start(
+            vec![sh("echo 'listening on 127.0.0.1:65000'; exec sleep 30")],
+            config,
+            Arc::clone(&replicas),
+            Arc::clone(&metrics),
+        );
+
+        assert!(
+            wait_until(Duration::from_secs(5), || replicas.addr(0).is_some()),
+            "address should be published from the child's stdout"
+        );
+        assert_eq!(replicas.addr(0).as_deref(), Some("127.0.0.1:65000"));
+        let first_pid = sup.pid(0);
+        assert!(first_pid.is_some());
+
+        assert!(sup.kill_replica(0), "kill needs a live child");
+        assert!(
+            wait_until(Duration::from_secs(5), || {
+                metrics.restarts.load(Ordering::Relaxed) >= 1 && sup.pid(0) != first_pid && sup.pid(0).is_some()
+            }),
+            "a killed replica should be respawned with a new pid"
+        );
+        assert!(
+            wait_until(Duration::from_secs(5), || replicas.views()[0].restarts >= 1),
+            "the replica set should record the restart"
+        );
+
+        sup.stop();
+        assert_eq!(replicas.addr(0), None, "stop marks replicas down");
+    }
+}
