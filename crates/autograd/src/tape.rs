@@ -1,6 +1,8 @@
 //! The reverse-mode differentiation tape.
 
-use cascn_tensor::Matrix;
+use std::sync::Arc;
+
+use cascn_tensor::{Matrix, SparseOp};
 
 use crate::params::{ParamId, ParamStore};
 
@@ -36,6 +38,10 @@ enum Op {
     ConcatCols(Var, Var),
     SoftmaxCol(Var),
     SliceRows(Var, usize),
+    /// Application of a fixed (non-differentiable) sparse operator to a
+    /// feature block: `Y = M·X`. The `Arc` keeps the tape cheap to record —
+    /// the Chebyshev recurrence applies the same operator K times per gate.
+    SparseApply(Arc<SparseOp>, Var),
 }
 
 struct Node {
@@ -315,6 +321,20 @@ impl Tape {
         self.push(Op::SliceRows(a, start), value, rg)
     }
 
+    /// Applies a fixed sparse operator to `x`: `y = op·x`.
+    ///
+    /// The operator itself is a constant of the graph (the scaled cascade
+    /// Laplacian is data, not a parameter); gradients flow through `x` only,
+    /// with `∂x = opᵀ·∂y` via [`SparseOp::apply_transpose`].
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != op.dim()`.
+    pub fn sparse_apply(&mut self, op: Arc<SparseOp>, x: Var) -> Var {
+        let value = op.apply(self.value(x));
+        let rg = self.requires(x);
+        self.push(Op::SparseApply(op, x), value, rg)
+    }
+
     // ---- composite helpers --------------------------------------------------
 
     /// `x · w + bias` — the ubiquitous affine layer.
@@ -566,6 +586,12 @@ impl Tape {
                 );
                 self.add_grad(*a, da);
             }
+            Op::SparseApply(op, x) => {
+                if self.requires(*x) {
+                    let dx = op.apply_transpose(g);
+                    self.add_grad(*x, dx);
+                }
+            }
             Op::SliceRows(a, start) => {
                 if self.requires(*a) {
                     let v = self.value(*a);
@@ -754,6 +780,30 @@ mod tests {
         }
         // d(w²)/dw = 2w = 4, accumulated twice = 8
         assert_eq!(store.grad(w)[(0, 0)], 8.0);
+    }
+
+    #[test]
+    fn sparse_apply_matches_dense_matmul_forward_and_backward() {
+        use cascn_tensor::Csr;
+        let lap = Matrix::from_rows(&[&[1.0, -0.5, 0.0], &[0.0, 1.0, -0.5], &[-1.0, 0.0, 1.0]]);
+        let op = Arc::new(SparseOp::from_csr(Csr::from_dense(&lap)));
+        let x0 = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0);
+
+        let mut ts = Tape::new();
+        let xs = ts.leaf(x0.clone());
+        let ys = ts.sparse_apply(op, xs);
+        let ls = ts.sum_all(ys);
+        ts.backward(ls);
+
+        let mut td = Tape::new();
+        let lapv = td.constant(lap);
+        let xd = td.leaf(x0);
+        let yd = td.matmul(lapv, xd);
+        let ld = td.sum_all(yd);
+        td.backward(ld);
+
+        assert_eq!(ts.value(ys).as_slice(), td.value(yd).as_slice(), "forward diverged");
+        assert_matrix_eq(ts.grad(xs).unwrap(), td.grad(xd).unwrap(), 1e-6);
     }
 
     #[test]

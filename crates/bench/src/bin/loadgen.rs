@@ -50,13 +50,33 @@ fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Re
     }
 }
 
-/// Outcome counts plus every successful request's latency in µs.
-#[derive(Default)]
+/// Outcome counts plus every successful request's latency in µs, bucketed
+/// by the target that served it (index into the target list).
 struct WorkerReport {
     ok: usize,
     shed: usize,
     failed: usize,
-    latencies_us: Vec<u64>,
+    per_target_us: Vec<Vec<u64>>,
+}
+
+impl WorkerReport {
+    fn new(n_targets: usize) -> Self {
+        Self {
+            ok: 0,
+            shed: 0,
+            failed: 0,
+            per_target_us: vec![Vec::new(); n_targets],
+        }
+    }
+}
+
+/// `q`-th percentile of an ascending-sorted latency list (0 when empty).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -115,7 +135,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 // Worker w sends requests w, w+C, w+2C, … so the request
                 // count is exact for any concurrency.
                 s.spawn(move || {
-                    let mut report = WorkerReport::default();
+                    let mut report = WorkerReport::new(targets.len());
                     // One cached keep-alive connection per target.
                     let mut conns: Vec<Option<BufReader<TcpStream>>> =
                         (0..targets.len()).map(|_| None).collect();
@@ -135,8 +155,7 @@ fn run(args: &[String]) -> Result<(), String> {
                         match outcome {
                             Ok(200) => {
                                 report.ok += 1;
-                                report
-                                    .latencies_us
+                                report.per_target_us[ti]
                                     .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                             }
                             Ok(503) => report.shed += 1,
@@ -160,7 +179,7 @@ fn run(args: &[String]) -> Result<(), String> {
             .map(|h| match h.join() {
                 Ok(r) => r,
                 Err(_) => {
-                    let mut r = WorkerReport::default();
+                    let mut r = WorkerReport::new(targets.len());
                     r.failed += 1;
                     r
                 }
@@ -169,32 +188,43 @@ fn run(args: &[String]) -> Result<(), String> {
     });
     let elapsed = started.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut per_target: Vec<Vec<u64>> = vec![Vec::new(); targets.len()];
     let (mut ok, mut shed, mut failed) = (0usize, 0usize, 0usize);
     for r in reports {
         ok += r.ok;
         shed += r.shed;
         failed += r.failed;
-        latencies.extend(r.latencies_us);
-    }
-    latencies.sort_unstable();
-    let pct = |q: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
+        for (bucket, ls) in per_target.iter_mut().zip(r.per_target_us) {
+            bucket.extend(ls);
         }
-        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-        latencies[rank - 1]
-    };
+    }
+    let mut latencies: Vec<u64> = per_target.iter().flatten().copied().collect();
+    latencies.sort_unstable();
     println!(
         "loadgen: {ok} ok, {shed} shed, {failed} failed in {elapsed:.2}s ({:.1} req/s)",
         ok as f64 / elapsed.max(1e-9)
     );
     println!(
         "client latency: p50 {}us  p90 {}us  p99 {}us",
-        pct(0.5),
-        pct(0.9),
-        pct(0.99)
+        percentile(&latencies, 0.5),
+        percentile(&latencies, 0.9),
+        percentile(&latencies, 0.99)
     );
+    // Per-target breakdown: with a --target-list spreading load over a
+    // replica tier, one slow replica shows up here even when the pooled
+    // percentiles look healthy. The line format is stable for scripts
+    // (fleet_smoke parses it into BENCH_serve.json).
+    if targets.len() > 1 {
+        for (ti, (addr, bucket)) in targets.iter().zip(&mut per_target).enumerate() {
+            bucket.sort_unstable();
+            println!(
+                "target[{ti}] {addr}: {} ok, p50 {}us p99 {}us",
+                bucket.len(),
+                percentile(bucket, 0.5),
+                percentile(bucket, 0.99)
+            );
+        }
+    }
 
     if print_metrics {
         let text = simple_request(&targets[0], "GET", "/metrics")?;

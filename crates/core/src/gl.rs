@@ -76,18 +76,14 @@ impl GlModel {
         store: &ParamStore,
         sample: &PreprocessedCascade,
     ) -> Var {
-        let bases: Vec<Var> = sample
-            .bases
-            .iter()
-            .map(|b| tape.constant(b.clone()))
-            .collect();
+        let operands = sample.operands(tape);
         // Per-snapshot GCN embedding (1 x hidden each).
         let mut sequence = Vec::with_capacity(sample.snapshots.len());
         for snap in &sample.snapshots {
             let x = tape.constant(snap.clone());
+            let stack = operands.conv_stack(tape, x);
             let mut acc: Option<Var> = None;
-            for (basis, &wid) in bases.iter().zip(&self.conv_w) {
-                let conv = tape.matmul(*basis, x);
+            for (&conv, &wid) in stack.iter().zip(&self.conv_w) {
                 let w = tape.param(store, wid);
                 let term = tape.matmul(conv, w);
                 acc = Some(match acc {

@@ -3,17 +3,24 @@
 //! Preprocessing is deterministic and model-independent, so trainers run it
 //! once per cascade and cache the result across epochs.
 
+use cascn_autograd::Tape;
 use cascn_cascades::Cascade;
 use cascn_graph::{laplacian, DiGraph, SpectralBasis};
+use cascn_nn::ChebOperands;
 use cascn_tensor::Matrix;
 
-use crate::config::{CascnConfig, LambdaMax, LaplacianKind};
+use crate::config::{CascnConfig, ChebKernel, LambdaMax, LaplacianKind};
 
 /// A cascade converted to CasCN's input representation.
 #[derive(Debug, Clone)]
 pub struct PreprocessedCascade {
-    /// Chebyshev bases `T_k(Δ̃_c)`, each `n x n` (length `K + 1`).
-    pub bases: Vec<Matrix>,
+    /// The cascade's spectral handle: the scaled Laplacian `Δ̃_c` in sparse
+    /// operator form plus the Chebyshev order `K`.
+    pub basis: SpectralBasis,
+    /// Materialized dense bases `T_k(Δ̃_c)` (length `K + 1`) — populated
+    /// only under [`ChebKernel::Dense`]; the default sparse kernel never
+    /// builds them.
+    pub dense_bases: Option<Vec<Matrix>>,
     /// Snapshot signals `X_t`, each `n x max_nodes` (rows = observed nodes,
     /// columns zero-padded to the shared feature width).
     pub snapshots: Vec<Matrix>,
@@ -29,6 +36,17 @@ pub struct PreprocessedCascade {
     pub increment: usize,
     /// The exact λ_max used for scaling (2.0 under [`LambdaMax::Approx2`]).
     pub lambda_max: f32,
+}
+
+impl PreprocessedCascade {
+    /// The convolution operands a ChebConv cell runs against — dense when
+    /// the config materialized bases, sparse operator form otherwise.
+    pub fn operands(&self, tape: &mut Tape) -> ChebOperands {
+        match &self.dense_bases {
+            Some(bases) => ChebOperands::dense(tape, bases),
+            None => ChebOperands::sparse(&self.basis),
+        }
+    }
 }
 
 /// Builds the model input for one cascade under `cfg` at observation window
@@ -66,15 +84,20 @@ pub fn spectral_basis(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> Spec
         }
     }
 
-    let lap = match cfg.laplacian {
-        LaplacianKind::Directed => laplacian::cas_laplacian(&g, cfg.alpha),
-        LaplacianKind::Undirected => laplacian::undirected_normalized_laplacian(&g),
-    };
     let lambda_max = match cfg.lambda_max {
         LambdaMax::Exact => None,
         LambdaMax::Approx2 => Some(2.0),
     };
-    SpectralBasis::from_laplacian(&lap, lambda_max, cfg.k)
+    match cfg.laplacian {
+        // The directed scaled Laplacian is dense (teleportation touches
+        // every entry), so it is kept as sparse-core + rank-1 teleport
+        // instead of a materialized matrix.
+        LaplacianKind::Directed => SpectralBasis::directed(&g, cfg.alpha, lambda_max, cfg.k),
+        LaplacianKind::Undirected => {
+            let lap = laplacian::undirected_normalized_laplacian(&g);
+            SpectralBasis::from_laplacian(&lap, lambda_max, cfg.k)
+        }
+    }
 }
 
 /// [`preprocess`] with the spectral work already done — the cache-hit path
@@ -110,9 +133,14 @@ fn assemble(
     let (snapshots, times) = truncated.snapshots_padded(cfg.max_steps, cfg.max_nodes);
 
     let increment = cascade.increment_size(window);
+    let dense_bases = match cfg.cheb_kernel {
+        ChebKernel::Dense => Some(basis.materialize()),
+        ChebKernel::Sparse => None,
+    };
     PreprocessedCascade {
         lambda_max: basis.lambda_max,
-        bases: basis.bases,
+        basis,
+        dense_bases,
         snapshots,
         times,
         n,
@@ -194,10 +222,12 @@ mod tests {
     fn shapes_are_consistent() {
         let p = preprocess(&fig1(), 60.0, &cfg());
         assert_eq!(p.n, 6);
-        assert_eq!(p.bases.len(), 3, "K + 1 bases");
-        for b in &p.bases {
-            assert_eq!(b.shape(), (6, 6));
-        }
+        assert_eq!(p.basis.order(), 2, "order K");
+        assert_eq!(p.basis.num_nodes(), 6);
+        assert!(
+            p.dense_bases.is_none(),
+            "the default sparse kernel must not materialize dense bases"
+        );
         assert_eq!(p.snapshots.len(), 6);
         for s in &p.snapshots {
             assert_eq!(s.shape(), (6, 10), "column padded to max_nodes");
@@ -223,9 +253,7 @@ mod tests {
         };
         let p = preprocess(&fig1(), 60.0, &small);
         assert_eq!(p.n, 4);
-        for b in &p.bases {
-            assert_eq!(b.shape(), (4, 4));
-        }
+        assert_eq!(p.basis.num_nodes(), 4);
         for s in &p.snapshots {
             assert_eq!(s.shape(), (4, 4));
         }
@@ -267,14 +295,38 @@ mod tests {
     fn undirected_bases_are_symmetric() {
         let c = CascnConfig {
             laplacian: LaplacianKind::Undirected,
+            cheb_kernel: ChebKernel::Dense,
             ..cfg()
         };
         let p = preprocess(&fig1(), 60.0, &c);
-        let t1 = &p.bases[1];
+        let bases = p.dense_bases.as_ref().expect("Dense kernel materializes");
+        assert_eq!(bases.len(), 3, "K + 1 bases");
+        let t1 = &bases[1];
         for r in 0..t1.rows() {
             for cidx in 0..t1.cols() {
                 assert!((t1[(r, cidx)] - t1[(cidx, r)]).abs() < 1e-5);
             }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_materializes_matching_bases() {
+        let dense_cfg = CascnConfig {
+            cheb_kernel: ChebKernel::Dense,
+            ..cfg()
+        };
+        let p = preprocess(&fig1(), 60.0, &dense_cfg);
+        let bases = p.dense_bases.as_ref().expect("Dense kernel materializes");
+        assert_eq!(bases.len(), 3, "K + 1 bases");
+        for b in bases {
+            assert_eq!(b.shape(), (6, 6));
+        }
+        // The materialization is exactly basis.materialize() — same handle,
+        // same bits — and both kernels share one spectral pipeline.
+        let sparse = preprocess(&fig1(), 60.0, &cfg());
+        assert_eq!(sparse.lambda_max.to_bits(), p.lambda_max.to_bits());
+        for (a, b) in p.basis.materialize().iter().zip(bases) {
+            assert_eq!(a.as_slice(), b.as_slice());
         }
     }
 
@@ -288,10 +340,11 @@ mod tests {
             let cached = preprocess_with_basis(&fig1(), window, &cfg(), &basis);
             assert_eq!(direct.n, cached.n);
             assert_eq!(direct.lambda_max.to_bits(), cached.lambda_max.to_bits());
-            assert_eq!(direct.bases.len(), cached.bases.len());
-            for (a, b) in direct.bases.iter().zip(&cached.bases) {
-                assert_eq!(a.as_slice(), b.as_slice(), "bases must match bit-for-bit");
-            }
+            assert_eq!(
+                direct.basis.scaled_dense().as_slice(),
+                cached.basis.scaled_dense().as_slice(),
+                "operators must match bit-for-bit"
+            );
             for (a, b) in direct.snapshots.iter().zip(&cached.snapshots) {
                 assert_eq!(a.as_slice(), b.as_slice());
             }
@@ -315,6 +368,7 @@ mod tests {
         assert_eq!(p.n, 1);
         assert_eq!(p.snapshots.len(), 1);
         assert_eq!(p.snapshots[0][(0, 0)], 1.0, "root self-loop");
-        assert!(p.bases.iter().all(|b| b.all_finite()));
+        assert!(p.basis.scaled_dense().all_finite());
+        assert!(p.basis.materialize().iter().all(|b| b.all_finite()));
     }
 }

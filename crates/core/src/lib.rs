@@ -57,7 +57,9 @@ pub mod trainer;
 
 pub use cascn_autograd::{atomic_write, fnv1a64};
 pub use checkpoint::{StopperState, TrainCheckpoint};
-pub use config::{CascnConfig, DecayMode, LambdaMax, LaplacianKind, Pooling, RecurrentKind, Variant};
+pub use config::{
+    CascnConfig, ChebKernel, DecayMode, LambdaMax, LaplacianKind, Pooling, RecurrentKind, Variant,
+};
 pub use error::CascnError;
 pub use faults::FaultInjector;
 pub use gl::GlModel;

@@ -3,9 +3,7 @@
 
 use cascn_autograd::{ParamId, ParamStore, Tape, Var};
 use cascn_cascades::Cascade;
-use cascn_nn::{
-    bases_to_vars, Activation, ChebConvGruCell, ChebConvLstmCell, Mlp, TimeDecay,
-};
+use cascn_nn::{Activation, ChebConvGruCell, ChebConvLstmCell, Mlp, TimeDecay};
 use cascn_nn::train::History;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,15 +127,15 @@ impl CascnModel {
         store: &ParamStore,
         sample: &PreprocessedCascade,
     ) -> Var {
-        let bases = bases_to_vars(tape, &sample.bases);
+        let operands = sample.operands(tape);
         let inputs: Vec<Var> = sample
             .snapshots
             .iter()
             .map(|s| tape.constant(s.clone()))
             .collect();
         let hs = match &self.cell {
-            Cell::Lstm(cell) => cell.run(tape, store, &bases, &inputs, sample.n),
-            Cell::Gru(cell) => cell.run(tape, store, &bases, &inputs, sample.n),
+            Cell::Lstm(cell) => cell.run(tape, store, &operands, &inputs, sample.n),
+            Cell::Gru(cell) => cell.run(tape, store, &operands, &inputs, sample.n),
         };
         // Eq. 16: re-weight each hidden state by its interval's λ.
         let weighted: Vec<Var> = hs
@@ -595,6 +593,30 @@ mod tests {
             let serial_bits: Vec<u32> = serial.iter().map(|x| x.to_bits()).collect();
             let batch_bits: Vec<u32> = batch.iter().map(|x| x.to_bits()).collect();
             assert_eq!(serial_bits, batch_bits, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_kernels_agree_within_the_accuracy_gate() {
+        use crate::config::ChebKernel;
+        let data = tiny_data();
+        let sparse = CascnModel::new(tiny_cfg());
+        let dense = CascnModel::new(CascnConfig {
+            cheb_kernel: ChebKernel::Dense,
+            ..tiny_cfg()
+        });
+        assert_eq!(
+            sparse.num_parameters(),
+            dense.num_parameters(),
+            "kernels share one architecture"
+        );
+        for c in data.cascades.iter().take(8) {
+            let a = sparse.predict_log(c, 3600.0);
+            let b = dense.predict_log(c, 3600.0);
+            assert!(
+                (a - b).abs() < 5e-4,
+                "kernel outputs diverged beyond the gate: sparse {a} vs dense {b}"
+            );
         }
     }
 

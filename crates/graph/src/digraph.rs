@@ -2,7 +2,7 @@
 
 use cascn_tensor::Matrix;
 
-use crate::csr::Csr;
+use crate::Csr;
 
 /// A weighted directed graph over nodes `0..n`.
 ///

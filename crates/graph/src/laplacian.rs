@@ -1,7 +1,9 @@
 //! Transition matrices, stationary distributions, and the CasLaplacian
 //! (paper Section IV-B, Eq. 5–11, Algorithm 1).
 
-use cascn_tensor::Matrix;
+use std::sync::Arc;
+
+use cascn_tensor::{dot, Csr, Matrix, SparseOp};
 
 use crate::DiGraph;
 
@@ -90,22 +92,19 @@ pub fn stationary_distribution_checked(p: &Matrix) -> StationaryOutcome {
             iterations: 0,
         };
     }
+    // Route the iteration through the shared CSR kernel: `φᵀP` is
+    // `Pᵀ·φ`, and `spmv_transpose` scatters in the same ascending-(r, c)
+    // order (with the same exact-zero φ-entry skip) as the hand-rolled loop
+    // this replaces, so results are bit-identical. Eq. 7 matrices are fully
+    // dense (positive teleport everywhere), but sparse callers get the
+    // nnz-proportional cost for free.
+    let pt = Csr::from_dense(p);
     let mut phi = uniform.clone();
-    let mut next = vec![0.0f32; n];
     let mut converged = false;
     let mut iterations = 0;
     for it in 0..STATIONARY_MAX_ITERS {
         iterations = it + 1;
-        next.iter_mut().for_each(|x| *x = 0.0);
-        for (r, &pr) in phi.iter().enumerate() {
-            // lint: allow(float-eq) — exact-zero skip: NaN/Inf compare unequal and still propagate
-            if pr == 0.0 {
-                continue;
-            }
-            for (c, &pv) in p.row(r).iter().enumerate() {
-                next[c] += pr * pv;
-            }
-        }
+        let mut next = pt.spmv_transpose(&phi);
         let sum: f32 = next.iter().sum();
         if !sum.is_finite() || sum <= 0.0 {
             // Overflow/underflow mid-iteration: normalizing by this sum
@@ -180,7 +179,14 @@ pub fn stationary_distribution(p: &Matrix) -> Vec<f32> {
 pub fn cas_laplacian(g: &DiGraph, alpha: f32) -> Matrix {
     let p = transition_matrix(g, alpha);
     let phi = stationary_distribution(&p);
-    let n = g.node_count();
+    cas_laplacian_from(&p, &phi)
+}
+
+/// [`cas_laplacian`] from an already-computed transition matrix and
+/// stationary distribution (the operator builder shares both with the dense
+/// path, so λ_max estimation sees the identical matrix).
+fn cas_laplacian_from(p: &Matrix, phi: &[f32]) -> Matrix {
+    let n = p.rows();
     let mut lap = Matrix::zeros(n, n);
     for r in 0..n {
         let sr = phi[r].max(1e-12).sqrt();
@@ -313,12 +319,22 @@ pub fn scale_laplacian(lap: &Matrix, lambda_max: f32) -> Matrix {
     out
 }
 
-/// The spectral quantities CasCN derives from one cascade Laplacian: the
-/// scaled operator `Δ̃` and its Chebyshev bases `T_0..T_K` — bundled into a
-/// single cacheable handle.
+/// The spectral quantity CasCN derives from one cascade Laplacian: the
+/// scaled operator `Δ̃` in sparse-plus-rank-1 form, ready to drive the
+/// operator-form Chebyshev recurrence — bundled into a single cacheable
+/// handle.
 ///
-/// Building these (Eq. 2–8) dominates inference preprocessing, yet they
-/// depend only on the observed cascade structure, never on model
+/// Earlier revisions materialized the `K + 1` dense `n×n` bases
+/// `T_0(Δ̃)..T_K(Δ̃)` here. The operator form stores only `Δ̃` itself
+/// (`O(nnz + n)` instead of `O(K·n²)`) and the convolution layer carries the
+/// recurrence on `n×d` feature blocks: `T_k·X = 2·Δ̃·(T_{k-1}·X) − T_{k-2}·X`.
+/// That drops per-gate convolution cost from `O(K·n²·d)` to `O(K·nnz·d)` and
+/// shrinks the serve-cache/snapshot footprint by the same factor.
+/// [`SpectralBasis::materialize`] still produces the dense bases for the
+/// legacy kernel path, gradient checking, and tests.
+///
+/// Building the operator (Eq. 2–8) dominates inference preprocessing, yet it
+/// depends only on the observed cascade structure, never on model
 /// parameters. A cascade re-queried across requests therefore reuses the
 /// same handle: the serving layer's spectral cache stores
 /// `Arc<SpectralBasis>` keyed by (cascade id, window) and every consumer
@@ -327,16 +343,24 @@ pub fn scale_laplacian(lap: &Matrix, lambda_max: f32) -> Matrix {
 pub struct SpectralBasis {
     /// The λ_max the Laplacian was scaled by.
     pub lambda_max: f32,
-    /// The scaled Laplacian `Δ̃ = (2/λ_max)·Δ − I` (Eq. 2).
-    pub scaled: Matrix,
-    /// Chebyshev bases `[T_0(Δ̃), …, T_K(Δ̃)]`, length `K + 1`.
-    pub bases: Vec<Matrix>,
+    /// The Chebyshev order `K` of the convolution this operator feeds.
+    pub k: usize,
+    /// The scaled Laplacian `Δ̃ = (2/λ_max)·Δ − I` (Eq. 2) as a sparse
+    /// operator, shared with every tape node that applies it.
+    pub op: Arc<SparseOp>,
 }
 
 impl SpectralBasis {
-    /// Builds the handle from an (unscaled) Laplacian. `lambda_max: None`
-    /// estimates the scaling constant with [`largest_eigenvalue`];
+    /// Builds the handle from an (unscaled) dense Laplacian. `lambda_max:
+    /// None` estimates the scaling constant with [`largest_eigenvalue`];
     /// `Some(v)` pins it (the paper's `λ_max ≈ 2` shortcut).
+    ///
+    /// The operator is the exact CSR form of the dense scaled Laplacian
+    /// (no rank-1 split), so [`SparseOp::apply`] on a finite block is
+    /// bit-identical to the dense `matmul` it replaces. Undirected
+    /// Laplacians are genuinely sparse and benefit directly; for directed
+    /// cascades prefer [`SpectralBasis::directed`], which keeps the teleport
+    /// mass in a rank-1 term instead of densifying the core.
     ///
     /// # Panics
     /// Panics if `lap` is not square or a pinned `lambda_max` is not
@@ -344,25 +368,120 @@ impl SpectralBasis {
     pub fn from_laplacian(lap: &Matrix, lambda_max: Option<f32>, k: usize) -> Self {
         let lambda_max = lambda_max.unwrap_or_else(|| largest_eigenvalue(lap));
         let scaled = scale_laplacian(lap, lambda_max);
-        let bases = chebyshev_bases(&scaled, k);
-        Self { lambda_max, scaled, bases }
+        let op = Arc::new(SparseOp::from_csr(Csr::from_dense(&scaled)));
+        Self { lambda_max, k, op }
     }
 
-    /// Number of nodes the bases cover.
+    /// Builds the scaled **directed** CasLaplacian operator straight from
+    /// the cascade graph, without subtracting dense matrices:
+    ///
+    /// `Δ̃ = S + coeff·u·vᵀ` where `S` carries the adjacency-supported part
+    /// (`S_rr = (2/λ)·(1 − a_rr) − 1`, `S_rc = −(2/λ)·s_r·a_rc/s_c` with
+    /// `a_rc = α·w_rc/rowsum` over the self-loop-patched adjacency and
+    /// `s = φ^{1/2}`), and the rank-1 term is the PageRank teleport mass:
+    /// `coeff = −(2/λ)·(1−α)/n`, `u = s`, `v = 1/s`.
+    ///
+    /// `φ` and (when `lambda_max` is `None`) `λ_max` are computed by the
+    /// *identical* dense pipeline as [`cas_laplacian`] +
+    /// [`largest_eigenvalue`], so the spectral constants match the legacy
+    /// path exactly; only the `O(n²)`-entry storage and the per-application
+    /// cost change.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or `alpha` is outside `(0, 1)` (the
+    /// [`transition_matrix`] contract), or a pinned `lambda_max` is not
+    /// positive.
+    pub fn directed(g: &DiGraph, alpha: f32, lambda_max: Option<f32>, k: usize) -> Self {
+        let p = transition_matrix(g, alpha);
+        let phi = stationary_distribution(&p);
+        let lambda_max =
+            lambda_max.unwrap_or_else(|| largest_eigenvalue(&cas_laplacian_from(&p, &phi)));
+        assert!(
+            lambda_max > 0.0,
+            "directed operator: lambda_max must be positive, got {lambda_max}"
+        );
+        let n = g.node_count();
+        let two_over = 2.0 / lambda_max;
+        let teleport = (1.0 - alpha) / n as f32;
+        let s: Vec<f32> = phi.iter().map(|&x| x.max(1e-12).sqrt()).collect();
+        // Self-loop-patched adjacency, exactly as `transition_matrix` builds
+        // its normalizer.
+        let mut w = g.adjacency();
+        for (i, &d) in g.weighted_out_degrees().iter().enumerate() {
+            // lint: allow(float-eq) — dangling nodes have an exactly-zero out-degree by construction
+            if d == 0.0 {
+                w[(i, i)] = 1.0;
+            }
+        }
+        let mut rows: Vec<Vec<(usize, f32)>> = Vec::with_capacity(n);
+        for r in 0..n {
+            let row_sum: f32 = w.row(r).iter().sum();
+            let mut entries: Vec<(usize, f32)> = Vec::new();
+            let mut has_diag = false;
+            for (c, &wv) in w.row(r).iter().enumerate() {
+                // lint: allow(float-eq) — exact-zero sparsity test: only true zeros are dropped from S
+                if wv == 0.0 {
+                    continue;
+                }
+                let a_rc = alpha * wv / row_sum;
+                let val = if r == c {
+                    has_diag = true;
+                    two_over * (1.0 - a_rc) - 1.0
+                } else {
+                    -(two_over * s[r] * a_rc / s[c])
+                };
+                entries.push((c, val));
+            }
+            if !has_diag {
+                // The identity contribution `(2/λ)·δ_rc − δ_rc` for rows
+                // without a stored self-loop. Kept even when it is exactly
+                // zero (λ_max pinned to 2) so the row structure — and the
+                // persisted text form — is independent of the pin.
+                let pos = entries.partition_point(|&(c, _)| c < r);
+                entries.insert(pos, (r, two_over - 1.0));
+            }
+            rows.push(entries);
+        }
+        let csr = Csr::from_rows(n, &rows);
+        let v: Vec<f32> = s.iter().map(|&x| 1.0 / x).collect();
+        let coeff = -(two_over * teleport);
+        let op = Arc::new(SparseOp::new(csr, Some((coeff, s, v))));
+        Self { lambda_max, k, op }
+    }
+
+    /// Rebuilds a handle from persisted parts (the snapshot loader).
+    pub fn from_parts(lambda_max: f32, k: usize, op: Arc<SparseOp>) -> Self {
+        Self { lambda_max, k, op }
+    }
+
+    /// Number of nodes the operator covers.
     pub fn num_nodes(&self) -> usize {
-        self.scaled.rows()
+        self.op.dim()
     }
 
-    /// The Chebyshev order `K` (the handle holds `K + 1` bases).
+    /// The Chebyshev order `K` (the operator drives `K + 1` recurrence
+    /// terms).
     pub fn order(&self) -> usize {
-        self.bases.len().saturating_sub(1)
+        self.k
     }
 
-    /// Approximate heap footprint in bytes — the scaled Laplacian plus
-    /// every basis — used by cache-budget accounting.
+    /// Approximate heap footprint in bytes — the sparse operator — used by
+    /// cache-budget accounting. Compare `O(K·n²·4)` for the materialized
+    /// bases this replaces.
     pub fn approx_bytes(&self) -> usize {
-        let n = self.num_nodes();
-        (self.bases.len() + 1) * n * n * std::mem::size_of::<f32>()
+        self.op.approx_bytes()
+    }
+
+    /// The dense scaled Laplacian `Δ̃` (tests and diagnostics).
+    pub fn scaled_dense(&self) -> Matrix {
+        self.op.to_dense()
+    }
+
+    /// Materializes the dense Chebyshev bases `[T_0(Δ̃), …, T_K(Δ̃)]` the
+    /// way earlier revisions stored them — the legacy dense-kernel path and
+    /// gradient checking use this; the default path never does.
+    pub fn materialize(&self) -> Vec<Matrix> {
+        chebyshev_bases(&self.op.to_dense(), self.k)
     }
 }
 
@@ -383,14 +502,12 @@ pub fn chebyshev_bases(scaled: &Matrix, k: usize) -> Vec<Matrix> {
     bases
 }
 
+/// Dense matrix–vector product through the shared [`cascn_tensor::dot`]
+/// kernel. Each output element is one strictly sequential dot product, so
+/// the power iterations above stay bit-identical across refactors of the
+/// surrounding code.
 fn mat_vec(m: &Matrix, x: &[f32]) -> Vec<f32> {
-    (0..m.rows())
-        .map(|r| m.row(r).iter().zip(x).map(|(&a, &b)| a * b).sum())
-        .collect()
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    (0..m.rows()).map(|r| dot(m.row(r), x)).collect()
 }
 
 #[cfg(test)]
@@ -580,11 +697,17 @@ mod tests {
         let lmax = largest_eigenvalue(&lap);
         assert_eq!(handle.lambda_max, lmax);
         let scaled = scale_laplacian(&lap, lmax);
-        assert_eq!(handle.scaled, scaled);
-        assert_eq!(handle.bases, chebyshev_bases(&scaled, 3));
+        assert_matrix_eq(&handle.scaled_dense(), &scaled, 0.0);
+        let bases = handle.materialize();
+        let manual = chebyshev_bases(&scaled, 3);
+        assert_eq!(bases.len(), manual.len());
+        for (b, m) in bases.iter().zip(&manual) {
+            assert_matrix_eq(b, m, 0.0);
+        }
         assert_eq!(handle.num_nodes(), 6);
         assert_eq!(handle.order(), 3);
-        assert!(handle.approx_bytes() >= 5 * 6 * 6 * 4);
+        // Operator storage beats the 5 dense 6x6 bases the old handle held.
+        assert!(handle.approx_bytes() < 5 * 6 * 6 * 4);
     }
 
     #[test]
@@ -592,7 +715,57 @@ mod tests {
         let lap = cas_laplacian(&fig1(), 0.85);
         let handle = SpectralBasis::from_laplacian(&lap, Some(2.0), 2);
         assert_eq!(handle.lambda_max, 2.0);
-        assert_eq!(handle.scaled, scale_laplacian(&lap, 2.0));
-        assert_eq!(handle.bases.len(), 3, "K + 1 bases");
+        assert_matrix_eq(&handle.scaled_dense(), &scale_laplacian(&lap, 2.0), 0.0);
+        assert_eq!(handle.materialize().len(), 3, "K + 1 bases");
+    }
+
+    #[test]
+    fn directed_operator_matches_dense_scaled_laplacian() {
+        let g = fig1();
+        for lmax in [None, Some(2.0)] {
+            let handle = SpectralBasis::directed(&g, 0.85, lmax, 2);
+            let lap = cas_laplacian(&g, 0.85);
+            let dense = scale_laplacian(&lap, handle.lambda_max);
+            assert_matrix_eq(&handle.scaled_dense(), &dense, 1e-5);
+            // The core must stay as sparse as the cascade: 5 edges + 6
+            // diagonal entries + dangling self-loops, nowhere near 36.
+            assert!(
+                handle.op.nnz() <= 2 * g.edge_count() + g.node_count(),
+                "core nnz {} is not sparse",
+                handle.op.nnz()
+            );
+            assert!(handle.op.rank1().is_some(), "teleport mass must be rank-1");
+        }
+    }
+
+    #[test]
+    fn directed_operator_lambda_matches_dense_estimate() {
+        let g = fig1();
+        let handle = SpectralBasis::directed(&g, 0.85, None, 2);
+        let dense_lmax = largest_eigenvalue(&cas_laplacian(&g, 0.85));
+        assert_eq!(
+            handle.lambda_max.to_bits(),
+            dense_lmax.to_bits(),
+            "operator path must reuse the exact dense λ_max pipeline"
+        );
+    }
+
+    #[test]
+    fn directed_operator_apply_matches_materialized_products() {
+        let g = fig1();
+        let handle = SpectralBasis::directed(&g, 0.85, None, 3);
+        let x = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f32).sin());
+        let got = handle.op.apply(&x);
+        let expect = handle.scaled_dense().matmul(&x);
+        assert_matrix_eq(&got, &expect, 1e-5);
+    }
+
+    #[test]
+    fn directed_operator_single_node() {
+        let g = DiGraph::new(1);
+        let handle = SpectralBasis::directed(&g, 0.85, None, 2);
+        assert_eq!(handle.num_nodes(), 1);
+        let x = Matrix::row_vector(&[1.0, 2.0]);
+        assert!(handle.op.apply(&x).all_finite());
     }
 }

@@ -28,11 +28,12 @@
 //! assert_eq!(lap.rows(), 6);
 //! ```
 
-mod csr;
 mod digraph;
 pub mod laplacian;
 pub mod walks;
 
-pub use csr::Csr;
+// `Csr` moved into `cascn-tensor` so the autograd tape can apply sparse
+// operators; re-exported here for the adjacency-traversal call sites.
+pub use cascn_tensor::{Csr, SparseOp};
 pub use digraph::DiGraph;
 pub use laplacian::SpectralBasis;

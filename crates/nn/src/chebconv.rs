@@ -5,15 +5,26 @@
 //!
 //! `W ∗G X = Σ_{k=0..K} T_k(Δ̃_c) · X · W_k`
 //!
-//! where the `T_k(Δ̃_c)` bases are computed once per cascade by
-//! `cascn_graph::laplacian::chebyshev_bases` and entered on the tape as
-//! constants. The LSTM variant includes the paper's peephole terms
-//! `V ⊙ c_{t-1}` (Eq. 12); we parameterize each peephole as a `1 x d_h`
-//! vector broadcast over nodes, so the parameter count stays independent of
-//! the padded cascade size.
+//! where the convolution operands come in one of two forms
+//! ([`ChebOperands`]):
+//!
+//! * **Sparse** (the default path): the scaled Laplacian `Δ̃_c` as a
+//!   [`SparseOp`], with the Chebyshev recurrence carried on `n×d` feature
+//!   blocks — `T_k·X = 2·Δ̃·(T_{k-1}·X) − T_{k-2}·X` — so no dense `n×n`
+//!   basis is ever materialized and each gate costs `O(K·nnz·d)`;
+//! * **Dense** (the legacy/gradcheck path): the materialized `T_k(Δ̃_c)`
+//!   bases entered on the tape as constants and multiplied per order.
+//!
+//! The LSTM variant includes the paper's peephole terms `V ⊙ c_{t-1}`
+//! (Eq. 12); we parameterize each peephole as a `1 x d_h` vector broadcast
+//! over nodes, so the parameter count stays independent of the padded
+//! cascade size.
+
+use std::sync::Arc;
 
 use cascn_autograd::{ParamId, ParamStore, Tape, Var};
-use cascn_tensor::Matrix;
+use cascn_graph::SpectralBasis;
+use cascn_tensor::{Matrix, SparseOp};
 use rand::rngs::StdRng;
 
 use crate::init;
@@ -86,6 +97,80 @@ pub fn bases_to_vars(tape: &mut Tape, bases: &[Matrix]) -> Vec<Var> {
     bases.iter().map(|b| tape.constant(b.clone())).collect()
 }
 
+/// The per-cascade spectral operand a ChebConv cell convolves against —
+/// either the sparse scaled Laplacian (operator form) or the materialized
+/// dense bases (legacy form). Both produce the same `K+1`-long convolution
+/// stack `[T_0·X, …, T_K·X]`; they differ only in cost and float rounding.
+#[derive(Debug, Clone)]
+pub enum ChebOperands {
+    /// Materialized `T_k(Δ̃_c)` tape constants, length `K+1` — each stack
+    /// entry is one dense `n×n · n×d` product. Kept for gradient checking
+    /// and the `ChebKernel::Dense` compatibility mode.
+    Dense(Vec<Var>),
+    /// The scaled Laplacian itself; the stack is built by the feature-block
+    /// recurrence `T_k·X = 2·Δ̃·(T_{k-1}·X) − T_{k-2}·X` with `K` sparse
+    /// applications, never touching an `n×n` intermediate.
+    Sparse {
+        /// `Δ̃_c` shared across every application this cell records.
+        op: Arc<SparseOp>,
+        /// Chebyshev order `K`.
+        k: usize,
+    },
+}
+
+impl ChebOperands {
+    /// Dense operands from materialized basis matrices.
+    pub fn dense(tape: &mut Tape, bases: &[Matrix]) -> Self {
+        Self::Dense(bases_to_vars(tape, bases))
+    }
+
+    /// Sparse operator-form operands from a spectral handle.
+    pub fn sparse(basis: &SpectralBasis) -> Self {
+        Self::Sparse {
+            op: Arc::clone(&basis.op),
+            k: basis.k,
+        }
+    }
+
+    /// Number of stack entries this operand produces (`K + 1`).
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Dense(bases) => bases.len(),
+            Self::Sparse { k, .. } => k + 1,
+        }
+    }
+
+    /// Whether the operand produces an empty stack (never true for a
+    /// well-formed operand — `K + 1 ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds the convolution stack `[T_0·X, …, T_K·X]` for one signal.
+    ///
+    /// Sparse operands start from `T_0·X = X` itself (no identity product)
+    /// and apply `Δ̃` `K` times; dense operands multiply each materialized
+    /// basis. Gradients flow through `x` in both forms.
+    pub fn conv_stack(&self, tape: &mut Tape, x: Var) -> Vec<Var> {
+        match self {
+            Self::Dense(bases) => bases.iter().map(|&b| tape.matmul(b, x)).collect(),
+            Self::Sparse { op, k } => {
+                let mut stack = Vec::with_capacity(k + 1);
+                stack.push(x);
+                if *k >= 1 {
+                    stack.push(tape.sparse_apply(Arc::clone(op), x));
+                }
+                for i in 2..=*k {
+                    let applied = tape.sparse_apply(Arc::clone(op), stack[i - 1]);
+                    let doubled = tape.scale(applied, 2.0);
+                    stack.push(tape.sub(doubled, stack[i - 2]));
+                }
+                stack
+            }
+        }
+    }
+}
+
 /// Broadcasts a `1 x d` parameter row over `n` node rows.
 fn tile_rows(tape: &mut Tape, row: Var, n: usize) -> Var {
     let ones = tape.constant(Matrix::full(n, 1, 1.0));
@@ -156,21 +241,21 @@ impl ChebConvLstmCell {
 
     /// One timestep over a cascade snapshot.
     ///
-    /// `bases` are the tape-constant `T_k(Δ̃_c)` matrices (length `K+1`),
-    /// `x` is the `n x d_in` snapshot signal, and the state matrices are
-    /// `n x d_h`.
+    /// `operands` carry the cascade's spectral operator (sparse or dense,
+    /// producing a `K+1` convolution stack), `x` is the `n x d_in` snapshot
+    /// signal, and the state matrices are `n x d_h`.
     pub fn step(
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        bases: &[Var],
+        operands: &ChebOperands,
         x: Var,
         (h, c): (Var, Var),
     ) -> (Var, Var) {
-        assert_eq!(bases.len(), self.k + 1, "expected K+1 Chebyshev bases");
+        assert_eq!(operands.len(), self.k + 1, "expected K+1 Chebyshev bases");
         let n = tape.value(x).rows();
-        let conv_x: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, x)).collect();
-        let conv_h: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, h)).collect();
+        let conv_x = operands.conv_stack(tape, x);
+        let conv_h = operands.conv_stack(tape, h);
 
         let peep = |tape: &mut Tape, id: ParamId, cell_state: Var| {
             let v = tape.param(store, id);
@@ -210,14 +295,14 @@ impl ChebConvLstmCell {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        bases: &[Var],
+        operands: &ChebOperands,
         inputs: &[Var],
         n: usize,
     ) -> Vec<Var> {
         let mut state = self.zero_state(tape, n);
         let mut hs = Vec::with_capacity(inputs.len());
         for &x in inputs {
-            state = self.step(tape, store, bases, x, state);
+            state = self.step(tape, store, operands, x, state);
             hs.push(state.0);
         }
         hs
@@ -281,13 +366,13 @@ impl ChebConvGruCell {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        bases: &[Var],
+        operands: &ChebOperands,
         x: Var,
         h: Var,
     ) -> Var {
-        assert_eq!(bases.len(), self.k + 1, "expected K+1 Chebyshev bases");
-        let conv_x: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, x)).collect();
-        let conv_h: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, h)).collect();
+        assert_eq!(operands.len(), self.k + 1, "expected K+1 Chebyshev bases");
+        let conv_x = operands.conv_stack(tape, x);
+        let conv_h = operands.conv_stack(tape, h);
 
         let z_pre = self.update.pre_activation(tape, store, &conv_x, &conv_h);
         let z = tape.sigmoid(z_pre);
@@ -295,7 +380,7 @@ impl ChebConvGruCell {
         let r = tape.sigmoid(r_pre);
 
         let rh = tape.hadamard(r, h);
-        let conv_rh: Vec<Var> = bases.iter().map(|&b| tape.matmul(b, rh)).collect();
+        let conv_rh = operands.conv_stack(tape, rh);
         let cand_pre = self
             .candidate
             .pre_activation(tape, store, &conv_x, &conv_rh);
@@ -314,14 +399,14 @@ impl ChebConvGruCell {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        bases: &[Var],
+        operands: &ChebOperands,
         inputs: &[Var],
         n: usize,
     ) -> Vec<Var> {
         let mut h = self.zero_state(tape, n);
         let mut hs = Vec::with_capacity(inputs.len());
         for &x in inputs {
-            h = self.step(tape, store, bases, x, h);
+            h = self.step(tape, store, operands, x, h);
             hs.push(h);
         }
         hs
@@ -351,10 +436,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cell = ChebConvLstmCell::new(&mut store, "cc", 2, 6, 4, &mut rng);
         let mut tape = Tape::new();
-        let bases = bases_to_vars(&mut tape, &fig1_bases(2));
+        let operands = ChebOperands::dense(&mut tape, &fig1_bases(2));
         let x = tape.constant(Matrix::eye(6));
         let state = cell.zero_state(&mut tape, 6);
-        let (h, c) = cell.step(&mut tape, &store, &bases, x, state);
+        let (h, c) = cell.step(&mut tape, &store, &operands, x, state);
         assert_eq!(tape.value(h).shape(), (6, 4));
         assert_eq!(tape.value(c).shape(), (6, 4));
     }
@@ -366,10 +451,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cell = ChebConvLstmCell::new(&mut store, "cc", 2, 6, 4, &mut rng);
         let mut tape = Tape::new();
-        let bases = bases_to_vars(&mut tape, &fig1_bases(1)); // wrong: K=1
+        let operands = ChebOperands::dense(&mut tape, &fig1_bases(1)); // wrong: K=1
         let x = tape.constant(Matrix::eye(6));
         let state = cell.zero_state(&mut tape, 6);
-        let _ = cell.step(&mut tape, &store, &bases, x, state);
+        let _ = cell.step(&mut tape, &store, &operands, x, state);
     }
 
     #[test]
@@ -378,9 +463,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let cell = ChebConvGruCell::new(&mut store, "cg", 1, 6, 3, &mut rng);
         let mut tape = Tape::new();
-        let bases = bases_to_vars(&mut tape, &fig1_bases(1));
+        let operands = ChebOperands::dense(&mut tape, &fig1_bases(1));
         let inputs: Vec<Var> = (0..4).map(|_| tape.constant(Matrix::eye(6))).collect();
-        let hs = cell.run(&mut tape, &store, &bases, &inputs, 6);
+        let hs = cell.run(&mut tape, &store, &operands, &inputs, 6);
         assert_eq!(hs.len(), 4);
         assert!(tape.value(hs[3]).all_finite());
     }
@@ -391,11 +476,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let cell = ChebConvLstmCell::new(&mut store, "cc", 1, 6, 3, &mut rng);
         let mut tape = Tape::new();
-        let bases = bases_to_vars(&mut tape, &fig1_bases(1));
+        let operands = ChebOperands::dense(&mut tape, &fig1_bases(1));
         let inputs: Vec<Var> = (0..3).map(|_| {
             tape.constant(Matrix::from_fn(6, 6, |r, c| ((r + c) % 3) as f32 * 0.2))
         }).collect();
-        let hs = cell.run(&mut tape, &store, &bases, &inputs, 6);
+        let hs = cell.run(&mut tape, &store, &operands, &inputs, 6);
         let pooled = tape.sum_rows(*hs.last().unwrap());
         let sq = tape.sqr(pooled);
         let loss = tape.sum_all(sq);
@@ -433,10 +518,10 @@ mod tests {
             let scaled = laplacian::scale_laplacian(&lap, laplacian::largest_eigenvalue(&lap));
             let bases_m = laplacian::chebyshev_bases(&scaled, 2);
             let mut tape = Tape::new();
-            let bases = bases_to_vars(&mut tape, &bases_m);
+            let operands = ChebOperands::dense(&mut tape, &bases_m);
             let x = tape.constant(Matrix::eye(4));
             let state = cell.zero_state(&mut tape, 4);
-            let (h, _) = cell.step(&mut tape, store, &bases, x, state);
+            let (h, _) = cell.step(&mut tape, store, &operands, x, state);
             tape.value(h).clone()
         };
 
@@ -445,6 +530,100 @@ mod tests {
         assert!(
             fwd.sub(&rev).max_abs() > 1e-5,
             "direction must influence the convolution"
+        );
+    }
+
+    /// The fig. 1 spectral handle whose operator path matches the dense
+    /// bases exactly in structure (same Laplacian, same λ_max estimate).
+    fn fig1_basis(k: usize) -> SpectralBasis {
+        let mut g = DiGraph::new(6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        let lap = laplacian::cas_laplacian(&g, 0.85);
+        SpectralBasis::from_laplacian(&lap, None, k)
+    }
+
+    #[test]
+    fn sparse_conv_stack_matches_dense_within_tolerance() {
+        let k = 3;
+        let basis = fig1_basis(k);
+        let dense_bases = basis.materialize();
+        let x_m = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f32) * 0.13 - 1.2);
+
+        let mut tape = Tape::new();
+        let dense = ChebOperands::dense(&mut tape, &dense_bases);
+        let sparse = ChebOperands::sparse(&basis);
+        assert_eq!(dense.len(), k + 1);
+        assert_eq!(sparse.len(), k + 1);
+        assert!(!sparse.is_empty());
+
+        let x = tape.constant(x_m.clone());
+        let stack_d = dense.conv_stack(&mut tape, x);
+        let stack_s = sparse.conv_stack(&mut tape, x);
+        for (i, (&d, &s)) in stack_d.iter().zip(&stack_s).enumerate() {
+            let diff = tape.value(d).sub(tape.value(s)).max_abs();
+            assert!(
+                diff < 1e-5,
+                "order {i}: recurrence stack diverged from materialized bases by {diff}"
+            );
+        }
+        // T_0·X is X itself on the sparse path — exactly, not approximately.
+        assert_eq!(tape.value(stack_s[0]).as_slice(), x_m.as_slice());
+    }
+
+    #[test]
+    fn lstm_sparse_step_matches_dense_within_tolerance() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cell = ChebConvLstmCell::new(&mut store, "cc", 2, 6, 4, &mut rng);
+        let basis = fig1_basis(2);
+
+        let run = |operands_of: &dyn Fn(&mut Tape) -> ChebOperands| {
+            let mut tape = Tape::new();
+            let operands = operands_of(&mut tape);
+            let x = tape.constant(Matrix::eye(6));
+            let inputs = [x, x, x];
+            let hs = cell.run(&mut tape, &store, &operands, &inputs, 6);
+            tape.value(*hs.last().unwrap()).clone()
+        };
+
+        let dense_bases = basis.materialize();
+        let h_dense = run(&|tape: &mut Tape| ChebOperands::dense(tape, &dense_bases));
+        let h_sparse = run(&|_: &mut Tape| ChebOperands::sparse(&basis));
+        let diff = h_dense.sub(&h_sparse).max_abs();
+        assert!(
+            diff < 1e-5,
+            "sparse LSTM output diverged from dense by {diff}"
+        );
+    }
+
+    #[test]
+    fn gradients_flow_through_sparse_operands() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let cell = ChebConvGruCell::new(&mut store, "cg", 2, 6, 3, &mut rng);
+        let basis = fig1_basis(2);
+        let mut tape = Tape::new();
+        let operands = ChebOperands::sparse(&basis);
+        let inputs: Vec<Var> = (0..3)
+            .map(|_| tape.constant(Matrix::from_fn(6, 6, |r, c| ((r + 2 * c) % 4) as f32 * 0.25)))
+            .collect();
+        let hs = cell.run(&mut tape, &store, &operands, &inputs, 6);
+        let pooled = tape.sum_rows(*hs.last().unwrap());
+        let sq = tape.sqr(pooled);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+        let mut zero_grads = Vec::new();
+        for id in store.ids().collect::<Vec<_>>() {
+            if store.grad(id).max_abs() == 0.0 {
+                zero_grads.push(store.name(id).to_string());
+            }
+        }
+        assert!(
+            zero_grads.is_empty(),
+            "parameters without gradient on the sparse path: {zero_grads:?}"
         );
     }
 }

@@ -26,7 +26,7 @@ pub mod metrics;
 mod rnn;
 pub mod train;
 
-pub use chebconv::{bases_to_vars, ChebConvGruCell, ChebConvLstmCell};
+pub use chebconv::{bases_to_vars, ChebConvGruCell, ChebConvLstmCell, ChebOperands};
 pub use decay::TimeDecay;
 pub use embedding::{Embedding, Vocab};
 pub use linear::{Activation, Linear, Mlp};

@@ -4,18 +4,17 @@
 //! match central differences.
 
 use cascn_autograd::{assert_gradients_close, ParamStore, Tape, Var};
-use cascn_graph::{laplacian, DiGraph};
-use cascn_nn::{bases_to_vars, ChebConvGruCell, ChebConvLstmCell, GruCell, LstmCell};
+use cascn_graph::{laplacian, DiGraph, SpectralBasis};
+use cascn_nn::{ChebConvGruCell, ChebConvLstmCell, ChebOperands, GruCell, LstmCell};
 use cascn_tensor::Matrix;
 
-fn chain_bases(n: usize, k: usize) -> Vec<Matrix> {
+fn chain_basis(n: usize, k: usize) -> SpectralBasis {
     let mut g = DiGraph::new(n);
     for i in 0..n - 1 {
         g.add_edge(i, i + 1, 1.0);
     }
     let lap = laplacian::cas_laplacian(&g, 0.85);
-    let scaled = laplacian::scale_laplacian(&lap, laplacian::largest_eigenvalue(&lap));
-    laplacian::chebyshev_bases(&scaled, k)
+    SpectralBasis::from_laplacian(&lap, None, k)
 }
 
 fn snapshot_inputs(tape: &mut Tape, n: usize, d: usize, steps: usize) -> Vec<Var> {
@@ -28,19 +27,25 @@ fn snapshot_inputs(tape: &mut Tape, n: usize, d: usize, steps: usize) -> Vec<Var
         .collect()
 }
 
-#[test]
-fn chebconv_lstm_gradients_match_finite_differences() {
+/// Gradchecks a ChebConv-LSTM rollout on either the dense (materialized
+/// bases) or sparse (operator recurrence) convolution path.
+fn chebconv_lstm_gradcheck(sparse: bool) {
     let (n, d_in, d_h, k, steps) = (4usize, 4usize, 2usize, 1usize, 2usize);
     let mut store = ParamStore::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     use rand::SeedableRng;
     let cell = ChebConvLstmCell::new(&mut store, "cc", k, d_in, d_h, &mut rng);
-    let bases = chain_bases(n, k);
+    let basis = chain_basis(n, k);
+    let dense_bases = basis.materialize();
 
-    let run = |tape: &mut Tape, store: &ParamStore| {
-        let basis_vars = bases_to_vars(tape, &bases);
+    let run = move |tape: &mut Tape, store: &ParamStore| {
+        let operands = if sparse {
+            ChebOperands::sparse(&basis)
+        } else {
+            ChebOperands::dense(tape, &dense_bases)
+        };
         let inputs = snapshot_inputs(tape, n, d_in, steps);
-        let hs = cell.run(tape, store, &basis_vars, &inputs, n);
+        let hs = cell.run(tape, store, &operands, &inputs, n);
         let pooled = tape.sum_rows(*hs.last().unwrap());
         let sq = tape.sqr(pooled);
         tape.sum_all(sq)
@@ -64,18 +69,33 @@ fn chebconv_lstm_gradients_match_finite_differences() {
 }
 
 #[test]
-fn chebconv_gru_gradients_match_finite_differences() {
+fn chebconv_lstm_gradients_match_finite_differences() {
+    chebconv_lstm_gradcheck(false);
+}
+
+#[test]
+fn chebconv_lstm_sparse_path_gradients_match_finite_differences() {
+    chebconv_lstm_gradcheck(true);
+}
+
+/// Same gradcheck for the GRU ablation cell.
+fn chebconv_gru_gradcheck(sparse: bool) {
     let (n, d_in, d_h, k, steps) = (4usize, 4usize, 2usize, 1usize, 2usize);
     let mut store = ParamStore::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     use rand::SeedableRng;
     let cell = ChebConvGruCell::new(&mut store, "cg", k, d_in, d_h, &mut rng);
-    let bases = chain_bases(n, k);
+    let basis = chain_basis(n, k);
+    let dense_bases = basis.materialize();
 
-    let run = |tape: &mut Tape, store: &ParamStore| {
-        let basis_vars = bases_to_vars(tape, &bases);
+    let run = move |tape: &mut Tape, store: &ParamStore| {
+        let operands = if sparse {
+            ChebOperands::sparse(&basis)
+        } else {
+            ChebOperands::dense(tape, &dense_bases)
+        };
         let inputs = snapshot_inputs(tape, n, d_in, steps);
-        let hs = cell.run(tape, store, &basis_vars, &inputs, n);
+        let hs = cell.run(tape, store, &operands, &inputs, n);
         let pooled = tape.sum_rows(*hs.last().unwrap());
         let sq = tape.sqr(pooled);
         tape.sum_all(sq)
@@ -91,6 +111,16 @@ fn chebconv_gru_gradients_match_finite_differences() {
         let loss = run(&mut tape, s);
         tape.scalar(loss)
     });
+}
+
+#[test]
+fn chebconv_gru_gradients_match_finite_differences() {
+    chebconv_gru_gradcheck(false);
+}
+
+#[test]
+fn chebconv_gru_sparse_path_gradients_match_finite_differences() {
+    chebconv_gru_gradcheck(true);
 }
 
 #[test]

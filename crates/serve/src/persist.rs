@@ -25,14 +25,24 @@ use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 
-use cascn::{atomic_write, fnv1a64, CascnConfig, LambdaMax, LaplacianKind};
+use cascn::{atomic_write, fnv1a64, CascnConfig, ChebKernel, LambdaMax, LaplacianKind};
 use cascn_cascades::{Cascade, Event};
 use cascn_graph::SpectralBasis;
-use cascn_tensor::Matrix;
+use cascn_tensor::{Csr, SparseOp};
 
-/// First line of every snapshot file.
-pub const SNAPSHOT_HEADER: &str = "# cascn spectral cache snapshot v1";
+/// First line of every snapshot file. v2 stores the sparse operator form
+/// of each basis (CSR core + optional rank-1 teleport term) instead of the
+/// materialized dense Chebyshev matrices v1 carried; v1 snapshots are
+/// rejected as [`SnapshotError::VersionSkew`] and cold-start cleanly.
+pub const SNAPSHOT_HEADER: &str = "# cascn spectral cache snapshot v2";
 const CHECKSUM_PREFIX: &str = "# checksum fnv1a64 ";
+
+/// Version of the spectral *compute kernel* whose outputs populate the
+/// cache. Bumped whenever the kernel changes numerics (e.g. the move from
+/// materialized dense bases to the sparse operator recurrence), so a
+/// restarted replica can never mix bases produced by a different kernel
+/// generation — the fingerprint folds this in.
+pub const SPECTRAL_KERNEL_VERSION: u32 = 2;
 
 /// One restored cache entry: the cascade, its window, and the basis.
 pub type SnapshotEntry = (Cascade, f64, SpectralBasis);
@@ -79,6 +89,7 @@ impl fmt::Display for SnapshotError {
 /// excluded (the basis is parameter-independent and survives hot reloads).
 pub fn basis_fingerprint(cfg: &CascnConfig) -> u64 {
     let mut bytes = Vec::with_capacity(40);
+    bytes.extend_from_slice(&SPECTRAL_KERNEL_VERSION.to_le_bytes());
     bytes.extend_from_slice(&(cfg.k as u64).to_le_bytes());
     bytes.extend_from_slice(&(cfg.max_nodes as u64).to_le_bytes());
     bytes.extend_from_slice(&cfg.alpha.to_bits().to_le_bytes());
@@ -89,6 +100,10 @@ pub fn basis_fingerprint(cfg: &CascnConfig) -> u64 {
     bytes.push(match cfg.laplacian {
         LaplacianKind::Directed => 0,
         LaplacianKind::Undirected => 1,
+    });
+    bytes.push(match cfg.cheb_kernel {
+        ChebKernel::Sparse => 0,
+        ChebKernel::Dense => 1,
     });
     fnv1a64(&bytes)
 }
@@ -107,12 +122,7 @@ pub fn snapshot_to_text(entries: &[(Cascade, f64, Arc<SpectralBasis>)], basis_fp
             let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
             let _ = writeln!(out, "event {} {parent} {:?}", e.user, e.time);
         }
-        let n = basis.scaled.rows();
-        let _ = writeln!(out, "basis {:?} {n} {}", basis.lambda_max, basis.bases.len());
-        write_matrix(&mut out, &basis.scaled);
-        for t in &basis.bases {
-            write_matrix(&mut out, t);
-        }
+        write_basis(&mut out, basis);
     }
     let checksum = fnv1a64(out.as_bytes());
     let _ = writeln!(out, "{CHECKSUM_PREFIX}{checksum:016x}");
@@ -201,12 +211,38 @@ fn verify_checksum(text: &str) -> Result<&str, SnapshotError> {
     Ok(body)
 }
 
-fn write_matrix(out: &mut String, m: &Matrix) {
+/// Writes the sparse operator form of a basis: a `basis` line with the
+/// scalar metadata, one `row` line of `col:value` pairs per CSR row (in
+/// stored — strictly ascending — column order, so the reconstruction via
+/// [`Csr::from_rows`] is bit- and layout-identical), and the optional
+/// rank-1 teleport term. Floats use `{:?}` (shortest round-trip).
+fn write_basis(out: &mut String, basis: &SpectralBasis) {
     use std::fmt::Write as _;
-    for r in 0..m.rows() {
-        let row: Vec<String> = m.row(r).iter().map(|x| format!("{x:?}")).collect();
-        let _ = writeln!(out, "{}", row.join(" "));
+    let op = &basis.op;
+    let n = op.dim();
+    let has_rank1 = usize::from(op.rank1().is_some());
+    let _ = writeln!(
+        out,
+        "basis {:?} {n} {} {has_rank1}",
+        basis.lambda_max, basis.k
+    );
+    for r in 0..n {
+        let _ = write!(out, "row {}", op.csr().row(r).len());
+        for &(c, v) in op.csr().row(r) {
+            let _ = write!(out, " {c}:{v:?}");
+        }
+        out.push('\n');
     }
+    if let Some((coeff, u, v)) = op.rank1() {
+        let _ = writeln!(out, "rank1 {coeff:?}");
+        let _ = writeln!(out, "u {}", join_floats(u));
+        let _ = writeln!(out, "v {}", join_floats(v));
+    }
+}
+
+fn join_floats(xs: &[f32]) -> String {
+    let parts: Vec<String> = xs.iter().map(|x| format!("{x:?}")).collect();
+    parts.join(" ")
 }
 
 fn read_entry<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<SnapshotEntry, String> {
@@ -251,35 +287,97 @@ fn read_entry<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<SnapshotE
 
     let basis_line = lines.next().ok_or("missing basis line")?;
     let t: Vec<&str> = basis_line.split_whitespace().collect();
-    let (lambda_max, n, n_bases): (f32, usize, usize) = match t.as_slice() {
-        ["basis", l, n, b] => (
+    let (lambda_max, n, k, has_rank1): (f32, usize, usize, usize) = match t.as_slice() {
+        ["basis", l, n, k, r1] => (
             l.parse().map_err(|_| format!("bad lambda_max `{l}`"))?,
             n.parse().map_err(|_| format!("bad node count `{n}`"))?,
-            b.parse().map_err(|_| format!("bad basis count `{b}`"))?,
+            k.parse().map_err(|_| format!("bad order `{k}`"))?,
+            r1.parse().map_err(|_| format!("bad rank1 flag `{r1}`"))?,
         ),
         _ => return Err(format!("bad basis line `{basis_line}`")),
     };
-    let scaled = read_matrix(lines, n)?;
-    let mut bases = Vec::with_capacity(n_bases);
-    for _ in 0..n_bases {
-        bases.push(read_matrix(lines, n)?);
+    if has_rank1 > 1 {
+        return Err(format!("rank1 flag must be 0 or 1, got {has_rank1}"));
     }
-    Ok((cascade, window, SpectralBasis { lambda_max, scaled, bases }))
+    let rows = read_csr_rows(lines, n)?;
+    let csr = Csr::from_rows(n, &rows);
+    let rank1 = if has_rank1 == 1 {
+        let coeff_line = lines.next().ok_or("missing rank1 line")?;
+        let coeff: f32 = coeff_line
+            .strip_prefix("rank1 ")
+            .and_then(|c| c.trim().parse().ok())
+            .ok_or_else(|| format!("bad rank1 line `{coeff_line}`"))?;
+        let u = read_vector(lines, "u", n)?;
+        let v = read_vector(lines, "v", n)?;
+        Some((coeff, u, v))
+    } else {
+        None
+    };
+    let op = Arc::new(SparseOp::new(csr, rank1));
+    Ok((cascade, window, SpectralBasis::from_parts(lambda_max, k, op)))
 }
 
-fn read_matrix<'a>(lines: &mut impl Iterator<Item = &'a str>, n: usize) -> Result<Matrix, String> {
-    let mut data = Vec::with_capacity(n * n);
+/// Reads `n` CSR row lines, validating strictly-ascending in-range columns
+/// so a hand-crafted file fails as [`SnapshotError::Malformed`] instead of
+/// tripping `Csr::from_rows`'s assertions.
+fn read_csr_rows<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<Vec<Vec<(usize, f32)>>, String> {
+    let mut rows = Vec::with_capacity(n);
     for r in 0..n {
-        let line = lines.next().ok_or_else(|| format!("missing matrix row {r}"))?;
-        let before = data.len();
-        for tok in line.split_whitespace() {
-            data.push(tok.parse::<f32>().map_err(|_| format!("bad float `{tok}`"))?);
+        let line = lines.next().ok_or_else(|| format!("missing CSR row {r}"))?;
+        let rest = line
+            .strip_prefix("row ")
+            .ok_or_else(|| format!("bad CSR row line `{line}`"))?;
+        let mut toks = rest.split_whitespace();
+        let count: usize = toks
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| format!("bad nnz count in `{line}`"))?;
+        let mut row = Vec::with_capacity(count);
+        let mut prev: Option<usize> = None;
+        for _ in 0..count {
+            let pair = toks.next().ok_or_else(|| format!("short CSR row {r}"))?;
+            let (c, v) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad entry `{pair}` in CSR row {r}"))?;
+            let col: usize = c.parse().map_err(|_| format!("bad column `{c}`"))?;
+            let val: f32 = v.parse().map_err(|_| format!("bad value `{v}`"))?;
+            if col >= n {
+                return Err(format!("column {col} out of range in CSR row {r}"));
+            }
+            if prev.is_some_and(|p| col <= p) {
+                return Err(format!("columns not strictly ascending in CSR row {r}"));
+            }
+            prev = Some(col);
+            row.push((col, val));
         }
-        if data.len() - before != n {
-            return Err(format!("matrix row {r} has {} values, expected {n}", data.len() - before));
+        if toks.next().is_some() {
+            return Err(format!("trailing entries in CSR row {r}"));
         }
+        rows.push(row);
     }
-    Ok(Matrix::from_vec(n, n, data))
+    Ok(rows)
+}
+
+fn read_vector<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    tag: &str,
+    n: usize,
+) -> Result<Vec<f32>, String> {
+    let line = lines.next().ok_or_else(|| format!("missing `{tag}` vector"))?;
+    let rest = line
+        .strip_prefix(tag)
+        .ok_or_else(|| format!("bad `{tag}` vector line `{line}`"))?;
+    let mut out = Vec::with_capacity(n);
+    for tok in rest.split_whitespace() {
+        out.push(tok.parse::<f32>().map_err(|_| format!("bad float `{tok}`"))?);
+    }
+    if out.len() != n {
+        return Err(format!("`{tag}` vector has {} values, expected {n}", out.len()));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -311,6 +409,27 @@ mod tests {
         (cache, cascades)
     }
 
+    /// Asserts two operators are bit- and layout-identical: same CSR
+    /// structure entry for entry, same optional rank-1 term.
+    fn assert_op_bits_eq(a: &SparseOp, b: &SparseOp) {
+        assert_eq!(a.dim(), b.dim());
+        let bits = |s: &[f32]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        for r in 0..a.dim() {
+            let ra: Vec<(usize, u32)> = a.csr().row(r).iter().map(|&(c, v)| (c, v.to_bits())).collect();
+            let rb: Vec<(usize, u32)> = b.csr().row(r).iter().map(|&(c, v)| (c, v.to_bits())).collect();
+            assert_eq!(ra, rb, "CSR row {r} round-trips exactly");
+        }
+        match (a.rank1(), b.rank1()) {
+            (None, None) => {}
+            (Some((ca, ua, va)), Some((cb, ub, vb))) => {
+                assert_eq!(ca.to_bits(), cb.to_bits(), "rank-1 coefficient round-trips");
+                assert_eq!(bits(ua), bits(ub), "rank-1 u round-trips");
+                assert_eq!(bits(va), bits(vb), "rank-1 v round-trips");
+            }
+            (x, y) => panic!("rank-1 presence mismatch: {:?} vs {:?}", x.is_some(), y.is_some()),
+        }
+    }
+
     #[test]
     fn round_trip_is_bit_identical_to_the_in_memory_lru() {
         let (cache, cascades) = warmed_cache();
@@ -325,12 +444,8 @@ mod tests {
             assert_eq!(c0.events.len(), c1.events.len());
             assert_eq!(w0.to_bits(), w1.to_bits());
             assert_eq!(b0.lambda_max.to_bits(), b1.lambda_max.to_bits());
-            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
-            assert_eq!(bits(&b0.scaled), bits(&b1.scaled), "scaled Laplacian round-trips exactly");
-            assert_eq!(b0.bases.len(), b1.bases.len());
-            for (t0, t1) in b0.bases.iter().zip(&b1.bases) {
-                assert_eq!(bits(t0), bits(t1), "Chebyshev basis round-trips exactly");
-            }
+            assert_eq!(b0.k, b1.k);
+            assert_op_bits_eq(&b0.op, &b1.op);
         }
         // Seeding a fresh cache with the restored entries serves hits
         // without recomputation — the warm-start contract.
@@ -344,15 +459,53 @@ mod tests {
 
     #[test]
     fn non_finite_floats_survive_the_text_format() {
-        let scaled = Matrix::from_vec(1, 1, vec![f32::NAN]);
-        let bases = vec![Matrix::from_vec(1, 1, vec![f32::INFINITY]), Matrix::from_vec(1, 1, vec![f32::NEG_INFINITY])];
-        let basis = SpectralBasis { lambda_max: 2.0, scaled, bases };
+        use cascn_tensor::Matrix;
+        let csr = Csr::from_dense(&Matrix::from_vec(
+            2,
+            2,
+            vec![f32::NAN, 0.0, f32::INFINITY, f32::NEG_INFINITY],
+        ));
+        let op = SparseOp::new(
+            csr,
+            Some((f32::NAN, vec![f32::INFINITY, 1.0], vec![0.5, f32::NEG_INFINITY])),
+        );
+        let basis = SpectralBasis::from_parts(2.0, 1, Arc::new(op));
         let entries = vec![(cas(1, 0), 25.0, Arc::new(basis))];
         let text = snapshot_to_text(&entries, 7);
         let restored = snapshot_from_text(&text, 7).expect("loads");
-        assert!(restored[0].2.scaled.as_slice()[0].is_nan());
-        assert_eq!(restored[0].2.bases[0].as_slice()[0], f32::INFINITY);
-        assert_eq!(restored[0].2.bases[1].as_slice()[0], f32::NEG_INFINITY);
+        let op = &restored[0].2.op;
+        assert!(op.csr().row(0)[0].1.is_nan());
+        assert_eq!(op.csr().row(1)[0].1, f32::INFINITY);
+        assert_eq!(op.csr().row(1)[1].1, f32::NEG_INFINITY);
+        let (coeff, u, v) = op.rank1().expect("rank-1 survives");
+        assert!(coeff.is_nan());
+        assert_eq!(u[0], f32::INFINITY);
+        assert_eq!(v[1], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn malformed_csr_rows_are_rejected_without_panicking() {
+        // A checksum-valid file with out-of-order or out-of-range columns
+        // must fail as Malformed — never trip Csr::from_rows assertions.
+        let (cache, _) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let text = snapshot_to_text(&cache.export(), fp);
+        for (needle, bad) in [(" 0:", " 9:"), ("row 2 ", "row 2 1:0.5 1:0.5 ")] {
+            let Some(pos) = text.find(needle) else { continue };
+            let mut hacked = text.clone();
+            hacked.replace_range(pos..pos + needle.len(), bad);
+            let body_end = hacked.rfind(CHECKSUM_PREFIX).unwrap();
+            let body = hacked[..body_end].to_string();
+            let refooted =
+                format!("{body}{CHECKSUM_PREFIX}{:016x}\n", cascn::fnv1a64(body.as_bytes()));
+            assert!(
+                matches!(
+                    snapshot_from_text(&refooted, fp),
+                    Err(SnapshotError::Malformed(_))
+                ),
+                "tampered CSR `{bad}` must be Malformed"
+            );
+        }
     }
 
     #[test]
@@ -392,7 +545,7 @@ mod tests {
         let (cache, _) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
         let text = snapshot_to_text(&cache.export(), fp);
-        let skewed = text.replace("snapshot v1", "snapshot v9");
+        let skewed = text.replace("snapshot v2", "snapshot v9");
         // Re-checksum so only the version differs.
         let body_end = skewed.rfind(CHECKSUM_PREFIX).unwrap();
         let body = &skewed[..body_end];

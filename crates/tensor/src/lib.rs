@@ -26,8 +26,11 @@ mod matrix;
 mod ops;
 mod reduce;
 mod solve;
+mod sparse;
 
 pub use matrix::Matrix;
+pub use ops::dot;
+pub use sparse::{Csr, SparseOp};
 
 // `Matrix` buffers cross thread boundaries in the parallel training engine
 // (worker threads ship snapshots, Chebyshev bases, and gradients back to the
@@ -37,6 +40,10 @@ pub use matrix::Matrix;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Matrix>();
+    // Sparse spectral operators are shared across worker threads (and across
+    // autograd tapes via `Arc`) the same way.
+    assert_send_sync::<Csr>();
+    assert_send_sync::<SparseOp>();
 };
 
 /// Tolerance-based float comparison used by tests across the workspace.

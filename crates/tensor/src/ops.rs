@@ -7,9 +7,14 @@
 use crate::Matrix;
 
 impl Matrix {
-    /// `self · other` using an i-k-j loop order that streams both operands
-    /// row-major (cache-friendly; see the Rust Performance Book on access
-    /// patterns).
+    /// `self · other` through the blocked i-k-j micro-kernel: 4-row blocks
+    /// of `self` share each streamed row of `other` (one `O(n)` load serves
+    /// four accumulating rows instead of one), and the inner j-loop is a
+    /// contiguous fused multiply-add sweep the autovectorizer turns into
+    /// SIMD. The accumulation order per output element — ascending `p` over
+    /// the nonzeros of `self`'s row — is *identical* to the pre-blocking
+    /// kernel and independent of block shape, so results are deterministic
+    /// run-to-run and bit-identical across thread counts.
     ///
     /// Rows of zeros in `self` skip their inner loop (adjacency-style inputs
     /// are sparse in practice), but only when `other` is entirely finite:
@@ -33,21 +38,41 @@ impl Matrix {
             other.cols()
         );
         let (m, n) = (self.rows(), other.cols());
+        let k = self.cols();
         let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            debug_assert_eq!(a_row.len(), other.rows(), "matmul: row {i} width");
-            debug_assert_eq!(out_row.len(), n, "matmul: output row {i} width");
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let out_s = out.as_mut_slice();
+        const MR: usize = 4;
+        let blocked = m - m % MR;
+        for i in (0..blocked).step_by(MR) {
+            for p in 0..k {
+                let b_row = &b[p * n..(p + 1) * n];
+                for r in i..i + MR {
+                    let a_rp = a[r * k + p];
+                    // lint: allow(float-eq) — exact-zero sparsity skip, only taken when `other` is all-finite (no NaN masking)
+                    if skip_zeros && a_rp == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out_s[r * n..(r + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a_rp * bv;
+                    }
+                }
+            }
+        }
+        for i in blocked..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out_s[i * n..(i + 1) * n];
             for (p, &a_ip) in a_row.iter().enumerate() {
                 // lint: allow(float-eq) — exact-zero sparsity skip, only taken when `other` is all-finite (no NaN masking)
                 if skip_zeros && a_ip == 0.0 {
                     continue;
                 }
-                let b_row = &other.as_slice()[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b;
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
                 }
             }
         }
@@ -69,7 +94,15 @@ impl Matrix {
         Some(self.matmul(other))
     }
 
-    /// `selfᵀ · other` without materializing the transpose.
+    /// `selfᵀ · other` without materializing the transpose, through a 4-way
+    /// p-blocked kernel: four rows of `self`/`other` are consumed per sweep,
+    /// so each output row is touched once per block instead of once per `p`.
+    /// The four partial products are added *sequentially* per element —
+    /// `((((o + t₀) + t₁) + t₂) + t₃)` — which is exactly the ascending-`p`
+    /// order of the unblocked kernel, so results are bit-identical to it
+    /// (adding a lane whose `a` is exactly zero contributes `±0.0`, which
+    /// never changes an accumulator that started from `+0.0` under
+    /// round-to-nearest).
     ///
     /// The zero-skip fast path is disabled when `other` contains non-finite
     /// values, for the same NaN-masking reason as [`Matrix::matmul`].
@@ -87,28 +120,62 @@ impl Matrix {
             other.cols()
         );
         let (m, n) = (self.cols(), other.cols());
+        let rows = self.rows();
         let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(m, n);
-        for p in 0..self.rows() {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            debug_assert_eq!(a_row.len(), m, "matmul_at_b: row {p} width");
-            debug_assert_eq!(b_row.len(), n, "matmul_at_b: rhs row {p} width");
-            for (i, &a) in a_row.iter().enumerate() {
-                // lint: allow(float-eq) — exact-zero sparsity skip, only taken when `other` is all-finite (no NaN masking)
-                if skip_zeros && a == 0.0 {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let out_s = out.as_mut_slice();
+        const PR: usize = 4;
+        let blocked = rows - rows % PR;
+        for p in (0..blocked).step_by(PR) {
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for i in 0..m {
+                let a0 = a[p * m + i];
+                let a1 = a[(p + 1) * m + i];
+                let a2 = a[(p + 2) * m + i];
+                let a3 = a[(p + 3) * m + i];
+                // lint: allow(float-eq) — exact-zero sparsity skip of a whole block, only taken when `other` is all-finite (no NaN masking)
+                if skip_zeros && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                let out_row = &mut out_s[i * n..(i + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut t = *o;
+                    t += a0 * b0[j];
+                    t += a1 * b1[j];
+                    t += a2 * b2[j];
+                    t += a3 * b3[j];
+                    *o = t;
+                }
+            }
+        }
+        for p in blocked..rows {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) — exact-zero sparsity skip, only taken when `other` is all-finite (no NaN masking)
+                if skip_zeros && av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out_s[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
                 }
             }
         }
         out
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// `self · otherᵀ` without materializing the transpose, through a
+    /// 4-column register-tiled kernel: each pass over a row of `self` feeds
+    /// four independent accumulators (one per row of `other`), quartering
+    /// the number of `a_row` sweeps. Every accumulator runs the exact
+    /// sequential ascending-`p` order of [`dot`], so the result is
+    /// bit-identical to the unblocked per-element kernel.
     ///
     /// # Panics
     /// Panics if `self.cols() != other.cols()`.
@@ -123,14 +190,34 @@ impl Matrix {
             other.cols()
         );
         let (m, n) = (self.rows(), other.rows());
+        let k = self.cols();
         let mut out = Matrix::zeros(m, n);
+        let b = other.as_slice();
+        const NR: usize = 4;
+        let blocked = n - n % NR;
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            debug_assert_eq!(a_row.len(), self.cols(), "matmul_a_bt: row {i} width");
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                debug_assert_eq!(b_row.len(), a_row.len(), "matmul_a_bt: rhs row {j} width");
+            debug_assert_eq!(a_row.len(), k, "matmul_a_bt: row {i} width");
+            for j in (0..blocked).step_by(NR) {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let (mut t0, mut t1, mut t2, mut t3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (p, &av) in a_row.iter().enumerate() {
+                    t0 += av * b0[p];
+                    t1 += av * b1[p];
+                    t2 += av * b2[p];
+                    t3 += av * b3[p];
+                }
+                out_row[j] = t0;
+                out_row[j + 1] = t1;
+                out_row[j + 2] = t2;
+                out_row[j + 3] = t3;
+            }
+            for (j, o) in out_row.iter_mut().enumerate().skip(blocked) {
+                let b_row = &b[j * k..(j + 1) * k];
                 *o = dot(a_row, b_row);
             }
         }
@@ -393,5 +480,140 @@ mod tests {
     fn map_applies_function() {
         let m = a().map(|x| x * x);
         assert_eq!(m[(1, 2)], 36.0);
+    }
+
+    // ---- blocked-kernel bit-identity regressions ------------------------
+    //
+    // The blocked micro-kernels promise the *exact* accumulation order of
+    // the pre-blocking loops (the spectral-cache fingerprint and the
+    // thread-parity contract both lean on this). These references are the
+    // original unblocked kernels, kept verbatim.
+
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, n) = (a.rows(), b.cols());
+        let skip_zeros = b.all_finite();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) — test reference mirrors the kernel's exact-zero skip
+                if skip_zeros && a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b.as_slice()[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn reference_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, n) = (a.cols(), b.cols());
+        let skip_zeros = b.all_finite();
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..a.rows() {
+            let a_row = a.row(p);
+            let b_row = b.row(p);
+            for (i, &av) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) — test reference mirrors the kernel's exact-zero skip
+                if skip_zeros && av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn reference_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, n) = (a.rows(), b.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::dot(a_row, b.row(j));
+            }
+        }
+        out
+    }
+
+    /// Awkward shapes (block remainders in every dimension) with values
+    /// spread across magnitudes, plus exact zeros and negative zeros
+    /// sprinkled in so the zero-skip paths and the ±0.0 lane argument are
+    /// both exercised.
+    fn irregular(rows: usize, cols: usize, seed: u32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let i = (r * cols + c) as u32 + seed;
+            match i % 7 {
+                0 => 0.0,
+                3 => -0.0,
+                _ => ((i as f32) * 0.61803) % 5.0 - 2.5,
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 2, 5), (4, 4, 4), (5, 7, 3), (9, 6, 10), (8, 1, 2)] {
+            let a = irregular(m, k, 1);
+            let b = irregular(k, n, 11);
+            assert_eq!(
+                a.matmul(&b).as_slice(),
+                reference_matmul(&a, &b).as_slice(),
+                "matmul {m}x{k}·{k}x{n} diverged from the unblocked kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_at_b_is_bit_identical_to_reference() {
+        for &(k, m, n) in &[(1, 1, 1), (4, 3, 2), (5, 2, 7), (8, 4, 4), (10, 6, 3), (2, 9, 5)] {
+            let a = irregular(k, m, 3);
+            let b = irregular(k, n, 17);
+            assert_eq!(
+                a.matmul_at_b(&b).as_slice(),
+                reference_at_b(&a, &b).as_slice(),
+                "matmul_at_b {k}x{m}ᵀ·{k}x{n} diverged from the unblocked kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_a_bt_is_bit_identical_to_reference() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (4, 4, 4), (3, 5, 9), (6, 2, 7), (5, 8, 1)] {
+            let a = irregular(m, k, 5);
+            let b = irregular(n, k, 23);
+            assert_eq!(
+                a.matmul_a_bt(&b).as_slice(),
+                reference_a_bt(&a, &b).as_slice(),
+                "matmul_a_bt {m}x{k}·{n}x{k}ᵀ diverged from the unblocked kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_under_non_finite_rhs() {
+        // skip_zeros off: the dense loops must still agree bit-for-bit,
+        // NaN placement included.
+        let a = irregular(6, 5, 7);
+        let mut b = irregular(5, 6, 29);
+        b[(2, 3)] = f32::NAN;
+        b[(4, 0)] = f32::INFINITY;
+        let (got, want) = (a.matmul(&b), reference_matmul(&a, &b));
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "matmul NaN path diverged");
+        }
+        let a2 = irregular(5, 6, 13);
+        let (got, want) = (a2.matmul_at_b(&b), reference_at_b(&a2, &b));
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "matmul_at_b NaN path diverged");
+        }
     }
 }

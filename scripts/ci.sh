@@ -2,9 +2,11 @@
 # CI gate: release build, the cascn-lint contract ratchet, clippy with
 # warnings-as-errors, the full test suite, the thread-parity suite in
 # release (optimized float codegen is the configuration that ships), bench
-# compilation, the kill-and-resume smoke test, the serving smoke test,
-# and the fleet smoke test (3-replica tier behind cascn-router surviving
-# a kill -9 under load with zero non-503 errors and a warm restart).
+# compilation, the perf ratchet (BENCH_train.json vs bench-baseline.json:
+# sparse-kernel speedup and kernel-accuracy gates plus banded wall-clock),
+# the kill-and-resume smoke test, the serving smoke test, and the fleet
+# smoke test (3-replica tier behind cascn-router surviving a kill -9
+# under load with zero non-503 errors and a warm restart).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +16,7 @@ cargo clippy --all-targets -- -D warnings
 cargo test -q
 cargo test -q --release -p cascn --test thread_parity
 cargo bench --no-run -p cascn-bench
+cargo run --release -q -p cascn-bench --bin record -- --check
 scripts/resume_smoke.sh
 scripts/serve_smoke.sh
 scripts/fleet_smoke.sh

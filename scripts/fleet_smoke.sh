@@ -15,8 +15,10 @@
 #   4. the router shuts the whole tier down cleanly on POST /shutdown.
 #
 # Also emits BENCH_serve.json at the repo root — router p50/p99, the
-# failover-window shed count, and the victim's warm-start hit rate — as
-# the first point of the ROADMAP's serving perf trajectory.
+# failover-window shed count, the victim's warm-start hit rate, and a
+# per-replica p50/p99 breakdown (loadgen --target-list driven directly
+# against the tier) — as the first point of the ROADMAP's serving perf
+# trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -172,6 +174,19 @@ WARM_HITS=$(metric cascn_spectral_cache_warm_hits_total "$TMP/victim.metrics")
 [ -n "$WARM_HITS" ] && [ "$WARM_HITS" -gt 0 ] \
     || fail "expected warm-start cache hits on the restarted replica, got '${WARM_HITS:-missing}'"
 
+# 7b. Per-replica latency: drive the three replicas directly with
+#     --target-list so loadgen's per-target breakdown exposes each
+#     replica's own p50/p99 (the router percentiles pool the tier, which
+#     hides a single slow replica).
+for i in 0 1 2; do
+    sed -n "s/^replica $i listening on //p" "$TMP/router.log" | tail -n 1
+done > "$TMP/targets.txt"
+[ "$(wc -l < "$TMP/targets.txt")" -eq 3 ] || fail "could not collect 3 replica addresses"
+"$LOADGEN" --target-list "$TMP/targets.txt" --requests 120 --concurrency 3 \
+    --n-cascades 20 --window 3600 --seed 7 > "$TMP/per-replica.log" \
+    || fail "per-replica loadgen reported failures"
+grep -q '^target\[2\] ' "$TMP/per-replica.log" || fail "loadgen printed no per-target breakdown"
+
 # 8. Clean shutdown through the router (it stops its replicas too).
 http GET /metrics "$ADDR" > "$TMP/router.metrics" || true
 http POST /shutdown "$ADDR" > /dev/null || true
@@ -189,6 +204,19 @@ WARM_ENTRIES=$(metric cascn_spectral_cache_warm_entries "$TMP/victim.metrics")
 HITS=$(metric cascn_spectral_cache_hits_total "$TMP/victim.metrics")
 WARM_RATE=$(awk -v w="${WARM_HITS:-0}" -v h="${HITS:-0}" \
     'BEGIN { printf "%.4f", (h > 0) ? w / h : 0 }')
+# Per-replica p50/p99 from loadgen's `target[i] addr: N ok, p50 Xus p99 Yus`
+# lines, rendered as a JSON array.
+PER_REPLICA=$(awk '
+    /^target\[/ {
+        if (out != "") out = out ","
+        addr = $2; sub(/:$/, "", addr)
+        p50 = $6; sub(/us/, "", p50)
+        p99 = $8; sub(/us/, "", p99)
+        out = out sprintf("\n    { \"addr\": \"%s\", \"ok\": %s, \"p50_us\": %s, \"p99_us\": %s }",
+            addr, $3, p50, p99)
+    }
+    END { print out }
+' "$TMP/per-replica.log")
 cat > BENCH_serve.json << EOF
 {
   "suite": "fleet_smoke",
@@ -208,7 +236,9 @@ cat > BENCH_serve.json << EOF
     "warm_entries": ${WARM_ENTRIES:-0},
     "warm_hits": ${WARM_HITS:-0},
     "warm_hit_rate": ${WARM_RATE}
-  }
+  },
+  "per_replica": [${PER_REPLICA}
+  ]
 }
 EOF
 

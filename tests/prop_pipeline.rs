@@ -50,10 +50,15 @@ proptest! {
         };
         let p = preprocess(&cascade, window, &cfg);
 
-        // Shapes.
-        prop_assert_eq!(p.bases.len(), cfg.k + 1);
+        // Shapes. The default sparse kernel carries the operator, never the
+        // materialized bases; materializing on demand must still produce
+        // K+1 finite n×n matrices.
+        prop_assert!(p.dense_bases.is_none());
+        prop_assert_eq!(p.basis.num_nodes(), p.n);
+        let bases = p.basis.materialize();
+        prop_assert_eq!(bases.len(), cfg.k + 1);
         prop_assert!(p.n >= 1 && p.n <= cfg.max_nodes);
-        for b in &p.bases {
+        for b in &bases {
             prop_assert_eq!(b.shape(), (p.n, p.n));
             prop_assert!(b.all_finite());
         }
@@ -123,7 +128,8 @@ proptest! {
             };
             let p = preprocess(&cascade, 1e6, &cfg);
             // T_0 = I.
-            let t0 = &p.bases[0];
+            let bases = p.basis.materialize();
+            let t0 = &bases[0];
             for r in 0..t0.rows() {
                 for c in 0..t0.cols() {
                     let expect = if r == c { 1.0 } else { 0.0 };
@@ -142,7 +148,8 @@ proptest! {
             ..CascnConfig::default()
         };
         let p = preprocess(&cascade, 1e6, &cfg);
-        let t1 = &p.bases[1];
+        let bases = p.basis.materialize();
+        let t1 = &bases[1];
         for r in 0..t1.rows() {
             for c in 0..t1.cols() {
                 prop_assert!((t1[(r, c)] - t1[(c, r)]).abs() < 1e-4);
