@@ -12,6 +12,12 @@
 //! payloads and exercises the server's spectral cache. Exits nonzero if
 //! any request fails outright (connection error, unexpected status).
 //!
+//! With `--observe-ratio R` (0.0–1.0), that fraction of requests is sent
+//! as `POST /observe` instead: each one registers a fresh live cascade
+//! (unique id per request), exercising the streaming-ingestion path and
+//! its LRU registry under load. Observe latencies are reported on their
+//! own line.
+//!
 //! Targets: `--addr HOST:PORT` for one server, or `--target-list FILE`
 //! (one `HOST:PORT` per line, `#` comments allowed) to spread requests
 //! round-robin over a tier — e.g. straight at the replicas behind a
@@ -57,6 +63,8 @@ struct WorkerReport {
     shed: usize,
     failed: usize,
     per_target_us: Vec<Vec<u64>>,
+    observe_ok: usize,
+    observe_us: Vec<u64>,
 }
 
 impl WorkerReport {
@@ -66,6 +74,8 @@ impl WorkerReport {
             shed: 0,
             failed: 0,
             per_target_us: vec![Vec::new(); n_targets],
+            observe_ok: 0,
+            observe_us: Vec::new(),
         }
     }
 }
@@ -102,6 +112,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let window: f64 = parse_or(args, "--window", 25.0)?;
     let n_cascades: usize = parse_or(args, "--n-cascades", 20)?.max(2);
     let seed: u64 = parse_or(args, "--seed", 7)?;
+    let observe_ratio: f64 = parse_or(args, "--observe-ratio", 0.0)?;
+    if !(0.0..=1.0).contains(&observe_ratio) {
+        return Err(format!("--observe-ratio {observe_ratio} must be in [0, 1]"));
+    }
     let connect_retries: usize = parse_or(args, "--connect-retries", 20)?;
     let connect_backoff = Duration::from_millis(parse_or(args, "--connect-backoff-ms", 50u64)?);
     let print_metrics = args.iter().any(|a| a == "--print-metrics");
@@ -125,6 +139,9 @@ fn run(args: &[String]) -> Result<(), String> {
         .chunks(2)
         .map(serialize_cascades)
         .collect();
+    // Observe payloads reuse the pool's event structure but remap the id
+    // per request, so every observe registers a distinct live cascade.
+    let observe_pool: Vec<&Cascade> = dataset.cascades.iter().collect();
 
     let started = Instant::now();
     let reports: Vec<WorkerReport> = std::thread::scope(|s| {
@@ -134,6 +151,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let bodies = &bodies;
                 // Worker w sends requests w, w+C, w+2C, … so the request
                 // count is exact for any concurrency.
+                let observe_pool = &observe_pool;
                 s.spawn(move || {
                     let mut report = WorkerReport::new(targets.len());
                     // One cached keep-alive connection per target.
@@ -142,21 +160,44 @@ fn run(args: &[String]) -> Result<(), String> {
                     for i in (w..requests).step_by(concurrency) {
                         let ti = i % targets.len();
                         let addr = targets[ti].as_str();
-                        let body = &bodies[i % bodies.len()];
+                        // Request i is an observe exactly when the running
+                        // observe quota crosses an integer — the stream
+                        // interleaves the two kinds at the requested ratio.
+                        let is_observe = observe_ratio > 0.0
+                            && ((i + 1) as f64 * observe_ratio).floor()
+                                > (i as f64 * observe_ratio).floor();
+                        let observe_body = if is_observe {
+                            let c = observe_pool[i % observe_pool.len()];
+                            Some(serialize_observe(c, 1_000_000 + i as u64))
+                        } else {
+                            None
+                        };
+                        let (path, body) = match &observe_body {
+                            Some(b) => (format!("/observe?window={window}"), b.as_str()),
+                            None => {
+                                (format!("/predict?window={window}"), bodies[i % bodies.len()].as_str())
+                            }
+                        };
                         let t0 = Instant::now();
                         // A send error on a cached keep-alive connection
                         // usually means the server closed it; one retry on
                         // a fresh connection separates that from real
                         // failures.
-                        let mut outcome = send_predict(&mut conns[ti], addr, body, window);
+                        let mut outcome = send_post(&mut conns[ti], addr, &path, body);
                         if outcome.is_err() {
-                            outcome = send_predict(&mut conns[ti], addr, body, window);
+                            outcome = send_post(&mut conns[ti], addr, &path, body);
                         }
                         match outcome {
                             Ok(200) => {
                                 report.ok += 1;
-                                report.per_target_us[ti]
-                                    .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                                let us =
+                                    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                                if is_observe {
+                                    report.observe_ok += 1;
+                                    report.observe_us.push(us);
+                                } else {
+                                    report.per_target_us[ti].push(us);
+                                }
                             }
                             Ok(503) => report.shed += 1,
                             Ok(status) => {
@@ -190,10 +231,14 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let mut per_target: Vec<Vec<u64>> = vec![Vec::new(); targets.len()];
     let (mut ok, mut shed, mut failed) = (0usize, 0usize, 0usize);
+    let mut observe_ok = 0usize;
+    let mut observe_us: Vec<u64> = Vec::new();
     for r in reports {
         ok += r.ok;
         shed += r.shed;
         failed += r.failed;
+        observe_ok += r.observe_ok;
+        observe_us.extend(r.observe_us);
         for (bucket, ls) in per_target.iter_mut().zip(r.per_target_us) {
             bucket.extend(ls);
         }
@@ -210,6 +255,16 @@ fn run(args: &[String]) -> Result<(), String> {
         percentile(&latencies, 0.9),
         percentile(&latencies, 0.99)
     );
+    // The line format is stable for scripts (fleet_smoke parses it into
+    // BENCH_serve.json).
+    if observe_ratio > 0.0 {
+        observe_us.sort_unstable();
+        println!(
+            "observe: {observe_ok} ok, p50 {}us p99 {}us (ratio {observe_ratio:.2})",
+            percentile(&observe_us, 0.5),
+            percentile(&observe_us, 0.99)
+        );
+    }
     // Per-target breakdown: with a --target-list spreading load over a
     // replica tier, one slow replica shows up here even when the pooled
     // percentiles look healthy. The line format is stable for scripts
@@ -272,13 +327,24 @@ fn serialize_cascades(cascades: &[Cascade]) -> String {
     s
 }
 
-/// Sends one predict over a cached keep-alive connection, reconnecting on
+/// Serializes one cascade as an `/observe` body under a caller-chosen id,
+/// so every observe registers a distinct live cascade.
+fn serialize_observe(c: &Cascade, id: u64) -> String {
+    let mut s = format!("cascade {id} {}\n", c.start_time);
+    for e in &c.events {
+        let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+        s.push_str(&format!("event {} {parent} {}\n", e.user, e.time));
+    }
+    s
+}
+
+/// Sends one POST over a cached keep-alive connection, reconnecting on
 /// demand. Returns the response status.
-fn send_predict(
+fn send_post(
     conn: &mut Option<BufReader<TcpStream>>,
     addr: &str,
+    path: &str,
     body: &str,
-    window: f64,
 ) -> Result<u16, String> {
     if conn.is_none() {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -288,7 +354,7 @@ fn send_predict(
         return Err("no connection".into());
     };
     let raw = format!(
-        "POST /predict?window={window} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     let outcome = (|| -> Result<(u16, bool), String> {

@@ -53,21 +53,47 @@ impl Cascade {
         self.events.partition_point(|e| e.time < t)
     }
 
-    /// The paper's prediction target `ΔS_i` for an observation window `t`:
-    /// the number of adoptions arriving after `t` (up to the tracking
-    /// horizon the dataset was generated with).
-    pub fn increment_size(&self, t: f64) -> usize {
-        self.final_size() - self.size_at(t)
+    /// Number of adopters whose event time is at most `t` — the size of the
+    /// observed prefix `C_i(t)`. Observation is *inclusive* of the window
+    /// boundary: an event landing exactly at `t == window` belongs to the
+    /// model input, not to the prediction target.
+    pub fn observed_size(&self, t: f64) -> usize {
+        self.events.partition_point(|e| e.time <= t)
     }
 
-    /// The cascade as observed within `[0, window)` — the model input
-    /// `C_i(t)` of Definition 1.
+    /// The paper's prediction target `ΔS_i` for an observation window `t`:
+    /// the number of adoptions arriving strictly after `t` (up to the
+    /// tracking horizon the dataset was generated with). Exclusive
+    /// counterpart of the inclusive [`Cascade::observed_size`], so every
+    /// event is counted exactly once between input and label.
+    pub fn increment_size(&self, t: f64) -> usize {
+        self.final_size() - self.observed_size(t)
+    }
+
+    /// The cascade as observed within `[0, window]` — the model input
+    /// `C_i(t)` of Definition 1 (boundary events included).
     pub fn observe(&self, window: f64) -> ObservedCascade<'_> {
-        let n = self.size_at(window);
+        let n = self.observed_size(window);
         ObservedCascade {
             cascade: self,
             n: n.max(1), // the root is always visible
         }
+    }
+
+    /// Appends one adoption event, validating it against the cascade's
+    /// invariants (non-negative sorted time, in-range backward parent) —
+    /// the single-event growth step behind live `/observe` ingestion.
+    pub fn try_append(&mut self, event: Event) -> Result<(), crate::validate::CascadeFault> {
+        let idx = self.events.len();
+        // `events` is non-empty by construction (try_new rejects empty
+        // lists), so the appended event always has a predecessor.
+        if let Some(prev) = self.events.last() {
+            if let Some(fault) = crate::io::check_follow_on(prev, &event, idx) {
+                return Err(fault);
+            }
+        }
+        self.events.push(event);
+        Ok(())
     }
 }
 
@@ -214,8 +240,49 @@ mod tests {
         let c = fig1_cascade();
         assert_eq!(c.final_size(), 6);
         assert_eq!(c.size_at(25.0), 3);
+        assert_eq!(c.observed_size(25.0), 3);
         assert_eq!(c.increment_size(25.0), 3);
         assert_eq!(c.increment_size(1e9), 0);
+    }
+
+    /// Boundary pin: an event at exactly `t == window` is observed
+    /// (inclusive), not predicted (exclusive increment) — and the two
+    /// accessors always partition the event list without overlap or gap.
+    #[test]
+    fn window_boundary_is_inclusive_for_observation_exclusive_for_increment() {
+        let c = fig1_cascade();
+        let eps = 1e-9;
+        // fig1 has an event at exactly t = 20.0.
+        assert_eq!(c.observe(20.0).num_nodes(), 3, "t == window is observed");
+        assert_eq!(c.increment_size(20.0), 3, "t == window is not predicted");
+        assert_eq!(c.observe(20.0 - eps).num_nodes(), 2);
+        assert_eq!(c.increment_size(20.0 - eps), 4);
+        assert_eq!(c.observe(20.0 + eps).num_nodes(), 3);
+        assert_eq!(c.increment_size(20.0 + eps), 3);
+        for w in [0.0, 10.0, 20.0, 25.0, 50.0, 50.0 - eps, 50.0 + eps] {
+            assert_eq!(
+                c.observed_size(w) + c.increment_size(w),
+                c.final_size(),
+                "observation + increment must cover every event exactly once (w = {w})"
+            );
+            assert_eq!(c.observe(w).num_nodes(), c.observed_size(w).max(1));
+        }
+    }
+
+    #[test]
+    fn try_append_grows_and_validates() {
+        let mut c = fig1_cascade();
+        c.try_append(Event { user: 106, parent: Some(2), time: 55.0 })
+            .expect("valid follow-on event");
+        assert_eq!(c.final_size(), 7);
+        assert_eq!(c.increment_size(50.0), 1);
+        // Time must stay sorted…
+        assert!(c.try_append(Event { user: 107, parent: Some(0), time: 1.0 }).is_err());
+        // …parents must point backward…
+        assert!(c.try_append(Event { user: 107, parent: Some(99), time: 60.0 }).is_err());
+        // …and non-root events need a parent.
+        assert!(c.try_append(Event { user: 107, parent: None, time: 60.0 }).is_err());
+        assert_eq!(c.final_size(), 7, "rejected events are not appended");
     }
 
     #[test]

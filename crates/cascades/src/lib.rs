@@ -38,4 +38,5 @@ pub mod validate;
 
 pub use cascade::{Cascade, Event, ObservedCascade};
 pub use dataset::{Dataset, Split, SplitStats};
+pub use stream::{parse_observe_body, CascadeStream, ObserveBody, StreamLimits};
 pub use validate::{validate_events, CascadeFault, QuarantineReport, QuarantinedCascade};

@@ -152,8 +152,22 @@ impl CascadeStream {
     }
 
     /// Signals end of input, returning the final cascade if one is pending.
+    ///
+    /// A trailing cascade never sees a terminating blank line or follow-up
+    /// header — this is the only place it can be yielded. It is charged
+    /// against [`StreamLimits`] exactly like header-completed cascades:
+    /// its header already counted toward `max_cascades` when it was read
+    /// (so a stream that admits the header always has room to finish it),
+    /// and its events were capped per-line by `max_events`.
     pub fn finish(mut self) -> Result<Option<Cascade>, ReadError> {
         self.flush()
+    }
+
+    /// Number of complete cascades yielded so far (including by
+    /// [`CascadeStream::finish`] once called) — the count charged against
+    /// `StreamLimits::max_cascades`.
+    pub fn cascades_emitted(&self) -> usize {
+        self.emitted
     }
 
     /// Completes the pending cascade. Per-line validation already enforced
@@ -193,6 +207,99 @@ pub fn parse_cascades(text: &str, limits: StreamLimits) -> Result<Vec<Cascade>, 
         out.push(c);
     }
     Ok(out)
+}
+
+/// A parsed `/observe` request body: one cascade header plus the events to
+/// append to the live cascade it names.
+///
+/// Unlike [`parse_cascades`], the events here are a *suffix* of a cascade the
+/// server already holds, so parent indices refer to positions in the full
+/// server-side event list and the first body event need not be a root. The
+/// cross-boundary invariants (time ordering, parent bounds) are enforced at
+/// append time by [`crate::Cascade::try_append`]; this parser owns the grammar
+/// and the limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveBody {
+    /// Identity of the live cascade being extended.
+    pub id: u64,
+    /// Start time the client believes the cascade has; the server rejects a
+    /// mismatch rather than silently rebasing.
+    pub start_time: f64,
+    /// Adoption events to append, in arrival order.
+    pub events: Vec<Event>,
+}
+
+/// Parses a single-cascade append payload in the same line grammar as
+/// [`parse_cascades`]: exactly one `cascade <id> <start>` header followed by
+/// one or more `event <user> <parent|-> <time>` lines. Comments and blank
+/// lines are skipped. `limits.max_events` caps the number of events in one
+/// body; `max_cascades` is irrelevant here (the body carries exactly one).
+pub fn parse_observe_body(text: &str, limits: StreamLimits) -> Result<ObserveBody, ReadError> {
+    let mut header: Option<(u64, f64)> = None;
+    let mut events: Vec<Event> = Vec::new();
+    let mut lineno = 0usize;
+    for raw in text.lines() {
+        lineno += 1;
+        let line = raw.trim();
+        let err = |message: String| ReadError::Parse { line: lineno, message };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("cascade") => {
+                if header.is_some() {
+                    return Err(err("observe body carries exactly one cascade".into()));
+                }
+                let id = parse_tok(parts.next(), "cascade id").map_err(err)?;
+                let start = parse_tok(parts.next(), "start time").map_err(err)?;
+                header = Some((id, start));
+            }
+            Some("event") => {
+                if header.is_none() {
+                    return Err(err("event before the cascade header".into()));
+                }
+                if events.len() >= limits.max_events {
+                    return Err(err(format!(
+                        "observe body exceeds the event limit ({})",
+                        limits.max_events
+                    )));
+                }
+                let event = (|| -> Result<Event, String> {
+                    let user = parse_tok(parts.next(), "user")?;
+                    let parent_tok = parts.next().ok_or("missing parent field")?;
+                    let parent = if parent_tok == "-" {
+                        None
+                    } else {
+                        Some(parse_tok(Some(parent_tok), "parent")?)
+                    };
+                    let time = parse_tok(parts.next(), "time")?;
+                    Ok(Event { user, parent, time })
+                })()
+                .map_err(err)?;
+                if !event.time.is_finite() {
+                    return Err(err(format!("non-finite event time {}", event.time)));
+                }
+                events.push(event);
+            }
+            Some(other) => return Err(err(format!("unknown record type `{other}`"))),
+            None => {}
+        }
+    }
+    let last = lineno.max(1);
+    let Some((id, start_time)) = header else {
+        return Err(ReadError::Parse {
+            line: last,
+            message: "observe body has no cascade header".into(),
+        });
+    };
+    if events.is_empty() {
+        return Err(ReadError::Parse {
+            line: last,
+            message: format!("observe body for cascade {id} has no events"),
+        });
+    }
+    Ok(ObserveBody { id, start_time, events })
 }
 
 #[cfg(test)]
@@ -287,6 +394,112 @@ mod tests {
         // Exactly at the limit is fine.
         let ok = parse_cascades(body, StreamLimits { max_cascades: 2, max_events: 100 });
         assert_eq!(ok.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn finish_yields_a_truncated_final_cascade() {
+        // No terminating blank line, no follow-up header, no trailing
+        // newline: only finish() can surface this cascade.
+        let mut s = CascadeStream::new(limits());
+        for line in ["cascade 9 3.5", "event 4 - 0.0", "event 8 0 2.0"] {
+            assert!(s.push_line(line).unwrap().is_none(), "nothing completes mid-body");
+        }
+        assert_eq!(s.cascades_emitted(), 0, "pending cascade is not yet emitted");
+        let c = s.finish().unwrap().expect("finish yields the trailing cascade");
+        assert_eq!((c.id, c.start_time, c.final_size()), (9, 3.5, 2));
+        // And it round-trips identically through the driver.
+        let driven = parse_cascades("cascade 9 3.5\nevent 4 - 0.0\nevent 8 0 2.0", limits())
+            .expect("truncated body parses");
+        assert_eq!(driven, vec![c]);
+    }
+
+    #[test]
+    fn limits_are_charged_at_finish_like_push_line() {
+        // Exactly max_cascades cascades where the last is only completed by
+        // finish(): the header was already charged, so finish always has room.
+        let body = "cascade 1 0.0\nevent 5 - 0.0\ncascade 2 0.0\nevent 6 - 0.0";
+        let tight = StreamLimits { max_cascades: 2, max_events: 100 };
+        let mut s = CascadeStream::new(tight);
+        let mut yielded = Vec::new();
+        for line in body.lines() {
+            if let Some(c) = s.push_line(line).unwrap() {
+                yielded.push(c);
+            }
+        }
+        assert_eq!((yielded.len(), s.cascades_emitted()), (1, 1));
+        let last = s.finish().unwrap().expect("trailing cascade finishes within the limit");
+        assert_eq!(last.id, 2);
+
+        // One under the cap: the trailing cascade is rejected at its header,
+        // not silently dropped at finish.
+        let over = StreamLimits { max_cascades: 1, max_events: 100 };
+        let err = parse_cascades(body, over).unwrap_err();
+        assert!(err.to_string().contains("too many cascades"), "{err}");
+
+        // Event caps bind on the trailing cascade too: the body below would
+        // only complete via finish(), but the oversize event is rejected
+        // per-line long before that.
+        let fat = "cascade 1 0.0\nevent 0 - 0.0\nevent 1 0 1.0\nevent 2 0 2.0";
+        let lean = StreamLimits { max_cascades: 4, max_events: 2 };
+        let err = parse_cascades(fat, lean).unwrap_err();
+        match err {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 4, "rejected at the first event past the cap");
+                assert!(message.contains("event limit"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn observe_body_parses_a_single_cascade_suffix() {
+        let body = "# live append\ncascade 7 1.5\nevent 12 3 40.0\nevent 13 5 41.5\n";
+        let ob = parse_observe_body(body, limits()).expect("valid observe body");
+        assert_eq!((ob.id, ob.start_time), (7, 1.5));
+        assert_eq!(ob.events.len(), 2);
+        // Suffix semantics: parents reference server-side indices, and the
+        // first event needn't be a root.
+        assert_eq!(ob.events[0], Event { user: 12, parent: Some(3), time: 40.0 });
+        assert_eq!(ob.events[1], Event { user: 13, parent: Some(5), time: 41.5 });
+    }
+
+    #[test]
+    fn observe_body_rejects_malformed_payloads() {
+        for (body, needle) in [
+            ("", "no cascade header"),
+            ("# only a comment\n", "no cascade header"),
+            ("cascade 1 0.0\n", "has no events"),
+            ("event 5 2 9.0\n", "before the cascade header"),
+            ("cascade 1 0.0\ncascade 2 0.0\nevent 5 2 9.0\n", "exactly one cascade"),
+            ("cascade 1 0.0\nevent 5 2 nan\n", "non-finite event time"),
+            ("cascade 1 0.0\nwat\n", "unknown record type"),
+            ("cascade 1 0.0\nevent 5 2\n", "missing"),
+        ] {
+            let err = parse_observe_body(body, limits()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "body {body:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_body_event_limit_binds() {
+        let mut body = String::from("cascade 1 0.0\n");
+        for i in 0..5 {
+            body.push_str(&format!("event {i} 0 {i}.0\n"));
+        }
+        let tight = StreamLimits { max_cascades: 64, max_events: 4 };
+        let err = parse_observe_body(&body, tight).unwrap_err();
+        match err {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 6, "rejected at the first event past the cap");
+                assert!(message.contains("event limit"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        let loose = StreamLimits { max_cascades: 64, max_events: 5 };
+        assert_eq!(parse_observe_body(&body, loose).unwrap().events.len(), 5);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! once per cascade and cache the result across epochs.
 
 use cascn_autograd::Tape;
-use cascn_cascades::Cascade;
-use cascn_graph::{laplacian, DiGraph, SpectralBasis};
+use cascn_cascades::{Cascade, CascadeFault, Event};
+use cascn_graph::{laplacian, DiGraph, IncrementalSpectral, SpectralBasis};
 use cascn_nn::ChebOperands;
 use cascn_tensor::Matrix;
 
@@ -69,25 +69,8 @@ pub fn preprocess(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> Preproce
 /// preprocessing, so serving layers compute it once per (cascade, window)
 /// and reuse it across requests via [`preprocess_with_basis`].
 pub fn spectral_basis(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> SpectralBasis {
-    let observed = cascade.observe(window);
-    let n = observed.num_nodes().min(cfg.max_nodes);
-
-    // Local graph over the first n adopters (edges into truncated nodes are
-    // dropped with them).
-    let mut g = DiGraph::new(n);
-    for (i, e) in observed.events().iter().enumerate().take(n).skip(1) {
-        // Cascade validation guarantees non-root events carry parents.
-        if let Some(p) = e.parent {
-            if p < n {
-                g.add_edge(p, i, 1.0);
-            }
-        }
-    }
-
-    let lambda_max = match cfg.lambda_max {
-        LambdaMax::Exact => None,
-        LambdaMax::Approx2 => Some(2.0),
-    };
+    let g = observed_graph(cascade, window, cfg);
+    let lambda_max = lambda_mode(cfg);
     match cfg.laplacian {
         // The directed scaled Laplacian is dense (teleportation touches
         // every entry), so it is kept as sparse-core + rank-1 teleport
@@ -97,6 +80,31 @@ pub fn spectral_basis(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> Spec
             let lap = laplacian::undirected_normalized_laplacian(&g);
             SpectralBasis::from_laplacian(&lap, lambda_max, cfg.k)
         }
+    }
+}
+
+/// The local cascade graph over the observed, truncated prefix: the first
+/// `min(observed, max_nodes)` adopters with edges into truncated nodes
+/// dropped alongside them.
+fn observed_graph(cascade: &Cascade, window: f64, cfg: &CascnConfig) -> DiGraph {
+    let observed = cascade.observe(window);
+    let n = observed.num_nodes().min(cfg.max_nodes);
+    let mut g = DiGraph::new(n);
+    for (i, e) in observed.events().iter().enumerate().take(n).skip(1) {
+        // Cascade validation guarantees non-root events carry parents.
+        if let Some(p) = e.parent {
+            if p < n {
+                g.add_edge(p, i, 1.0);
+            }
+        }
+    }
+    g
+}
+
+fn lambda_mode(cfg: &CascnConfig) -> Option<f32> {
+    match cfg.lambda_max {
+        LambdaMax::Exact => None,
+        LambdaMax::Approx2 => Some(2.0),
     }
 }
 
@@ -121,6 +129,23 @@ fn assemble(
     cfg: &CascnConfig,
     basis: SpectralBasis,
 ) -> PreprocessedCascade {
+    let dense_bases = match cfg.cheb_kernel {
+        ChebKernel::Dense => Some(basis.materialize()),
+        ChebKernel::Sparse => None,
+    };
+    assemble_with(cascade, window, cfg, basis, dense_bases)
+}
+
+/// [`assemble`] with the dense Chebyshev blocks (if any) already in hand —
+/// lets [`WindowedPreprocessor`] reuse materialized `T_k` blocks across
+/// overlapping windows instead of re-expanding them per request.
+fn assemble_with(
+    cascade: &Cascade,
+    window: f64,
+    cfg: &CascnConfig,
+    basis: SpectralBasis,
+    dense_bases: Option<Vec<Matrix>>,
+) -> PreprocessedCascade {
     let n = basis.num_nodes();
     debug_assert_eq!(
         n,
@@ -133,10 +158,6 @@ fn assemble(
     let (snapshots, times) = truncated.snapshots_padded(cfg.max_steps, cfg.max_nodes);
 
     let increment = cascade.increment_size(window);
-    let dense_bases = match cfg.cheb_kernel {
-        ChebKernel::Dense => Some(basis.materialize()),
-        ChebKernel::Sparse => None,
-    };
     PreprocessedCascade {
         lambda_max: basis.lambda_max,
         basis,
@@ -147,6 +168,183 @@ fn assemble(
         window,
         label_log: cascn_nn::metrics::log_label(increment),
         increment,
+    }
+}
+
+/// Streaming preprocessor for one growing cascade.
+///
+/// Keeps the cascade's spectral state warm across appended adoption events
+/// and overlapping observation windows: the directed operator advances via
+/// [`IncrementalSpectral::push_child`] instead of a cold rebuild, and
+/// materialized dense Chebyshev `T_k` blocks persist until an observed event
+/// actually invalidates them (a push-style refresh at window crossings —
+/// events beyond the window touch only the label side, so the spectral
+/// handle and the `T_k` blocks are reused untouched).
+///
+/// Parity contract (tested here and in the workspace property suite):
+/// [`WindowedPreprocessor::current`] matches [`preprocess`] on the same
+/// `(cascade, window, cfg)` — snapshots, times and labels bit-identical,
+/// the operator within the streaming tolerance (`5e-4` on predictions).
+pub struct WindowedPreprocessor {
+    cascade: Cascade,
+    cfg: CascnConfig,
+    window: f64,
+    /// Incremental spectral state — populated only for the directed
+    /// CasLaplacian; the undirected variant rebuilds cold on refresh.
+    spectral: Option<IncrementalSpectral>,
+    basis: SpectralBasis,
+    /// Cached dense `T_k` blocks (under [`ChebKernel::Dense`]); dropped
+    /// whenever the operator refreshes.
+    dense: Option<Vec<Matrix>>,
+}
+
+impl WindowedPreprocessor {
+    /// Registers a live cascade: one cold preprocessing pass, after which
+    /// appends and window advances are incremental.
+    pub fn new(cascade: Cascade, window: f64, cfg: &CascnConfig) -> Self {
+        let (spectral, basis) = cold_state(&cascade, window, cfg);
+        Self { cascade, cfg: *cfg, window, spectral, basis, dense: None }
+    }
+
+    /// The cascade as currently observed (input prefix plus future events).
+    pub fn cascade(&self) -> &Cascade {
+        &self.cascade
+    }
+
+    /// The active observation window.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// The current spectral handle (cheap clone; heavy parts are `Arc`ed).
+    pub fn basis(&self) -> SpectralBasis {
+        self.basis.clone()
+    }
+
+    /// Observed-and-truncated node count — the operator's dimension.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes()
+    }
+
+    /// Cold restarts taken by the incremental φ iteration (0 for the
+    /// undirected variant, which has no warm path).
+    pub fn warm_fallbacks(&self) -> u64 {
+        self.spectral.as_ref().map_or(0, IncrementalSpectral::warm_fallbacks)
+    }
+
+    /// Approximate heap footprint for registry memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let events = self.cascade.final_size() * std::mem::size_of::<Event>();
+        let spectral = match &self.spectral {
+            Some(s) => s.approx_bytes(),
+            None => self.basis.approx_bytes(),
+        };
+        let dense: usize = self.dense.as_ref().map_or(0, |blocks| {
+            blocks.iter().map(|m| m.rows() * m.cols() * std::mem::size_of::<f32>()).sum()
+        });
+        events + spectral + dense
+    }
+
+    /// Appends one adoption event, validated with the same invariants as
+    /// the strict loader. Returns `Ok(true)` when the event landed inside
+    /// the window (the operator was refreshed incrementally) and
+    /// `Ok(false)` when it is label-side only or truncated past
+    /// `max_nodes` (spectral state and cached `T_k` blocks reused as-is).
+    pub fn observe_event(&mut self, event: Event) -> Result<bool, CascadeFault> {
+        let before = self.nodes();
+        self.cascade.try_append(event)?;
+        let after = self.nodes();
+        if after == before {
+            return Ok(false);
+        }
+        self.dense = None;
+        self.push_range(before, after);
+        Ok(true)
+    }
+
+    /// Moves the observation window, pushing every event that crossed into
+    /// it through the incremental operator. Returns the number of nodes
+    /// that entered the observed prefix. A shrinking window has no
+    /// push-style form and falls back to one cold rebuild.
+    pub fn advance_window(&mut self, window: f64) -> usize {
+        let before = self.nodes();
+        if window < self.window {
+            self.window = window;
+            if self.nodes() != before {
+                self.dense = None;
+                let (spectral, basis) = cold_state(&self.cascade, window, &self.cfg);
+                self.spectral = spectral;
+                self.basis = basis;
+            }
+            return 0;
+        }
+        self.window = window;
+        let after = self.nodes();
+        if after == before {
+            return 0;
+        }
+        self.dense = None;
+        self.push_range(before, after);
+        after - before
+    }
+
+    /// The model input at the current `(cascade, window)`. Reuses cached
+    /// dense `T_k` blocks when the operator has not changed since the last
+    /// call; snapshots and labels are recomputed (they are `O(n·steps)`).
+    pub fn current(&mut self) -> PreprocessedCascade {
+        let dense = match self.cfg.cheb_kernel {
+            ChebKernel::Dense => {
+                let basis = &self.basis;
+                Some(self.dense.get_or_insert_with(|| basis.materialize()).clone())
+            }
+            ChebKernel::Sparse => None,
+        };
+        assemble_with(&self.cascade, self.window, &self.cfg, self.basis.clone(), dense)
+    }
+
+    fn nodes(&self) -> usize {
+        self.cascade.observed_size(self.window).max(1).min(self.cfg.max_nodes)
+    }
+
+    /// Pushes nodes `before..after` (already appended and observed) through
+    /// the incremental operator, or rebuilds cold for the undirected
+    /// variant, then republishes the basis.
+    fn push_range(&mut self, before: usize, after: usize) {
+        match &mut self.spectral {
+            Some(inc) => {
+                for idx in before..after {
+                    // Cascade validation guarantees non-root events carry
+                    // in-range parents; the guard mirrors `observed_graph`.
+                    if let Some(p) = self.cascade.events[idx].parent {
+                        if p < idx {
+                            inc.push_child(p);
+                        }
+                    }
+                }
+                self.basis = inc.basis();
+            }
+            None => {
+                self.basis = spectral_basis(&self.cascade, self.window, &self.cfg);
+            }
+        }
+    }
+}
+
+/// Cold spectral state for a `(cascade, window, cfg)` triple: incremental
+/// handle for the directed CasLaplacian, plain basis otherwise.
+fn cold_state(
+    cascade: &Cascade,
+    window: f64,
+    cfg: &CascnConfig,
+) -> (Option<IncrementalSpectral>, SpectralBasis) {
+    match cfg.laplacian {
+        LaplacianKind::Directed => {
+            let g = observed_graph(cascade, window, cfg);
+            let inc = IncrementalSpectral::from_graph(&g, cfg.alpha, lambda_mode(cfg), cfg.k);
+            let basis = inc.basis();
+            (Some(inc), basis)
+        }
+        LaplacianKind::Undirected => (None, spectral_basis(cascade, window, cfg)),
     }
 }
 
@@ -243,6 +441,28 @@ mod tests {
         assert_eq!(p.n, 3);
         assert_eq!(p.increment, 3);
         assert!((p.label_log - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    /// Boundary pin: an event at exactly `t == window` belongs to the model
+    /// input, not to the label — `observe`, `increment_size`, and label
+    /// truncation must all agree on that, at the boundary and ±ε around it.
+    #[test]
+    fn window_boundary_event_is_input_not_label() {
+        let c = fig1(); // has an event at exactly t = 20.0
+        let eps = 1e-9;
+        let at = preprocess(&c, 20.0, &cfg());
+        assert_eq!(at.n, 3, "boundary event is observed");
+        assert_eq!(at.increment, 3, "boundary event is not predicted");
+        assert!((at.label_log - 4.0f32.ln()).abs() < 1e-6);
+        assert_eq!(*at.times.last().unwrap(), 20.0, "boundary event's time is in the input");
+
+        let below = preprocess(&c, 20.0 - eps, &cfg());
+        assert_eq!((below.n, below.increment), (2, 4));
+        let above = preprocess(&c, 20.0 + eps, &cfg());
+        assert_eq!((above.n, above.increment), (3, 3));
+        for p in [&at, &below, &above] {
+            assert_eq!(p.n + p.increment, c.final_size(), "no event lost or double-counted");
+        }
     }
 
     #[test]
@@ -359,6 +579,143 @@ mod tests {
         let basis = spectral_basis(&fig1(), 60.0, &small);
         assert_eq!(basis.num_nodes(), 4);
         assert_eq!(basis.order(), small.k);
+    }
+
+    /// Entrywise operator distance between two bases of equal dimension.
+    fn basis_gap(a: &SpectralBasis, b: &SpectralBasis) -> f32 {
+        let (da, db) = (a.scaled_dense(), b.scaled_dense());
+        da.as_slice()
+            .iter()
+            .zip(db.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    fn assert_matches_cold(p: &PreprocessedCascade, cascade: &Cascade, window: f64, c: &CascnConfig) {
+        let cold = preprocess(cascade, window, c);
+        assert_eq!(p.n, cold.n);
+        assert_eq!(p.increment, cold.increment);
+        assert_eq!(p.times, cold.times);
+        for (a, b) in p.snapshots.iter().zip(&cold.snapshots) {
+            assert_eq!(a.as_slice(), b.as_slice(), "snapshots must be bit-identical");
+        }
+        let gap = basis_gap(&p.basis, &cold.basis);
+        assert!(gap < 5e-4, "operator drifted from cold preprocessing: {gap}");
+        if let (Some(warm), Some(cold_b)) = (&p.dense_bases, &cold.dense_bases) {
+            for (wm, cm) in warm.iter().zip(cold_b) {
+                let g = wm
+                    .as_slice()
+                    .iter()
+                    .zip(cm.as_slice())
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(g < 5e-4, "dense T_k block drifted: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_preprocessor_tracks_cold_preprocessing_per_event() {
+        let full = fig1();
+        // Start from the first three events; stream the rest in one by one.
+        let seed = Cascade::new(1, 0.0, full.events[..3].to_vec());
+        let window = 100.0;
+        let mut wp = WindowedPreprocessor::new(seed, window, &cfg());
+        assert_matches_cold(&wp.current(), wp.cascade(), window, &cfg());
+        for e in &full.events[3..] {
+            assert!(wp.observe_event(e.clone()).unwrap(), "in-window event refreshes");
+            let snapshot = wp.cascade().clone();
+            assert_matches_cold(&wp.current(), &snapshot, window, &cfg());
+        }
+        assert_eq!(wp.num_nodes(), 6);
+        assert_eq!(wp.warm_fallbacks(), 0, "healthy tree never needs a cold restart");
+    }
+
+    #[test]
+    fn future_events_touch_only_the_label_side() {
+        let full = fig1();
+        let seed = Cascade::new(1, 0.0, full.events[..3].to_vec());
+        let window = 25.0; // events at t=30,40,50 stay label-side
+        let mut wp = WindowedPreprocessor::new(seed, window, &cfg());
+        let before = wp.current();
+        for e in &full.events[3..] {
+            assert!(!wp.observe_event(e.clone()).unwrap(), "beyond-window event must not refresh");
+        }
+        let after = wp.current();
+        assert_eq!(after.n, before.n);
+        assert_eq!(after.increment, 3, "label side saw all three future events");
+        assert_eq!(
+            before.basis.scaled_dense().as_slice(),
+            after.basis.scaled_dense().as_slice(),
+            "spectral handle reused bit-for-bit"
+        );
+        assert_matches_cold(&after, wp.cascade(), window, &cfg());
+    }
+
+    #[test]
+    fn window_crossing_pushes_pending_events() {
+        let full = fig1();
+        let mut wp = WindowedPreprocessor::new(full.clone(), 25.0, &cfg());
+        assert_eq!(wp.num_nodes(), 3);
+        // Crossing to t=45 pulls events at 30 and 40 into the prefix.
+        assert_eq!(wp.advance_window(45.0), 2);
+        assert_matches_cold(&wp.current(), &full, 45.0, &cfg());
+        // A boundary-exact crossing pulls the t=50 event (inclusive).
+        assert_eq!(wp.advance_window(50.0), 1);
+        assert_matches_cold(&wp.current(), &full, 50.0, &cfg());
+        // No-op advance refreshes nothing.
+        assert_eq!(wp.advance_window(60.0), 0);
+        // Shrinking rebuilds cold and still matches.
+        wp.advance_window(25.0);
+        assert_matches_cold(&wp.current(), &full, 25.0, &cfg());
+        assert_eq!(wp.num_nodes(), 3);
+    }
+
+    #[test]
+    fn dense_blocks_are_reused_across_unchanged_windows() {
+        let dense_cfg = CascnConfig { cheb_kernel: ChebKernel::Dense, ..cfg() };
+        let full = fig1();
+        let mut wp = WindowedPreprocessor::new(full.clone(), 25.0, &dense_cfg);
+        let first = wp.current();
+        // Label-side append: cached blocks survive and stay bit-identical.
+        wp.observe_event(Event { user: 9, parent: Some(2), time: 60.0 }).unwrap();
+        let second = wp.current();
+        let (a, b) = (
+            first.dense_bases.as_ref().expect("Dense kernel materializes"),
+            second.dense_bases.as_ref().expect("Dense kernel materializes"),
+        );
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.as_slice(), y.as_slice(), "T_k blocks reused across windows");
+        }
+        // A refresh (window crossing) invalidates and rebuilds them.
+        assert!(wp.advance_window(60.0) > 0);
+        let snapshot = wp.cascade().clone();
+        assert_matches_cold(&wp.current(), &snapshot, 60.0, &dense_cfg);
+        // And out-of-order or invalid appends are rejected untouched.
+        wp.observe_event(Event { user: 10, parent: Some(2), time: 24.9 }).unwrap_err();
+        wp.observe_event(Event { user: 10, parent: None, time: 70.0 }).unwrap_err();
+    }
+
+    #[test]
+    fn windowed_preprocessor_handles_undirected_and_truncation() {
+        let und = CascnConfig { laplacian: LaplacianKind::Undirected, ..cfg() };
+        let full = fig1();
+        let seed = Cascade::new(1, 0.0, full.events[..2].to_vec());
+        let mut wp = WindowedPreprocessor::new(seed, 100.0, &und);
+        for e in &full.events[2..] {
+            wp.observe_event(e.clone()).unwrap();
+        }
+        let snapshot = wp.cascade().clone();
+        assert_matches_cold(&wp.current(), &snapshot, 100.0, &und);
+
+        // Truncation: past max_nodes the operator must stop growing.
+        let small = CascnConfig { max_nodes: 4, ..cfg() };
+        let mut wp = WindowedPreprocessor::new(full.clone(), 100.0, &small);
+        assert_eq!(wp.num_nodes(), 4);
+        assert!(!wp.observe_event(Event { user: 11, parent: Some(3), time: 70.0 }).unwrap());
+        assert_eq!(wp.num_nodes(), 4);
+        let snapshot = wp.cascade().clone();
+        assert_matches_cold(&wp.current(), &snapshot, 100.0, &small);
     }
 
     #[test]

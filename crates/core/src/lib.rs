@@ -63,7 +63,7 @@ pub use config::{
 pub use error::CascnError;
 pub use faults::FaultInjector;
 pub use gl::GlModel;
-pub use input::{preprocess, preprocess_with_basis, spectral_basis, PreprocessedCascade};
+pub use input::{preprocess, preprocess_with_basis, spectral_basis, PreprocessedCascade, WindowedPreprocessor};
 pub use model::CascnModel;
 pub use parallel::{parallel_map, resolve_threads};
 pub use path::PathModel;

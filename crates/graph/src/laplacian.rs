@@ -48,7 +48,7 @@ pub fn transition_matrix(g: &DiGraph, alpha: f32) -> Matrix {
 }
 
 /// Iteration cap of the stationary-distribution power iteration.
-const STATIONARY_MAX_ITERS: usize = 10_000;
+pub(crate) const STATIONARY_MAX_ITERS: usize = 10_000;
 
 /// What the stationary-distribution power iteration actually did — callers
 /// on the preprocessing hot path need to distinguish a converged φ from a
@@ -99,7 +99,16 @@ pub fn stationary_distribution_checked(p: &Matrix) -> StationaryOutcome {
     // dense (positive teleport everywhere), but sparse callers get the
     // nnz-proportional cost for free.
     let pt = Csr::from_dense(p);
-    let mut phi = uniform.clone();
+    power_iterate(&pt, uniform.clone(), &uniform)
+}
+
+/// The shared power-iteration loop behind the cold and warm stationary
+/// paths: iterate `φ ← normalize(Pᵀφ)` from `start` until the max-norm
+/// delta drops below `1e-10`, falling back to `uniform` on a degenerate
+/// normalizer. The cold path passes `start = uniform`, keeping its results
+/// bit-identical to the pre-refactor loop.
+fn power_iterate(pt: &Csr, start: Vec<f32>, uniform: &[f32]) -> StationaryOutcome {
+    let mut phi = start;
     let mut converged = false;
     let mut iterations = 0;
     for it in 0..STATIONARY_MAX_ITERS {
@@ -111,7 +120,7 @@ pub fn stationary_distribution_checked(p: &Matrix) -> StationaryOutcome {
             // would spread NaN/Inf into φ and from there into the
             // CasLaplacian. Give up on this P instead.
             return StationaryOutcome {
-                phi: uniform,
+                phi: uniform.to_vec(),
                 converged: false,
                 fallback: true,
                 iterations,
@@ -137,6 +146,78 @@ pub fn stationary_distribution_checked(p: &Matrix) -> StationaryOutcome {
         fallback: false,
         iterations,
     }
+}
+
+/// Mixing weight pulling a warm-start seed off the probability-simplex
+/// boundary: `seed' = (1 − ε)·seed/Σseed + ε·uniform`.
+///
+/// A seed with exact-zero entries is a trap for the power iteration:
+/// `spmv_transpose` skips zero input entries, so coordinates a previous φ
+/// left at zero can never receive mass from themselves, and on reducible or
+/// periodic `P` the iterate sticks to (or oscillates on) the simplex
+/// boundary instead of converging to the cold path's answer. The ε-mix
+/// keeps every coordinate strictly positive.
+const WARM_SEED_MIX: f32 = 1e-3;
+
+/// [`stationary_distribution_checked`] warm-started from a previous
+/// stationary distribution — the single-event update path of the streaming
+/// spectral layer, where the new φ is one rank-1 perturbation away from the
+/// seed and typically converges in a handful of rounds.
+///
+/// The seed is sanitized before use (non-finite and non-positive entries
+/// are zeroed, then the vector is renormalized and ε-mixed with the uniform
+/// distribution — see [`WARM_SEED_MIX`]); an unusable seed degrades to the
+/// uniform start. If the warm iteration fails to converge, the result is
+/// discarded and the cold path ([`stationary_distribution_checked`]) is
+/// returned instead, so a bad seed can slow this function down but never
+/// change what it converges to.
+///
+/// # Panics
+/// Panics if `p` is not square or empty, or `seed.len() != p.rows()`.
+pub fn stationary_distribution_warm(p: &Matrix, seed: &[f32]) -> StationaryOutcome {
+    assert_eq!(p.rows(), p.cols(), "stationary_distribution: non-square P");
+    assert!(p.rows() > 0, "stationary_distribution: empty P");
+    assert_eq!(seed.len(), p.rows(), "stationary_distribution_warm: seed length mismatch");
+    let n = p.rows();
+    let uniform = vec![1.0 / n as f32; n];
+    if !p.all_finite() {
+        return StationaryOutcome {
+            phi: uniform,
+            converged: false,
+            fallback: true,
+            iterations: 0,
+        };
+    }
+    let pt = Csr::from_dense(p);
+    let warm = power_iterate(&pt, sanitize_warm_seed(seed, n), &uniform);
+    if warm.converged {
+        return warm;
+    }
+    // Checked fallback: the warm iterate went nowhere (periodic or
+    // reducible P can cycle forever from a boundary-adjacent seed), so pay
+    // for the cold start rather than return a seed-dependent answer.
+    let mut cold = stationary_distribution_checked(p);
+    cold.iterations += warm.iterations;
+    cold
+}
+
+/// Clamps, renormalizes, and ε-mixes a warm-start seed (see
+/// [`WARM_SEED_MIX`]); returns the uniform distribution when nothing
+/// usable survives sanitization.
+pub(crate) fn sanitize_warm_seed(seed: &[f32], n: usize) -> Vec<f32> {
+    let mut s: Vec<f32> = seed
+        .iter()
+        .map(|&x| if x.is_finite() && x > 0.0 { x } else { 0.0 })
+        .collect();
+    let sum: f32 = s.iter().sum();
+    if !sum.is_finite() || sum <= 0.0 {
+        return vec![1.0 / n as f32; n];
+    }
+    let mix = WARM_SEED_MIX / n as f32;
+    for x in &mut s {
+        *x = (1.0 - WARM_SEED_MIX) * (*x / sum) + mix;
+    }
+    s
 }
 
 /// [`stationary_distribution_checked`] collapsed to the distribution alone,
@@ -585,6 +666,70 @@ mod tests {
         assert!(out.fallback);
         assert_eq!(out.phi, vec![0.25; 4]);
         assert_eq!(out.iterations, 1, "degeneracy is detected on the first round");
+    }
+
+    #[test]
+    fn warm_start_converges_to_cold_answer_fast() {
+        let p = transition_matrix(&fig1(), 0.85);
+        let cold = stationary_distribution_checked(&p);
+        let warm = stationary_distribution_warm(&p, &cold.phi);
+        assert!(warm.converged && !warm.fallback);
+        // The ε-mix perturbs the seed off the fixed point, so the warm
+        // restart re-contracts that perturbation — it must never take
+        // *longer* than the cold start.
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm restart from the answer took {} rounds vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for (a, b) in warm.phi.iter().zip(&cold.phi) {
+            assert!((a - b).abs() < 1e-5, "warm {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn warm_start_zero_entry_seed_matches_cold() {
+        // Regression (streaming warm-start degeneracy): `spmv_transpose`
+        // skips exact-zero input entries, so an all-zero warm seed produced
+        // a zero iterate and the uniform *fallback* outcome — while the cold
+        // path on the same healthy P converges normally. Sanitization must
+        // make the two paths agree.
+        let p = transition_matrix(&fig1(), 0.85);
+        let cold = stationary_distribution_checked(&p);
+        assert!(cold.converged && !cold.fallback);
+        let warm = stationary_distribution_warm(&p, &vec![0.0; p.rows()]);
+        assert!(!warm.fallback, "an all-zero seed must not poison a healthy P");
+        assert!(warm.converged);
+        assert_eq!(warm.phi, cold.phi, "sanitized all-zero seed degrades to the uniform start");
+        // Non-finite and negative seeds degrade the same way.
+        for bad in [f32::NAN, f32::INFINITY, -1.0] {
+            let out = stationary_distribution_warm(&p, &vec![bad; p.rows()]);
+            assert_eq!(out.phi, cold.phi);
+        }
+    }
+
+    #[test]
+    fn warm_start_boundary_seed_falls_back_to_cold_on_periodic_p() {
+        // P = [[0,1],[1,0]] is periodic: from the simplex boundary seed
+        // (1, 0) the raw iterate oscillates forever between the two corners
+        // and never converges — before the fix, the warm path returned a
+        // seed-dependent corner while the cold path (uniform start) lands
+        // exactly on the stationary (0.5, 0.5) in one round. The checked
+        // fallback must hand back the cold answer.
+        let mut p = Matrix::zeros(2, 2);
+        p[(0, 1)] = 1.0;
+        p[(1, 0)] = 1.0;
+        let cold = stationary_distribution_checked(&p);
+        assert!(cold.converged);
+        assert_eq!(cold.phi, vec![0.5, 0.5]);
+        let warm = stationary_distribution_warm(&p, &[1.0, 0.0]);
+        assert!(warm.converged, "fallback must report the cold outcome");
+        assert_eq!(warm.phi, cold.phi, "seed corner must not leak into the result");
+        assert!(
+            warm.iterations > cold.iterations,
+            "the failed warm attempt is charged to the iteration count"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 mod digraph;
+pub mod incremental;
 pub mod laplacian;
 pub mod walks;
 
@@ -36,4 +37,5 @@ pub mod walks;
 // operators; re-exported here for the adjacency-traversal call sites.
 pub use cascn_tensor::{Csr, SparseOp};
 pub use digraph::DiGraph;
+pub use incremental::IncrementalSpectral;
 pub use laplacian::SpectralBasis;

@@ -248,6 +248,56 @@ impl BasisCache {
         }
     }
 
+    /// Publishes a precomputed basis for `(cascade, window)`, replacing any
+    /// occupant of the slot — the seeding path of `POST /observe`, which has
+    /// just advanced a live cascade's operator incrementally and wants the
+    /// next `/predict` on the same content to hit instead of recomputing.
+    /// Counted as neither hit nor miss; evicts LRU at capacity like a miss.
+    pub fn put(&self, cascade: &Cascade, window: f64, basis: SpectralBasis) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key: Key = (cascade_key(cascade), window.to_bits());
+        let basis = Arc::new(basis);
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        match entries.binary_search_by_key(&key, |e| e.key) {
+            Ok(idx) => {
+                let entry = &mut entries[idx];
+                if !same_cascade(&entry.cascade, cascade) {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                    entry.cascade = cascade.clone();
+                }
+                entry.basis = basis;
+                entry.last_used.store(now, Ordering::Relaxed);
+                entry.warm = false;
+            }
+            Err(_) => {
+                if entries.len() >= self.capacity {
+                    if let Some(victim) = (0..entries.len())
+                        .min_by_key(|&i| (entries[i].last_used.load(Ordering::Relaxed), entries[i].key))
+                    {
+                        entries.remove(victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let at = entries
+                    .binary_search_by_key(&key, |e| e.key)
+                    .unwrap_or_else(|at| at);
+                entries.insert(
+                    at,
+                    Entry {
+                        key,
+                        cascade: cascade.clone(),
+                        basis,
+                        last_used: AtomicU64::new(now),
+                        warm: false,
+                    },
+                );
+            }
+        }
+    }
+
     /// Current counters and an estimate of resident bytes.
     pub fn stats(&self) -> CacheStats {
         let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
@@ -431,6 +481,29 @@ mod tests {
         assert_eq!(restored.stats().warm_hits, 1);
         // A recomputed slot loses its warm flag.
         let _ = restored.get_or_insert_with(&cas(9, 1), 1.0, || tiny_basis(9.0));
+    }
+
+    #[test]
+    fn put_seeds_the_slot_a_later_lookup_hits() {
+        let cache = BasisCache::new(2);
+        let c = cas(4, 2);
+        cache.put(&c, 25.0, tiny_basis(4.0));
+        let got = cache.get_or_insert_with(&c, 25.0, || panic!("seeded entry must hit"));
+        assert_eq!(got.lambda_max, 2.0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 0, 1));
+        // Re-putting the same key replaces the basis in place.
+        cache.put(&c, 25.0, tiny_basis(5.0));
+        assert_eq!(cache.stats().entries, 1);
+        // Puts respect capacity with LRU eviction.
+        cache.put(&cas(5, 1), 25.0, tiny_basis(5.0));
+        cache.put(&cas(6, 1), 25.0, tiny_basis(6.0));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // Zero capacity: put is a no-op.
+        let off = BasisCache::new(0);
+        off.put(&c, 25.0, tiny_basis(1.0));
+        assert_eq!(off.stats().entries, 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod batch;
 pub mod cache;
 pub mod http;
+pub mod live;
 pub mod metrics;
 pub mod persist;
 pub mod registry;
@@ -51,9 +52,12 @@ pub mod supervisor;
 
 pub use batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
 pub use cache::{BasisCache, CacheStats};
+pub use live::{LiveRegistry, LiveStats, ObserveError, ObserveOutcome};
 pub use metrics::{RouterMetrics, ServeMetrics};
 pub use persist::{basis_fingerprint, load_snapshot, save_snapshot, SnapshotError};
 pub use registry::{LoadedModel, ModelRegistry};
-pub use router::{ReplicaSet, ReplicaState, ReplicaView, Router, RouterConfig};
+pub use router::{
+    observe_fingerprint, ReplicaSet, ReplicaState, ReplicaView, Router, RouterConfig,
+};
 pub use server::{Server, ServerConfig};
 pub use supervisor::{ReplicaCommand, Supervisor, SupervisorConfig};

@@ -33,19 +33,21 @@ fn usage_and_exit() -> ! {
          USAGE:\n  cascn-serve --model CKPT [--addr HOST:PORT] [--window SECS]\n    \
          [--hidden H] [--max-nodes N] [--max-steps N] [--seed S]\n    \
          [--workers N] [--threads N] [--max-batch N] [--max-queue N]\n    \
-         [--max-body-bytes N] [--cache-capacity N] [--read-timeout-ms N]\n    \
-         [--snapshot PATH] [--snapshot-interval-ms N]\n\n\
+         [--max-body-bytes N] [--cache-capacity N] [--live-capacity N]\n    \
+         [--read-timeout-ms N] [--snapshot PATH] [--snapshot-interval-ms N]\n\n\
          --model CKPT: a `cascn train --checkpoint` v2 file\n\
          --addr: bind address (default 127.0.0.1:8077; port 0 = ephemeral)\n\
          --window: default prediction window when a request has no ?window=\n\
          --workers/--threads: connection workers / forward-pass fan-out (0 = all cores)\n\
          --max-batch/--max-queue: micro-batch size / shed bound, in cascades\n\
+         --live-capacity: resident streaming cascades for POST /observe (default 256; 0 = disabled)\n\
          --read-timeout-ms: slow/idle connections get 408 after this (default 5000; 0 = never)\n\
          --snapshot: spectral-cache snapshot file; warm-start from it at boot,\n    \
          save on POST /snapshot and at shutdown (corrupt file = cold start)\n\
          --snapshot-interval-ms: also save on this cadence (0 = on demand only)\n\n\
          ROUTES:\n  GET /healthz   GET /metrics\n  \
          POST /predict?window=SECS   (body: cascade text format)\n  \
+         POST /observe?window=SECS   (body: single-cascade suffix of adoption events)\n  \
          POST /reload   POST /snapshot   POST /shutdown"
     );
     exit(2);
@@ -106,6 +108,7 @@ fn run(flags: &Flags) -> Result<(), String> {
         max_queue: flags.parse_or("max-queue", 256)?,
         max_body_bytes: flags.parse_or("max-body-bytes", 1 << 20)?,
         cache_capacity: flags.parse_or("cache-capacity", 1024)?,
+        live_capacity: flags.parse_or("live-capacity", 256)?,
         default_window: flags.parse_or("window", 25.0)?,
         read_timeout: match flags.parse_or("read-timeout-ms", 5_000u64)? {
             0 => None,

@@ -117,8 +117,15 @@ pub struct ServeMetrics {
     pub snapshot_load_warm: AtomicU64,
     pub snapshot_load_cold_missing: AtomicU64,
     pub snapshot_load_cold_rejected: AtomicU64,
+    /// Adoption events accepted through `POST /observe`.
+    pub observe_events: AtomicU64,
+    /// Incremental spectral refreshes triggered by observed events and
+    /// window crossings (events beyond the window reuse state untouched).
+    pub observe_refreshes: AtomicU64,
     /// End-to-end `POST /predict` latency, microseconds.
     pub predict_latency_us: Histogram<LATENCY_BUCKETS>,
+    /// End-to-end `POST /observe` latency, microseconds.
+    pub observe_latency_us: Histogram<LATENCY_BUCKETS>,
     /// Cascades per executed micro-batch.
     pub batch_size: Histogram<BATCH_BUCKETS>,
 }
@@ -149,9 +156,10 @@ impl ServeMetrics {
         Self::default()
     }
 
-    /// Renders every metric as `cascn_*` plain-text lines. `cache` and
-    /// `model_version` are owned elsewhere and passed in for the snapshot.
-    pub fn render(&self, cache: &CacheStats, model_version: u64) -> String {
+    /// Renders every metric as `cascn_*` plain-text lines. `cache`, `live`
+    /// and `model_version` are owned elsewhere and passed in for the
+    /// snapshot.
+    pub fn render(&self, cache: &CacheStats, live: &crate::live::LiveStats, model_version: u64) -> String {
         let mut out = String::with_capacity(1024);
         fn line(out: &mut String, name: &str, value: impl std::fmt::Display) {
             let _ = writeln!(out, "{name} {value}");
@@ -213,6 +221,18 @@ impl ServeMetrics {
         line(&mut out, "cascn_spectral_cache_bytes", cache.approx_bytes);
         line(&mut out, "cascn_spectral_cache_hit_rate", format!("{:.4}", cache.hit_rate()));
 
+        line(&mut out, "cascn_observe_events_total", self.observe_events.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "cascn_observe_refreshes_total",
+            self.observe_refreshes.load(Ordering::Relaxed),
+        );
+        line(&mut out, "cascn_live_cascades", live.entries);
+        line(&mut out, "cascn_live_events", live.events);
+        line(&mut out, "cascn_live_evictions_total", live.evictions);
+        line(&mut out, "cascn_live_warm_fallbacks_total", live.warm_fallbacks);
+        line(&mut out, "cascn_live_bytes", live.approx_bytes);
+
         render_histogram(&mut out, "cascn_predict_latency_us", &self.predict_latency_us);
         for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
             let _ = writeln!(
@@ -222,6 +242,7 @@ impl ServeMetrics {
             );
         }
 
+        render_histogram(&mut out, "cascn_observe_latency_us", &self.observe_latency_us);
         render_histogram(&mut out, "cascn_batch_size", &self.batch_size);
 
         out
@@ -359,6 +380,9 @@ mod tests {
         m.predict_latency_us.record(100);
         m.batch_size.record(4);
         m.snapshot_load_warm.fetch_add(1, Ordering::Relaxed);
+        m.observe_events.fetch_add(6, Ordering::Relaxed);
+        m.observe_refreshes.fetch_add(4, Ordering::Relaxed);
+        m.observe_latency_us.record(50);
         let cache = CacheStats {
             hits: 9,
             misses: 1,
@@ -369,8 +393,23 @@ mod tests {
             warm_entries: 1,
             approx_bytes: 64,
         };
-        let text = m.render(&cache, 2);
+        let live = crate::live::LiveStats {
+            entries: 2,
+            evictions: 1,
+            events: 11,
+            warm_fallbacks: 0,
+            approx_bytes: 256,
+        };
+        let text = m.render(&cache, &live, 2);
         for needle in [
+            "cascn_observe_events_total 6",
+            "cascn_observe_refreshes_total 4",
+            "cascn_live_cascades 2",
+            "cascn_live_events 11",
+            "cascn_live_evictions_total 1",
+            "cascn_live_warm_fallbacks_total 0",
+            "cascn_live_bytes 256",
+            "cascn_observe_latency_us_count 1",
             "cascn_model_version 2",
             "cascn_requests_total{class=\"ok\"} 3",
             "cascn_connections_timed_out_total 0",
@@ -410,7 +449,7 @@ mod tests {
             warm_entries: 0,
             approx_bytes: 0,
         };
-        let text = m.render(&cache, 1);
+        let text = m.render(&cache, &crate::live::LiveStats::default(), 1);
         // The two 1µs samples sit in the first bucket (le="1"); the 100µs
         // sample lands in [64, 127]. Every bucket from there up, and
         // +Inf, must carry the full cumulative count — the Prometheus

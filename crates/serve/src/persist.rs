@@ -30,11 +30,15 @@ use cascn_cascades::{Cascade, Event};
 use cascn_graph::SpectralBasis;
 use cascn_tensor::{Csr, SparseOp};
 
-/// First line of every snapshot file. v2 stores the sparse operator form
-/// of each basis (CSR core + optional rank-1 teleport term) instead of the
-/// materialized dense Chebyshev matrices v1 carried; v1 snapshots are
-/// rejected as [`SnapshotError::VersionSkew`] and cold-start cleanly.
-pub const SNAPSHOT_HEADER: &str = "# cascn spectral cache snapshot v2";
+/// First line of every snapshot file. v3 appends a live-cascade section
+/// (the streaming `/observe` registry: each resident cascade and its
+/// window) after the cache entries; the incremental operator state itself
+/// is derived, not persisted, and is rebuilt cold on restore. v2 stored
+/// the sparse operator form of each basis (CSR core + optional rank-1
+/// teleport term) instead of the materialized dense Chebyshev matrices v1
+/// carried. Older versions are rejected as [`SnapshotError::VersionSkew`]
+/// and cold-start cleanly.
+pub const SNAPSHOT_HEADER: &str = "# cascn spectral cache snapshot v3";
 const CHECKSUM_PREFIX: &str = "# checksum fnv1a64 ";
 
 /// Version of the spectral *compute kernel* whose outputs populate the
@@ -46,6 +50,10 @@ pub const SPECTRAL_KERNEL_VERSION: u32 = 2;
 
 /// One restored cache entry: the cascade, its window, and the basis.
 pub type SnapshotEntry = (Cascade, f64, SpectralBasis);
+
+/// One restored live-registry entry: the growing cascade and the window
+/// its spectral state is maintained at.
+pub type LiveSnapshotEntry = (Cascade, f64);
 
 /// Why a snapshot was rejected. Every variant cold-starts the cache; none
 /// of them is a panic.
@@ -108,40 +116,59 @@ pub fn basis_fingerprint(cfg: &CascnConfig) -> u64 {
     fnv1a64(&bytes)
 }
 
-/// Serializes exported cache entries into snapshot text, footer included.
-pub fn snapshot_to_text(entries: &[(Cascade, f64, Arc<SpectralBasis>)], basis_fp: u64) -> String {
+/// Serializes exported cache entries plus the live-cascade registry into
+/// snapshot text, footer included.
+pub fn snapshot_to_text(
+    entries: &[(Cascade, f64, Arc<SpectralBasis>)],
+    live: &[LiveSnapshotEntry],
+    basis_fp: u64,
+) -> String {
     use std::fmt::Write as _;
-    let mut out = String::with_capacity(256 + entries.len() * 512);
+    let mut out = String::with_capacity(256 + entries.len() * 512 + live.len() * 128);
     let _ = writeln!(out, "{SNAPSHOT_HEADER}");
     let _ = writeln!(out, "basis_fp {basis_fp:016x}");
     let _ = writeln!(out, "entries {}", entries.len());
     for (cascade, window, basis) in entries {
         let _ = writeln!(out, "entry {:016x}", window.to_bits());
-        let _ = writeln!(out, "cascade {} {:?} {}", cascade.id, cascade.start_time, cascade.events.len());
-        for e in &cascade.events {
-            let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
-            let _ = writeln!(out, "event {} {parent} {:?}", e.user, e.time);
-        }
+        write_cascade(&mut out, cascade);
         write_basis(&mut out, basis);
+    }
+    let _ = writeln!(out, "live {}", live.len());
+    for (cascade, window) in live {
+        let _ = writeln!(out, "entry {:016x}", window.to_bits());
+        write_cascade(&mut out, cascade);
     }
     let checksum = fnv1a64(out.as_bytes());
     let _ = writeln!(out, "{CHECKSUM_PREFIX}{checksum:016x}");
     out
 }
 
-/// Atomically writes a snapshot of `entries` to `path`.
+fn write_cascade(out: &mut String, cascade: &Cascade) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "cascade {} {:?} {}", cascade.id, cascade.start_time, cascade.events.len());
+    for e in &cascade.events {
+        let parent = e.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+        let _ = writeln!(out, "event {} {parent} {:?}", e.user, e.time);
+    }
+}
+
+/// Atomically writes a snapshot of `entries` and `live` to `path`.
 pub fn save_snapshot(
     path: &Path,
     entries: &[(Cascade, f64, Arc<SpectralBasis>)],
+    live: &[LiveSnapshotEntry],
     basis_fp: u64,
 ) -> std::io::Result<()> {
-    atomic_write(path, snapshot_to_text(entries, basis_fp).as_bytes())
+    atomic_write(path, snapshot_to_text(entries, live, basis_fp).as_bytes())
 }
 
 /// Parses snapshot text, verifying the checksum footer *first* and then
 /// the version header and basis fingerprint, so no corrupt or foreign
 /// content is ever interpreted as cache state.
-pub fn snapshot_from_text(text: &str, expected_fp: u64) -> Result<Vec<SnapshotEntry>, SnapshotError> {
+pub fn snapshot_from_text(
+    text: &str,
+    expected_fp: u64,
+) -> Result<(Vec<SnapshotEntry>, Vec<LiveSnapshotEntry>), SnapshotError> {
     let body = verify_checksum(text)?;
     let mut lines = body.lines();
     let header = lines.next().unwrap_or_default();
@@ -170,10 +197,23 @@ pub fn snapshot_from_text(text: &str, expected_fp: u64) -> Result<Vec<SnapshotEn
             SnapshotError::Malformed(format!("entry {i}: {m}"))
         })?);
     }
+    let live_count: usize = match lines.next().and_then(|l| l.strip_prefix("live ")) {
+        Some(n) => n
+            .trim()
+            .parse()
+            .map_err(|_| SnapshotError::Malformed(format!("bad live count `{n}`")))?,
+        None => return Err(SnapshotError::Malformed("missing live section".into())),
+    };
+    let mut live = Vec::with_capacity(live_count);
+    for i in 0..live_count {
+        live.push(read_live_entry(&mut lines).map_err(|m| {
+            SnapshotError::Malformed(format!("live entry {i}: {m}"))
+        })?);
+    }
     if lines.next().is_some() {
         return Err(SnapshotError::Malformed("trailing content after last entry".into()));
     }
-    Ok(out)
+    Ok((out, live))
 }
 
 /// Loads a snapshot file. `Ok(None)` means the file does not exist (a
@@ -181,7 +221,7 @@ pub fn snapshot_from_text(text: &str, expected_fp: u64) -> Result<Vec<SnapshotEn
 pub fn load_snapshot(
     path: &Path,
     expected_fp: u64,
-) -> Result<Option<Vec<SnapshotEntry>>, SnapshotError> {
+) -> Result<Option<(Vec<SnapshotEntry>, Vec<LiveSnapshotEntry>)>, SnapshotError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -245,7 +285,11 @@ fn join_floats(xs: &[f32]) -> String {
     parts.join(" ")
 }
 
-fn read_entry<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<SnapshotEntry, String> {
+/// Reads one `entry` line plus its cascade block — the whole of a live
+/// entry, and the front half of a cache entry.
+fn read_live_entry<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+) -> Result<LiveSnapshotEntry, String> {
     let entry_line = lines.next().ok_or("missing entry line")?;
     let window_bits = entry_line
         .strip_prefix("entry ")
@@ -284,7 +328,11 @@ fn read_entry<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<SnapshotE
     // file from panicking the server.
     let cascade = Cascade::try_new(id, start_time, events)
         .map_err(|fault| format!("invalid cascade {id}: {fault}"))?;
+    Ok((cascade, window))
+}
 
+fn read_entry<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<SnapshotEntry, String> {
+    let (cascade, window) = read_live_entry(lines)?;
     let basis_line = lines.next().ok_or("missing basis line")?;
     let t: Vec<&str> = basis_line.split_whitespace().collect();
     let (lambda_max, n, k, has_rank1): (f32, usize, usize, usize) = match t.as_slice() {
@@ -435,8 +483,9 @@ mod tests {
         let (cache, cascades) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
         let exported = cache.export();
-        let text = snapshot_to_text(&exported, fp);
-        let restored = snapshot_from_text(&text, fp).expect("clean snapshot loads");
+        let text = snapshot_to_text(&exported, &[], fp);
+        let (restored, live) = snapshot_from_text(&text, fp).expect("clean snapshot loads");
+        assert!(live.is_empty());
         assert_eq!(restored.len(), cascades.len());
         for ((c0, w0, b0), (c1, w1, b1)) in exported.iter().zip(&restored) {
             assert_eq!(c0.id, c1.id);
@@ -458,6 +507,34 @@ mod tests {
     }
 
     #[test]
+    fn live_cascades_round_trip_with_the_cache() {
+        let (cache, _) = warmed_cache();
+        let fp = basis_fingerprint(&cfg());
+        let live: Vec<LiveSnapshotEntry> = vec![(cas(9, 3), 25.0), (cas(10, 1), 50.0)];
+        let text = snapshot_to_text(&cache.export(), &live, fp);
+        let (entries, restored) = snapshot_from_text(&text, fp).expect("clean snapshot loads");
+        assert_eq!(entries.len(), 3);
+        assert_eq!(restored.len(), live.len());
+        for ((c0, w0), (c1, w1)) in live.iter().zip(&restored) {
+            assert_eq!(c0.id, c1.id);
+            assert_eq!(c0.start_time.to_bits(), c1.start_time.to_bits());
+            assert_eq!(w0.to_bits(), w1.to_bits());
+            assert_eq!(c0.events.len(), c1.events.len());
+            for (e0, e1) in c0.events.iter().zip(&c1.events) {
+                assert_eq!(e0.user, e1.user);
+                assert_eq!(e0.parent, e1.parent);
+                assert_eq!(e0.time.to_bits(), e1.time.to_bits());
+            }
+        }
+        // A live entry violating cascade invariants (events out of order)
+        // must reject the whole snapshot, not panic or half-load.
+        let mut bad = cas(11, 2);
+        bad.events[1].time = -5.0;
+        let bad_text = snapshot_to_text(&[], &[(bad, 25.0)], fp);
+        assert!(matches!(snapshot_from_text(&bad_text, fp), Err(SnapshotError::Malformed { .. })));
+    }
+
+    #[test]
     fn non_finite_floats_survive_the_text_format() {
         use cascn_tensor::Matrix;
         let csr = Csr::from_dense(&Matrix::from_vec(
@@ -471,8 +548,8 @@ mod tests {
         );
         let basis = SpectralBasis::from_parts(2.0, 1, Arc::new(op));
         let entries = vec![(cas(1, 0), 25.0, Arc::new(basis))];
-        let text = snapshot_to_text(&entries, 7);
-        let restored = snapshot_from_text(&text, 7).expect("loads");
+        let text = snapshot_to_text(&entries, &[], 7);
+        let (restored, _) = snapshot_from_text(&text, 7).expect("loads");
         let op = &restored[0].2.op;
         assert!(op.csr().row(0)[0].1.is_nan());
         assert_eq!(op.csr().row(1)[0].1, f32::INFINITY);
@@ -489,7 +566,7 @@ mod tests {
         // must fail as Malformed — never trip Csr::from_rows assertions.
         let (cache, _) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
-        let text = snapshot_to_text(&cache.export(), fp);
+        let text = snapshot_to_text(&cache.export(), &[], fp);
         for (needle, bad) in [(" 0:", " 9:"), ("row 2 ", "row 2 1:0.5 1:0.5 ")] {
             let Some(pos) = text.find(needle) else { continue };
             let mut hacked = text.clone();
@@ -512,7 +589,7 @@ mod tests {
     fn truncated_snapshot_cold_starts() {
         let (cache, _) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
-        let text = snapshot_to_text(&cache.export(), fp);
+        let text = snapshot_to_text(&cache.export(), &[], fp);
         // Every truncation point must fail cleanly — never panic, never
         // produce entries.
         for keep in [0, 1, text.len() / 4, text.len() / 2, text.len() - 2] {
@@ -529,7 +606,7 @@ mod tests {
     fn flipped_bit_fails_the_checksum() {
         let (cache, _) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
-        let text = snapshot_to_text(&cache.export(), fp);
+        let text = snapshot_to_text(&cache.export(), &[], fp);
         let mut bytes = text.clone().into_bytes();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
@@ -544,8 +621,8 @@ mod tests {
     fn version_skew_is_rejected_before_any_entry_parses() {
         let (cache, _) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
-        let text = snapshot_to_text(&cache.export(), fp);
-        let skewed = text.replace("snapshot v2", "snapshot v9");
+        let text = snapshot_to_text(&cache.export(), &[], fp);
+        let skewed = text.replace("snapshot v3", "snapshot v9");
         // Re-checksum so only the version differs.
         let body_end = skewed.rfind(CHECKSUM_PREFIX).unwrap();
         let body = &skewed[..body_end];
@@ -560,7 +637,7 @@ mod tests {
     fn foreign_basis_fingerprint_is_refused_wholesale() {
         let (cache, _) = warmed_cache();
         let fp = basis_fingerprint(&cfg());
-        let text = snapshot_to_text(&cache.export(), fp);
+        let text = snapshot_to_text(&cache.export(), &[], fp);
         // A server with a different Chebyshev order must not accept it.
         let other = basis_fingerprint(&CascnConfig { k: 3, ..cfg() });
         assert_ne!(fp, other, "distinct configs get distinct fingerprints");
@@ -580,8 +657,8 @@ mod tests {
         assert_eq!(load_snapshot(&path, fp), Ok(None), "missing file is not an error");
 
         let (cache, cascades) = warmed_cache();
-        save_snapshot(&path, &cache.export(), fp).expect("save succeeds");
-        let restored = load_snapshot(&path, fp).expect("loads").expect("present");
+        save_snapshot(&path, &cache.export(), &[], fp).expect("save succeeds");
+        let (restored, _) = load_snapshot(&path, fp).expect("loads").expect("present");
         assert_eq!(restored.len(), cascades.len());
 
         // A snapshot truncated on disk (crash mid-rewrite simulated by a

@@ -10,6 +10,10 @@
 //!   random weight) hashing over that fingerprint, so identical payloads
 //!   always land on the same replica — maximizing its spectral-cache
 //!   affinity — while losing a replica only remaps the keys it owned.
+//!   `POST /observe` routes by cascade *identity* (id + start time) rather
+//!   than content, so every append in a cascade's lifetime reaches the one
+//!   replica holding its live incremental state; appends are not
+//!   idempotent, so observe never fails over to a different replica.
 //! - **Failover** — a connect or read failure against the chosen replica
 //!   is retried against the next replica in rendezvous order, with
 //!   jittered exponential backoff between attempts, a bounded attempt
@@ -37,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cascn::resolve_threads;
-use cascn_cascades::stream::{parse_cascades, StreamLimits};
+use cascn_cascades::stream::{parse_cascades, parse_observe_body, StreamLimits};
 
 use crate::cache::cascade_key;
 use crate::http::{read_request, write_response, ParseError, Request};
@@ -675,6 +679,7 @@ fn respond(req: &Request, ctx: &RouterCtx<'_>, writer: &mut impl io::Write) -> b
             write_response(writer, 200, "OK", &[], &body, keep).is_ok()
         }
         ("POST", "/predict") => route_predict(req, ctx, writer),
+        ("POST", "/observe") => route_observe(req, ctx, writer),
         // Fleet-wide fan-out: reload / snapshot every replica that has an
         // address, reporting per-replica outcomes.
         ("POST", "/reload") | ("POST", "/snapshot") => fan_out(req.path.as_str(), ctx, writer, keep),
@@ -737,6 +742,99 @@ fn ensure_newline(s: &str) -> String {
         s.to_string()
     } else {
         format!("{s}\n")
+    }
+}
+
+/// The placement fingerprint for a live cascade: identity only (id plus
+/// start-time bits), never content, so a cascade keeps routing to the same
+/// replica as it grows event by event.
+pub fn observe_fingerprint(id: u64, start_time: f64) -> u64 {
+    payload_fingerprint([id, start_time.to_bits()])
+}
+
+/// `POST /observe`: identity fingerprint → rendezvous owner → one attempt.
+///
+/// Unlike `/predict` there is no failover walk: an append applied by one
+/// replica and retried against another would fork the live cascade (the
+/// second replica either rejects the suffix or rebuilds divergent state),
+/// and a transport error after the bytes left gives no way to know whether
+/// the first replica applied them. So the router relays the owner's answer
+/// — or its failure — verbatim, and lets the client decide.
+fn route_observe(req: &Request, ctx: &RouterCtx<'_>, writer: &mut impl io::Write) -> bool {
+    let started = Instant::now();
+    let keep = req.keep_alive;
+    let m = ctx.metrics;
+
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+        return write_response(writer, 400, "Bad Request", &[], "request body is not utf-8\n", keep)
+            .is_ok();
+    };
+    // Same validator, same limits as the replicas: anything a replica
+    // would 400, the router 400s without burning a backend attempt.
+    let body = match parse_observe_body(text, ctx.config.limits) {
+        Ok(b) => b,
+        Err(e) => {
+            m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+            return write_response(
+                writer,
+                400,
+                "Bad Request",
+                &[],
+                &format!("invalid observe payload: {e}\n"),
+                keep,
+            )
+            .is_ok();
+        }
+    };
+
+    let fp = observe_fingerprint(body.id, body.start_time);
+    let order = route_order(fp, ctx.replicas.len());
+    let target = if req.query.is_empty() {
+        "/observe".to_string()
+    } else {
+        format!("/observe?{}", req.query)
+    };
+    let Some((idx, addr)) = order.iter().find_map(|&i| ctx.replicas.routable(i).map(|a| (i, a)))
+    else {
+        m.no_backend.fetch_add(1, Ordering::Relaxed);
+        return write_response(
+            writer,
+            503,
+            "Service Unavailable",
+            &[("Retry-After", "1")],
+            "no live replicas\n",
+            keep,
+        )
+        .is_ok();
+    };
+
+    match send_backend(&addr, "POST", &target, text, ctx.config.connect_timeout, ctx.config.deadline)
+    {
+        Ok(resp) => {
+            ctx.replicas.record_success(idx);
+            if resp.status == 200 {
+                m.requests_ok.fetch_add(1, Ordering::Relaxed);
+                let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                m.route_latency_us.record(us);
+            } else {
+                m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+            }
+            relay(writer, &resp, keep)
+        }
+        Err(e) => {
+            ctx.replicas.record_failure(idx);
+            m.requests_shed.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                writer,
+                502,
+                "Bad Gateway",
+                &[],
+                &format!("observe owner replica {idx} unreachable: {e}\n"),
+                keep,
+            )
+            .is_ok()
+        }
     }
 }
 
@@ -924,6 +1022,17 @@ mod tests {
         assert_eq!(payload_fingerprint([1, 2]), payload_fingerprint([1, 2]));
         assert_ne!(payload_fingerprint([1, 2]), payload_fingerprint([2, 1]));
         assert_ne!(payload_fingerprint([1]), payload_fingerprint([1, 1]));
+    }
+
+    #[test]
+    fn observe_affinity_is_identity_not_content() {
+        // The same cascade keeps its rendezvous owner as it grows: the
+        // fingerprint depends only on (id, start time), never on events.
+        let fp = observe_fingerprint(42, 1.5);
+        assert_eq!(fp, observe_fingerprint(42, 1.5));
+        assert_eq!(route_order(fp, 5), route_order(observe_fingerprint(42, 1.5), 5));
+        assert_ne!(fp, observe_fingerprint(43, 1.5));
+        assert_ne!(fp, observe_fingerprint(42, 2.5));
     }
 
     #[test]

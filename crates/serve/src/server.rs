@@ -14,6 +14,8 @@
 //! | `GET /healthz`             | liveness probe                             |
 //! | `GET /metrics`             | plain-text counters and histograms         |
 //! | `POST /predict?window=W`   | cascade text body → `prediction <id> <ŷ>`  |
+//! | `POST /observe?window=W`   | append events to a live cascade, keep its  |
+//! |                            | incremental spectral basis warm            |
 //! | `POST /reload`             | re-read the checkpoint, bump the version   |
 //! | `POST /snapshot`           | persist the spectral cache to disk now     |
 //! | `POST /shutdown`           | graceful stop (also saves a snapshot)      |
@@ -31,11 +33,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cascn::resolve_threads;
-use cascn_cascades::stream::{parse_cascades, StreamLimits};
+use cascn_cascades::stream::{parse_cascades, parse_observe_body, StreamLimits};
 
 use crate::batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
 use crate::cache::BasisCache;
 use crate::http::{read_request, write_response, ParseError, Request};
+use crate::live::{LiveRegistry, ObserveError};
 use crate::metrics::ServeMetrics;
 use crate::persist;
 use crate::registry::ModelRegistry;
@@ -82,6 +85,9 @@ pub struct ServerConfig {
     /// Cadence of the background snapshot saver. `None` = save only on
     /// demand and at shutdown.
     pub snapshot_interval: Option<Duration>,
+    /// Live-cascade registry capacity for `POST /observe` (`0` disables
+    /// streaming ingestion).
+    pub live_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +105,7 @@ impl Default for ServerConfig {
             limits: StreamLimits::default(),
             snapshot_path: None,
             snapshot_interval: None,
+            live_capacity: 256,
         }
     }
 }
@@ -160,6 +167,7 @@ pub struct Server {
     registry: Arc<ModelRegistry>,
     pub metrics: Arc<ServeMetrics>,
     pub cache: Arc<BasisCache>,
+    pub live: Arc<LiveRegistry>,
     batcher: Arc<Batcher>,
     snapshot: Option<SnapshotCtx>,
 }
@@ -172,11 +180,18 @@ struct SnapshotCtx {
 }
 
 impl SnapshotCtx {
-    /// Exports the cache and writes it atomically. Returns the number of
-    /// entries saved; every outcome is counted on `metrics`.
-    fn save(&self, cache: &BasisCache, metrics: &ServeMetrics) -> Result<usize, String> {
+    /// Exports the cache and the live registry and writes them atomically.
+    /// Returns the number of cache entries saved; every outcome is counted
+    /// on `metrics`.
+    fn save(
+        &self,
+        cache: &BasisCache,
+        live: &LiveRegistry,
+        metrics: &ServeMetrics,
+    ) -> Result<usize, String> {
         let entries = cache.export();
-        match persist::save_snapshot(&self.path, &entries, self.fp) {
+        let live_entries = live.export();
+        match persist::save_snapshot(&self.path, &entries, &live_entries, self.fp) {
             Ok(()) => {
                 metrics.snapshot_saves_ok.fetch_add(1, Ordering::Relaxed);
                 Ok(entries.len())
@@ -200,6 +215,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let batcher = Arc::new(Batcher::new(config.max_batch, config.max_queue));
         let cache = Arc::new(BasisCache::new(config.cache_capacity));
+        let live = Arc::new(LiveRegistry::new(config.live_capacity));
         let metrics = Arc::new(ServeMetrics::new());
         let snapshot = config.snapshot_path.clone().map(|path| SnapshotCtx {
             fp: persist::basis_fingerprint(registry.config()),
@@ -207,10 +223,14 @@ impl Server {
         });
         if let Some(snap) = &snapshot {
             match persist::load_snapshot(&snap.path, snap.fp) {
-                Ok(Some(entries)) => {
+                Ok(Some((entries, live_entries))) => {
                     let n = cache.seed(entries);
+                    let l = live.seed(live_entries, registry.config());
                     metrics.snapshot_load_warm.fetch_add(1, Ordering::Relaxed);
-                    eprintln!("snapshot: warm start, {n} entries from {}", snap.path.display());
+                    eprintln!(
+                        "snapshot: warm start, {n} entries + {l} live cascades from {}",
+                        snap.path.display()
+                    );
                 }
                 Ok(None) => {
                     metrics.snapshot_load_cold_missing.fetch_add(1, Ordering::Relaxed);
@@ -225,6 +245,7 @@ impl Server {
             listener,
             local_addr,
             cache,
+            live,
             metrics,
             batcher,
             registry: Arc::new(registry),
@@ -256,6 +277,7 @@ impl Server {
             registry,
             metrics,
             cache,
+            live,
             batcher,
             snapshot,
         } = self;
@@ -265,12 +287,12 @@ impl Server {
             if let (Some(snap), Some(interval)) = (&snapshot, config.snapshot_interval) {
                 // Periodic saver: bounds how much warmth a crash can lose
                 // to one interval. The latch makes shutdown immediate.
-                let (stop, cache, metrics) = (&stop, &cache, &metrics);
+                let (stop, cache, live, metrics) = (&stop, &cache, &live, &metrics);
                 s.spawn(move || loop {
                     if stop.wait(interval) {
                         return;
                     }
-                    if let Err(e) = snap.save(cache, metrics) {
+                    if let Err(e) = snap.save(cache, live, metrics) {
                         eprintln!("snapshot: {e}");
                     }
                 });
@@ -283,6 +305,7 @@ impl Server {
                             registry: &registry,
                             metrics: &metrics,
                             cache: &cache,
+                            live: &live,
                             batcher: &batcher,
                             running: &running,
                             snapshot: snapshot.as_ref(),
@@ -321,7 +344,7 @@ impl Server {
             // Final save: a graceful shutdown leaves the warmest possible
             // snapshot for the next start.
             if let Some(snap) = &snapshot {
-                if let Err(e) = snap.save(&cache, &metrics) {
+                if let Err(e) = snap.save(&cache, &live, &metrics) {
                     eprintln!("snapshot: {e}");
                 }
             }
@@ -336,6 +359,7 @@ struct HandlerCtx<'a> {
     registry: &'a ModelRegistry,
     metrics: &'a ServeMetrics,
     cache: &'a BasisCache,
+    live: &'a LiveRegistry,
     batcher: &'a Batcher,
     running: &'a AtomicBool,
     snapshot: Option<&'a SnapshotCtx>,
@@ -394,7 +418,7 @@ fn respond(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> 
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ok(writer, "ok\n", m),
         ("GET", "/metrics") => {
-            let body = m.render(&ctx.cache.stats(), ctx.registry.version());
+            let body = m.render(&ctx.cache.stats(), &ctx.live.stats(), ctx.registry.version());
             ok(writer, &body, m)
         }
         ("POST", "/reload") => match ctx.registry.reload() {
@@ -415,7 +439,7 @@ fn respond(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> 
                 write_response(writer, 400, "Bad Request", &[], "snapshot persistence not configured (start with --snapshot PATH)\n", keep)
                     .is_ok()
             }
-            Some(snap) => match snap.save(ctx.cache, m) {
+            Some(snap) => match snap.save(ctx.cache, ctx.live, m) {
                 Ok(n) => ok(writer, &format!("snapshot saved: {n} entries\n"), m),
                 Err(e) => {
                     write_response(writer, 500, "Internal Server Error", &[], &format!("{e}\n"), keep)
@@ -425,6 +449,7 @@ fn respond(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> 
         },
         ("POST", "/shutdown") => ok(writer, "shutting down\n", m),
         ("POST", "/predict") => respond_predict(req, ctx, writer),
+        ("POST", "/observe") => respond_observe(req, ctx, writer),
         _ => {
             m.requests_client_error.fetch_add(1, Ordering::Relaxed);
             write_response(
@@ -499,6 +524,76 @@ fn respond_predict(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Wr
         Err(reason) => {
             write_response(writer, 503, "Service Unavailable", &[], &format!("{reason}\n"), keep).is_ok()
         }
+    }
+}
+
+/// `POST /observe`: append adoption events to a server-resident cascade.
+///
+/// The body is a single-cascade suffix (see [`parse_observe_body`]); the
+/// registry keeps its incremental spectral state warm, so the follow-up
+/// `/predict` for the same content hits the basis cache instead of paying
+/// a cold preprocessing pass.
+fn respond_observe(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> bool {
+    let started = Instant::now();
+    let keep = req.keep_alive;
+    let m = ctx.metrics;
+    let fail = |w: &mut dyn io::Write, body: String, m: &ServeMetrics| {
+        m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+        write_response(w, 400, "Bad Request", &[], &body, keep).is_ok()
+    };
+
+    let window = match req.query_param("window") {
+        None => ctx.config.default_window,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(w) if w.is_finite() && w > 0.0 => w,
+            _ => return fail(writer, format!("invalid window `{raw}`\n"), m),
+        },
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return fail(writer, "request body is not utf-8\n".into(), m);
+    };
+    let body = match parse_observe_body(text, ctx.config.limits) {
+        Ok(b) => b,
+        Err(e) => return fail(writer, format!("invalid observe payload: {e}\n"), m),
+    };
+    match ctx.live.observe(&body, window, ctx.registry.config()) {
+        Ok(out) => {
+            // Seed the basis cache so an immediate `/predict` carrying the
+            // same full cascade content reuses the warm incremental basis.
+            ctx.cache.put(&out.cascade, out.window, out.basis);
+            m.observe_events.fetch_add(out.appended as u64, Ordering::Relaxed);
+            if out.refreshed > 0 {
+                m.observe_refreshes.fetch_add(out.refreshed as u64, Ordering::Relaxed);
+            }
+            m.requests_ok.fetch_add(1, Ordering::Relaxed);
+            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            m.observe_latency_us.record(us);
+            let reply = format!(
+                "observed {} size {} nodes {} appended {} refreshed {} created {}\n",
+                body.id,
+                out.cascade.final_size(),
+                out.num_nodes,
+                out.appended,
+                out.refreshed,
+                out.created,
+            );
+            write_response(writer, 200, "OK", &[], &reply, keep).is_ok()
+        }
+        Err(ObserveError::Disabled) => {
+            // Shed like an overloaded `/predict`: streaming is off, the
+            // client should fall back to one-shot prediction.
+            m.requests_shed.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                writer,
+                503,
+                "Service Unavailable",
+                &[("Retry-After", "1")],
+                "streaming ingestion disabled (start with --live-capacity N)\n",
+                keep,
+            )
+            .is_ok()
+        }
+        Err(e) => fail(writer, format!("observe rejected: {e}\n"), m),
     }
 }
 

@@ -339,6 +339,79 @@ fn slow_and_idle_clients_time_out_and_never_block_shutdown() {
     drop(idle);
 }
 
+/// One `POST /observe` over its own connection.
+fn observe(addr: std::net::SocketAddr, body: &str, window: f64) -> (u16, String) {
+    let raw = format!(
+        "POST /observe?window={window} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_request(addr, &raw)
+}
+
+#[test]
+fn observe_stream_then_predict_matches_one_shot() {
+    let e = env();
+    let h = start_server(ServerConfig::default());
+    let c = e
+        .dataset
+        .cascades
+        .iter()
+        .find(|c| c.events.len() >= 5)
+        .expect("dataset has a cascade with at least 5 events");
+
+    // Register with the first two events, then stream the rest one at a time.
+    let serialize = |events: &[cascn_cascades::Event]| {
+        let mut s = format!("cascade {} {}\n", c.id, c.start_time);
+        for ev in events {
+            let parent = ev.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+            s.push_str(&format!("event {} {parent} {}\n", ev.user, ev.time));
+        }
+        s
+    };
+    let (status, body) = observe(h.addr, &serialize(&c.events[..2]), WINDOW);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("created true"), "{body}");
+    for ev in &c.events[2..] {
+        let (status, body) = observe(h.addr, &serialize(std::slice::from_ref(ev)), WINDOW);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("created false"), "{body}");
+    }
+
+    // The incrementally maintained cascade must now serve the same bits as
+    // a one-shot prediction over the full payload.
+    let (status, served) = predict(h.addr, &body_for(std::slice::from_ref(c)), WINDOW);
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(served, expected_lines(std::slice::from_ref(c)));
+
+    // The predict above must have hit the observe-seeded basis cache, and
+    // the observe counters must be live on the scrape.
+    let (status, text) = raw_request(h.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(text.contains("cascn_spectral_cache_hits_total 1"), "{text}");
+    assert!(text.contains("cascn_live_cascades 1"), "{text}");
+    assert!(text.contains("cascn_observe_latency_us_count"), "{text}");
+}
+
+#[test]
+fn observe_rejects_bad_payloads_and_disabled_streaming() {
+    let h = start_server(ServerConfig::default());
+    // Suffix for a cascade the server has never seen.
+    let (status, body) = observe(h.addr, "cascade 999 0\nevent 5 0 1.0\n", WINDOW);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown live cascade"), "{body}");
+    // Malformed grammar: two cascade headers in one observe body.
+    let (status, body) =
+        observe(h.addr, "cascade 1 0\nevent 0 - 0\ncascade 2 0\nevent 0 - 0\n", WINDOW);
+    assert_eq!(status, 400, "{body}");
+    drop(h);
+
+    // With live capacity 0 the route sheds instead of failing requests.
+    let h = start_server(ServerConfig { live_capacity: 0, ..ServerConfig::default() });
+    let (status, body) = observe(h.addr, "cascade 1 0\nevent 0 - 0\n", WINDOW);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("disabled"), "{body}");
+}
+
 #[test]
 fn unknown_routes_get_404() {
     let h = start_server(ServerConfig::default());

@@ -56,6 +56,20 @@ http() { # METHOD PATH ADDR
     exec 3<&- 3>&-
 }
 
+# One POST with a body file; prints the raw response.
+http_body() { # PATH ADDR BODYFILE
+    local host=${2%:*} port=${2##*:} len
+    len=$(wc -c < "$3")
+    exec 3<> "/dev/tcp/$host/$port" || return 1
+    {
+        printf 'POST %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %s\r\n\r\n' \
+            "$1" "$len"
+        cat "$3"
+    } >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
 metric() { # NAME FILE — value of an exact-name metric line
     local esc
     # BRE-escape the metric name; braces and quotes are already literal.
@@ -101,10 +115,65 @@ done
 [ "${UP:-0}" -ge 3 ] || fail "replicas never came up (saw ${UP:-0}/3)"
 
 # 3. Warm phase: drive the tier through the router. The payload pool is
-#    small so rendezvous routing builds each replica's spectral cache.
+#    small so rendezvous routing builds each replica's spectral cache. A
+#    quarter of the requests are /observe registrations, so the streaming
+#    path is exercised through the router under concurrency.
 "$LOADGEN" --addr "$ADDR" --requests 120 --concurrency 4 --n-cascades 20 \
-    --window 3600 --seed 7 > "$TMP/warm.log" \
+    --window 3600 --seed 7 --observe-ratio 0.25 > "$TMP/warm.log" \
     || fail "warm-phase loadgen reported failures"
+grep -q '^observe: ' "$TMP/warm.log" || fail "loadgen printed no observe latency line"
+
+# 3b. Streaming parity through the router: observe → predict → observe →
+#     (window-crossing) refresh → predict. A cascade predicted before it
+#     existed as live state must serve the same prediction after being
+#     streamed in via /observe, and again after an append that crosses to
+#     a wider window. A predict that hits the observe-seeded basis reuses
+#     the incrementally maintained operator, which is held to the 5e-4
+#     parity gate rather than bit equality — so that is the bound here.
+within_gate() { # A B — |A-B| < 5e-4
+    awk -v a="$1" -v b="$2" 'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d < 5e-4) }'
+}
+{
+    echo "cascade 777 0"
+    echo "event 1 - 0"
+    echo "event 2 0 5"
+    echo "event 3 0 10"
+    echo "event 4 1 20"
+} > "$TMP/obs-full.txt"
+PRED_COLD=$(http_body "/predict?window=3600" "$ADDR" "$TMP/obs-full.txt" | sed -n 's/^prediction 777 //p')
+[ -n "$PRED_COLD" ] || fail "cold predict of the parity cascade returned nothing"
+head -n 3 "$TMP/obs-full.txt" > "$TMP/obs-prefix.txt"
+http_body "/observe?window=3600" "$ADDR" "$TMP/obs-prefix.txt" | grep -q '200 OK' \
+    || fail "observe registration through the router failed"
+{ head -n 1 "$TMP/obs-full.txt"; tail -n +4 "$TMP/obs-full.txt"; } > "$TMP/obs-suffix.txt"
+http_body "/observe?window=3600" "$ADDR" "$TMP/obs-suffix.txt" | grep -q '200 OK' \
+    || fail "observe append through the router failed"
+PRED_WARM=$(http_body "/predict?window=3600" "$ADDR" "$TMP/obs-full.txt" | sed -n 's/^prediction 777 //p')
+within_gate "$PRED_WARM" "$PRED_COLD" \
+    || fail "streamed cascade drifted past the parity gate ($PRED_COLD -> $PRED_WARM)"
+# Refresh leg: one more append at a wider window forces the live state
+# through its window-crossing refresh; the served prediction must again
+# match a from-scratch prediction of the grown cascade within the gate.
+echo "event 5 2 30" >> "$TMP/obs-full.txt"
+PRED_COLD7=$(http_body "/predict?window=7200" "$ADDR" "$TMP/obs-full.txt" | sed -n 's/^prediction 777 //p')
+{ head -n 1 "$TMP/obs-full.txt"; echo "event 5 2 30"; } > "$TMP/obs-suffix2.txt"
+http_body "/observe?window=7200" "$ADDR" "$TMP/obs-suffix2.txt" | grep -q '200 OK' \
+    || fail "window-crossing observe through the router failed"
+PRED_WARM7=$(http_body "/predict?window=7200" "$ADDR" "$TMP/obs-full.txt" | sed -n 's/^prediction 777 //p')
+within_gate "$PRED_WARM7" "$PRED_COLD7" \
+    || fail "window-crossing refresh drifted past the parity gate ($PRED_COLD7 -> $PRED_WARM7)"
+
+# 3c. Tier-wide count of streamed events, scraped while every replica is
+#     still alive (the chaos phase resets the victim's counters).
+OBS_EVENTS=0
+for i in 0 1 2; do
+    RADDR=$(sed -n "s/^replica $i listening on //p" "$TMP/router.log" | head -n 1)
+    [ -n "$RADDR" ] || continue
+    http GET /metrics "$RADDR" > "$TMP/observe-$i.metrics" || continue
+    N=$(metric cascn_observe_events_total "$TMP/observe-$i.metrics")
+    OBS_EVENTS=$((OBS_EVENTS + ${N:-0}))
+done
+[ "$OBS_EVENTS" -gt 0 ] || fail "no replica counted streamed observe events"
 
 # Persist every replica's warm cache (fan-out through the router).
 http POST /snapshot "$ADDR" | grep -q '200 OK' || fail "POST /snapshot did not fan out cleanly"
@@ -204,6 +273,12 @@ WARM_ENTRIES=$(metric cascn_spectral_cache_warm_entries "$TMP/victim.metrics")
 HITS=$(metric cascn_spectral_cache_hits_total "$TMP/victim.metrics")
 WARM_RATE=$(awk -v w="${WARM_HITS:-0}" -v h="${HITS:-0}" \
     'BEGIN { printf "%.4f", (h > 0) ? w / h : 0 }')
+# Streaming-ingestion stats: loadgen's `observe: N ok, p50 Xus p99 Yus`
+# line from the warm phase, plus the tier-wide streamed-event count taken
+# in step 3c.
+OBS_OK=$(sed -n 's/^observe: \([0-9]*\) ok.*/\1/p' "$TMP/warm.log" | head -n 1)
+OBS_P50=$(sed -n 's/^observe: .* p50 \([0-9]*\)us.*/\1/p' "$TMP/warm.log" | head -n 1)
+OBS_P99=$(sed -n 's/^observe: .* p99 \([0-9]*\)us.*/\1/p' "$TMP/warm.log" | head -n 1)
 # Per-replica p50/p99 from loadgen's `target[i] addr: N ok, p50 Xus p99 Yus`
 # lines, rendered as a JSON array.
 PER_REPLICA=$(awk '
@@ -236,6 +311,13 @@ cat > BENCH_serve.json << EOF
     "warm_entries": ${WARM_ENTRIES:-0},
     "warm_hits": ${WARM_HITS:-0},
     "warm_hit_rate": ${WARM_RATE}
+  },
+  "observe": {
+    "ratio": 0.25,
+    "ok": ${OBS_OK:-0},
+    "p50_us": ${OBS_P50:-0},
+    "p99_us": ${OBS_P99:-0},
+    "streamed_events_total": ${OBS_EVENTS}
   },
   "per_replica": [${PER_REPLICA}
   ]

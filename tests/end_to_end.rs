@@ -117,7 +117,7 @@ fn window_monotonicity_of_observations() {
         let mut prev_inc = usize::MAX;
         for hours in [1.0, 2.0, 3.0, 24.0] {
             let w = hours * 3600.0;
-            let obs = c.size_at(w);
+            let obs = c.observed_size(w);
             let inc = c.increment_size(w);
             assert!(obs >= prev_obs);
             assert!(inc <= prev_inc);

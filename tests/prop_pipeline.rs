@@ -2,7 +2,7 @@
 //! preprocessing pipeline must uphold its invariants for *any* valid
 //! cascade, not just the synthetic generators' output.
 
-use cascn::{preprocess, CascnConfig, LambdaMax, LaplacianKind};
+use cascn::{preprocess, CascnConfig, CascnModel, LambdaMax, LaplacianKind, WindowedPreprocessor};
 use cascn_cascades::{Cascade, Event};
 use cascn_graph::laplacian;
 use proptest::prelude::*;
@@ -79,12 +79,16 @@ proptest! {
             .count() as f32;
         prop_assert_eq!(p.snapshots.last().unwrap().sum(), expected_edges + 1.0);
 
-        // Times sorted and within the window.
+        // Times sorted and within the (inclusive) window.
         prop_assert!(p.times.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!(p.times.iter().all(|&t| t < window || p.n == 1));
+        prop_assert!(p.times.iter().all(|&t| t <= window || p.n == 1));
 
-        // Label consistency.
-        prop_assert_eq!(p.increment, cascade.final_size() - cascade.size_at(window));
+        // Label consistency: observation is inclusive at the boundary, the
+        // increment counts strictly-later events, and together they cover
+        // every event exactly once.
+        prop_assert_eq!(p.increment, cascade.final_size() - cascade.observed_size(window));
+        prop_assert_eq!(cascade.observed_size(window) + cascade.increment_size(window),
+                        cascade.final_size());
         prop_assert!((p.label_log - ((p.increment + 1) as f32).ln()).abs() < 1e-6);
     }
 
@@ -138,6 +142,81 @@ proptest! {
             }
             prop_assert!(p.lambda_max > 0.0);
         }
+    }
+
+    #[test]
+    fn streamed_increments_match_one_shot_predictions(
+        cascade in arbitrary_cascade(16),
+        window in 1.0f64..200.0,
+        seed_frac in 0.0f64..1.0,
+        crossings in proptest::collection::vec(0.05f64..0.95, 0..3),
+    ) {
+        // The streaming gate: seed a live preprocessor with a random prefix,
+        // push the remaining events one at a time (optionally crossing a few
+        // intermediate window boundaries on the way), and the incremental
+        // state must predict within 5e-4 of one-shot preprocessing — at
+        // every thread count.
+        let cfg = CascnConfig {
+            hidden: 4,
+            mlp_hidden: 4,
+            max_nodes: 12,
+            max_steps: 5,
+            k: 2,
+            threads: 1,
+            ..CascnConfig::default()
+        };
+        let n = cascade.final_size();
+        let split = 1 + ((n - 1) as f64 * seed_frac) as usize;
+        let seed = Cascade::new(cascade.id, cascade.start_time, cascade.events[..split].to_vec());
+
+        // Random earlier windows to cross on the way to the final one.
+        let mut windows: Vec<f64> = crossings.iter().map(|f| f * window).collect();
+        windows.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        windows.push(window);
+
+        let mut pp = WindowedPreprocessor::new(seed, windows[0], &cfg);
+        let mut next_window = 1;
+        for (i, ev) in cascade.events[split..].iter().enumerate() {
+            // Spread the window crossings across the streamed events.
+            if next_window < windows.len() && i == (n - split) / 2 {
+                pp.advance_window(windows[next_window]);
+                next_window += 1;
+            }
+            prop_assert!(pp.observe_event(ev.clone()).is_ok());
+        }
+        while next_window < windows.len() {
+            pp.advance_window(windows[next_window]);
+            next_window += 1;
+        }
+        let sample = pp.current();
+        let cold = preprocess(&cascade, window, &cfg);
+
+        prop_assert_eq!(sample.n, cold.n);
+        prop_assert_eq!(sample.increment, cold.increment);
+        let warm_bases = sample.basis.materialize();
+        let cold_bases = cold.basis.materialize();
+        for (w, c) in warm_bases.iter().zip(&cold_bases) {
+            for r in 0..w.rows() {
+                for col in 0..w.cols() {
+                    prop_assert!((w[(r, col)] - c[(r, col)]).abs() < 5e-4,
+                        "basis drift {} vs {}", w[(r, col)], c[(r, col)]);
+                }
+            }
+        }
+
+        // Model-level parity: the streamed sample predicts within the gate
+        // of one-shot preprocessing, identically at 1, 2, and 4 threads.
+        let mut preds = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let model = CascnModel::new(CascnConfig { threads, ..cfg });
+            let warm = model.predict_log_sample(&sample);
+            let one_shot = model.predict_logs(std::slice::from_ref(&cascade), window)[0];
+            prop_assert!((warm - one_shot).abs() < 5e-4,
+                "threads {}: warm {} vs one-shot {}", threads, warm, one_shot);
+            preds.push(warm);
+        }
+        prop_assert_eq!(preds[0].to_bits(), preds[1].to_bits());
+        prop_assert_eq!(preds[0].to_bits(), preds[2].to_bits());
     }
 
     #[test]
