@@ -11,6 +11,15 @@
 //! The workspace builds offline with no serde, so this module carries a
 //! ~100-line recursive-descent parser for exactly the JSON subset the
 //! baseline uses (objects, strings, non-negative integers).
+//!
+//! ## Schema versions
+//!
+//! * **v1** — `version`, `pre_pr`, `entries`. Written before the
+//!   concurrency passes existed.
+//! * **v2** — adds `rules`: the rule ids the baseline was computed
+//!   against, so a checked-in baseline records *which* contract set its
+//!   counts mean. [`Baseline::parse`] accepts both; [`Baseline::to_json`]
+//!   always writes v2, upgrading v1 files on the next `--update-baseline`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -20,6 +29,9 @@ use crate::rules::Finding;
 /// Parsed `lint-baseline.json`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
+    /// Rule ids this baseline's counts were computed against (schema v2).
+    /// Empty for v1 files, which predate the concurrency passes.
+    pub rules: Vec<String>,
     /// Total finding counts per rule measured before the lint pass existed;
     /// kept verbatim across `--update-baseline` runs.
     pub pre_pr: BTreeMap<String, u64>,
@@ -47,8 +59,10 @@ pub fn count_findings(findings: &[Finding]) -> BTreeMap<String, BTreeMap<String,
 
 impl Baseline {
     /// Builds a baseline whose entries match `findings`, carrying `pre_pr`.
+    /// The rule list is stamped from the current registry.
     pub fn from_findings(findings: &[Finding], pre_pr: BTreeMap<String, u64>) -> Baseline {
-        Baseline { pre_pr, entries: count_findings(findings) }
+        let rules = crate::rules::RULES.iter().map(|r| r.id.to_string()).collect();
+        Baseline { rules, pre_pr, entries: count_findings(findings) }
     }
 
     /// Compares a scan against the baseline. Every (file, rule) whose count
@@ -78,8 +92,16 @@ impl Baseline {
     }
 
     /// Serializes to the checked-in JSON format (stable key order).
+    /// Always writes schema v2.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"version\": 1,\n  \"pre_pr\": {");
+        let mut s = String::from("{\n  \"version\": 2,\n  \"rules\": [");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&quote(r));
+        }
+        s.push_str("],\n  \"pre_pr\": {");
         write_counts(&mut s, &self.pre_pr, 4);
         s.push_str("},\n  \"entries\": {");
         let mut first = true;
@@ -99,17 +121,31 @@ impl Baseline {
         s
     }
 
-    /// Parses the JSON format written by [`Baseline::to_json`].
+    /// Parses the JSON format written by [`Baseline::to_json`] — schema v2
+    /// or the legacy v1 (no `rules` key).
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let value = Json::parse(text)?;
         let top = value.as_obj().ok_or("baseline: top level must be an object")?;
         let mut baseline = Baseline::default();
         for (key, val) in top {
             match key.as_str() {
-                "version" if val.as_u64() != Some(1) => {
+                "version" if !matches!(val.as_u64(), Some(1) | Some(2)) => {
                     return Err(format!("baseline: unsupported version {val:?}"));
                 }
                 "version" => {}
+                "rules" => {
+                    let Json::Arr(items) = val else {
+                        return Err("baseline: rules must be an array".to_string());
+                    };
+                    for item in items {
+                        match item {
+                            Json::Str(s) => baseline.rules.push(s.clone()),
+                            other => {
+                                return Err(format!("baseline: rule id must be a string, got {other:?}"));
+                            }
+                        }
+                    }
+                }
                 "pre_pr" => baseline.pre_pr = parse_counts(val)?,
                 "entries" => {
                     let files = val.as_obj().ok_or("baseline: entries must be an object")?;
@@ -412,8 +448,36 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert!(Baseline::parse("not json").is_err());
-        assert!(Baseline::parse("{\"version\": 2}").is_err());
+        assert!(Baseline::parse("{\"version\": 3}").is_err());
         assert!(Baseline::parse("{\"entries\": {\"f\": {\"r\": \"x\"}}}").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"rules\": [7]}").is_err());
+    }
+
+    #[test]
+    fn v1_files_still_parse_and_upgrade_to_v2() {
+        // A pre-concurrency baseline: version 1, no `rules` key.
+        let v1 = "{\n  \"version\": 1,\n  \"pre_pr\": {\n    \"no-panic\": 36\n  },\n  \
+                  \"entries\": {\n    \"a.rs\": {\n      \"no-panic\": 2\n    }\n  }\n}\n";
+        let parsed = Baseline::parse(v1).expect("v1 parses");
+        assert!(parsed.rules.is_empty(), "v1 has no rule list");
+        assert_eq!(parsed.pre_pr["no-panic"], 36);
+        assert_eq!(parsed.entries["a.rs"]["no-panic"], 2);
+
+        // Re-serializing writes v2; the counts round-trip unchanged.
+        let upgraded = parsed.to_json();
+        assert!(upgraded.contains("\"version\": 2"));
+        let back = Baseline::parse(&upgraded).expect("upgraded text parses");
+        assert_eq!(back, parsed);
+    }
+
+    #[test]
+    fn v2_carries_the_rule_registry() {
+        let b = Baseline::from_findings(&[], BTreeMap::new());
+        assert_eq!(b.rules.len(), crate::rules::RULES.len());
+        assert!(b.rules.iter().any(|r| r == "lock-order"));
+        let text = b.to_json();
+        let back = Baseline::parse(&text).expect("v2 roundtrips");
+        assert_eq!(back.rules, b.rules);
     }
 
     #[test]

@@ -1,0 +1,772 @@
+//! The four concurrency-contract passes, built on [`crate::resolve`].
+//!
+//! | rule                    | contract                                         |
+//! |-------------------------|--------------------------------------------------|
+//! | `lock-order`            | the per-crate acquired-while-held graph is acyclic |
+//! | `guard-across-blocking` | no live guard spans a blocking call (serve crate) |
+//! | `wait-loop`             | every `Condvar` wait sits inside a predicate loop |
+//! | `atomic-ordering`       | `Relaxed` never carries cross-thread control flow (serve crate) |
+//!
+//! The passes walk resolved function bodies tracking live guards through
+//! block scopes, `drop(guard)` calls, and statement-temporary lifetimes.
+//! Guard acquisition keys on the canonical `cascn_serve::sync` helpers
+//! (`lock_recover(&self.queue)` names its lock in the argument) and falls
+//! back to raw zero-argument `.lock()` / `.read()` / `.write()` receivers.
+//! Call edges within the crate propagate acquisitions: a function that
+//! locks `slots` contributes a `queue → slots` edge when called under a
+//! `queue` guard, and a guard-*returning* helper (`-> MutexGuard<..>`)
+//! acquires on behalf of its caller.
+//!
+//! `atomic-ordering` carries one built-in allowlist: the recency stamps
+//! `last_used` / `tick` in `crates/serve/src/cache.rs`, whose relaxed
+//! stores only steer LRU eviction (staleness degrades the eviction choice,
+//! never correctness — documented at the field definitions there).
+
+use crate::resolve::{lock_name_of_args, receiver_name, FileModel, SyncRole};
+use crate::rules::matching_close;
+use crate::lexer::{TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const LOCK_ORDER: &str = "lock-order";
+pub const GUARD_BLOCKING: &str = "guard-across-blocking";
+pub const WAIT_LOOP: &str = "wait-loop";
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+
+/// (file index into `models`, line, rule, message) — raw, pre-suppression.
+pub type RawFinding = (usize, u32, &'static str, String);
+
+/// Blocking calls a guard must not span: process reaping, sleeps, socket
+/// and pipe I/O, channel receives. `wait`/`wait_timeout` count only when
+/// the receiver is *not* a `Condvar` (a condvar wait releases the guard it
+/// takes; `Child::wait` and friends do not release anything).
+const BLOCKING: &[&str] = &[
+    "accept", "connect", "connect_timeout", "read", "read_exact", "read_line", "read_to_end",
+    "read_to_string", "recv", "recv_deadline", "recv_timeout", "sleep", "wait", "wait_timeout",
+    "write", "write_all",
+];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "compare_exchange", "compare_exchange_weak", "fetch_add", "fetch_and", "fetch_max",
+    "fetch_min", "fetch_nand", "fetch_or", "fetch_sub", "fetch_update", "fetch_xor", "load",
+    "store", "swap",
+];
+
+/// Relaxed recency stamps documented at their definitions in the spectral
+/// cache: staleness only degrades the LRU victim choice.
+const RELAXED_ALLOWLIST: &[(&str, &str)] =
+    &[("crates/serve/src/cache.rs", "last_used"), ("crates/serve/src/cache.rs", "tick")];
+
+/// Scans `models` — the files of one crate — and returns raw findings for
+/// all four passes. Suppression filtering happens in [`crate::rules`].
+pub fn scan(models: &[FileModel]) -> Vec<RawFinding> {
+    let ctx = CrateCtx::build(models);
+    let mut out = Vec::new();
+
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for (fi, m) in models.iter().enumerate() {
+        for f in &m.functions {
+            if f.is_test {
+                continue;
+            }
+            if let Some(body) = f.body {
+                facts.push(walk_fn(fi, m, f.name.clone(), &f.params, body, &ctx, &mut out));
+            }
+        }
+    }
+
+    lock_order(&facts, &mut out);
+
+    for (fi, m) in models.iter().enumerate() {
+        if m.class.concurrency {
+            atomic_ordering(fi, m, &ctx, &mut out);
+        }
+    }
+
+    out.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+    out.dedup();
+    out
+}
+
+/// Crate-wide name tables the walk resolves against.
+struct CrateCtx {
+    /// Field name → role, merged across every file of the crate.
+    fields: BTreeMap<String, SyncRole>,
+    /// Function name → (returns a guard, defined-with-body). Same-name
+    /// methods merge conservatively.
+    fns: BTreeMap<String, bool>,
+}
+
+impl CrateCtx {
+    fn build(models: &[FileModel]) -> Self {
+        let mut fields = BTreeMap::new();
+        let mut fns = BTreeMap::new();
+        for m in models {
+            for (k, v) in &m.fields {
+                fields.entry(k.clone()).or_insert(*v);
+            }
+            for f in &m.functions {
+                if f.is_test || f.body.is_none() {
+                    continue;
+                }
+                let e = fns.entry(f.name.clone()).or_insert(false);
+                *e |= f.returns_guard;
+            }
+        }
+        Self { fields, fns }
+    }
+}
+
+/// What a function acquires, where, and whom it calls holding what.
+struct FnFacts {
+    name: String,
+    /// Locks acquired directly in the body (named or via sync helpers).
+    acquires: BTreeSet<String>,
+    /// `held → acquired` pairs with the acquisition site.
+    nested: Vec<(String, String, usize, u32)>,
+    /// `(callee, locks held at the call, file, line)`.
+    calls: Vec<(String, Vec<String>, usize, u32)>,
+}
+
+struct Guard {
+    lock: String,
+    name: Option<String>,
+    depth: isize,
+    /// Statement-temporary: dies at the next `;` on its depth.
+    temp: bool,
+}
+
+fn is_op(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Op && t.text == s
+}
+
+/// Walks one function body: tracks live guards, emits `wait-loop` and
+/// `guard-across-blocking` findings inline, and records the acquisition /
+/// call-edge facts `lock-order` aggregates afterwards.
+#[allow(clippy::too_many_arguments)]
+fn walk_fn(
+    file: usize,
+    m: &FileModel,
+    name: String,
+    params: &BTreeMap<String, SyncRole>,
+    body: (usize, usize),
+    ctx: &CrateCtx,
+    out: &mut Vec<RawFinding>,
+) -> FnFacts {
+    let toks = &m.tokens;
+    let mut facts = FnFacts { name, acquires: BTreeSet::new(), nested: Vec::new(), calls: Vec::new() };
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut locals: BTreeMap<String, SyncRole> = params.clone();
+    // Local alias → the lock field it borrows (`let slot = &self.children[i]`).
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    // Per-`{` flags: is this block a loop body?
+    let mut blocks: Vec<bool> = Vec::new();
+    let mut loop_pending = false;
+    // An open `let` binding: (first bound name, token index after `let`).
+    let mut pending_let: Option<(Option<String>, usize)> = None;
+    let mut depth = 0isize;
+
+    let role_of = |name: &str, locals: &BTreeMap<String, SyncRole>, aliases: &BTreeMap<String, String>| -> SyncRole {
+        if let Some(r) = locals.get(name) {
+            return *r;
+        }
+        let resolved = aliases.get(name).map(String::as_str).unwrap_or(name);
+        ctx.fields.get(resolved).copied().unwrap_or(SyncRole::Unknown)
+    };
+
+    let mut i = body.0;
+    while i <= body.1.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if m.masked.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        match t.kind {
+            TokKind::Open if t.text == "{" => {
+                depth += 1;
+                blocks.push(loop_pending);
+                loop_pending = false;
+            }
+            TokKind::Close if t.text == "}" => {
+                guards.retain(|g| g.depth < depth);
+                blocks.pop();
+                depth -= 1;
+            }
+            TokKind::Op if t.text == ";" => {
+                guards.retain(|g| !(g.temp && g.depth == depth));
+                // A `let` that bound no guard may alias a lock field:
+                // `let Some(slot) = self.children.get(i) else …`.
+                if let Some((Some(bind), start)) = pending_let.take() {
+                    let init: Vec<&str> = toks[start..i]
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.as_str())
+                        .collect();
+                    if let Some(field) = init.iter().find(|id| {
+                        matches!(ctx.fields.get(**id), Some(SyncRole::Mutex | SyncRole::RwLock | SyncRole::Condvar))
+                    }) {
+                        aliases.insert(bind.clone(), (*field).to_string());
+                    }
+                    if let Some(role) = init.iter().find_map(|id| {
+                        let r = crate::resolve::role_of_type_tokens(std::iter::once(*id));
+                        (r != SyncRole::Unknown).then_some(r)
+                    }) {
+                        locals.insert(bind, role);
+                    }
+                }
+            }
+            TokKind::Ident => {
+                let next_open_paren =
+                    matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Open && n.text == "(");
+                let prev_dot = i > 0 && is_op(&toks[i - 1], ".");
+                let prev_path = i > 0 && is_op(&toks[i - 1], "::");
+                let prev_fn = i > 0 && crate::rules::is_ident_tok(&toks[i - 1], "fn");
+                match t.text.as_str() {
+                    "let" => {
+                        pending_let = Some((binding_name(toks, i + 1), i + 1));
+                    }
+                    "loop" | "while" | "for" if !prev_dot => {
+                        loop_pending = true;
+                        // `for slot in &self.children { … }` aliases the
+                        // loop binding to the lock field it iterates over.
+                        if t.text == "for" {
+                            if let Some(bind) = binding_name(toks, i + 1) {
+                                let head_end = toks[i..]
+                                    .iter()
+                                    .position(|t| t.kind == TokKind::Open && t.text == "{")
+                                    .map_or(toks.len(), |p| i + p);
+                                let field = toks[i..head_end]
+                                    .iter()
+                                    .filter(|t| t.kind == TokKind::Ident)
+                                    .map(|t| t.text.as_str())
+                                    .find(|id| {
+                                        matches!(
+                                            ctx.fields.get(*id),
+                                            Some(SyncRole::Mutex | SyncRole::RwLock | SyncRole::Condvar)
+                                        )
+                                    });
+                                if let Some(f) = field {
+                                    aliases.insert(bind, f.to_string());
+                                }
+                            }
+                        }
+                    }
+                    "drop" if next_open_paren && !prev_dot => {
+                        if let Some(arg) = toks.get(i + 2).filter(|a| a.kind == TokKind::Ident) {
+                            let victim = arg.text.clone();
+                            guards.retain(|g| g.name.as_deref() != Some(victim.as_str()));
+                        }
+                    }
+                    "lock_recover" | "read_recover" | "write_recover"
+                        if next_open_paren && !prev_fn && !prev_dot =>
+                    {
+                        if let Some(close) = matching_close(toks, i + 1) {
+                            if let Some(lock) = lock_name_of_args(&toks[i + 2..close]) {
+                                let lock = aliases.get(&lock).cloned().unwrap_or(lock);
+                                let consumed = chain_consumes_guard(toks, close);
+                                acquire(&mut facts, &mut guards, &mut pending_let, lock, file, t.line, depth, consumed);
+                            }
+                            i = skip_args(i, close);
+                            continue;
+                        }
+                    }
+                    "wait_recover" | "wait_timeout_recover" if next_open_paren && !prev_fn => {
+                        record_wait(&blocks, file, t.line, out);
+                    }
+                    "wait" | "wait_timeout"
+                        if next_open_paren
+                            && prev_dot
+                            && receiver_name(toks, i - 1)
+                                .is_some_and(|r| role_of(&r, &locals, &aliases) == SyncRole::Condvar) =>
+                    {
+                        record_wait(&blocks, file, t.line, out);
+                    }
+                    "lock" | "read" | "write"
+                        if next_open_paren
+                            && prev_dot
+                            && matching_close(toks, i + 1) == Some(i + 2) =>
+                    {
+                        // Zero-argument `.lock()` / `.read()` / `.write()`:
+                        // raw acquisition of the receiver.
+                        if let Some(recv) = receiver_name(toks, i - 1) {
+                            let lock = aliases.get(&recv).cloned().unwrap_or(recv);
+                            let consumed = chain_consumes_guard(toks, i + 2);
+                            acquire(&mut facts, &mut guards, &mut pending_let, lock, file, t.line, depth, consumed);
+                        }
+                        i += 3;
+                        continue;
+                    }
+                    "spawn" if next_open_paren && prev_dot => {
+                        // `Command::new(..)…spawn()` blocks on process
+                        // creation; thread/scope spawns do not.
+                        let stmt = statement_start(toks, i);
+                        let is_command =
+                            toks[stmt..i].iter().any(|t| t.kind == TokKind::Ident && t.text == "Command");
+                        if is_command {
+                            report_blocking(m, &guards, "spawn", file, t.line, out);
+                        }
+                    }
+                    b if BLOCKING.contains(&b) && next_open_paren && (prev_dot || (prev_path && b == "sleep")) => {
+                        report_blocking(m, &guards, b, file, t.line, out);
+                        // A blocking name can shadow a crate fn (e.g.
+                        // `ShutdownSignal::wait`): still record the call
+                        // edge so lock-order sees through it.
+                        record_call(&mut facts, ctx, &mut guards, &mut pending_let, b, file, t.line, depth);
+                    }
+                    other if next_open_paren && !prev_fn && ctx.fns.contains_key(other) => {
+                        record_call(&mut facts, ctx, &mut guards, &mut pending_let, other, file, t.line, depth);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// First bound name after `let`: skips `mut`/`ref`, opens, and
+/// constructor-shaped idents (`Some(`, `Ok(`), so `let Some(slot) = …`
+/// binds `slot` and `let (next, _) = …` binds `next`.
+fn binding_name(toks: &[Token], mut i: usize) -> Option<String> {
+    let mut budget = 16usize;
+    while budget > 0 {
+        budget -= 1;
+        let t = toks.get(i)?;
+        match t.kind {
+            TokKind::Ident if t.text == "mut" || t.text == "ref" => i += 1,
+            TokKind::Ident
+                if matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Open && n.text == "(") =>
+            {
+                i += 1;
+            }
+            TokKind::Ident => return Some(t.text.clone()),
+            TokKind::Open => i += 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Token index where the current statement began (after the nearest `;`,
+/// `{`, or `}`), for statement-scoped lookback.
+fn statement_start(toks: &[Token], from: usize) -> usize {
+    let mut k = from;
+    while k > 0 {
+        let t = &toks[k - 1];
+        if is_op(t, ";") || matches!(t.kind, TokKind::Open | TokKind::Close if t.text == "{" || t.text == "}") {
+            break;
+        }
+        k -= 1;
+    }
+    k
+}
+
+fn skip_args(_i: usize, close: usize) -> usize {
+    close + 1
+}
+
+/// After an acquisition call's `)`, a further method chain consumes the
+/// guard as a statement temporary (`lock_recover(slot).take()`) — except
+/// the adapters that hand the guard straight back: `.unwrap()`,
+/// `.expect(..)`, `.unwrap_or_else(..)` on a raw `.lock()` result.
+fn chain_consumes_guard(toks: &[Token], close: usize) -> bool {
+    let mut k = close;
+    loop {
+        if !matches!(toks.get(k + 1), Some(d) if is_op(d, ".")) {
+            return false;
+        }
+        let Some(m) = toks.get(k + 2) else { return false };
+        if m.kind != TokKind::Ident {
+            return false;
+        }
+        if !matches!(m.text.as_str(), "unwrap" | "expect" | "unwrap_or_else") {
+            return true;
+        }
+        match toks.get(k + 3) {
+            Some(o) if o.kind == TokKind::Open && o.text == "(" => {
+                match matching_close(toks, k + 3) {
+                    Some(c) => k = c,
+                    None => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    facts: &mut FnFacts,
+    guards: &mut Vec<Guard>,
+    pending_let: &mut Option<(Option<String>, usize)>,
+    lock: String,
+    file: usize,
+    line: u32,
+    depth: isize,
+    consumed: bool,
+) {
+    // Self-edges stay: re-locking a held `Mutex` self-deadlocks.
+    for g in guards.iter() {
+        facts.nested.push((g.lock.clone(), lock.clone(), file, line));
+    }
+    facts.acquires.insert(lock.clone());
+    let (name, temp) = if consumed {
+        // The chain keeps the guard alive only to the end of the statement;
+        // the `let` (if any) binds the chained result, not the guard.
+        pending_let.take();
+        (None, true)
+    } else {
+        match pending_let.take() {
+            Some((n, _)) => (n, false),
+            None => (None, true),
+        }
+    };
+    guards.push(Guard { lock, name, depth, temp });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_call(
+    facts: &mut FnFacts,
+    ctx: &CrateCtx,
+    guards: &mut Vec<Guard>,
+    pending_let: &mut Option<(Option<String>, usize)>,
+    callee: &str,
+    file: usize,
+    line: u32,
+    depth: isize,
+) {
+    let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+    facts.calls.push((callee.to_string(), held, file, line));
+    // A guard-returning helper acquires for its caller; the lock names are
+    // substituted from the callee's acquire set after the walk.
+    if ctx.fns.get(callee).copied().unwrap_or(false) {
+        let (name, temp) = match pending_let.take() {
+            Some((n, _)) => (n, false),
+            None => (None, true),
+        };
+        guards.push(Guard { lock: format!("fn:{callee}"), name, depth, temp });
+    }
+}
+
+fn record_wait(blocks: &[bool], file: usize, line: u32, out: &mut Vec<RawFinding>) {
+    if !blocks.iter().any(|b| *b) {
+        out.push((
+            file,
+            line,
+            WAIT_LOOP,
+            "`Condvar` wait outside a predicate loop — waits wake spuriously and can race \
+             notifications; re-check the condition in a `while` / `loop` around the wait"
+                .to_string(),
+        ));
+    }
+}
+
+fn report_blocking(
+    m: &FileModel,
+    guards: &[Guard],
+    call: &str,
+    file: usize,
+    line: u32,
+    out: &mut Vec<RawFinding>,
+) {
+    if !m.class.concurrency {
+        return;
+    }
+    if let Some(g) = guards.last() {
+        out.push((
+            file,
+            line,
+            GUARD_BLOCKING,
+            format!(
+                "guard on `{}` is live across blocking `{call}(..)` — every thread touching \
+                 that lock stalls behind the call; drop the guard first",
+                g.lock
+            ),
+        ));
+    }
+}
+
+/// Aggregates per-function facts into the per-crate acquired-while-held
+/// graph and reports every edge that participates in a cycle.
+fn lock_order(facts: &[FnFacts], out: &mut Vec<RawFinding>) {
+    // Transitive acquire sets: what does calling `f` end up locking?
+    let mut acquire_sets: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for f in facts {
+        let set = acquire_sets.entry(f.name.as_str()).or_default();
+        set.extend(f.acquires.iter().filter(|l| !l.starts_with("fn:")).cloned());
+    }
+    loop {
+        let mut changed = false;
+        for f in facts {
+            let mut add = BTreeSet::new();
+            for (callee, _, _, _) in &f.calls {
+                if let Some(s) = acquire_sets.get(callee.as_str()) {
+                    add.extend(s.iter().cloned());
+                }
+            }
+            let set = acquire_sets.entry(f.name.as_str()).or_default();
+            let before = set.len();
+            set.extend(add);
+            changed |= set.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let expand = |lock: &str| -> Vec<String> {
+        match lock.strip_prefix("fn:") {
+            Some(f) => acquire_sets.get(f).into_iter().flatten().cloned().collect(),
+            None => vec![lock.to_string()],
+        }
+    };
+
+    // Edges with representative sites: direct nesting plus call-through.
+    let mut edges: BTreeMap<(String, String), (usize, u32, String)> = BTreeMap::new();
+    let mut add_edge = |from: String, to: String, site: (usize, u32, String)| {
+        edges.entry((from, to)).or_insert(site);
+    };
+    for f in facts {
+        for (held, acq, file, line) in &f.nested {
+            for h in expand(held) {
+                for a in expand(acq) {
+                    add_edge(h.clone(), a, (*file, *line, f.name.clone()));
+                }
+            }
+        }
+        for (callee, held, file, line) in &f.calls {
+            let Some(callee_locks) = acquire_sets.get(callee.as_str()) else { continue };
+            for h in held.iter().flat_map(|h| expand(h)) {
+                for a in callee_locks {
+                    add_edge(h.clone(), a.clone(), (*file, *line, format!("{} via {callee}", f.name)));
+                }
+            }
+        }
+    }
+
+    // An edge A→B is a finding when B can reach A (including A == B).
+    let adj: BTreeMap<&str, Vec<&str>> = {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            adj.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        adj
+    };
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for next in adj.get(n).into_iter().flatten() {
+                if *next == to {
+                    return true;
+                }
+                stack.push(next);
+            }
+        }
+        false
+    };
+    for ((a, b), (file, line, via)) in &edges {
+        let cyclic = a == b || reaches(b, a);
+        if !cyclic {
+            continue;
+        }
+        let shape = if a == b {
+            format!("`{a}` is acquired while already held (in `{via}`)")
+        } else {
+            format!("`{b}` is acquired while holding `{a}` (in `{via}`), and elsewhere in this crate `{a}` is acquired while holding `{b}`")
+        };
+        out.push((
+            *file,
+            *line,
+            LOCK_ORDER,
+            format!("{shape} — the inverted orders can deadlock under concurrency; pick one global order"),
+        ));
+    }
+}
+
+/// Flags `Ordering::Relaxed` carrying cross-thread control flow: any op on
+/// an `AtomicBool`, any non-allowlisted `store`, any read-modify-write
+/// handoff, and any `load` feeding an `if`/`while`/`match` condition.
+/// Plain `fetch_add`-style counters stay legal — that is what `Relaxed`
+/// is for.
+fn atomic_ordering(file: usize, m: &FileModel, ctx: &CrateCtx, out: &mut Vec<RawFinding>) {
+    let toks = &m.tokens;
+    // Condition spans: from `if` / `while` / `match` to the block they open.
+    let mut in_cond = vec![false; toks.len()];
+    let mut cond = false;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "if" | "while" | "match") => cond = true,
+            TokKind::Open if t.text == "{" => cond = false,
+            TokKind::Op if t.text == ";" || t.text == "=>" => cond = false,
+            _ => {}
+        }
+        in_cond[i] = cond;
+    }
+    // Local atomics (fixtures mostly): `let flag = AtomicBool::new(..)`.
+    let mut locals: BTreeMap<String, SyncRole> = BTreeMap::new();
+    for f in &m.functions {
+        for (k, v) in &f.params {
+            locals.insert(k.clone(), *v);
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "let"
+            && toks.len() > i + 3
+        {
+            if let Some(name) = binding_name(toks, i + 1) {
+                let stmt_end = toks[i..].iter().position(|t| is_op(t, ";")).map_or(toks.len(), |p| i + p);
+                let role = crate::resolve::role_of_type_tokens(
+                    toks[i..stmt_end].iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()),
+                );
+                if matches!(role, SyncRole::AtomicBool | SyncRole::AtomicUint) {
+                    locals.insert(name, role);
+                }
+            }
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if m.masked.get(i).copied().unwrap_or(false)
+            || t.kind != TokKind::Ident
+            || !ATOMIC_METHODS.contains(&t.text.as_str())
+            || !(i > 0 && is_op(&toks[i - 1], "."))
+            || !matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Open && n.text == "(")
+        {
+            continue;
+        }
+        let Some(close) = matching_close(toks, i + 1) else { continue };
+        let relaxed = toks[i + 2..close].iter().any(|a| a.kind == TokKind::Ident && a.text == "Relaxed");
+        if !relaxed {
+            continue;
+        }
+        let recv = receiver_name(toks, i - 1);
+        let recv_name = recv.as_deref().unwrap_or("?");
+        if RELAXED_ALLOWLIST.contains(&(m.label.as_str(), recv_name)) {
+            continue;
+        }
+        let role = locals
+            .get(recv_name)
+            .copied()
+            .or_else(|| ctx.fields.get(recv_name).copied())
+            .unwrap_or(SyncRole::Unknown);
+        let method = t.text.as_str();
+        let problem = if role == SyncRole::AtomicBool {
+            Some(format!(
+                "`Relaxed` {method} on the cross-thread flag `{recv_name}` — a reader can miss \
+                 the writes the flag is meant to publish"
+            ))
+        } else if method == "store" {
+            Some(format!(
+                "`Relaxed` store to `{recv_name}` publishes state without ordering — readers \
+                 may observe it before the writes it guards"
+            ))
+        } else if matches!(method, "compare_exchange" | "compare_exchange_weak" | "swap" | "fetch_update") {
+            Some(format!(
+                "`Relaxed` read-modify-write handoff on `{recv_name}` — ownership transfer \
+                 needs `Acquire`/`Release` ordering"
+            ))
+        } else if method == "load" && in_cond.get(i).copied().unwrap_or(false) {
+            Some(format!(
+                "`Relaxed` load of `{recv_name}` gates control flow — use `Acquire` (or \
+                 `SeqCst`) so the branch observes the writes it depends on"
+            ))
+        } else {
+            None
+        };
+        if let Some(msg) = problem {
+            out.push((
+                file,
+                t.line,
+                ATOMIC_ORDERING,
+                format!("{msg}; `Relaxed` is reserved for statistics counters and the documented cache.rs recency stamps"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_model(label: &str, src: &str) -> FileModel {
+        FileModel::build(
+            label,
+            src,
+            crate::rules::FileClass { compute: false, hot: false, concurrency: true },
+        )
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let models = [serve_model("crates/serve/src/x.rs", src)];
+        scan(&models).into_iter().map(|(_, _, r, _)| r).collect()
+    }
+
+    #[test]
+    fn relocking_a_held_mutex_is_a_self_cycle() {
+        let src = "struct S { queue: Mutex<u32> }\n\
+                   impl S { fn f(&self) { let a = lock_recover(&self.queue); let b = lock_recover(&self.queue); } }";
+        assert_eq!(rules_of(src), [LOCK_ORDER]);
+    }
+
+    #[test]
+    fn drop_releases_the_guard_before_blocking() {
+        let held = "struct S { log: Mutex<u32> }\n\
+                    impl S { fn f(&self, r: &mut R) { let g = lock_recover(&self.log); let _ = r.read_line(&mut s); } }";
+        assert_eq!(rules_of(held), [GUARD_BLOCKING]);
+        let dropped = "struct S { log: Mutex<u32> }\n\
+                       impl S { fn f(&self, r: &mut R) { let g = lock_recover(&self.log); drop(g); let _ = r.read_line(&mut s); } }";
+        assert_eq!(rules_of(dropped), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn cache_recency_stamps_are_allowlisted() {
+        let src = "struct E { last_used: AtomicU64 }\n\
+                   impl E { fn touch(&self, now: u64) { self.last_used.store(now, Ordering::Relaxed); } }";
+        let cache = [serve_model("crates/serve/src/cache.rs", src)];
+        assert!(scan(&cache).is_empty(), "cache.rs recency stores are documented-legal");
+        // The same code anywhere else is a finding.
+        assert_eq!(rules_of(src), [ATOMIC_ORDERING]);
+    }
+
+    #[test]
+    fn guard_returning_helper_transfers_its_acquisition() {
+        // `grab` returns a guard on `state`; `f` holds `queue` while
+        // calling it, and `g` nests the opposite way → cycle via the
+        // helper's transferred acquisition.
+        let src = "struct S { queue: Mutex<u32>, state: Mutex<u32> }\n\
+                   impl S {\n\
+                     fn grab(&self) -> MutexGuard<'_, u32> { lock_recover(&self.state) }\n\
+                     fn f(&self) { let q = lock_recover(&self.queue); let s = self.grab(); }\n\
+                     fn g(&self) { let s = lock_recover(&self.state); let q = lock_recover(&self.queue); }\n\
+                   }";
+        let found = rules_of(src);
+        assert!(
+            found.iter().filter(|r| **r == LOCK_ORDER).count() >= 2,
+            "both directions of the helper-mediated inversion are findings: {found:?}"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_through_a_reference_parameter() {
+        let src = "fn park(cv: &Condvar, m: &Mutex<bool>) { let g = lock_recover(m); let g = cv.wait(g).unwrap_or_else(|e| e.into_inner()); }";
+        assert_eq!(rules_of(src), [WAIT_LOOP]);
+        let looped = "fn park(cv: &Condvar, m: &Mutex<bool>) { let mut g = lock_recover(m); while !*g { g = cv.wait(g).unwrap_or_else(|e| e.into_inner()); } }";
+        assert_eq!(rules_of(looped), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn test_functions_are_exempt_from_every_pass() {
+        let src = "struct S { queue: Mutex<u32>, state: Mutex<u32> }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                     fn f(s: &S) { let a = lock_recover(&s.state); let b = lock_recover(&s.queue); }\n\
+                     fn g(s: &S) { let a = lock_recover(&s.queue); let b = lock_recover(&s.state); }\n\
+                   }";
+        assert_eq!(rules_of(src), Vec::<&str>::new());
+    }
+}

@@ -57,8 +57,14 @@ pub struct Lexed {
 }
 
 /// Multi-character operators, longest first so greedy matching is correct.
+///
+/// Deliberately absent: `<<`, `>>`, `<<=`, `>>=`. Gluing angle brackets
+/// would make the closers of nested generics (`MutexGuard<'a, Slot>>`)
+/// indistinguishable from shifts, and the resolver walks generic argument
+/// lists by counting single `<`/`>` tokens. No rule keys on shift
+/// operators, so splitting them costs nothing.
 const MULTI_OPS: &[&str] = &[
-    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||",
     "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
 ];
 
@@ -246,13 +252,23 @@ fn string_literal(cur: &mut Cursor) {
     }
 }
 
-/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+/// Disambiguates `'a` / `'static` (lifetimes) from `'a'` / `'\n'` / `'ü'`
+/// (char literals).
 fn quote_token(cur: &mut Cursor) -> (TokKind, String) {
     cur.bump(); // opening '
     match cur.peek(0) {
-        Some(b) if is_ident_start(b) && cur.peek(1) != Some(b'\'') => {
+        Some(b) if is_ident_start(b) => {
+            // `'a>` vs `'a'` cannot be told apart one byte ahead — a
+            // multi-byte char like `'ü'` has an ident-continue byte where
+            // a one-char literal has its closing quote. Eat the whole
+            // ident run first and let the byte after it decide.
             let name = ascii_str(cur.eat_while(is_ident_continue));
-            (TokKind::Lifetime, format!("'{name}"))
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump(); // closing '
+                (TokKind::Char, "'..'".to_string())
+            } else {
+                (TokKind::Lifetime, format!("'{name}"))
+            }
         }
         _ => {
             // Char literal: consume one (possibly escaped) char up to `'`.
@@ -427,6 +443,39 @@ mod tests {
             l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
         assert_eq!(lifes, ["'a", "'static"]);
         assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn lifetime_labels_and_guard_type_annotations() {
+        // `'a>` (closing a generic list) and `'static` must stay lifetimes
+        // even with no whitespace before the closer.
+        let l = lex("fn lock(&self) -> MutexGuard<'a> {} 'outer: loop { break 'outer; } &'static str");
+        let lifes: Vec<&str> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifes, ["'a", "'outer", "'outer", "'static"]);
+        assert!(l.tokens.iter().all(|t| t.kind != TokKind::Char));
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        // `'ü'` begins with an ident-start byte; a one-byte lookahead sees
+        // the second UTF-8 byte and used to mis-lex this as a lifetime,
+        // desyncing everything after the stray closing quote.
+        let l = lex("let c = 'ü'; let d = 'x'; let l = &'a u8;");
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        let lifes: Vec<&str> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifes, ["'a"]);
+    }
+
+    #[test]
+    fn nested_generic_closers_lex_singly() {
+        // `>>` must be two closers so the resolver can walk
+        // `Vec<Mutex<Option<Child>>>`-shaped annotations; shifts pay the
+        // price and lex as two `>` tokens, which no rule keys on.
+        assert_eq!(texts("Option<MutexGuard<'a, T>>"), ["Option", "<", "MutexGuard", "<", "'a", ",", "T", ">", ">"]);
+        assert_eq!(texts("x >> 2 << 3"), ["x", ">", ">", "2", "<", "<", "3"]);
+        assert_eq!(texts("a >>= 1"), ["a", ">", ">=", "1"]);
     }
 
     #[test]

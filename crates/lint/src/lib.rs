@@ -4,12 +4,16 @@
 //! banned because the training loop's ordering must be NaN-total" or
 //! "`HashMap` iteration must not feed ordered results in compute crates".
 //! This crate implements them from scratch: a hand-written lexer
-//! ([`lexer`]), a token-tree rule engine ([`rules`]), and a ratchet
-//! baseline ([`baseline`]) that grandfathers existing debt while failing CI
-//! on any regression. See `docs/static-analysis.md` for the contract text.
+//! ([`lexer`]), a token-tree rule engine ([`rules`]), a symbol/scope
+//! resolution layer ([`resolve`]) feeding four concurrency-contract passes
+//! ([`concurrency`]), and a ratchet baseline ([`baseline`]) that
+//! grandfathers existing debt while failing CI on any regression. See
+//! `docs/static-analysis.md` for the contract text.
 
 pub mod baseline;
+pub mod concurrency;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 
 use std::fmt::Write as _;
@@ -57,15 +61,61 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Scans the whole workspace rooted at `root`. Returns the findings (file
 /// paths relative to the root, `/`-separated) and the number of files read.
+///
+/// Token rules run per file; the concurrency passes run per *crate*, over
+/// all of that crate's resolved files at once, so lock-order cycles split
+/// across modules are still visible. `workspace_files` sorts its output,
+/// which makes each crate's files contiguous.
 pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
     let files = workspace_files(root)?;
-    let mut findings = Vec::new();
+    let mut models = Vec::with_capacity(files.len());
     for rel in &files {
         let label = path_label(rel);
         let src = fs::read_to_string(root.join(rel))?;
-        findings.extend(scan_source(&label, &src, classify(&label)));
+        let class = classify(&label);
+        models.push(resolve::FileModel::build(&label, &src, class));
     }
+
+    // Token rules + allow-justification meta findings, per file.
+    let mut findings = Vec::new();
+    for m in &models {
+        findings.extend(rules::finish(m, rules::token_rules(m), true));
+    }
+
+    // Concurrency passes, per crate group. The meta findings were already
+    // emitted above, so suppression filtering here must not repeat them.
+    let mut start = 0usize;
+    while start < models.len() {
+        let key = crate_of(&models[start].label).to_string();
+        let mut end = start + 1;
+        while end < models.len() && crate_of(&models[end].label) == key {
+            end += 1;
+        }
+        let group = &models[start..end];
+        let mut per_file: Vec<Vec<(u32, &'static str, String)>> = vec![Vec::new(); group.len()];
+        for (idx, line, rule, message) in concurrency::scan(group) {
+            per_file[idx].push((line, rule, message));
+        }
+        for (m, raw) in group.iter().zip(per_file) {
+            findings.extend(rules::finish(m, raw, false));
+        }
+        start = end;
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok((findings, files.len()))
+}
+
+/// The `crates/<name>/` prefix that scopes the concurrency passes; files
+/// outside the conventional layout group under their full label.
+fn crate_of(label: &str) -> &str {
+    let Some(rest) = label.strip_prefix("crates/") else {
+        return label;
+    };
+    match rest.find('/') {
+        Some(i) => &label[..("crates/".len() + i)],
+        None => label,
+    }
 }
 
 /// Normalizes a path to the `/`-separated form used in findings and the

@@ -1,0 +1,467 @@
+//! A lightweight symbol/scope resolution layer over the forgiving lexer.
+//!
+//! The concurrency passes ([`crate::concurrency`]) need more than a token
+//! stream: which bindings are lock guards, where function bodies begin and
+//! end, and which names a call site can reach inside the same crate. This
+//! module extracts exactly that — nothing more — from the lexed tokens:
+//!
+//! * **struct fields** and their synchronization role (`Mutex`, `RwLock`,
+//!   `Condvar`, `AtomicBool`, counter-like atomics), keyed by field name.
+//!   Field names are a crate-local namespace in practice (`queue`, `slots`,
+//!   `children`), which is what makes token-level lock identity workable;
+//! * **functions**: name, parameter roles, body token range, whether the
+//!   return type carries a `*Guard` (a guard-returning helper such as
+//!   `ReplicaSet::lock` transfers its acquisitions to the caller), and
+//!   whether the function lives under test masking;
+//! * **receiver paths**: `self.inner.children[i]` resolves to the field
+//!   `children`; the resolver never needs full type inference because every
+//!   lock in this workspace is reached through a named field, parameter, or
+//!   local.
+//!
+//! The resolver is as forgiving as the lexer. It under-approximates —
+//! unparseable shapes resolve to [`SyncRole::Unknown`] rather than failing
+//! — so a weird macro or an exotic pattern can hide a lock from the
+//! analysis but can never abort the scan.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::rules::FileClass;
+use std::collections::BTreeMap;
+
+/// What a name means to the concurrency passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncRole {
+    /// `Mutex<..>` (possibly nested in `Vec`/`Option`/`Arc`).
+    Mutex,
+    /// `RwLock<..>`.
+    RwLock,
+    /// `Condvar` — its `wait`/`wait_timeout` release the guard they take.
+    Condvar,
+    /// `AtomicBool` — a cross-thread control-flow flag by construction.
+    AtomicBool,
+    /// Any other `Atomic*` integer — usually a counter or a stamp.
+    AtomicUint,
+    /// Anything else (including names the resolver could not classify).
+    Unknown,
+}
+
+/// One resolved function: enough to walk its body and link call edges.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    /// Parameter name → role, for receiver resolution inside the body.
+    pub params: BTreeMap<String, SyncRole>,
+    /// Token range of the body block: indices of `{` and its `}`.
+    pub body: Option<(usize, usize)>,
+    /// The return type mentions a `*Guard` type: calling this function
+    /// acquires whatever it locks, on behalf of the caller.
+    pub returns_guard: bool,
+    /// Declared under `#[test]` / `#[cfg(test)]` — exempt from passes.
+    pub is_test: bool,
+    pub line: u32,
+}
+
+/// Everything the passes need to know about one file, resolved once.
+pub struct FileModel {
+    pub label: String,
+    pub class: FileClass,
+    pub tokens: Vec<Token>,
+    pub masked: Vec<bool>,
+    pub comments: Vec<Comment>,
+    /// Trimmed source lines for finding excerpts (1-based via `line - 1`).
+    pub lines: Vec<String>,
+    /// Struct field name → synchronization role, merged across the file.
+    pub fields: BTreeMap<String, SyncRole>,
+    pub functions: Vec<FnInfo>,
+}
+
+impl FileModel {
+    /// Lexes and resolves `src`. Never fails; see module docs.
+    pub fn build(label: &str, src: &str, class: FileClass) -> Self {
+        let lexed = lex(src);
+        let masked = crate::rules::test_mask(&lexed.tokens);
+        let fields = collect_fields(&lexed.tokens);
+        let functions = collect_functions(&lexed.tokens, &masked);
+        Self {
+            label: label.to_string(),
+            class,
+            masked,
+            comments: lexed.comments,
+            lines: src.lines().map(|l| l.trim().to_string()).collect(),
+            fields,
+            functions,
+            tokens: lexed.tokens,
+        }
+    }
+
+    /// The trimmed source line `line` (1-based), for finding excerpts.
+    pub fn excerpt(&self, line: u32) -> String {
+        self.lines.get(line as usize - 1).cloned().unwrap_or_default()
+    }
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Classifies a type's role from the idents appearing in it. `Condvar`
+/// wins over lock wrappers so `Mutex<Condvar>`-style fields (not that
+/// anyone should write one) err toward the stricter wait rules.
+pub fn role_of_type_tokens<'a>(idents: impl Iterator<Item = &'a str>) -> SyncRole {
+    let mut role = SyncRole::Unknown;
+    for id in idents {
+        let next = match id {
+            "Condvar" => SyncRole::Condvar,
+            "Mutex" => SyncRole::Mutex,
+            "RwLock" => SyncRole::RwLock,
+            "AtomicBool" => SyncRole::AtomicBool,
+            "AtomicU8" | "AtomicU16" | "AtomicU32" | "AtomicU64" | "AtomicUsize" | "AtomicI8"
+            | "AtomicI16" | "AtomicI32" | "AtomicI64" | "AtomicIsize" => SyncRole::AtomicUint,
+            _ => continue,
+        };
+        // First classified ident wins, except Condvar which always wins.
+        if role == SyncRole::Unknown || next == SyncRole::Condvar {
+            role = next;
+        }
+    }
+    role
+}
+
+/// Walks every `struct … { … }` body and records `name: Type` fields whose
+/// type plays a synchronization role.
+fn collect_fields(toks: &[Token]) -> BTreeMap<String, SyncRole> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "struct") {
+            i += 1;
+            continue;
+        }
+        // struct NAME [<generics>] { fields } | ( tuple ); | ;
+        let mut j = i + 1;
+        if !matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        // Skip generics: single-token closers guaranteed by the lexer.
+        let mut angle = 0isize;
+        let body = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if t.kind == TokKind::Op && t.text == "<" => angle += 1,
+                Some(t) if t.kind == TokKind::Op && t.text == ">" => angle -= 1,
+                Some(t) if angle == 0 && t.kind == TokKind::Open && t.text == "{" => {
+                    break Some(j);
+                }
+                // Tuple struct or unit struct: no named fields.
+                Some(t)
+                    if angle == 0
+                        && ((t.kind == TokKind::Open && t.text == "(")
+                            || (t.kind == TokKind::Op && t.text == ";")) =>
+                {
+                    break None;
+                }
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let Some(close) = crate::rules::matching_close(toks, open) else {
+            break;
+        };
+        // Fields sit at depth 1: `…, name: Type,` — find `ident :` pairs at
+        // depth 1 and classify the type tokens up to the next depth-1 comma.
+        let mut depth = 0isize;
+        let mut k = open;
+        while k < close {
+            let t = &toks[k];
+            match t.kind {
+                TokKind::Open => depth += 1,
+                TokKind::Close => depth -= 1,
+                TokKind::Ident
+                    if depth == 1
+                        && matches!(toks.get(k + 1), Some(n) if n.kind == TokKind::Op && n.text == ":")
+                        && !matches!(toks.get(k.wrapping_sub(1)), Some(p) if p.kind == TokKind::Op && p.text == ":") =>
+                {
+                    let name = t.text.clone();
+                    let mut e = k + 2;
+                    let mut d2 = 0isize;
+                    while e < close {
+                        let ty = &toks[e];
+                        match ty.kind {
+                            TokKind::Open => d2 += 1,
+                            TokKind::Close => d2 -= 1,
+                            TokKind::Op if ty.text == "," && d2 == 0 => break,
+                            _ => {}
+                        }
+                        e += 1;
+                    }
+                    let role = role_of_type_tokens(
+                        toks[k + 2..e].iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()),
+                    );
+                    if role != SyncRole::Unknown {
+                        out.insert(name, role);
+                    }
+                    k = e;
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Finds every `fn name(…) [-> ret] { body }` and records its shape.
+fn collect_functions(toks: &[Token], masked: &[bool]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "fn") {
+            i += 1;
+            continue;
+        }
+        // `fn(usize) -> T` is a pointer type, not a declaration.
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Params: the first `(` outside the generic list. `->` inside
+        // `Fn(..)`-style bounds is its own token, so it cannot unbalance
+        // the angle count.
+        let mut j = i + 2;
+        let mut angle = 0isize;
+        let params_open = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if t.kind == TokKind::Op && t.text == "<" => angle += 1,
+                Some(t) if t.kind == TokKind::Op && t.text == ">" => angle -= 1,
+                Some(t) if angle == 0 && t.kind == TokKind::Open && t.text == "(" => break Some(j),
+                Some(t) if t.kind == TokKind::Open && t.text == "{" => break None,
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(popen) = params_open else {
+            i += 2;
+            continue;
+        };
+        let Some(pclose) = crate::rules::matching_close(toks, popen) else {
+            break;
+        };
+        let params = collect_params(&toks[popen + 1..pclose]);
+
+        // Return type and body: scan to the body `{`, a `;` (no body), or
+        // end. `where` clauses pass through harmlessly.
+        let mut k = pclose + 1;
+        let mut ret_idents: Vec<&str> = Vec::new();
+        let mut returns_guard = false;
+        let mut body = None;
+        while let Some(t) = toks.get(k) {
+            match t.kind {
+                TokKind::Open if t.text == "{" => {
+                    body = Some(k);
+                    break;
+                }
+                TokKind::Op if t.text == ";" => break,
+                TokKind::Ident => ret_idents.push(t.text.as_str()),
+                _ => {}
+            }
+            k += 1;
+        }
+        returns_guard |= ret_idents.iter().any(|id| id.ends_with("Guard"));
+        let body = body.and_then(|b| crate::rules::matching_close(toks, b).map(|c| (b, c)));
+        out.push(FnInfo {
+            name: name_tok.text.clone(),
+            params,
+            body,
+            returns_guard,
+            is_test: masked.get(i).copied().unwrap_or(false),
+            line: toks[i].line,
+        });
+        i = match body {
+            // Nested fns are rare; walking into the body keeps them visible.
+            Some((b, _)) => b + 1,
+            None => k + 1,
+        };
+    }
+    out
+}
+
+/// Parses `name: Type` pairs out of a parameter list's tokens.
+fn collect_params(toks: &[Token]) -> BTreeMap<String, SyncRole> {
+    let mut out = BTreeMap::new();
+    let mut depth = 0isize;
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            TokKind::Ident
+                if depth == 0
+                    && matches!(toks.get(k + 1), Some(n) if n.kind == TokKind::Op && n.text == ":") =>
+            {
+                let name = t.text.clone();
+                let mut e = k + 2;
+                let mut d2 = 0isize;
+                let mut angle = 0isize;
+                while e < toks.len() {
+                    let ty = &toks[e];
+                    match ty.kind {
+                        TokKind::Open => d2 += 1,
+                        TokKind::Close => d2 -= 1,
+                        TokKind::Op if ty.text == "<" => angle += 1,
+                        TokKind::Op if ty.text == ">" => angle -= 1,
+                        TokKind::Op if ty.text == "," && d2 == 0 && angle <= 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                let role = role_of_type_tokens(
+                    toks[k + 2..e].iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()),
+                );
+                if role != SyncRole::Unknown {
+                    out.insert(name, role);
+                }
+                k = e;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Resolves the receiver path ending just before token `end` (exclusive) to
+/// its final field/binding name: `self.inner.children[i]` → `children`,
+/// `&mut q` → `q`. Returns `None` when the receiver is not a simple path
+/// (e.g. a call result), which under-approximates safely.
+pub fn receiver_name(toks: &[Token], end: usize) -> Option<String> {
+    let mut k = end;
+    // Step back over a trailing index `[ … ]`.
+    loop {
+        if k == 0 {
+            return None;
+        }
+        let t = &toks[k - 1];
+        match t.kind {
+            TokKind::Close if t.text == "]" => {
+                // Walk back to the matching `[`.
+                let mut depth = 0isize;
+                while k > 0 {
+                    let u = &toks[k - 1];
+                    if u.kind == TokKind::Close && u.text == "]" {
+                        depth += 1;
+                    } else if u.kind == TokKind::Open && u.text == "[" {
+                        depth -= 1;
+                        if depth == 0 {
+                            k -= 1;
+                            break;
+                        }
+                    }
+                    k -= 1;
+                }
+            }
+            TokKind::Ident => return Some(t.text.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// Resolves the lock identity named by an argument list such as
+/// `&self.inner.children[i]` or `&q`: the last field-shaped ident of the
+/// path, skipping `&`, `mut`, and any trailing index or `.get(i)` call.
+pub fn lock_name_of_args(toks: &[Token]) -> Option<String> {
+    let mut last = None;
+    let mut depth = 0isize;
+    for (k, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            TokKind::Ident if depth == 0 => {
+                if t.text == "mut" {
+                    continue;
+                }
+                // Stop at a method call in the path (`.get(i)`); the path
+                // so far names the lock.
+                if matches!(toks.get(k + 1), Some(n) if n.kind == TokKind::Open && n.text == "(") {
+                    break;
+                }
+                last = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/serve/src/x.rs", src, crate::rules::classify("crates/serve/src/x.rs"))
+    }
+
+    #[test]
+    fn fields_classify_through_wrappers() {
+        let m = model(
+            "struct S { queue: Mutex<Queue>, cv: Condvar, entries: RwLock<Vec<Entry>>, \
+             children: Vec<Mutex<Option<Child>>>, stopping: AtomicBool, tick: AtomicU64, plain: usize }",
+        );
+        assert_eq!(m.fields.get("queue"), Some(&SyncRole::Mutex));
+        assert_eq!(m.fields.get("cv"), Some(&SyncRole::Condvar));
+        assert_eq!(m.fields.get("entries"), Some(&SyncRole::RwLock));
+        assert_eq!(m.fields.get("children"), Some(&SyncRole::Mutex));
+        assert_eq!(m.fields.get("stopping"), Some(&SyncRole::AtomicBool));
+        assert_eq!(m.fields.get("tick"), Some(&SyncRole::AtomicUint));
+        assert_eq!(m.fields.get("plain"), None);
+    }
+
+    #[test]
+    fn functions_record_bodies_params_and_guard_returns() {
+        let m = model(
+            "impl S {\n  fn lock(&self, i: usize) -> MutexGuard<'_, Slot> { lock_recover(&self.slots[i]) }\n  \
+             fn wait_recover<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> { g }\n  \
+             fn plain(&self) -> usize;\n}",
+        );
+        let lock = m.functions.iter().find(|f| f.name == "lock").unwrap();
+        assert!(lock.returns_guard);
+        assert!(lock.body.is_some());
+        let wr = m.functions.iter().find(|f| f.name == "wait_recover").unwrap();
+        assert_eq!(wr.params.get("cv"), Some(&SyncRole::Condvar));
+        let plain = m.functions.iter().find(|f| f.name == "plain").unwrap();
+        assert!(plain.body.is_none() && !plain.returns_guard);
+    }
+
+    #[test]
+    fn test_functions_are_marked() {
+        let m = model("#[test]\nfn t() { x.lock(); }\nfn live() {}");
+        assert!(m.functions.iter().find(|f| f.name == "t").unwrap().is_test);
+        assert!(!m.functions.iter().find(|f| f.name == "live").unwrap().is_test);
+    }
+
+    #[test]
+    fn receiver_and_lock_name_resolution() {
+        let m = model("fn f() { self.inner.children[i].lock(); }");
+        let dot = m
+            .tokens
+            .iter()
+            .position(|t| t.text == "lock")
+            .unwrap()
+            - 1; // the `.` before lock
+        assert_eq!(receiver_name(&m.tokens, dot), Some("children".into()));
+
+        let m2 = model("fn f() { lock_recover(&self.inner.children.get(i)); }");
+        let open = m2.tokens.iter().position(|t| t.text == "lock_recover").unwrap() + 1;
+        let close = crate::rules::matching_close(&m2.tokens, open).unwrap();
+        assert_eq!(lock_name_of_args(&m2.tokens[open + 1..close]), Some("children".into()));
+    }
+}

@@ -1,7 +1,9 @@
-//! The cascn contract rules, evaluated over the token stream.
+//! The cascn contract rules: registry, file classification, suppression,
+//! and the five token-stream rules.
 //!
-//! Five rules encode the invariants PR 1 (error taxonomy, NaN-safe ordering)
-//! and PR 2 (bit-identical parallel training) established by hand:
+//! Token rules encode the invariants PR 1 (error taxonomy, NaN-safe
+//! ordering) and PR 2 (bit-identical parallel training) established by
+//! hand:
 //!
 //! | id                | contract                                              |
 //! |-------------------|-------------------------------------------------------|
@@ -14,6 +16,11 @@
 //! | `cast-truncation` | no narrowing `as` casts in index arithmetic in the    |
 //! |                   | tensor/graph hot loops                                |
 //!
+//! Four more rules — `lock-order`, `guard-across-blocking`, `wait-loop`,
+//! `atomic-ordering` — run over the resolved model built by
+//! [`crate::resolve`] and live in [`crate::concurrency`]; their findings
+//! flow back through the same suppression machinery here.
+//!
 //! Code under `#[cfg(test)]` / `#[test]` is exempt from every rule — tests
 //! assert exact values and unwrap fixtures by design. Intentional violations
 //! in library code are suppressed with
@@ -21,7 +28,8 @@
 //! line above; a directive without a justification is itself a finding
 //! (`allow-justification`).
 
-use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::lexer::{Comment, TokKind, Token};
+use crate::resolve::FileModel;
 
 /// One rule's identity and one-line contract, for `--rules` and the docs.
 pub struct Rule {
@@ -52,6 +60,22 @@ pub const RULES: &[Rule] = &[
         id: "cast-truncation",
         summary: "no narrowing `as` casts inside index arithmetic in tensor/graph hot loops — silent wrap corrupts indexing",
     },
+    Rule {
+        id: "lock-order",
+        summary: "the per-crate acquired-while-held graph must be acyclic — inverted lock orders deadlock under concurrency",
+    },
+    Rule {
+        id: "guard-across-blocking",
+        summary: "no live Mutex/RwLock guard across a blocking call (socket/pipe I/O, Child::wait, sleep, recv, Command::spawn) in the serving tier",
+    },
+    Rule {
+        id: "wait-loop",
+        summary: "every Condvar wait/wait_timeout sits inside a predicate loop — waits wake spuriously and can race notifications",
+    },
+    Rule {
+        id: "atomic-ordering",
+        summary: "Ordering::Relaxed never carries cross-thread control flow — reserved for statistics counters and the documented cache.rs recency stamps",
+    },
 ];
 
 /// One finding: where, which rule, why, and the offending source line.
@@ -71,6 +95,10 @@ pub struct FileClass {
     pub compute: bool,
     /// tensor / graph: indexing-heavy hot loops.
     pub hot: bool,
+    /// serve: the multi-threaded serving tier — gates the
+    /// `guard-across-blocking` and `atomic-ordering` passes.
+    /// `lock-order` and `wait-loop` run everywhere.
+    pub concurrency: bool,
 }
 
 /// Derives the [`FileClass`] from a workspace-relative path.
@@ -79,7 +107,8 @@ pub fn classify(path: &str) -> FileClass {
         .iter()
         .any(|p| path.contains(p));
     let hot = ["crates/tensor/", "crates/graph/"].iter().any(|p| path.contains(p));
-    FileClass { compute, hot }
+    let concurrency = path.contains("crates/serve/");
+    FileClass { compute, hot, concurrency }
 }
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unreachable", "unimplemented"];
@@ -93,49 +122,76 @@ const NON_INDEX_BEFORE_BRACKET: &[&str] = &[
     "box", "move", "dyn", "impl", "where", "for",
 ];
 
-/// Scans one file's source and returns its findings, already filtered
-/// through test-code masking and `lint: allow` suppression directives.
+/// Scans one file's source standalone — token rules plus the concurrency
+/// passes over a single-file crate model — and returns its findings,
+/// already filtered through test-code masking and `lint: allow`
+/// suppression directives. Workspace scans go through
+/// [`crate::scan_workspace`] instead, which groups files per crate so the
+/// concurrency passes see cross-file lock graphs.
 pub fn scan_source(file: &str, src: &str, class: FileClass) -> Vec<Finding> {
-    let lexed = lex(src);
-    let toks = &lexed.tokens;
-    let masked = test_mask(toks);
-    let allows = parse_allows(&lexed.comments);
-    let lines: Vec<&str> = src.lines().collect();
-    let excerpt = |line: u32| -> String {
-        lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
-    };
+    let models = [FileModel::build(file, src, class)];
+    let mut raw = token_rules(&models[0]);
+    for (_file, line, rule, message) in crate::concurrency::scan(&models) {
+        raw.push((line, rule, message));
+    }
+    finish(&models[0], raw, true)
+}
 
+/// Runs the five token-stream rules over one resolved file.
+pub(crate) fn token_rules(m: &FileModel) -> Vec<(u32, &'static str, String)> {
     let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
-    rule_no_panic(toks, &masked, &mut raw);
-    rule_no_partial_cmp(toks, &masked, &mut raw);
-    rule_float_eq(toks, &masked, &mut raw);
-    if class.compute {
-        rule_nondeterminism(toks, &masked, &mut raw);
+    rule_no_panic(&m.tokens, &m.masked, &mut raw);
+    rule_no_partial_cmp(&m.tokens, &m.masked, &mut raw);
+    rule_float_eq(&m.tokens, &m.masked, &mut raw);
+    if m.class.compute {
+        rule_nondeterminism(&m.tokens, &m.masked, &mut raw);
     }
-    if class.hot {
-        rule_cast_truncation(toks, &masked, &mut raw);
+    if m.class.hot {
+        rule_cast_truncation(&m.tokens, &m.masked, &mut raw);
     }
+    raw
+}
 
+/// Applies the suppression machinery to one file's raw findings.
+///
+/// `emit_allow_meta` controls whether unjustified `lint: allow` directives
+/// surface as `allow-justification` meta findings — the workspace scan
+/// passes a file through here twice (token rules, then the per-crate
+/// concurrency findings) and must emit the meta findings exactly once.
+pub(crate) fn finish(
+    m: &FileModel,
+    raw: Vec<(u32, &'static str, String)>,
+    emit_allow_meta: bool,
+) -> Vec<Finding> {
+    let allows = parse_allows(&m.comments);
     let mut findings: Vec<Finding> = Vec::new();
     for (line, rule, message) in raw {
         let covered = allows
             .iter()
             .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule));
         if !covered {
-            findings.push(Finding { file: file.to_string(), line, rule, message, excerpt: excerpt(line) });
+            findings.push(Finding {
+                file: m.label.clone(),
+                line,
+                rule,
+                message,
+                excerpt: m.excerpt(line),
+            });
         }
     }
     // An allow directive must carry a justification: the contract is that
     // every suppression documents *why* the violation is sound.
-    for a in &allows {
-        if !a.justified {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: a.line,
-                rule: "allow-justification",
-                message: "lint: allow(..) directive without a justification — append `— <why this is sound>`".to_string(),
-                excerpt: excerpt(a.line),
-            });
+    if emit_allow_meta {
+        for a in &allows {
+            if !a.justified {
+                findings.push(Finding {
+                    file: m.label.clone(),
+                    line: a.line,
+                    rule: "allow-justification",
+                    message: "lint: allow(..) directive without a justification — append `— <why this is sound>`".to_string(),
+                    excerpt: m.excerpt(a.line),
+                });
+            }
         }
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -158,13 +214,13 @@ fn is_close(t: &Token, s: &str) -> bool {
     t.kind == TokKind::Close && t.text == s
 }
 
-fn is_ident(t: &Token, s: &str) -> bool {
+pub(crate) fn is_ident_tok(t: &Token, s: &str) -> bool {
     t.kind == TokKind::Ident && t.text == s
 }
 
 /// Finds the index of the bracket that closes the opener at `open`, matching
 /// only the opener's own bracket kind (sufficient for well-formed code).
-fn matching_close(toks: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_close(toks: &[Token], open: usize) -> Option<usize> {
     let (o, c) = match toks[open].text.as_str() {
         "(" => ("(", ")"),
         "[" => ("[", "]"),
@@ -188,7 +244,7 @@ fn matching_close(toks: &[Token], open: usize) -> Option<usize> {
 /// `#[test]` or `#[cfg(test)]` (attribute containing the ident `test` but
 /// not `not`, so `#[cfg(not(test))]` stays live code), including the whole
 /// body of `#[cfg(test)] mod tests { ... }`.
-fn test_mask(toks: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -208,7 +264,7 @@ fn test_mask(toks: &[Token]) -> Vec<bool> {
         }
         let Some(attr_end) = matching_close(toks, j) else { break };
         let attr = &toks[j + 1..attr_end];
-        let is_test = attr.iter().any(|t| is_ident(t, "test")) && !attr.iter().any(|t| is_ident(t, "not"));
+        let is_test = attr.iter().any(|t| is_ident_tok(t, "test")) && !attr.iter().any(|t| is_ident_tok(t, "not"));
         if !is_test {
             i = attr_end + 1;
             continue;
@@ -261,7 +317,7 @@ fn test_mask(toks: &[Token]) -> Vec<bool> {
 // Suppression directives
 // ---------------------------------------------------------------------------
 
-struct Allow {
+pub(crate) struct Allow {
     line: u32,
     rules: Vec<String>,
     justified: bool,
@@ -269,7 +325,7 @@ struct Allow {
 
 /// Parses `lint: allow(rule-a, rule-b) — justification` directives out of
 /// the comment side-channel.
-fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+pub(crate) fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in comments {
         let Some(pos) = c.text.find("lint:") else { continue };
@@ -324,14 +380,14 @@ fn rule_no_panic(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static s
 
 fn rule_no_partial_cmp(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'static str, String)>) {
     for (i, t) in toks.iter().enumerate() {
-        if masked[i] || !is_ident(t, "partial_cmp") {
+        if masked[i] || !is_ident_tok(t, "partial_cmp") {
             continue;
         }
         let Some(open) = toks.get(i + 1).filter(|n| is_open(n, "(")) else { continue };
         let _ = open;
         let Some(close) = matching_close(toks, i + 1) else { continue };
         let chained_panic = matches!(toks.get(close + 1), Some(d) if is_op(d, "."))
-            && matches!(toks.get(close + 2), Some(m) if is_ident(m, "unwrap") || is_ident(m, "expect"));
+            && matches!(toks.get(close + 2), Some(m) if is_ident_tok(m, "unwrap") || is_ident_tok(m, "expect"));
         if chained_panic {
             out.push((
                 t.line,
@@ -403,7 +459,7 @@ fn rule_cast_truncation(toks: &[Token], masked: &[bool], out: &mut Vec<(u32, &'s
         }
     }
     for (i, t) in toks.iter().enumerate() {
-        if masked[i] || !in_index[i] || !is_ident(t, "as") {
+        if masked[i] || !in_index[i] || !is_ident_tok(t, "as") {
             continue;
         }
         if let Some(ty) = toks.get(i + 1) {
@@ -423,7 +479,7 @@ mod tests {
     use super::*;
 
     fn scan(src: &str) -> Vec<Finding> {
-        scan_source("test.rs", src, FileClass { compute: true, hot: true })
+        scan_source("test.rs", src, FileClass { compute: true, hot: true, concurrency: false })
     }
 
     fn rules_of(f: &[Finding]) -> Vec<&'static str> {

@@ -2,12 +2,22 @@
 //! (clean) fixture, plus the suppression-directive matrix. The fixtures in
 //! `tests/fixtures/` are plain text to the lint — they are never compiled.
 
+use cascn_lint::resolve::FileModel;
 use cascn_lint::rules::FileClass;
 use cascn_lint::scan_source;
 
 const COMPUTE_HOT: FileClass = FileClass {
     compute: true,
     hot: true,
+    concurrency: false,
+};
+
+/// Serving-tier class: enables `guard-across-blocking` / `atomic-ordering`
+/// the way `classify` does for `crates/serve/` paths.
+const CONCURRENCY: FileClass = FileClass {
+    compute: false,
+    hot: false,
+    concurrency: true,
 };
 
 fn rules_of(src: &str, class: FileClass) -> Vec<&'static str> {
@@ -75,11 +85,116 @@ fn cast_truncation_flags_narrowing_in_index_arithmetic_only() {
             src,
             FileClass {
                 compute: true,
-                hot: false
+                hot: false,
+                concurrency: false
             }
         ),
         Vec::<&str>::new()
     );
+}
+
+#[test]
+fn lock_order_flags_the_seeded_inversion() {
+    let src = include_str!("fixtures/lock_order_bad.rs");
+    let found = rules_of(src, CONCURRENCY);
+    assert_eq!(
+        found,
+        ["lock-order", "lock-order"],
+        "both inner acquisitions of the inverted pair are findings"
+    );
+}
+
+#[test]
+fn lock_order_accepts_a_single_global_order() {
+    let src = include_str!("fixtures/lock_order_ok.rs");
+    assert_eq!(rules_of(src, CONCURRENCY), Vec::<&str>::new());
+}
+
+#[test]
+fn lock_order_cycle_across_files_is_detected() {
+    // The inversion only exists across the call graph: file A holds
+    // `queue` while calling into file B, which nests `state → queue`.
+    // Neither file alone contains a cycle.
+    let a_src = include_str!("fixtures/deadlock_inversion_a.rs");
+    let b_src = include_str!("fixtures/deadlock_inversion_b.rs");
+    let models = [
+        FileModel::build("fixture_a.rs", a_src, CONCURRENCY),
+        FileModel::build("fixture_b.rs", b_src, CONCURRENCY),
+    ];
+    let raw = cascn_lint::concurrency::scan(&models);
+    let per_file: Vec<usize> = (0..2)
+        .map(|fi| raw.iter().filter(|(f, _, r, _)| *f == fi && *r == "lock-order").count())
+        .collect();
+    assert!(
+        per_file[0] >= 1 && per_file[1] >= 1,
+        "each half of the cross-file inversion gets a finding: {raw:?}"
+    );
+
+    // Each file alone is acyclic.
+    for (label, src) in [("fixture_a.rs", a_src), ("fixture_b.rs", b_src)] {
+        let solo = [FileModel::build(label, src, CONCURRENCY)];
+        assert!(
+            cascn_lint::concurrency::scan(&solo).iter().all(|(_, _, r, _)| *r != "lock-order"),
+            "{label} has no cycle on its own"
+        );
+    }
+}
+
+#[test]
+fn guard_across_blocking_flags_live_guards_only() {
+    let src = include_str!("fixtures/guard_blocking_bad.rs");
+    let found = rules_of(src, CONCURRENCY);
+    assert_eq!(
+        found,
+        ["guard-across-blocking"; 4],
+        "Child::wait, write_all, Command::spawn, thread::sleep under a live guard"
+    );
+    let ok = include_str!("fixtures/guard_blocking_ok.rs");
+    assert_eq!(rules_of(ok, CONCURRENCY), Vec::<&str>::new());
+}
+
+#[test]
+fn guard_across_blocking_is_gated_to_the_serving_tier() {
+    // Outside the serve crate the pass does not run at all; `lock-order`
+    // and `wait-loop` still do, but this fixture trips neither.
+    let src = include_str!("fixtures/guard_blocking_bad.rs");
+    assert_eq!(rules_of(src, FileClass::default()), Vec::<&str>::new());
+}
+
+#[test]
+fn wait_loop_requires_a_predicate_loop() {
+    let src = include_str!("fixtures/wait_loop_bad.rs");
+    let found = rules_of(src, CONCURRENCY);
+    assert_eq!(
+        found,
+        ["wait-loop"; 3],
+        "wait_recover, raw cv.wait, and wait_timeout_recover outside loops"
+    );
+    let ok = include_str!("fixtures/wait_loop_ok.rs");
+    assert_eq!(rules_of(ok, CONCURRENCY), Vec::<&str>::new());
+}
+
+#[test]
+fn atomic_ordering_flags_control_flow_relaxed_only() {
+    let src = include_str!("fixtures/atomic_ordering_bad.rs");
+    let found = rules_of(src, CONCURRENCY);
+    assert_eq!(
+        found,
+        ["atomic-ordering"; 4],
+        "AtomicBool store, publishing store, CAS handoff, spin-loop load"
+    );
+    let ok = include_str!("fixtures/atomic_ordering_ok.rs");
+    assert_eq!(rules_of(ok, CONCURRENCY), Vec::<&str>::new());
+}
+
+#[test]
+fn concurrency_allow_matrix() {
+    let src = include_str!("fixtures/concurrency_allow_cases.rs");
+    let findings = scan_source("fixture.rs", src, CONCURRENCY);
+    let found: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    // Justified allow: suppressed. Bare allow: suppressed but the missing
+    // justification is reported. Wrong-rule allow: the finding survives.
+    assert_eq!(found, ["allow-justification", "guard-across-blocking"]);
 }
 
 #[test]

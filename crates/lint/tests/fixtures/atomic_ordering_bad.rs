@@ -1,0 +1,27 @@
+// Fixture: `Ordering::Relaxed` carrying cross-thread control flow — a
+// shutdown flag, a publishing store, a CAS handoff, and a spin condition.
+
+struct Worker {
+    running: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl Worker {
+    fn stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
+    }
+
+    fn publish(&self, n: u64) {
+        self.seq.store(n, Ordering::Relaxed);
+    }
+
+    fn claim(&self) -> bool {
+        self.seq.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    }
+
+    fn spin(&self) {
+        while self.seq.load(Ordering::Relaxed) == 0 {
+            std::hint::spin_loop();
+        }
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: the legal `Relaxed` shapes — statistics counters that nothing
+// synchronizes on — plus control-flow atomics at `SeqCst`/`Acquire`.
+
+struct Worker {
+    running: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Worker {
+    fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+    }
+
+    fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        let h = self.hits.load(Ordering::Relaxed);
+        let m = self.misses.load(Ordering::Relaxed);
+        (h, m)
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: the suppression matrix for the concurrency rules.
+// 1. A justified allow fully suppresses the finding.
+// 2. A bare allow suppresses the finding but reports the missing
+//    justification (`allow-justification`).
+// 3. An allow naming the wrong rule suppresses nothing.
+
+struct Queue {
+    jobs: Mutex<Vec<u64>>,
+    cv: Condvar,
+    running: AtomicBool,
+}
+
+impl Queue {
+    fn drain_once(&self) -> u64 {
+        let jobs = lock_recover(&self.jobs);
+        // lint: allow(wait-loop) — single-shot drain helper; the caller loops on the predicate
+        let mut jobs = wait_recover(&self.cv, jobs);
+        jobs.pop().unwrap_or(0)
+    }
+
+    fn stop(&self) {
+        // lint: allow(atomic-ordering)
+        self.running.store(false, Ordering::Relaxed);
+    }
+
+    fn throttle(&self) {
+        let jobs = lock_recover(&self.jobs);
+        // lint: allow(wait-loop) — wrong rule, must not suppress the blocking finding
+        thread::sleep(Duration::from_millis(5));
+        drop(jobs);
+    }
+}

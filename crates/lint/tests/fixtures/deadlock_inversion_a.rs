@@ -1,0 +1,16 @@
+// Fixture, file A of the cross-file inversion: `submit` holds `queue` and
+// calls `bump` (defined in file B), which acquires `state` — the edge
+// `queue → state` only exists across the call graph.
+
+struct Pool {
+    queue: Mutex<Vec<u64>>,
+    state: Mutex<u64>,
+}
+
+impl Pool {
+    fn submit(&self, job: u64) {
+        let mut q = lock_recover(&self.queue);
+        q.push(job);
+        bump(self);
+    }
+}

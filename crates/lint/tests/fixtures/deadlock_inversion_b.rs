@@ -1,0 +1,15 @@
+// Fixture, file B of the cross-file inversion: `drain` nests
+// `state → queue` directly, closing the cycle that file A's
+// `queue → state` call edge opened.
+
+fn bump(p: &Pool) {
+    let mut st = lock_recover(&p.state);
+    *st += 1;
+}
+
+fn drain(p: &Pool) {
+    let mut st = lock_recover(&p.state);
+    let mut q = lock_recover(&p.queue);
+    q.clear();
+    *st = 0;
+}

@@ -1,0 +1,34 @@
+// Fixture: live guards spanning blocking calls. Each function stalls
+// every thread touching its lock behind process reaping, socket I/O,
+// process spawning, or a sleep.
+
+struct Tier {
+    children: Mutex<Option<Child>>,
+    log: Mutex<Vec<u8>>,
+}
+
+impl Tier {
+    fn reap(&self) {
+        let mut slot = lock_recover(&self.children);
+        if let Some(mut c) = slot.take() {
+            let _ = c.wait();
+        }
+    }
+
+    fn forward(&self, stream: &mut TcpStream, buf: &[u8]) {
+        let mut log = lock_recover(&self.log);
+        let _ = stream.write_all(buf);
+        log.extend_from_slice(buf);
+    }
+
+    fn relaunch(&self, program: &str) {
+        let mut slot = lock_recover(&self.children);
+        *slot = Command::new(program).spawn().ok();
+    }
+
+    fn throttle(&self) {
+        let log = lock_recover(&self.log);
+        thread::sleep(Duration::from_millis(50));
+        drop(log);
+    }
+}

@@ -1,0 +1,38 @@
+// Fixture: the safe shapes — take the payload out of the slot (the guard
+// is a statement temporary), drop the guard before blocking, or scope the
+// guard in its own block.
+
+struct Tier {
+    children: Mutex<Option<Child>>,
+    log: Mutex<Vec<u8>>,
+}
+
+impl Tier {
+    fn reap(&self) {
+        let orphan = lock_recover(&self.children).take();
+        if let Some(mut c) = orphan {
+            let _ = c.wait();
+        }
+    }
+
+    fn forward(&self, stream: &mut TcpStream, buf: &[u8]) {
+        let mut log = lock_recover(&self.log);
+        log.extend_from_slice(buf);
+        drop(log);
+        let _ = stream.write_all(buf);
+    }
+
+    fn relaunch(&self, program: &str) {
+        let child = Command::new(program).spawn().ok();
+        let mut slot = lock_recover(&self.children);
+        *slot = child;
+    }
+
+    fn throttle(&self) {
+        {
+            let mut log = lock_recover(&self.log);
+            log.push(1);
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: seeded two-lock inversion. `enqueue` takes queue → state,
+// `drain` takes state → queue; the acquired-while-held graph has a cycle,
+// so both inner acquisitions are deadlock-risk findings.
+
+struct Pool {
+    queue: Mutex<Vec<u64>>,
+    state: Mutex<u64>,
+}
+
+impl Pool {
+    fn enqueue(&self, job: u64) {
+        let mut q = lock_recover(&self.queue);
+        let mut st = lock_recover(&self.state);
+        q.push(job);
+        *st += 1;
+    }
+
+    fn drain(&self) {
+        let mut st = lock_recover(&self.state);
+        let mut q = lock_recover(&self.queue);
+        q.clear();
+        *st = 0;
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: the same two locks in one global order everywhere — the
+// acquired-while-held graph is `queue → state` only, which is acyclic.
+// `report` shows the other safe shape: release before re-acquiring.
+
+struct Pool {
+    queue: Mutex<Vec<u64>>,
+    state: Mutex<u64>,
+}
+
+impl Pool {
+    fn enqueue(&self, job: u64) {
+        let mut q = lock_recover(&self.queue);
+        let mut st = lock_recover(&self.state);
+        q.push(job);
+        *st += 1;
+    }
+
+    fn drain(&self) {
+        let mut q = lock_recover(&self.queue);
+        let mut st = lock_recover(&self.state);
+        q.clear();
+        *st = 0;
+    }
+
+    fn report(&self) -> u64 {
+        let n = {
+            let st = lock_recover(&self.state);
+            *st
+        };
+        let q = lock_recover(&self.queue);
+        n + q.len() as u64
+    }
+}

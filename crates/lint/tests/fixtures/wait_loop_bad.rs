@@ -1,0 +1,27 @@
+// Fixture: condvar waits with no predicate re-check. A spurious wakeup or
+// a notification racing the park returns with the condition still false.
+
+struct Queue {
+    jobs: Mutex<Vec<u64>>,
+    cv: Condvar,
+}
+
+impl Queue {
+    fn next(&self) -> u64 {
+        let mut jobs = lock_recover(&self.jobs);
+        jobs = wait_recover(&self.cv, jobs);
+        jobs.pop().unwrap_or(0)
+    }
+
+    fn next_raw(&self) -> u64 {
+        let jobs = lock_recover(&self.jobs);
+        let mut jobs = self.cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+        jobs.pop().unwrap_or(0)
+    }
+
+    fn next_timed(&self) -> u64 {
+        let jobs = lock_recover(&self.jobs);
+        let (mut jobs, _timed_out) = wait_timeout_recover(&self.cv, jobs, Duration::from_millis(5));
+        jobs.pop().unwrap_or(0)
+    }
+}

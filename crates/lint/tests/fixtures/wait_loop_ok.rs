@@ -1,0 +1,39 @@
+// Fixture: every wait sits inside a loop that re-checks the predicate, so
+// spurious wakeups and racing notifications are harmless.
+
+struct Queue {
+    jobs: Mutex<Vec<u64>>,
+    cv: Condvar,
+}
+
+impl Queue {
+    fn next(&self) -> u64 {
+        let mut jobs = lock_recover(&self.jobs);
+        while jobs.is_empty() {
+            jobs = wait_recover(&self.cv, jobs);
+        }
+        jobs.pop().unwrap_or(0)
+    }
+
+    fn next_timed(&self) -> Option<u64> {
+        let mut jobs = lock_recover(&self.jobs);
+        loop {
+            if let Some(job) = jobs.pop() {
+                return Some(job);
+            }
+            let (next, timed_out) = wait_timeout_recover(&self.cv, jobs, Duration::from_millis(5));
+            jobs = next;
+            if timed_out {
+                return None;
+            }
+        }
+    }
+
+    fn next_raw(&self) -> u64 {
+        let mut jobs = lock_recover(&self.jobs);
+        while jobs.is_empty() {
+            jobs = self.cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+        }
+        jobs.pop().unwrap_or(0)
+    }
+}

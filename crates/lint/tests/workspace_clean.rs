@@ -1,11 +1,12 @@
 //! The live workspace must scan clean modulo the checked-in ratchet
-//! baseline, and the full scan must stay fast enough to run on every CI
+//! baseline, and the full scan — token rules plus all four per-crate
+//! concurrency passes — must stay fast enough to run on every CI
 //! invocation.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use cascn_lint::{scan_workspace, Baseline, BASELINE_FILE};
+use cascn_lint::{scan_workspace, Baseline, BASELINE_FILE, RULES};
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -32,6 +33,9 @@ fn workspace_has_no_unbaselined_findings() {
 
 #[test]
 fn full_scan_is_fast() {
+    // The budget covers the whole multi-pass pipeline: lex + resolve every
+    // file, five token rules per file, and the four concurrency passes per
+    // crate (lock-graph fixpoint included).
     let root = workspace_root();
     let start = Instant::now();
     let (_, files) = scan_workspace(&root).expect("scan workspace");
@@ -40,6 +44,24 @@ fn full_scan_is_fast() {
         elapsed < Duration::from_secs(2),
         "scanned {files} files in {elapsed:?}; the CI hook budget is 2s"
     );
+}
+
+#[test]
+fn baseline_is_v2_and_covers_all_nine_rules() {
+    let text =
+        std::fs::read_to_string(workspace_root().join(BASELINE_FILE)).expect("baseline exists");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    assert_eq!(
+        baseline.rules,
+        RULES.iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "the checked-in baseline records the full rule registry"
+    );
+    assert_eq!(RULES.len(), 9);
+    // The concurrency burn-down holds: no grandfathered findings for any
+    // of the four new rules (or any rule at all — entries are empty).
+    for new_rule in ["lock-order", "guard-across-blocking", "wait-loop", "atomic-ordering"] {
+        assert_eq!(baseline.total_for(&[new_rule]), 0, "{new_rule} must stay at zero");
+    }
 }
 
 #[test]

@@ -32,6 +32,7 @@ use crate::cache::BasisCache;
 pub use crate::cache::cascade_key;
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
+use crate::sync::{lock_recover, wait_recover};
 
 /// Where a request waits for its batch to execute.
 enum SlotState {
@@ -55,24 +56,24 @@ impl ResponseSlot {
     }
 
     fn fulfill(&self, preds: Vec<f32>) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = lock_recover(&self.state);
         *state = SlotState::Done(preds);
         self.cv.notify_all();
     }
 
     fn abort(&self, reason: String) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = lock_recover(&self.state);
         *state = SlotState::Aborted(reason);
         self.cv.notify_all();
     }
 
     /// Blocks until the executor fulfills or aborts this slot.
     pub fn wait(&self) -> Result<Vec<f32>, String> {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = lock_recover(&self.state);
         loop {
             match &*state {
                 SlotState::Pending => {
-                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                    state = wait_recover(&self.cv, state);
                 }
                 SlotState::Done(preds) => return Ok(preds.clone()),
                 SlotState::Aborted(reason) => return Err(reason.clone()),
@@ -132,7 +133,7 @@ impl Batcher {
     /// queue bound is only admitted into an empty queue (otherwise it
     /// could never run).
     pub fn enqueue(&self, job: PredictJob) -> Result<(), EnqueueError> {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&self.queue);
         if q.closed {
             return Err(EnqueueError::Closed);
         }
@@ -151,7 +152,7 @@ impl Batcher {
 
     /// Marks the queue closed and aborts everything still waiting.
     pub fn close(&self) {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&self.queue);
         q.closed = true;
         for job in q.jobs.drain(..) {
             job.slot.abort("server shutting down".into());
@@ -163,7 +164,7 @@ impl Batcher {
     /// Blocks until jobs are available (returning a drained batch of at
     /// most `max_batch` cascades) or the queue closes (returning `None`).
     fn next_batch(&self) -> Option<Vec<PredictJob>> {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&self.queue);
         loop {
             if !q.jobs.is_empty() {
                 let mut batch = Vec::new();
@@ -187,7 +188,7 @@ impl Batcher {
             if q.closed {
                 return None;
             }
-            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = wait_recover(&self.cv, q);
         }
     }
 

@@ -20,6 +20,8 @@ use std::sync::{Arc, RwLock};
 use cascn_cascades::Cascade;
 use cascn_graph::SpectralBasis;
 
+use crate::sync::{read_recover, write_recover};
+
 /// Content fingerprint of a cascade — FNV-1a 64 over the id, start time,
 /// and every event. Picks the cache slot; it is **not** collision
 /// resistant (FNV is not cryptographic, and an adversarial client can
@@ -175,7 +177,7 @@ impl BasisCache {
         }
 
         {
-            let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+            let entries = read_recover(&self.entries);
             if let Ok(idx) = entries.binary_search_by_key(&key, |e| e.key) {
                 if same_cascade(&entries[idx].cascade, cascade) {
                     let now = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -194,7 +196,7 @@ impl BasisCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let basis = Arc::new(compute());
 
-        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        let mut entries = write_recover(&self.entries);
         match entries.binary_search_by_key(&key, |e| e.key) {
             Ok(idx) => {
                 if same_cascade(&entries[idx].cascade, cascade) {
@@ -259,7 +261,7 @@ impl BasisCache {
         }
         let key: Key = (cascade_key(cascade), window.to_bits());
         let basis = Arc::new(basis);
-        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        let mut entries = write_recover(&self.entries);
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         match entries.binary_search_by_key(&key, |e| e.key) {
             Ok(idx) => {
@@ -300,7 +302,7 @@ impl BasisCache {
 
     /// Current counters and an estimate of resident bytes.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        let entries = read_recover(&self.entries);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -318,7 +320,7 @@ impl BasisCache {
     /// the returned sequence through [`seed`](Self::seed) in the same order
     /// reproduces the cache's eviction priority.
     pub fn export(&self) -> Vec<(Cascade, f64, Arc<SpectralBasis>)> {
-        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        let entries = read_recover(&self.entries);
         let mut order: Vec<usize> = (0..entries.len()).collect();
         order.sort_by_key(|&i| (entries[i].last_used.load(Ordering::Relaxed), entries[i].key));
         order
@@ -338,7 +340,7 @@ impl BasisCache {
         if self.capacity == 0 {
             return 0;
         }
-        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        let mut entries = write_recover(&self.entries);
         let mut installed = 0usize;
         for (cascade, window, basis) in restored {
             if entries.len() >= self.capacity {

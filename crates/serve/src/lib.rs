@@ -49,6 +49,7 @@ pub mod registry;
 pub mod router;
 pub mod server;
 pub mod supervisor;
+pub mod sync;
 
 pub use batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
 pub use cache::{BasisCache, CacheStats};
@@ -61,3 +62,4 @@ pub use router::{
 };
 pub use server::{Server, ServerConfig};
 pub use supervisor::{ReplicaCommand, Supervisor, SupervisorConfig};
+pub use sync::{lock_recover, read_recover, wait_recover, wait_timeout_recover, write_recover};

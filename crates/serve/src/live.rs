@@ -26,6 +26,8 @@ use cascn::{CascnConfig, WindowedPreprocessor};
 use cascn_cascades::{Cascade, CascadeFault, ObserveBody};
 use cascn_graph::SpectralBasis;
 
+use crate::sync::lock_recover;
+
 /// Identity of a live cascade: its id plus exact start-time bits. Two
 /// streams with the same id but different start times are different
 /// cascades, never silently merged.
@@ -153,7 +155,7 @@ impl LiveRegistry {
         }
         let key: Key = (body.id, body.start_time.to_bits());
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries = lock_recover(&self.entries);
 
         match entries.binary_search_by_key(&key, |e| e.key) {
             Ok(idx) => {
@@ -241,7 +243,7 @@ impl LiveRegistry {
 
     /// Current counters for the metrics endpoint.
     pub fn stats(&self) -> LiveStats {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let entries = lock_recover(&self.entries);
         LiveStats {
             entries: entries.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -255,7 +257,7 @@ impl LiveRegistry {
     /// first — the live section of a snapshot. Restoring through
     /// [`seed`](Self::seed) in the same order reproduces eviction priority.
     pub fn export(&self) -> Vec<(Cascade, f64)> {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let entries = lock_recover(&self.entries);
         let mut order: Vec<usize> = (0..entries.len()).collect();
         order.sort_by_key(|&i| (entries[i].last_used, entries[i].key));
         order
@@ -273,7 +275,7 @@ impl LiveRegistry {
         if self.capacity == 0 {
             return 0;
         }
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries = lock_recover(&self.entries);
         let mut installed = 0usize;
         for (cascade, window) in restored {
             if entries.len() >= self.capacity {

@@ -55,6 +55,10 @@ pub type SnapshotEntry = (Cascade, f64, SpectralBasis);
 /// its spectral state is maintained at.
 pub type LiveSnapshotEntry = (Cascade, f64);
 
+/// Everything a snapshot restores: the finished-cache entries and the
+/// live-registry entries, in file order.
+pub type SnapshotContents = (Vec<SnapshotEntry>, Vec<LiveSnapshotEntry>);
+
 /// Why a snapshot was rejected. Every variant cold-starts the cache; none
 /// of them is a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,7 +172,7 @@ pub fn save_snapshot(
 pub fn snapshot_from_text(
     text: &str,
     expected_fp: u64,
-) -> Result<(Vec<SnapshotEntry>, Vec<LiveSnapshotEntry>), SnapshotError> {
+) -> Result<SnapshotContents, SnapshotError> {
     let body = verify_checksum(text)?;
     let mut lines = body.lines();
     let header = lines.next().unwrap_or_default();
@@ -221,7 +225,7 @@ pub fn snapshot_from_text(
 pub fn load_snapshot(
     path: &Path,
     expected_fp: u64,
-) -> Result<Option<(Vec<SnapshotEntry>, Vec<LiveSnapshotEntry>)>, SnapshotError> {
+) -> Result<Option<SnapshotContents>, SnapshotError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),

@@ -14,6 +14,8 @@ use std::sync::{Arc, RwLock};
 
 use cascn::{CascnConfig, CascnError, CascnModel, TrainCheckpoint};
 
+use crate::sync::{read_recover, write_recover};
+
 /// One immutable loaded model plus its registry version.
 pub struct LoadedModel {
     pub model: CascnModel,
@@ -53,7 +55,7 @@ impl ModelRegistry {
     /// `Arc::clone`. Callers hold the `Arc` for the duration of a batch so
     /// a mid-batch reload never mixes parameters.
     pub fn current(&self) -> Arc<LoadedModel> {
-        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+        Arc::clone(&read_recover(&self.current))
     }
 
     /// The published version without taking the model.
@@ -67,7 +69,7 @@ impl ModelRegistry {
     pub fn reload(&self) -> Result<u64, CascnError> {
         let model = Self::load_model(&self.path, self.cfg)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let mut slot = write_recover(&self.current);
         *slot = Arc::new(LoadedModel { model, version });
         Ok(version)
     }

@@ -47,6 +47,7 @@ use crate::cache::cascade_key;
 use crate::http::{read_request, write_response, ParseError, Request};
 use crate::metrics::RouterMetrics;
 use crate::server::ConnQueue;
+use crate::sync::{lock_recover, wait_timeout_recover};
 
 /// Replica lifecycle as the router sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,7 +126,7 @@ impl ReplicaSet {
     }
 
     fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, Slot> {
-        self.slots[i].lock().unwrap_or_else(|e| e.into_inner())
+        lock_recover(&self.slots[i])
     }
 
     /// Publishes a (re)started replica's address; it enters `Starting`
@@ -346,7 +347,7 @@ pub struct Router {
     config: RouterConfig,
     replicas: Arc<ReplicaSet>,
     pub metrics: Arc<RouterMetrics>,
-    /// xorshift64 state of the deterministic backoff jitter.
+    /// Draw counter of the deterministic backoff jitter stream.
     jitter: AtomicU64,
 }
 
@@ -453,24 +454,21 @@ impl ShutdownSignal {
     }
 
     pub(crate) fn raise(&self) {
-        let mut flag = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut flag = lock_recover(&self.state);
         *flag = true;
         self.cv.notify_all();
     }
 
     /// Sleeps up to `d`; returns true when shutdown was raised.
     pub(crate) fn wait(&self, d: Duration) -> bool {
-        let mut flag = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut flag = lock_recover(&self.state);
         let deadline = Instant::now() + d;
         while !*flag {
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            let (next, _) = self
-                .cv
-                .wait_timeout(flag, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
+            let (next, _timed_out) = wait_timeout_recover(&self.cv, flag, deadline - now);
             flag = next;
         }
         true
@@ -597,14 +595,17 @@ struct RouterCtx<'a> {
 }
 
 impl RouterCtx<'_> {
-    /// Deterministic jitter in `[0, cap]` from the router's xorshift64
-    /// stream — no wall clock, no OS randomness.
+    /// Deterministic jitter in `[0, cap]` — splitmix64 of a seeded draw
+    /// counter, no wall clock, no OS randomness. The counter bump is the
+    /// only shared-state touch, so concurrent handlers cannot lose a
+    /// draw the way a load/xorshift/store sequence could; relaxed
+    /// ordering is fine for the same reason it is for a metrics counter.
     fn jitter(&self, cap: Duration) -> Duration {
-        let mut x = self.jitter.load(Ordering::Relaxed);
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.jitter.store(x, Ordering::Relaxed);
+        let n = self.jitter.fetch_add(1, Ordering::Relaxed);
+        let mut x = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
         let cap_us = cap.as_micros().min(u128::from(u64::MAX)) as u64;
         if cap_us == 0 {
             Duration::ZERO

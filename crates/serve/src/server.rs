@@ -43,6 +43,7 @@ use crate::metrics::ServeMetrics;
 use crate::persist;
 use crate::registry::ModelRegistry;
 use crate::router::ShutdownSignal;
+use crate::sync::{lock_recover, wait_recover};
 
 /// Everything tunable about a server instance.
 #[derive(Debug, Clone)]
@@ -129,7 +130,7 @@ impl ConnQueue {
 
     /// Hands the stream back when the queue is full (the caller sheds).
     pub(crate) fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&self.queue);
         if q.1 || q.0.len() >= self.bound {
             return Err(stream);
         }
@@ -139,7 +140,7 @@ impl ConnQueue {
     }
 
     pub(crate) fn pop(&self) -> Option<TcpStream> {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&self.queue);
         loop {
             if let Some(s) = q.0.pop_front() {
                 return Some(s);
@@ -147,12 +148,12 @@ impl ConnQueue {
             if q.1 {
                 return None;
             }
-            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = wait_recover(&self.cv, q);
         }
     }
 
     pub(crate) fn close(&self) {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&self.queue);
         q.1 = true;
         self.cv.notify_all();
     }

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use crate::metrics::RouterMetrics;
 use crate::router::{ReplicaSet, ShutdownSignal};
+use crate::sync::lock_recover;
 
 /// How to launch one replica. Each replica gets its own command so
 /// per-replica state (snapshot paths, seeds) can differ.
@@ -127,7 +128,7 @@ impl Supervisor {
         let Some(slot) = self.inner.children.get(i) else {
             return false;
         };
-        let mut child = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut child = lock_recover(slot);
         match child.as_mut() {
             Some(c) => c.kill().is_ok(),
             None => false,
@@ -137,7 +138,7 @@ impl Supervisor {
     /// Current pid of replica `i`, if running.
     pub fn pid(&self, i: usize) -> Option<u32> {
         let slot = self.inner.children.get(i)?;
-        let child = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let child = lock_recover(slot);
         child.as_ref().map(Child::id)
     }
 
@@ -147,7 +148,7 @@ impl Supervisor {
         self.inner.stopping.store(true, Ordering::SeqCst);
         self.inner.stop_signal.raise();
         for slot in &self.inner.children {
-            let mut child = slot.lock().unwrap_or_else(|e| e.into_inner());
+            let mut child = lock_recover(slot);
             if let Some(c) = child.as_mut() {
                 let _ = c.kill();
             }
@@ -156,10 +157,13 @@ impl Supervisor {
             let _ = handle.join();
         }
         // Reap anything the monitors left behind (e.g. killed during a
-        // backoff sleep, after the monitor re-checked `stopping`).
+        // backoff sleep, after the monitor re-checked `stopping`). Take
+        // the child out of the slot before reaping: `Child::wait` can
+        // block arbitrarily long, and a monitor or chaos hook polling the
+        // same slot must never queue behind that wait.
         for slot in &self.inner.children {
-            let mut child = slot.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(mut c) = child.take() {
+            let orphan = lock_recover(slot).take();
+            if let Some(mut c) = orphan {
                 let _ = c.kill();
                 let _ = c.wait();
             }
@@ -220,7 +224,7 @@ fn spawn_replica(inner: &SupervisorInner, i: usize) -> std::io::Result<()> {
     announce(inner, &format!("replica {i} pid {}", child.id()));
     let stdout = child.stdout.take();
     {
-        let mut slot = inner.children[i].lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = lock_recover(&inner.children[i]);
         *slot = Some(child);
     }
 
@@ -253,7 +257,7 @@ fn spawn_replica(inner: &SupervisorInner, i: usize) -> std::io::Result<()> {
     // never races a connect against the dead port.
     inner.replicas.mark_down(i);
     let status = {
-        let mut slot = inner.children[i].lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = lock_recover(&inner.children[i]);
         slot.take()
     };
     if let Some(mut c) = status {

@@ -1,0 +1,97 @@
+//! Poison-tolerant lock acquisition, in one place.
+//!
+//! Every lock in this crate protects state that stays structurally valid
+//! even if a holder panicked mid-update: queues of owned jobs, `Option<Child>`
+//! slots, LRU vectors whose entries are immutable once published. Recovering
+//! the guard from a [`PoisonError`] is therefore always safe here, and the
+//! serving tier must keep running after a worker panic rather than cascade
+//! the poison to every thread that touches the same mutex.
+//!
+//! These helpers are also the canonical guard-acquisition shape that
+//! `cascn-lint`'s concurrency passes key on (see `docs/static-analysis.md`):
+//! `lock_recover(&self.queue)` names the lock it acquires in its argument,
+//! which makes lock identities resolvable by a token-level analyzer. Prefer
+//! them over open-coded `lock().unwrap_or_else(|e| e.into_inner())`.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquires a shared read guard on `l`, recovering from poison.
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquires an exclusive write guard on `l`, recovering from poison.
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Blocks on `cv`, releasing `guard` while parked, recovering from poison.
+///
+/// Callers must re-check their predicate after this returns: condition
+/// variables wake spuriously (`cascn-lint` enforces this via `wait-loop`).
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    // lint: allow(wait-loop) — this IS the wait primitive; the predicate-loop obligation transfers to callers, where the pass checks it
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Like [`wait_recover`] with an upper bound on the park time. The bool is
+/// `true` when the wait timed out rather than being notified.
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    let (guard, res) = cv
+        // lint: allow(wait-loop) — the wait primitive itself; callers own the predicate loop and the pass checks them
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(|e| e.into_inner());
+    (guard, res.timed_out())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+    }
+
+    #[test]
+    fn rwlock_recover_survives_poison() {
+        let l = Arc::new(RwLock::new(3u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read_recover(&l), 3);
+        *write_recover(&l) = 4;
+        assert_eq!(*read_recover(&l), 4);
+    }
+
+    #[test]
+    fn wait_timeout_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock_recover(&m);
+        let (_g, timed_out) = wait_timeout_recover(&cv, g, Duration::from_millis(1));
+        assert!(timed_out);
+    }
+}

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: release build, the cascn-lint contract ratchet, clippy with
+# CI gate: release build, the cascn-lint contract ratchet (all nine rules:
+# the five token rules plus the per-crate concurrency passes — lock-order,
+# guard-across-blocking, wait-loop, atomic-ordering), clippy with
 # warnings-as-errors, the full test suite, the thread-parity suite in
 # release (optimized float codegen is the configuration that ships), bench
 # compilation, the perf ratchet (BENCH_train.json vs bench-baseline.json:
