@@ -37,7 +37,9 @@ enum Op {
     ConcatRows(Vec<Var>),
     ConcatCols(Var, Var),
     SoftmaxCol(Var),
+    LogSoftmaxRow(Var),
     SliceRows(Var, usize),
+    PickEntry(Var, usize, usize),
     /// Application of a fixed (non-differentiable) sparse operator to a
     /// feature block: `Y = M·X`. The `Arc` keeps the tape cheap to record —
     /// the Chebyshev recurrence applies the same operator K times per gate.
@@ -305,6 +307,28 @@ impl Tape {
         self.push(Op::SoftmaxCol(a), value, rg)
     }
 
+    /// Log-softmax over each row of an `m x n` matrix, computed with the
+    /// usual max-subtracted log-sum-exp so a large additive mask (the
+    /// `-1e9` infected-user logits of the next-user head) stays finite:
+    /// masked entries come out ≈ `-1e9` and their `exp` underflows to an
+    /// exact `0.0` probability.
+    pub fn log_softmax_row(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        assert!(v.cols() > 0, "log_softmax_row: empty rows");
+        let mut value = Matrix::zeros(v.rows(), v.cols());
+        for r in 0..v.rows() {
+            let row = v.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let z: f32 = row.iter().map(|&x| (x - max).exp()).sum();
+            let lse = max + z.ln();
+            for (out, &x) in value.row_mut(r).iter_mut().zip(row) {
+                *out = x - lse;
+            }
+        }
+        let rg = self.requires(a);
+        self.push(Op::LogSoftmaxRow(a), value, rg)
+    }
+
     /// Extracts `len` consecutive rows starting at `start`.
     pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
         let v = self.value(a);
@@ -319,6 +343,20 @@ impl Tape {
         }
         let rg = self.requires(a);
         self.push(Op::SliceRows(a, start), value, rg)
+    }
+
+    /// Extracts the single entry at `(r, c)` as a `1x1` variable; the
+    /// backward pass scatters the incoming gradient back into that entry.
+    pub fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
+        let v = self.value(a);
+        assert!(
+            r < v.rows() && c < v.cols(),
+            "pick: ({r}, {c}) out of bounds for {:?}",
+            v.shape()
+        );
+        let value = Matrix::from_vec(1, 1, vec![v[(r, c)]]);
+        let rg = self.requires(a);
+        self.push(Op::PickEntry(a, r, c), value, rg)
     }
 
     /// Applies a fixed sparse operator to `x`: `y = op·x`.
@@ -586,6 +624,29 @@ impl Tape {
                 );
                 self.add_grad(*a, da);
             }
+            Op::LogSoftmaxRow(a) => {
+                // Per row: dx = g − softmax(x) · Σ g, with softmax(x)
+                // recovered as exp of the stored log-probabilities.
+                let y = &self.nodes[node].value;
+                let mut da = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let gs: f32 = g.row(r).iter().sum();
+                    for ((d, &lp), &gv) in
+                        da.row_mut(r).iter_mut().zip(y.row(r)).zip(g.row(r))
+                    {
+                        *d = gv - lp.exp() * gs;
+                    }
+                }
+                self.add_grad(*a, da);
+            }
+            Op::PickEntry(a, r, c) => {
+                if self.requires(*a) {
+                    let v = self.value(*a);
+                    let mut da = Matrix::zeros(v.rows(), v.cols());
+                    da[(*r, *c)] = g[(0, 0)];
+                    self.add_grad(*a, da);
+                }
+            }
             Op::SparseApply(op, x) => {
                 if self.requires(*x) {
                     let dx = op.apply_transpose(g);
@@ -804,6 +865,57 @@ mod tests {
 
         assert_eq!(ts.value(ys).as_slice(), td.value(yd).as_slice(), "forward diverged");
         assert_matrix_eq(ts.grad(xs).unwrap(), td.grad(xd).unwrap(), 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_row_matches_softmax_and_masks_underflow_to_zero() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0, -1e9, 3.0]]));
+        let lp = t.log_softmax_row(x);
+        let probs: Vec<f32> = t.value(lp).as_slice().iter().map(|&l| l.exp()).collect();
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(probs[2], 0.0, "masked logit must underflow to exact zero");
+        assert!(probs[3] > probs[1] && probs[1] > probs[0]);
+    }
+
+    #[test]
+    fn log_softmax_row_backward_is_softmax_minus_onehot() {
+        // loss = −log p[target] → d logits = softmax − onehot(target).
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[0.5, -0.3, 1.2]]));
+        let lp = t.log_softmax_row(x);
+        let picked = t.pick(lp, 0, 2);
+        let loss = t.scale(picked, -1.0);
+        t.backward(loss);
+        let probs: Vec<f32> = t.value(lp).as_slice().iter().map(|&l| l.exp()).collect();
+        let g = t.grad(x).unwrap();
+        for (i, (&gv, &p)) in g.as_slice().iter().zip(&probs).enumerate() {
+            let expect = if i == 2 { p - 1.0 } else { p };
+            assert!((gv - expect).abs() < 1e-6, "entry {i}: {gv} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_row_rows_are_independent() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[5.0, 5.0]]));
+        let lp = t.log_softmax_row(x);
+        let picked = t.pick(lp, 1, 0);
+        t.backward(picked);
+        let g = t.grad(x).unwrap();
+        assert_eq!(&g.row(0), &[0.0, 0.0], "row 0 gets no gradient from row 1's loss");
+        assert!(g.row(1).iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn pick_extracts_and_scatters() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let p = t.pick(x, 1, 0);
+        assert_eq!(t.scalar(p), 3.0);
+        let loss = t.scale(p, 2.0);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[0.0, 0.0, 2.0, 0.0]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use feature_deep::FeatureDeep;
 pub use feature_linear::FeatureLinear;
 pub use lis::{Lis, LisConfig};
 pub use node2vec::{Node2VecModel, Node2VecModelConfig};
-pub use topolstm::TopoLstm;
+pub use topolstm::{TopoLstm, TopoNextSample};
 
 use cascn_cascades::Cascade;
 

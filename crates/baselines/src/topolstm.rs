@@ -8,7 +8,7 @@ use cascn::{trainer, SizePredictor, TrainOpts};
 use cascn_autograd::{ParamStore, Tape, Var};
 use cascn_cascades::Cascade;
 use cascn_nn::train::History;
-use cascn_nn::{metrics, Activation, Embedding, LstmCell, Mlp, Vocab};
+use cascn_nn::{metrics, Activation, Embedding, LstmCell, Mlp, NextUserHead, Vocab};
 use cascn_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,6 +24,17 @@ pub struct TopoSample {
     increment: usize,
 }
 
+/// A cascade prefix reduced for the microscopic task: who adopts next.
+#[derive(Debug, Clone)]
+pub struct TopoNextSample {
+    nodes: Vec<usize>,
+    parents: Vec<Option<usize>>,
+    /// `mask[row]` is true for every already-infected vocabulary row (+UNK).
+    mask: Vec<bool>,
+    /// Vocabulary row of the true next adopter.
+    target_row: usize,
+}
+
 /// The Topo-LSTM baseline.
 #[derive(Debug, Clone)]
 pub struct TopoLstm {
@@ -35,6 +46,9 @@ pub struct TopoLstm {
     hidden: usize,
     /// Cap on the nodes processed per cascade.
     max_nodes: usize,
+    /// Masked softmax head over the vocabulary (next-user mode only; the
+    /// size-regression parameter layout is unchanged when absent).
+    next_head: Option<NextUserHead>,
 }
 
 impl TopoLstm {
@@ -72,7 +86,24 @@ impl TopoLstm {
             mlp,
             hidden,
             max_nodes: 40,
+            next_head: None,
         }
+    }
+
+    /// Builds the next-user variant: the same DAG-LSTM encoder plus a
+    /// masked softmax head sized to the training vocabulary.
+    pub fn new_next_user(train: &[Cascade], window: f64, hidden: usize, seed: u64) -> Self {
+        let mut model = Self::new(train, window, hidden, seed);
+        // A separate stream so the encoder init matches the size variant.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        model.next_head = Some(NextUserHead::new(
+            &mut model.store,
+            "topo.next",
+            hidden,
+            model.vocab.table_size(),
+            &mut rng,
+        ));
+        model
     }
 
     /// Extracts the topological representation of a cascade.
@@ -94,13 +125,19 @@ impl TopoLstm {
         }
     }
 
-    /// Forward: DAG-LSTM over the adoption order, mean-pooled node states,
-    /// MLP head.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, sample: &TopoSample) -> Var {
-        let emb = self.embedding.forward(tape, store, sample.nodes.clone());
-        let mut states: Vec<(Var, Var)> = Vec::with_capacity(sample.nodes.len());
-        let mut hs: Vec<Var> = Vec::with_capacity(sample.nodes.len());
-        for (i, parent) in sample.parents.iter().enumerate() {
+    /// DAG-LSTM over the adoption order, mean-pooled to a `1 x hidden`
+    /// cascade state shared by the size head and the next-user head.
+    fn representation(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        nodes: &[usize],
+        parents: &[Option<usize>],
+    ) -> Var {
+        let emb = self.embedding.forward(tape, store, nodes.to_vec());
+        let mut states: Vec<(Var, Var)> = Vec::with_capacity(nodes.len());
+        let mut hs: Vec<Var> = Vec::with_capacity(nodes.len());
+        for (i, parent) in parents.iter().enumerate() {
             let x = tape.slice_rows(emb, i, 1);
             let incoming = match parent {
                 Some(p) => states[*p],
@@ -115,7 +152,13 @@ impl TopoLstm {
             states.push(state);
         }
         let stacked = tape.concat_rows(&hs);
-        let pooled = tape.mean_rows(stacked);
+        tape.mean_rows(stacked)
+    }
+
+    /// Forward: DAG-LSTM over the adoption order, mean-pooled node states,
+    /// MLP head.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, sample: &TopoSample) -> Var {
+        let pooled = self.representation(tape, store, &sample.nodes, &sample.parents);
         self.mlp.forward(tape, store, pooled)
     }
 
@@ -146,6 +189,106 @@ impl TopoLstm {
             &val_increments,
             opts,
         )
+    }
+
+    fn head(&self) -> &NextUserHead {
+        self.next_head
+            .as_ref()
+            // lint: allow(no-panic) — internal invariant: every caller is a next-user entry point and the head always exists on models built by new_next_user
+            .expect("next-user API requires a TopoLstm built by new_next_user")
+    }
+
+    /// Builds the next-user training example for a cascade prefix, or
+    /// `None` when nothing happens after the window, the next adopter is
+    /// out of vocabulary, or the target row is already infected.
+    pub fn next_sample(&self, cascade: &Cascade, window: f64) -> Option<TopoNextSample> {
+        let observed = cascade.observed_size(window);
+        let target = cascade.events.get(observed)?;
+        let target_row = self.vocab.lookup(target.user);
+        let o = cascade.observe(window);
+        let users = o.users();
+        let mut mask = vec![false; self.head().table_size()];
+        mask[0] = true;
+        for &u in &users {
+            mask[self.vocab.lookup(u)] = true;
+        }
+        if target_row == 0 || mask[target_row] {
+            return None;
+        }
+        let n = o.num_nodes().min(self.max_nodes);
+        let nodes = users[..n].iter().map(|&u| self.vocab.lookup(u)).collect();
+        let parents = o.events()[..n]
+            .iter()
+            .map(|e| e.parent.filter(|&p| p < n))
+            .collect();
+        Some(TopoNextSample {
+            nodes,
+            parents,
+            mask,
+            target_row,
+        })
+    }
+
+    /// Next-event cross-entropy for one sample (a `1x1` tape variable).
+    pub fn next_loss(&self, tape: &mut Tape, store: &ParamStore, s: &TopoNextSample) -> Var {
+        let rep = self.representation(tape, store, &s.nodes, &s.parents);
+        self.head().loss(tape, store, rep, &s.mask, s.target_row)
+    }
+
+    /// Trains the next-user variant with next-event cross-entropy via the
+    /// shared ranked trainer (ordered gradient merge, thread-invariant).
+    pub fn fit_next_user(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+    ) -> History {
+        let collect = |cs: &[Cascade]| -> Vec<TopoNextSample> {
+            cs.iter().filter_map(|c| self.next_sample(c, window)).collect()
+        };
+        let train_samples = collect(train);
+        let val_samples = collect(val);
+        assert!(
+            !train_samples.is_empty(),
+            "fit_next_user: no trainable next-user example in the training split"
+        );
+        let model = self.clone();
+        let loss = move |tape: &mut Tape, store: &ParamStore, s: &TopoNextSample| {
+            model.next_loss(tape, store, s)
+        };
+        trainer::train_loop_ranked(&mut self.store, &loss, &train_samples, &val_samples, opts)
+    }
+
+    /// 0-based rank of the true next adopter among uninfected vocabulary
+    /// rows, or `None` when the prefix has no in-vocabulary target.
+    pub fn next_user_rank(&self, cascade: &Cascade, window: f64) -> Option<usize> {
+        let s = self.next_sample(cascade, window)?;
+        let mut tape = Tape::new();
+        let rep = self.representation(&mut tape, &self.store, &s.nodes, &s.parents);
+        let probs = self
+            .head()
+            .predict_probs(&mut tape, &self.store, rep, &s.mask);
+        let mut scores = Vec::with_capacity(probs.len());
+        let mut target_idx = None;
+        for (row, &p) in probs.iter().enumerate().skip(1) {
+            if s.mask[row] {
+                continue;
+            }
+            if row == s.target_row {
+                target_idx = Some(scores.len());
+            }
+            scores.push(p);
+        }
+        Some(metrics::rank_of(&scores, target_idx?))
+    }
+
+    /// Ranks for every evaluable cascade, in input order.
+    pub fn next_user_ranks(&self, cascades: &[Cascade], window: f64) -> Vec<usize> {
+        cascades
+            .iter()
+            .filter_map(|c| self.next_user_rank(c, window))
+            .collect()
     }
 }
 
@@ -214,6 +357,46 @@ mod tests {
         let chain = model.predict_log(&mk([0, 1, 2]), 10.0);
         assert!(star.is_finite() && chain.is_finite());
         assert_ne!(star, chain, "topology must matter to Topo-LSTM");
+    }
+
+    #[test]
+    fn next_user_masks_infected_rows_and_fits_one_epoch() {
+        let d = data();
+        let mut model = TopoLstm::new_next_user(d.split(Split::Train), 3600.0, 8, 1);
+        let mut checked = 0usize;
+        for c in d.cascades.iter().take(30) {
+            let Some(s) = model.next_sample(c, 3600.0) else {
+                continue;
+            };
+            checked += 1;
+            let mut tape = Tape::new();
+            let rep = model.representation(&mut tape, &model.store, &s.nodes, &s.parents);
+            let probs = model
+                .head()
+                .predict_probs(&mut tape, &model.store, rep, &s.mask);
+            for (row, &m) in s.mask.iter().enumerate() {
+                if m {
+                    assert_eq!(probs[row], 0.0, "masked row {row} must have zero probability");
+                }
+            }
+            let total: f32 = probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-4);
+        }
+        assert!(checked >= 5, "only {checked} prefixes had a target");
+        let opts = TrainOpts {
+            epochs: 1,
+            ..TrainOpts::default()
+        };
+        let hist = model.fit_next_user(
+            d.split(Split::Train),
+            d.split(Split::Validation),
+            3600.0,
+            &opts,
+        );
+        assert!(hist.records()[0].val_loss.is_finite());
+        let ranks = model.next_user_ranks(d.split(Split::Test), 3600.0);
+        assert!(!ranks.is_empty());
+        assert!((0.0..=1.0).contains(&metrics::hit_at_k(&ranks, 10)));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Microscopic next-user prediction — CasCN's masked softmax head vs the
+//! Topo-LSTM baseline, scored with Hit@1/5/10 and MAP on the Weibo
+//! settings. (The CasCN paper itself only evaluates macroscopic size; the
+//! microscopic protocol follows Topo-LSTM: rank the uninfected vocabulary
+//! by next-adopter probability at the end of the observation window.)
+//!
+//! Run with `cargo run --release -p cascn-bench --bin exp_next_user
+//! [--full]`. Writes `next_user.csv` to the experiments directory.
+//!
+//! **Dataset note.** The macroscopic Weibo preset draws adopter
+//! *identities* uniformly (influence only shapes offspring counts), so
+//! who-adopts-next is unlearnable by construction there. This experiment
+//! raises the generator's `adopter_tournament` to 8, concentrating
+//! adoptions on high-influence users the way real social data does, so
+//! the microscopic task carries signal. Everything else (windows, size
+//! bounds, splits, caps) matches the macroscopic protocol.
+
+use std::time::Instant;
+
+use cascn::{CascnConfig, CascnModel, TaskKind, TrainOpts};
+use cascn_analysis::Table;
+use cascn_baselines::TopoLstm;
+use cascn_bench::datasets::{prepare, weibo_settings, Scale};
+use cascn_bench::report;
+use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
+use cascn_cascades::Cascade;
+use cascn_nn::metrics;
+
+/// Hit@1/5/10 and MAP from a rank list.
+fn score(ranks: &[usize]) -> [f32; 4] {
+    [
+        metrics::hit_at_k(ranks, 1),
+        metrics::hit_at_k(ranks, 5),
+        metrics::hit_at_k(ranks, 10),
+        metrics::mean_average_precision(ranks),
+    ]
+}
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_args();
+    println!("== Microscopic next-user prediction: Hit@k / MAP, Weibo settings ==\n");
+
+    let mut bcfg = *WeiboGenerator::new(WeiboConfig {
+        num_cascades: scale.num_cascades,
+        ..WeiboConfig::default()
+    })
+    .branching();
+    bcfg.adopter_tournament = 8;
+    let weibo = WeiboGenerator::from_branching(bcfg).generate();
+    // The vocabulary covers every user in the *unfiltered* dataset, the
+    // same derivation the `cascn` CLI and `cascn-serve` agree on.
+    let max_user = weibo
+        .cascades
+        .iter()
+        .flat_map(|c| c.events.iter().map(|e| e.user))
+        .max()
+        .unwrap_or(0);
+    let vocab_users = usize::try_from(max_user).unwrap_or(usize::MAX - 1) + 1;
+
+    let mut table = Table::new(&["model", "metric", "W 1h", "W 2h", "W 3h"]);
+    let mut rows: Vec<(String, String, [f32; 3])> = Vec::new();
+    let settings = weibo_settings();
+    let mut per_setting: Vec<[[f32; 4]; 2]> = Vec::new();
+
+    for setting in &settings {
+        let (train, val, test) = prepare(&weibo, setting, &scale);
+        let opts = TrainOpts {
+            epochs: scale.epochs,
+            patience: scale.patience,
+            ..TrainOpts::default()
+        };
+
+        let t0 = Instant::now();
+        let cfg = CascnConfig {
+            task: TaskKind::NextUser,
+            vocab_users,
+            ..scale.cascn
+        };
+        let mut cascn = CascnModel::new(cfg);
+        cascn.fit_next_user(&train, &val, setting.window, &opts);
+        let cascn_scores = score(&cascn.next_user_ranks(&test, setting.window));
+        eprintln!(
+            "  [CasCN @ {}] hit@10 {:.4} map {:.4} in {:.1}s",
+            setting.label,
+            cascn_scores[2],
+            cascn_scores[3],
+            t0.elapsed().as_secs_f64()
+        );
+
+        let t0 = Instant::now();
+        let mut topo = TopoLstm::new_next_user(&train, setting.window, scale.hidden, 7);
+        topo.fit_next_user(&train, &val, setting.window, &opts);
+        let topo_ranks: Vec<usize> = test
+            .iter()
+            .filter_map(|c: &Cascade| topo.next_user_rank(c, setting.window))
+            .collect();
+        let topo_scores = score(&topo_ranks);
+        eprintln!(
+            "  [Topo-LSTM @ {}] hit@10 {:.4} map {:.4} in {:.1}s",
+            setting.label,
+            topo_scores[2],
+            topo_scores[3],
+            t0.elapsed().as_secs_f64()
+        );
+        per_setting.push([cascn_scores, topo_scores]);
+    }
+
+    for (mi, model) in ["CasCN", "Topo-LSTM"].iter().enumerate() {
+        for (ni, metric) in ["Hit@1", "Hit@5", "Hit@10", "MAP"].iter().enumerate() {
+            let vals = [
+                per_setting[0][mi][ni],
+                per_setting[1][mi][ni],
+                per_setting[2][mi][ni],
+            ];
+            rows.push(((*model).into(), (*metric).into(), vals));
+        }
+    }
+    for (model, metric, vals) in &rows {
+        table.push(vec![
+            model.clone(),
+            metric.clone(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+            format!("{:.4}", vals[2]),
+        ]);
+    }
+    report::emit("next_user", &table)?;
+
+    // Shape summary: CasCN's masked head should rank no worse than the
+    // dedicated microscopic baseline on Hit@10. The generator's
+    // popularity signal is capturable by both models' user-bias terms,
+    // so near-ties are the expected outcome — count them as holding
+    // within one test-set prediction's worth of Hit@10 mass.
+    let eps = 1.5 / 700.0;
+    let wins = per_setting
+        .iter()
+        .filter(|s| s[0][2] >= s[1][2] - eps)
+        .count();
+    println!("\nshape check: CasCN >= Topo-LSTM (within one-prediction tolerance) on Hit@10 in {wins}/3 Weibo windows.");
+    Ok(())
+}

@@ -18,6 +18,12 @@
 //! its LRU registry under load. Observe latencies are reported on their
 //! own line.
 //!
+//! With `--predict-next-ratio R` (0.0–1.0), that fraction of requests is
+//! sent as `POST /predict_next?k=K` (next-user checkpoints only — a size
+//! model answers 409, which loadgen counts as a hard failure). When a
+//! request qualifies as both observe and predict_next, observe wins.
+//! Next-user latencies are reported on their own line.
+//!
 //! Targets: `--addr HOST:PORT` for one server, or `--target-list FILE`
 //! (one `HOST:PORT` per line, `#` comments allowed) to spread requests
 //! round-robin over a tier — e.g. straight at the replicas behind a
@@ -65,6 +71,8 @@ struct WorkerReport {
     per_target_us: Vec<Vec<u64>>,
     observe_ok: usize,
     observe_us: Vec<u64>,
+    next_ok: usize,
+    next_us: Vec<u64>,
 }
 
 impl WorkerReport {
@@ -76,6 +84,8 @@ impl WorkerReport {
             per_target_us: vec![Vec::new(); n_targets],
             observe_ok: 0,
             observe_us: Vec::new(),
+            next_ok: 0,
+            next_us: Vec::new(),
         }
     }
 }
@@ -116,6 +126,11 @@ fn run(args: &[String]) -> Result<(), String> {
     if !(0.0..=1.0).contains(&observe_ratio) {
         return Err(format!("--observe-ratio {observe_ratio} must be in [0, 1]"));
     }
+    let next_ratio: f64 = parse_or(args, "--predict-next-ratio", 0.0)?;
+    if !(0.0..=1.0).contains(&next_ratio) {
+        return Err(format!("--predict-next-ratio {next_ratio} must be in [0, 1]"));
+    }
+    let top_k: usize = parse_or(args, "--k", 10)?.max(1);
     let connect_retries: usize = parse_or(args, "--connect-retries", 20)?;
     let connect_backoff = Duration::from_millis(parse_or(args, "--connect-backoff-ms", 50u64)?);
     let print_metrics = args.iter().any(|a| a == "--print-metrics");
@@ -166,6 +181,10 @@ fn run(args: &[String]) -> Result<(), String> {
                         let is_observe = observe_ratio > 0.0
                             && ((i + 1) as f64 * observe_ratio).floor()
                                 > (i as f64 * observe_ratio).floor();
+                        let is_next = !is_observe
+                            && next_ratio > 0.0
+                            && ((i + 1) as f64 * next_ratio).floor()
+                                > (i as f64 * next_ratio).floor();
                         let observe_body = if is_observe {
                             let c = observe_pool[i % observe_pool.len()];
                             Some(serialize_observe(c, 1_000_000 + i as u64))
@@ -174,6 +193,10 @@ fn run(args: &[String]) -> Result<(), String> {
                         };
                         let (path, body) = match &observe_body {
                             Some(b) => (format!("/observe?window={window}"), b.as_str()),
+                            None if is_next => (
+                                format!("/predict_next?window={window}&k={top_k}"),
+                                bodies[i % bodies.len()].as_str(),
+                            ),
                             None => {
                                 (format!("/predict?window={window}"), bodies[i % bodies.len()].as_str())
                             }
@@ -195,6 +218,9 @@ fn run(args: &[String]) -> Result<(), String> {
                                 if is_observe {
                                     report.observe_ok += 1;
                                     report.observe_us.push(us);
+                                } else if is_next {
+                                    report.next_ok += 1;
+                                    report.next_us.push(us);
                                 } else {
                                     report.per_target_us[ti].push(us);
                                 }
@@ -233,12 +259,16 @@ fn run(args: &[String]) -> Result<(), String> {
     let (mut ok, mut shed, mut failed) = (0usize, 0usize, 0usize);
     let mut observe_ok = 0usize;
     let mut observe_us: Vec<u64> = Vec::new();
+    let mut next_ok = 0usize;
+    let mut next_us: Vec<u64> = Vec::new();
     for r in reports {
         ok += r.ok;
         shed += r.shed;
         failed += r.failed;
         observe_ok += r.observe_ok;
         observe_us.extend(r.observe_us);
+        next_ok += r.next_ok;
+        next_us.extend(r.next_us);
         for (bucket, ls) in per_target.iter_mut().zip(r.per_target_us) {
             bucket.extend(ls);
         }
@@ -263,6 +293,14 @@ fn run(args: &[String]) -> Result<(), String> {
             "observe: {observe_ok} ok, p50 {}us p99 {}us (ratio {observe_ratio:.2})",
             percentile(&observe_us, 0.5),
             percentile(&observe_us, 0.99)
+        );
+    }
+    if next_ratio > 0.0 {
+        next_us.sort_unstable();
+        println!(
+            "predict_next: {next_ok} ok, p50 {}us p99 {}us (ratio {next_ratio:.2} k {top_k})",
+            percentile(&next_us, 0.5),
+            percentile(&next_us, 0.99)
         );
     }
     // Per-target breakdown: with a --target-list spreading load over a

@@ -5,8 +5,9 @@
 //! Measures the CasCN hot path on a fixed synthetic workload — preprocess
 //! throughput, one-epoch training time, forward-pass p50/p99 under the
 //! default sparse Chebyshev kernel — plus the dense-kernel comparison
-//! (speedup and max prediction delta), and writes the result to
-//! `BENCH_train.json` at the invocation directory.
+//! (speedup and max prediction delta) and the microscopic next-user
+//! scores (Hit@10 / MAP after a short deterministic train), and writes
+//! the result to `BENCH_train.json` at the invocation directory.
 //!
 //! `--check` additionally gates the run against the checked-in
 //! `bench-baseline.json` (the perf analogue of the `lint-baseline.json`
@@ -19,11 +20,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cascn::{preprocess, CascnConfig, CascnModel, ChebKernel, PreprocessedCascade, TrainOpts};
+use cascn::{
+    preprocess, CascnConfig, CascnModel, ChebKernel, PreprocessedCascade, TaskKind, TrainOpts,
+};
 use cascn_autograd::Tape;
 use cascn_cascades::synth::{WeiboConfig, WeiboGenerator};
 use cascn_cascades::{Cascade, Dataset, Split};
-use cascn_nn::ChebOperands;
+use cascn_nn::{metrics, ChebOperands};
 use cascn_tensor::Matrix;
 
 const WINDOW: f64 = 3600.0;
@@ -134,6 +137,8 @@ struct Record {
     conv_dense_p50_us: u64,
     sparse_speedup: f64,
     accuracy_delta: f64,
+    next_user_hit10: f64,
+    next_user_map: f64,
 }
 
 fn measure() -> Record {
@@ -208,6 +213,53 @@ fn measure() -> Record {
     model.fit(&train, &val, WINDOW, &opts);
     let epoch_seconds = t0.elapsed().as_secs_f64();
 
+    // Microscopic task: a short next-user training run on its own small
+    // workload, scored with Hit@10 / MAP over every prefix in the dataset
+    // (train included — the gate is a functional floor on the masked
+    // ranking path, not a generalization claim; at this scale the head
+    // mostly learns the global popularity prior). Thread-invariant
+    // training makes the scores exactly deterministic for the fixed seed,
+    // so the baseline gates them as hard accuracy floors rather than
+    // timing bands.
+    let next_data = WeiboGenerator::new(WeiboConfig {
+        num_cascades: 200,
+        seed: 9,
+        max_size: 200,
+    })
+    .generate()
+    .filter_observed_size(WINDOW, 3, usize::MAX);
+    let max_user = next_data
+        .cascades
+        .iter()
+        .flat_map(|c| c.events.iter().map(|e| e.user))
+        .max()
+        .unwrap_or(0);
+    let next_cfg = CascnConfig {
+        k: 2,
+        hidden: 4,
+        mlp_hidden: 4,
+        max_nodes: 10,
+        max_steps: 5,
+        seed: 9,
+        cheb_kernel: ChebKernel::Sparse,
+        task: TaskKind::NextUser,
+        vocab_users: usize::try_from(max_user).unwrap_or(usize::MAX - 1) + 1,
+        ..CascnConfig::default()
+    };
+    let next_opts = TrainOpts {
+        epochs: 2,
+        patience: 2,
+        threads: 0,
+        ..TrainOpts::default()
+    };
+    let next_train: Vec<Cascade> = next_data.split(Split::Train).to_vec();
+    let next_val: Vec<Cascade> = next_data.split(Split::Validation).to_vec();
+    let mut next_model = CascnModel::new(next_cfg);
+    next_model.fit_next_user(&next_train, &next_val, WINDOW, &next_opts);
+    let ranks = next_model.next_user_ranks(&next_data.cascades, WINDOW);
+    let next_user_hit10 = f64::from(metrics::hit_at_k(&ranks, 10));
+    let next_user_map = f64::from(metrics::mean_average_precision(&ranks));
+
     Record {
         preprocess_cascades_per_s,
         epoch_seconds,
@@ -218,6 +270,8 @@ fn measure() -> Record {
         conv_dense_p50_us,
         sparse_speedup,
         accuracy_delta,
+        next_user_hit10,
+        next_user_map,
     }
 }
 
@@ -245,7 +299,9 @@ fn to_json(r: &Record) -> String {
     let _ = writeln!(out, "  \"conv_sparse_p50_us\": {},", r.conv_sparse_p50_us);
     let _ = writeln!(out, "  \"conv_dense_p50_us\": {},", r.conv_dense_p50_us);
     let _ = writeln!(out, "  \"sparse_speedup\": {:.2},", r.sparse_speedup);
-    let _ = writeln!(out, "  \"accuracy_delta\": {:e}", r.accuracy_delta);
+    let _ = writeln!(out, "  \"accuracy_delta\": {:e},", r.accuracy_delta);
+    let _ = writeln!(out, "  \"next_user_hit10\": {:.4},", r.next_user_hit10);
+    let _ = writeln!(out, "  \"next_user_map\": {:.4}", r.next_user_map);
     let _ = writeln!(out, "}}");
     out
 }
@@ -284,6 +340,13 @@ fn check(r: &Record, baseline_path: &str) -> Result<(), String> {
         failures.push(format!(
             "accuracy_delta {:e} > allowed {max_delta:e} (kernels disagree beyond the gate)",
             r.accuracy_delta
+        ));
+    }
+    let min_hit10 = num("min_next_user_hit10")?;
+    if r.next_user_hit10 < min_hit10 {
+        failures.push(format!(
+            "next_user_hit10 {:.4} < required {min_hit10:.4} (masked ranking head regressed)",
+            r.next_user_hit10
         ));
     }
 

@@ -1,0 +1,394 @@
+//! Loader for the EchoFlow CSV cascade format.
+//!
+//! EchoFlow dumps are flat CSV event logs, one adoption per row:
+//!
+//! ```text
+//! user_id,topic_id,timestamp
+//! u_001,t_078,1692201000
+//! u_034,t_078,1692201417
+//! u_001,t_101,1692202210
+//! ```
+//!
+//! Each `topic_id` is one cascade; rows may be interleaved across topics
+//! and need not be time-sorted. Ids are the digits of the token (`u_034` →
+//! `34`; bare integers also work), timestamps are absolute seconds (integer
+//! or fractional).
+//!
+//! The format carries no reshare edges, so the loader reconstructs the
+//! flattest DAG consistent with the data: every later adopter hangs off the
+//! root post (the topic's earliest row), times become seconds since that
+//! root, and repeat adoptions by the same user are dropped (a user adopts
+//! at most once per cascade — the invariant the rest of the workspace
+//! assumes). The result round-trips through [`Cascade::try_new`], so every
+//! loaded cascade satisfies the validated-cascade invariants.
+//!
+//! Malformed data follows the same quarantine-on-malformed semantics as the
+//! native lenient loader ([`crate::io::dataset_from_str_lenient`]): a bad
+//! row poisons exactly its topic's cascade — recorded in the
+//! [`QuarantineReport`] with the offending line — and every other topic
+//! loads normally. The strict variant fails on the first bad row instead.
+
+use crate::io::ReadError;
+use crate::validate::{QuarantineReport, QuarantinedCascade};
+use crate::{Cascade, Dataset, Event};
+
+/// Parses an id token: the concatenated ASCII digits of the token
+/// (`u_034` → `34`, `17` → `17`). `None` when the token has no digits or
+/// the digits overflow `u64`.
+fn parse_id(token: &str) -> Option<u64> {
+    let digits: String = token.chars().filter(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Whether `line` is the conventional EchoFlow header row.
+fn is_header(line: &str) -> bool {
+    let mut fields = line.split(',').map(str::trim);
+    matches!(
+        (fields.next(), fields.next(), fields.next()),
+        (Some(u), Some(t), Some(ts))
+            if u.eq_ignore_ascii_case("user_id")
+                && t.eq_ignore_ascii_case("topic_id")
+                && ts.eq_ignore_ascii_case("timestamp")
+    )
+}
+
+/// One parsed row: `(user, timestamp, 1-based line number)`.
+type Row = (u64, f64, usize);
+
+struct Topic {
+    id: u64,
+    /// Line of the topic's first row — the quarantine anchor when the
+    /// cascade itself (rather than a specific row) fails validation.
+    first_line: usize,
+    rows: Vec<Row>,
+    /// First malformed row seen for this topic, which poisons the cascade.
+    poisoned: Option<(usize, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Strict,
+    Lenient,
+}
+
+fn parse(text: &str, name_hint: &str, mode: Mode) -> Result<(Dataset, QuarantineReport), ReadError> {
+    let mut topics: Vec<Topic> = Vec::new();
+    // Slot lookup by topic id; output order is first-seen order via `topics`,
+    // so the map is never iterated and determinism is untouched.
+    let mut slots: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut report = QuarantineReport::default();
+    let mut seen_header = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !seen_header && is_header(line) {
+            seen_header = true;
+            continue;
+        }
+        seen_header = true;
+
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Errors carry the topic id when it parsed, so lenient mode can
+        // poison the right cascade instead of dropping just the row.
+        let parsed: Result<(u64, u64, f64), (Option<u64>, String)> = if fields.len() != 3 {
+            let topic = fields.get(1).copied().and_then(parse_id);
+            Err((
+                topic,
+                format!("expected `user_id,topic_id,timestamp`, got {} fields", fields.len()),
+            ))
+        } else {
+            let topic = parse_id(fields[1])
+                .ok_or_else(|| format!("unparsable topic id `{}`", fields[1]));
+            let user = parse_id(fields[0])
+                .ok_or_else(|| format!("unparsable user id `{}`", fields[0]));
+            let ts = fields[2]
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite())
+                .ok_or_else(|| format!("unparsable timestamp `{}`", fields[2]));
+            match (topic, user, ts) {
+                (Ok(topic), Ok(user), Ok(ts)) => Ok((topic, user, ts)),
+                (topic, user, ts) => {
+                    let message = [user.err(), topic.clone().err(), ts.err()]
+                        .into_iter()
+                        .flatten()
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    Err((topic.ok(), message))
+                }
+            }
+        };
+
+        match parsed {
+            Ok((topic_id, user, ts)) => {
+                let slot = *slots.entry(topic_id).or_insert_with(|| {
+                    topics.push(Topic {
+                        id: topic_id,
+                        first_line: lineno,
+                        rows: Vec::new(),
+                        poisoned: None,
+                    });
+                    topics.len() - 1
+                });
+                topics[slot].rows.push((user, ts, lineno));
+            }
+            Err((topic, message)) => match mode {
+                Mode::Strict => {
+                    return Err(ReadError::Parse { line: lineno, message });
+                }
+                Mode::Lenient => match topic.and_then(|t| slots.get(&t).copied()) {
+                    // The topic is identifiable: poison that cascade.
+                    Some(slot) => {
+                        let t = &mut topics[slot];
+                        if t.poisoned.is_none() {
+                            t.poisoned = Some((lineno, message));
+                        }
+                    }
+                    None => match topic {
+                        Some(topic_id) => {
+                            // First sighting of the topic is already bad.
+                            slots.insert(topic_id, topics.len());
+                            topics.push(Topic {
+                                id: topic_id,
+                                first_line: lineno,
+                                rows: Vec::new(),
+                                poisoned: Some((lineno, message)),
+                            });
+                        }
+                        // Not even the topic parsed: quarantine the row alone.
+                        None => report.quarantined.push(QuarantinedCascade {
+                            id: None,
+                            line: lineno,
+                            reason: message,
+                        }),
+                    },
+                },
+            },
+        }
+    }
+
+    let mut cascades = Vec::new();
+    for mut topic in topics {
+        if let Some((line, reason)) = topic.poisoned {
+            report.quarantined.push(QuarantinedCascade {
+                id: Some(topic.id),
+                line,
+                reason,
+            });
+            continue;
+        }
+        // Stable sort by timestamp: equal times keep input order, so the
+        // reconstruction is deterministic.
+        topic.rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut seen_users = std::collections::HashSet::new();
+        topic.rows.retain(|&(user, _, _)| seen_users.insert(user));
+
+        let t0 = topic.rows[0].1;
+        let events: Vec<Event> = topic
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(user, ts, _))| Event {
+                user,
+                parent: if i == 0 { None } else { Some(0) },
+                time: ts - t0,
+            })
+            .collect();
+        match Cascade::try_new(topic.id, t0, events) {
+            Ok(c) => {
+                report.kept += 1;
+                cascades.push(c);
+            }
+            Err(fault) => match mode {
+                Mode::Strict => {
+                    return Err(ReadError::Parse {
+                        line: topic.first_line,
+                        message: fault.to_string(),
+                    });
+                }
+                Mode::Lenient => report.quarantined.push(QuarantinedCascade {
+                    id: Some(topic.id),
+                    line: topic.first_line,
+                    reason: fault.to_string(),
+                }),
+            },
+        }
+    }
+    Ok((Dataset::new(name_hint, cascades), report))
+}
+
+/// Strict EchoFlow load: the first malformed row or invalid cascade aborts
+/// with a [`ReadError::Parse`] carrying its line number.
+pub fn dataset_from_echoflow_str(text: &str, name_hint: &str) -> Result<Dataset, ReadError> {
+    parse(text, name_hint, Mode::Strict).map(|(d, _)| d)
+}
+
+/// Lenient EchoFlow load: malformed rows quarantine their topic's cascade
+/// (or just themselves, when not even the topic id parses) and everything
+/// else loads; see the module docs for the exact semantics.
+pub fn dataset_from_echoflow_str_lenient(text: &str, name_hint: &str) -> (Dataset, QuarantineReport) {
+    match parse(text, name_hint, Mode::Lenient) {
+        Ok(out) => out,
+        // Lenient parsing never returns Err; the arm exists for the shared
+        // signature only.
+        Err(e) => {
+            let mut report = QuarantineReport::default();
+            report.quarantined.push(QuarantinedCascade {
+                id: None,
+                line: 0,
+                reason: e.to_string(),
+            });
+            (Dataset::new(name_hint, Vec::new()), report)
+        }
+    }
+}
+
+/// Serializes a dataset back to EchoFlow CSV (header included): each
+/// cascade becomes `u_<user>,t_<id>,<start_time + event time>` rows. The
+/// inverse of the loader for cascades the format can represent (star
+/// DAGs); arbitrary parent structure is flattened, exactly as loading
+/// does.
+pub fn echoflow_to_string(dataset: &Dataset) -> String {
+    let mut out = String::from("user_id,topic_id,timestamp\n");
+    for c in &dataset.cascades {
+        for e in &c.events {
+            out.push_str(&format!("u_{},t_{},{}\n", e.user, c.id, c.start_time + e.time));
+        }
+    }
+    out
+}
+
+/// Whether `text` looks like EchoFlow CSV rather than the native or
+/// DeepHawkes formats: its first content line is the EchoFlow header or a
+/// comma-separated three-field row.
+pub fn looks_like_echoflow(text: &str) -> bool {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| is_header(l) || (!l.contains('\t') && l.split(',').count() == 3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+user_id,topic_id,timestamp
+u_001,t_078,1692201000
+u_034,t_078,1692201417
+u_002,t_101,1692202210
+u_007,t_078,1692201500
+u_003,t_101,1692202300
+";
+
+    #[test]
+    fn groups_interleaved_topics_into_cascades() {
+        let ds = dataset_from_echoflow_str(SAMPLE, "echo").expect("clean sample loads");
+        assert_eq!(ds.cascades.len(), 2);
+        let t78 = ds.cascades.iter().find(|c| c.id == 78).unwrap();
+        assert_eq!(t78.events.len(), 3);
+        assert_eq!(t78.start_time, 1692201000.0);
+        assert_eq!(t78.events[0], Event { user: 1, parent: None, time: 0.0 });
+        assert_eq!(t78.events[1], Event { user: 34, parent: Some(0), time: 417.0 });
+        assert_eq!(t78.events[2], Event { user: 7, parent: Some(0), time: 500.0 });
+        let t101 = ds.cascades.iter().find(|c| c.id == 101).unwrap();
+        assert_eq!(t101.events.len(), 2);
+    }
+
+    #[test]
+    fn rows_out_of_time_order_are_sorted_not_rejected() {
+        let text = "u_5,t_1,300\nu_6,t_1,100\nu_7,t_1,200\n";
+        let ds = dataset_from_echoflow_str(text, "echo").unwrap();
+        let c = &ds.cascades[0];
+        assert_eq!(c.events[0].user, 6, "earliest row becomes the root");
+        assert_eq!(c.events[1].user, 7);
+        assert_eq!(c.events[2].user, 5);
+        assert_eq!(c.events[2].time, 200.0);
+    }
+
+    #[test]
+    fn repeat_adoptions_keep_the_first() {
+        let text = "u_1,t_1,0\nu_2,t_1,10\nu_1,t_1,20\n";
+        let ds = dataset_from_echoflow_str(text, "echo").unwrap();
+        assert_eq!(ds.cascades[0].events.len(), 2);
+    }
+
+    #[test]
+    fn malformed_row_quarantines_only_its_topic() {
+        let text = "\
+u_1,t_1,0
+u_2,t_1,oops
+u_1,t_2,0
+u_3,t_2,50
+";
+        let (ds, report) = dataset_from_echoflow_str_lenient(text, "echo");
+        assert_eq!(ds.cascades.len(), 1);
+        assert_eq!(ds.cascades[0].id, 2);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.id, Some(1));
+        assert_eq!(q.line, 2);
+        assert!(q.reason.contains("unparsable timestamp"), "{}", q.reason);
+    }
+
+    #[test]
+    fn row_without_topic_is_quarantined_alone() {
+        let text = "u_1,t_1,0\nu_2,???,5\nu_2,t_1,9\n";
+        let (ds, report) = dataset_from_echoflow_str_lenient(text, "echo");
+        assert_eq!(ds.cascades.len(), 1);
+        assert_eq!(ds.cascades[0].events.len(), 2);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].id, None);
+        assert_eq!(report.quarantined[0].line, 2);
+    }
+
+    #[test]
+    fn strict_mode_fails_on_first_bad_row() {
+        let text = "u_1,t_1,0\nnot-a-row\n";
+        let err = dataset_from_echoflow_str(text, "echo").unwrap_err();
+        match err {
+            ReadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_reports_the_line() {
+        let text = "u_1,t_1,0\nu_2,t_1\n";
+        let (ds, report) = dataset_from_echoflow_str_lenient(text, "echo");
+        // The bad row has no third field; its topic field still parses, so
+        // topic 1 is poisoned.
+        assert!(ds.cascades.is_empty());
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].reason.contains("fields"));
+    }
+
+    #[test]
+    fn round_trips_through_csv() {
+        let ds = dataset_from_echoflow_str(SAMPLE, "echo").unwrap();
+        let text = echoflow_to_string(&ds);
+        let back = dataset_from_echoflow_str(&text, "echo").unwrap();
+        assert_eq!(ds.cascades.len(), back.cascades.len());
+        for (a, b) in ds.cascades.iter().zip(&back.cascades) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.start_time, b.start_time);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn detects_the_format() {
+        assert!(looks_like_echoflow(SAMPLE));
+        assert!(looks_like_echoflow("u_9,t_9,12.5\n"));
+        assert!(!looks_like_echoflow("cascade 1 0.0 2\nevent 0 - 0.0\n"));
+        assert!(!looks_like_echoflow("1\t2\t0 1:0.0 2:1.0\n"));
+    }
+}

@@ -28,6 +28,7 @@
 
 mod cascade;
 mod dataset;
+pub mod echoflow;
 pub mod features;
 pub mod deephawkes_format;
 pub mod io;
@@ -38,5 +39,9 @@ pub mod validate;
 
 pub use cascade::{Cascade, Event, ObservedCascade};
 pub use dataset::{Dataset, Split, SplitStats};
+pub use echoflow::{
+    dataset_from_echoflow_str, dataset_from_echoflow_str_lenient, echoflow_to_string,
+    looks_like_echoflow,
+};
 pub use stream::{parse_observe_body, CascadeStream, ObserveBody, StreamLimits};
 pub use validate::{validate_events, CascadeFault, QuarantineReport, QuarantinedCascade};

@@ -62,6 +62,14 @@ pub struct BranchingConfig {
     pub max_size: usize,
     /// Root publication times are uniform over `[0, publish_span)`.
     pub publish_span: f64,
+    /// Tournament size for adopter *identity*: each non-root adopter is
+    /// the most influential of this many uniform candidate draws. `1`
+    /// (the macroscopic presets) keeps identities uniform — and consumes
+    /// exactly one RNG draw, so existing datasets are bit-identical.
+    /// Microscopic experiments raise it so who-adopts-next carries a
+    /// learnable popularity signal, mirroring the heavy-tailed user
+    /// activity of real cascade data.
+    pub adopter_tournament: usize,
 }
 
 /// Configuration of the Weibo-like generator (time unit: seconds).
@@ -132,8 +140,23 @@ impl WeiboGenerator {
                 depth_decay: 0.25,
                 max_size: cfg.max_size,
                 publish_span: 30.0 * 86_400.0,
+                adopter_tournament: 1,
             },
         }
+    }
+
+    /// Creates the generator from a full branching config — for
+    /// experiments that vary knobs the compact preset pins (e.g. the
+    /// microscopic task raises `adopter_tournament` so adopter identity
+    /// carries signal).
+    pub fn from_branching(cfg: BranchingConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The full branching config this generator runs (the Weibo preset
+    /// when built via [`WeiboGenerator::new`]).
+    pub fn branching(&self) -> &BranchingConfig {
+        &self.cfg
     }
 
     /// Generates the dataset. Root publication times fall in the 8:00–18:00
@@ -178,6 +201,7 @@ impl CitationGenerator {
                 depth_decay: 0.2,
                 max_size: cfg.max_size,
                 publish_span: 1500.0,
+                adopter_tournament: 1,
             },
         }
     }
@@ -193,6 +217,20 @@ impl CitationGenerator {
             .collect();
         Dataset::new("hepph-synth", cascades)
     }
+}
+
+/// Draws one adopter identity: the most influential of
+/// `adopter_tournament` uniform candidates. A tournament of 1 is a single
+/// uniform draw — the exact RNG consumption of the macroscopic presets.
+fn draw_adopter(cfg: &BranchingConfig, rng: &mut StdRng) -> u64 {
+    let mut user = rng.random_range(0..cfg.num_users);
+    for _ in 1..cfg.adopter_tournament.max(1) {
+        let rival = rng.random_range(0..cfg.num_users);
+        if user_influence(rival, cfg) > user_influence(user, cfg) {
+            user = rival;
+        }
+    }
+    user
 }
 
 /// Runs the branching process for a single cascade.
@@ -223,7 +261,7 @@ fn branching_cascade(id: u64, start: f64, cfg: &BranchingConfig, rng: &mut StdRn
             if t >= cfg.horizon {
                 continue;
             }
-            let user = rng.random_range(0..cfg.num_users);
+            let user = draw_adopter(cfg, rng);
             if !seen.insert(user) {
                 continue; // a user adopts at most once per cascade
             }
@@ -360,6 +398,56 @@ mod tests {
         })
         .generate();
         assert_ne!(a.cascades, b.cascades);
+    }
+
+    #[test]
+    fn adopter_tournament_concentrates_identities() {
+        // Share of non-root adoptions landing on the top influence decile
+        // of the user universe (known a priori from `user_influence`):
+        // tournament selection must shift mass there versus the uniform
+        // default, and the default must be exactly the preset's output.
+        let base = *WeiboGenerator::new(WeiboConfig {
+            num_cascades: 300,
+            seed: 11,
+            max_size: 200,
+        })
+        .branching();
+        let mut ranked: Vec<u64> = (0..base.num_users).collect();
+        ranked.sort_by(|a, b| user_influence(*b, &base).total_cmp(&user_influence(*a, &base)));
+        let top: std::collections::HashSet<u64> =
+            ranked[..ranked.len() / 10].iter().copied().collect();
+        let share = |tournament: usize| {
+            let mut cfg = base;
+            cfg.adopter_tournament = tournament;
+            let d = WeiboGenerator::from_branching(cfg).generate();
+            let (mut hits, mut total) = (0usize, 0usize);
+            for c in &d.cascades {
+                for e in c.events.iter().skip(1) {
+                    hits += usize::from(top.contains(&e.user));
+                    total += 1;
+                }
+            }
+            hits as f64 / total as f64
+        };
+        let uniform = share(1);
+        let biased = share(8);
+        assert!(
+            uniform < 0.2,
+            "uniform adopter draws should roughly match the decile ({uniform:.3})"
+        );
+        assert!(
+            biased > uniform + 0.2,
+            "tournament 8 should concentrate adoptions (uniform {uniform:.3}, biased {biased:.3})"
+        );
+
+        // Tournament 1 is the preset itself, bit for bit.
+        let preset = WeiboGenerator::new(WeiboConfig {
+            num_cascades: 50,
+            seed: 11,
+            max_size: 200,
+        });
+        let via_branching = WeiboGenerator::from_branching(*preset.branching());
+        assert_eq!(preset.generate().cascades, via_branching.generate().cascades);
     }
 
     #[test]

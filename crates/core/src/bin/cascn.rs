@@ -9,12 +9,18 @@
 //!
 //! Dataset files use the line-based format of `cascn_cascades::io`; files in
 //! the public DeepHawkes format are auto-detected by their tab-separated
-//! layout.
+//! layout, and EchoFlow `user_id,topic_id,timestamp` CSV exports by their
+//! comma-separated layout.
+//!
+//! `--task next-user` switches training and prediction to the microscopic
+//! task: who adopts next, ranked by a masked softmax over the user
+//! vocabulary and scored with Hit@k / MAP.
 
 use std::process::exit;
 
-use cascn::{CascnConfig, CascnModel, CheckpointPolicy, TrainCheckpoint, TrainOpts};
+use cascn::{CascnConfig, CascnModel, CheckpointPolicy, TaskKind, TrainCheckpoint, TrainOpts};
 use cascn_cascades::{deephawkes_format, io, Dataset, Split};
+use cascn_nn::metrics;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +52,9 @@ fn usage_and_exit() -> ! {
          cascn train --data FILE --window SECS [--epochs N] [--hidden H] [--out MODEL]\n    \
          [--threads N] [--checkpoint CKPT [--checkpoint-every N]] [--resume CKPT]\n  \
          cascn predict --data FILE --window SECS --model MODEL [--top K] [--threads N]\n\n\
+         --task size|next-user: macroscopic size regression (default) or\n\
+         microscopic next-user ranking (masked softmax over the vocabulary;\n\
+         set --vocab-users N or let it derive from the data)\n\
          --threads N: worker threads for preprocessing, training, and\n\
          prediction (default: all cores; results are identical for any N)"
     );
@@ -94,8 +103,8 @@ impl Flags {
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
-    // Auto-detect: DeepHawkes lines are tab-separated; ours start with '#'
-    // or the `cascade` keyword.
+    // Auto-detect: DeepHawkes lines are tab-separated; EchoFlow exports are
+    // comma-separated CSV; ours start with '#' or the `cascade` keyword.
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let first_data_line = text
         .lines()
@@ -104,12 +113,16 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
         Some(l) if l.contains('\t') => {
             deephawkes_format::parse(&text, path).map_err(|e| e.to_string())
         }
+        _ if cascn_cascades::looks_like_echoflow(&text) => {
+            cascn_cascades::dataset_from_echoflow_str(&text, path).map_err(|e| e.to_string())
+        }
         _ => io::dataset_from_str(&text, path).map_err(|e| e.to_string()),
     }
 }
 
-/// Like [`load_dataset`], but quarantines malformed cascades (native format
-/// only) instead of failing; the quarantine summary is returned alongside.
+/// Like [`load_dataset`], but quarantines malformed cascades (native and
+/// EchoFlow formats) instead of failing; the quarantine summary is returned
+/// alongside.
 fn load_dataset_lenient(path: &str) -> Result<(Dataset, Option<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let first_data_line = text
@@ -119,6 +132,11 @@ fn load_dataset_lenient(path: &str) -> Result<(Dataset, Option<String>), String>
         Some(l) if l.contains('\t') => {
             let d = deephawkes_format::parse(&text, path).map_err(|e| e.to_string())?;
             Ok((d, None))
+        }
+        _ if cascn_cascades::looks_like_echoflow(&text) => {
+            let (d, report) = cascn_cascades::dataset_from_echoflow_str_lenient(&text, path);
+            let summary = (!report.is_clean()).then(|| report.summary());
+            Ok((d, summary))
         }
         _ => {
             let (d, report) = io::dataset_from_str_lenient(&text, path);
@@ -188,6 +206,11 @@ fn train_config(flags: &Flags) -> Result<(CascnConfig, TrainOpts), String> {
     // `--threads 0` (the default) resolves to all available cores; any
     // value produces bit-identical models, so this is purely a speed knob.
     let threads: usize = flags.parse_or("threads", 0)?;
+    let task = match flags.get("task") {
+        None => TaskKind::SizeRegression,
+        Some(name) => TaskKind::parse(name)
+            .ok_or_else(|| format!("unknown --task `{name}` (size|next-user)"))?,
+    };
     let cfg = CascnConfig {
         hidden,
         mlp_hidden: hidden,
@@ -195,6 +218,9 @@ fn train_config(flags: &Flags) -> Result<(CascnConfig, TrainOpts), String> {
         max_steps: flags.parse_or("max-steps", 10)?,
         seed: flags.parse_or("seed", 42)?,
         threads,
+        task,
+        // 0 means "derive from the dataset" (see `resolve_vocab`).
+        vocab_users: flags.parse_or("vocab-users", 0)?,
         ..CascnConfig::default()
     };
     let opts = TrainOpts {
@@ -207,6 +233,22 @@ fn train_config(flags: &Flags) -> Result<(CascnConfig, TrainOpts), String> {
     Ok((cfg, opts))
 }
 
+/// Fills in `vocab_users` for the next-user task when the flag was omitted:
+/// the smallest vocabulary covering every user id in the dataset.
+fn resolve_vocab(cfg: &mut CascnConfig, dataset: &Dataset) {
+    if cfg.task != TaskKind::NextUser || cfg.vocab_users != 0 {
+        return;
+    }
+    let max_user = dataset
+        .cascades
+        .iter()
+        .flat_map(|c| c.events.iter())
+        .map(|e| e.user)
+        .max()
+        .unwrap_or(0);
+    cfg.vocab_users = usize::try_from(max_user).unwrap_or(usize::MAX - 1) + 1;
+}
+
 fn cmd_train(flags: &Flags) -> Result<(), String> {
     let data_path = flags.require("data")?;
     let window: f64 = flags
@@ -217,6 +259,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if let Some(summary) = quarantine {
         eprintln!("warning: {summary}");
     }
+    let (mut cfg, opts) = train_config(flags)?;
+    // Derive the vocabulary from the *unfiltered* dataset so `predict` and
+    // `serve` (which apply no size filter) resolve the same table shape.
+    resolve_vocab(&mut cfg, &dataset);
     let dataset = dataset
         .filter_observed_size(window, flags.parse_or("min-size", 5)?, flags.parse_or("max-size", 100)?);
     if dataset.cascades.len() < 20 {
@@ -225,7 +271,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             dataset.cascades.len()
         ));
     }
-    let (cfg, mut opts) = train_config(flags)?;
+    if cfg.task == TaskKind::NextUser {
+        return train_next_user(flags, cfg, &opts, &dataset, window);
+    }
+    let mut opts = opts;
     let resume = match flags.get("resume") {
         Some(p) => Some(TrainCheckpoint::load(p).map_err(|e| e.to_string())?),
         None => None,
@@ -290,6 +339,62 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The microscopic training path: next-event cross-entropy on the shared
+/// recurrent stack plus the masked softmax head, scored with Hit@k / MAP,
+/// saved as a v2 train checkpoint `cascn-serve` can load directly.
+fn train_next_user(
+    flags: &Flags,
+    cfg: CascnConfig,
+    opts: &TrainOpts,
+    dataset: &Dataset,
+    window: f64,
+) -> Result<(), String> {
+    if flags.get("resume").is_some() || flags.get("checkpoint").is_some() {
+        return Err("--resume/--checkpoint are not supported with --task next-user".into());
+    }
+    let vocab = cfg.vocab_users;
+    let mut model = CascnModel::new(cfg);
+    let threads = cascn::resolve_threads(opts.threads);
+    println!(
+        "training CasCN next-user head ({} parameters, vocab {vocab}) on {} cascades, {threads} threads…",
+        model.num_parameters(),
+        dataset.split(Split::Train).len()
+    );
+    let history = model.fit_next_user(
+        dataset.split(Split::Train),
+        dataset.split(Split::Validation),
+        window,
+        opts,
+    );
+    for r in history.records() {
+        println!(
+            "epoch {:>3}: train CE {:.4}  val CE {:.4}",
+            r.epoch, r.train_loss, r.val_loss
+        );
+    }
+    let ranks = model.next_user_ranks(dataset.split(Split::Test), window);
+    if ranks.is_empty() {
+        eprintln!("warning: no test cascade has a next-user target — skipping metrics");
+    } else {
+        println!(
+            "test ({} prefixes): Hit@1 {:.4}  Hit@5 {:.4}  Hit@10 {:.4}  MAP {:.4}",
+            ranks.len(),
+            metrics::hit_at_k(&ranks, 1),
+            metrics::hit_at_k(&ranks, 5),
+            metrics::hit_at_k(&ranks, 10),
+            metrics::mean_average_precision(&ranks)
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        model
+            .export_checkpoint()
+            .save(out)
+            .map_err(|e| e.to_string())?;
+        println!("saved next-user checkpoint to {out}");
+    }
+    Ok(())
+}
+
 fn cmd_predict(flags: &Flags) -> Result<(), String> {
     let data_path = flags.require("data")?;
     let model_path = flags.require("model")?;
@@ -297,10 +402,35 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
         .require("window")?
         .parse()
         .map_err(|_| "invalid --window")?;
-    let (cfg, _) = train_config(flags)?;
-    let model = CascnModel::load(cfg, model_path).map_err(|e| e.to_string())?;
+    let (mut cfg, _) = train_config(flags)?;
     let dataset = load_dataset(data_path)?;
+    resolve_vocab(&mut cfg, &dataset);
+    let task = cfg.task;
+    let model = CascnModel::load(cfg, model_path).map_err(|e| e.to_string())?;
     let top: usize = flags.parse_or("top", 10)?;
+
+    if task == TaskKind::NextUser {
+        let ranks = model.next_user_ranks(&dataset.cascades, window);
+        if !ranks.is_empty() {
+            println!(
+                "{} prefixes: Hit@1 {:.4}  Hit@5 {:.4}  Hit@10 {:.4}  MAP {:.4}",
+                ranks.len(),
+                metrics::hit_at_k(&ranks, 1),
+                metrics::hit_at_k(&ranks, 5),
+                metrics::hit_at_k(&ranks, 10),
+                metrics::mean_average_precision(&ranks)
+            );
+        }
+        for cascade in dataset.cascades.iter().take(3) {
+            let ranked = model.predict_next(cascade, window, top);
+            let line: Vec<String> = ranked
+                .iter()
+                .map(|(u, p)| format!("{u}:{p:.4}"))
+                .collect();
+            println!("cascade {:>6} next: {}", cascade.id, line.join(" "));
+        }
+        return Ok(());
+    }
 
     let preds = model.predict_logs(&dataset.cascades, window);
     let mut rows: Vec<(u64, usize, f32)> = dataset

@@ -97,6 +97,40 @@ pub enum Pooling {
     Attention,
 }
 
+/// Which prediction task the model is trained for.
+///
+/// The spectral-conv recurrent stack is shared; the task selects the head
+/// on top of the pooled cascade representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskKind {
+    /// Macroscopic cascade-size regression (the paper's task): an MLP
+    /// predicting `ln(1 + ΔS)`.
+    #[default]
+    SizeRegression,
+    /// Microscopic next-user ranking (Topo-LSTM's task): a masked softmax
+    /// over the user vocabulary predicting who adopts next.
+    NextUser,
+}
+
+impl TaskKind {
+    /// CLI / config-file name of the task.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::SizeRegression => "size",
+            TaskKind::NextUser => "next-user",
+        }
+    }
+
+    /// Parses a CLI task name (`size` | `next-user`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "size" => Some(TaskKind::SizeRegression),
+            "next-user" => Some(TaskKind::NextUser),
+            _ => None,
+        }
+    }
+}
+
 /// Hyper-parameters of the CasCN family.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CascnConfig {
@@ -127,6 +161,14 @@ pub struct CascnConfig {
     pub cheb_kernel: ChebKernel,
     /// Temporal pooling (the paper's sum, or the attention extension).
     pub pooling: Pooling,
+    /// Which task head sits on the pooled representation.
+    pub task: TaskKind,
+    /// Size of the user-id space for the next-user head: user `u` maps to
+    /// table row `u + 1` when `u < vocab_users`, row 0 (UNK) otherwise.
+    /// Ignored (and conventionally 0) for size regression. Must match
+    /// between training and serving — it shapes the head's parameters,
+    /// exactly like `hidden`.
+    pub vocab_users: usize,
     /// Parameter-initialization seed.
     pub seed: u64,
     /// Worker threads for cascade preprocessing and prediction sweeps:
@@ -152,6 +194,8 @@ impl Default for CascnConfig {
             decay: DecayMode::Learned,
             cheb_kernel: ChebKernel::Sparse,
             pooling: Pooling::Sum,
+            task: TaskKind::SizeRegression,
+            vocab_users: 0,
             seed: 42,
             threads: 1,
         }
@@ -256,6 +300,15 @@ mod tests {
             DecayMode::None
         );
         assert_eq!(base.with_variant(Variant::Full), base);
+    }
+
+    #[test]
+    fn task_names_round_trip() {
+        for task in [TaskKind::SizeRegression, TaskKind::NextUser] {
+            assert_eq!(TaskKind::parse(task.name()), Some(task));
+        }
+        assert_eq!(TaskKind::parse("macro"), None);
+        assert_eq!(TaskKind::default(), TaskKind::SizeRegression);
     }
 
     #[test]

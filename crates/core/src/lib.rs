@@ -18,6 +18,15 @@
 //! The crate also ships the paper's five ablation variants (Table IV) and
 //! the training loop of Algorithm 2.
 //!
+//! Besides the macroscopic size regression, the same recurrent stack can
+//! drive a *microscopic* next-user task: configuring
+//! `CascnConfig { task: TaskKind::NextUser, vocab_users, .. }` attaches a
+//! masked softmax head over the user vocabulary
+//! ([`cascn_nn::NextUserHead`]), trained with next-event cross-entropy
+//! ([`model::CascnModel::fit_next_user`]) and evaluated with Hit@k / MAP
+//! ([`cascn_nn::metrics`]). Already-infected users are masked to
+//! probability exactly zero.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -58,13 +67,14 @@ pub mod trainer;
 pub use cascn_autograd::{atomic_write, fnv1a64};
 pub use checkpoint::{StopperState, TrainCheckpoint};
 pub use config::{
-    CascnConfig, ChebKernel, DecayMode, LambdaMax, LaplacianKind, Pooling, RecurrentKind, Variant,
+    CascnConfig, ChebKernel, DecayMode, LambdaMax, LaplacianKind, Pooling, RecurrentKind, TaskKind,
+    Variant,
 };
 pub use error::CascnError;
 pub use faults::FaultInjector;
 pub use gl::GlModel;
 pub use input::{preprocess, preprocess_with_basis, spectral_basis, PreprocessedCascade, WindowedPreprocessor};
-pub use model::CascnModel;
+pub use model::{CascnModel, NextUserSample};
 pub use parallel::{parallel_map, resolve_threads};
 pub use path::PathModel;
 pub use predictor::{evaluate, try_evaluate, SizePredictor};

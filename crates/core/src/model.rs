@@ -1,20 +1,21 @@
 //! The CasCN model (Fig. 2): ChebConv recurrence → time decay → sum
 //! pooling → MLP.
 
-use cascn_autograd::{ParamId, ParamStore, Tape, Var};
+use cascn_autograd::{AdamState, ParamId, ParamStore, Tape, Var};
 use cascn_cascades::Cascade;
-use cascn_nn::{Activation, ChebConvGruCell, ChebConvLstmCell, Mlp, TimeDecay};
+use cascn_nn::{metrics, Activation, ChebConvGruCell, ChebConvLstmCell, Mlp, NextUserHead, TimeDecay};
 use cascn_nn::train::History;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::checkpoint::TrainCheckpoint;
-use crate::config::{CascnConfig, DecayMode, Pooling, RecurrentKind};
+use crate::checkpoint::{StopperState, TrainCheckpoint};
+use crate::config::{CascnConfig, DecayMode, Pooling, RecurrentKind, TaskKind};
 use crate::error::CascnError;
 use crate::input::{preprocess, PreprocessedCascade};
 use crate::parallel::parallel_map;
 use crate::trainer::{
-    predict_with, train_loop, train_loop_resumable, CheckpointPolicy, TrainHooks, TrainOpts,
+    predict_with, train_loop, train_loop_ranked, train_loop_resumable, CheckpointPolicy,
+    TrainHooks, TrainOpts,
 };
 
 
@@ -38,6 +39,25 @@ pub struct CascnModel {
     /// Attention scoring vector.
     att_v: ParamId,
     mlp: Mlp,
+    /// The microscopic next-user head (present iff `cfg.task == NextUser`).
+    /// Registered after every size-task parameter, so size-regression
+    /// checkpoints are layout-identical with or without this code path.
+    next_head: Option<NextUserHead>,
+}
+
+/// One next-user training/evaluation example: the preprocessed cascade
+/// prefix, the infected-user mask over the head's table, and the row of the
+/// true next adopter.
+#[derive(Debug, Clone)]
+pub struct NextUserSample {
+    /// The shared spectral-conv input for the observed prefix.
+    pub pre: PreprocessedCascade,
+    /// `mask[row]` is `true` for every already-infected user (and UNK).
+    pub mask: Vec<bool>,
+    /// Table row of the first adopter after the observation window.
+    pub target_row: usize,
+    /// That adopter's global user id.
+    pub target_user: u64,
 }
 
 impl CascnModel {
@@ -79,6 +99,22 @@ impl CascnModel {
             Activation::Relu,
             &mut rng,
         );
+        let next_head = match cfg.task {
+            TaskKind::SizeRegression => None,
+            TaskKind::NextUser => {
+                assert!(
+                    cfg.vocab_users >= 1,
+                    "task next-user requires vocab_users >= 1"
+                );
+                Some(NextUserHead::new(
+                    &mut store,
+                    "cascn.next",
+                    cfg.hidden,
+                    cfg.vocab_users + 1,
+                    &mut rng,
+                ))
+            }
+        };
         Self {
             cfg,
             store,
@@ -87,6 +123,7 @@ impl CascnModel {
             att_w,
             att_v,
             mlp,
+            next_head,
         }
     }
 
@@ -339,6 +376,201 @@ impl CascnModel {
     /// Current time-decay multipliers `λ_m`.
     pub fn decay_values(&self) -> Vec<f32> {
         self.decay.values(&self.store)
+    }
+
+    /// Table row for a global user id: identity embedding with row 0
+    /// reserved for out-of-vocabulary users. Users `0..vocab_users` map to
+    /// rows `1..=vocab_users`; everything else folds to UNK.
+    pub fn user_row(&self, user: u64) -> usize {
+        match usize::try_from(user) {
+            Ok(u) if u < self.cfg.vocab_users => u + 1,
+            _ => 0,
+        }
+    }
+
+    fn head(&self) -> &NextUserHead {
+        self.next_head
+            .as_ref()
+            // lint: allow(no-panic) — internal invariant: the head exists whenever cfg.task == NextUser, which new() establishes for every next-user model
+            .expect("next-user API requires cfg.task = next-user")
+    }
+
+    /// Infected-user mask over the head's table for an observed prefix:
+    /// `mask[row]` is true for every user in `observed` plus the UNK row.
+    pub fn infected_mask(&self, observed: &[u64]) -> Vec<bool> {
+        let mut mask = vec![false; self.head().table_size()];
+        mask[0] = true;
+        for &u in observed {
+            mask[self.user_row(u)] = true;
+        }
+        mask
+    }
+
+    /// Builds the next-user training example for a cascade prefix, or `None`
+    /// when the prefix carries no supervision: nothing happens after the
+    /// window, the next adopter is out of vocabulary, or (with a folding
+    /// vocabulary) the target row is already infected.
+    pub fn next_sample(&self, cascade: &Cascade, window: f64) -> Option<NextUserSample> {
+        let observed = cascade.observed_size(window);
+        let target = cascade.events.get(observed)?;
+        let target_row = self.user_row(target.user);
+        let prefix: Vec<u64> = cascade.events[..observed].iter().map(|e| e.user).collect();
+        let mask = self.infected_mask(&prefix);
+        if target_row == 0 || mask[target_row] {
+            return None;
+        }
+        let pre = preprocess(cascade, window, &self.cfg);
+        Some(NextUserSample {
+            pre,
+            mask,
+            target_row,
+            target_user: target.user,
+        })
+    }
+
+    /// Next-event cross-entropy `-log p(u_next | C(t))` for one sample
+    /// (a `1x1` variable on the tape).
+    pub fn next_loss(&self, tape: &mut Tape, store: &ParamStore, sample: &NextUserSample) -> Var {
+        let rep = self.forward_representation(tape, store, &sample.pre);
+        self.head()
+            .loss(tape, store, rep, &sample.mask, sample.target_row)
+    }
+
+    /// Trains the next-user head (and the shared recurrent stack) with
+    /// next-event cross-entropy. Gradients are merged in example order by
+    /// the shared trainer, so the result is bit-identical for any
+    /// `cfg.threads`. Returns the loss history; the model keeps the
+    /// best-validation parameters.
+    pub fn fit_next_user(
+        &mut self,
+        train: &[Cascade],
+        val: &[Cascade],
+        window: f64,
+        opts: &TrainOpts,
+    ) -> History {
+        let collect = |cascades: &[Cascade]| -> Vec<NextUserSample> {
+            parallel_map(self.cfg.threads, cascades, |_, c| {
+                self.next_sample(c, window)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        let train_samples = collect(train);
+        let val_samples = collect(val);
+        assert!(
+            !train_samples.is_empty(),
+            "fit_next_user: no trainable next-user example in the training split"
+        );
+        let model = self.clone();
+        let loss = move |tape: &mut Tape, store: &ParamStore, s: &NextUserSample| {
+            model.next_loss(tape, store, s)
+        };
+        train_loop_ranked(&mut self.store, &loss, &train_samples, &val_samples, opts)
+    }
+
+    /// Masked next-user probabilities over the head's table for an
+    /// already-preprocessed prefix. Rows of users in `observed` (and UNK)
+    /// have probability exactly `0.0`.
+    pub fn next_probs(&self, sample: &PreprocessedCascade, observed: &[u64]) -> Vec<f32> {
+        let mask = self.infected_mask(observed);
+        let mut tape = Tape::new();
+        let rep = self.forward_representation(&mut tape, &self.store, sample);
+        self.head()
+            .predict_probs(&mut tape, &self.store, rep, &mask)
+    }
+
+    /// Top-`k` next adopters `(user, probability)` for an
+    /// already-preprocessed prefix — the entry point the serving layer uses
+    /// after a spectral-cache hit, so cached and direct predictions are
+    /// bit-identical. Already-infected users are excluded from the
+    /// candidates; ties break toward the smaller user id.
+    pub fn predict_next_sample(
+        &self,
+        sample: &PreprocessedCascade,
+        observed: &[u64],
+        k: usize,
+    ) -> Vec<(u64, f32)> {
+        let mask = self.infected_mask(observed);
+        let probs = self.next_probs(sample, observed);
+        let mut ranked: Vec<(usize, f32)> = (1..probs.len())
+            .filter(|&row| !mask[row])
+            .map(|row| (row, probs[row]))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(row, p)| ((row - 1) as u64, p)).collect()
+    }
+
+    /// Top-`k` next adopters for a cascade observed up to `window`.
+    /// Exactly `preprocess` + [`CascnModel::predict_next_sample`].
+    pub fn predict_next(&self, cascade: &Cascade, window: f64, k: usize) -> Vec<(u64, f32)> {
+        let sample = preprocess(cascade, window, &self.cfg);
+        let observed: Vec<u64> = cascade.observe(window).users();
+        self.predict_next_sample(&sample, &observed, k)
+    }
+
+    /// 0-based rank of the true next adopter among the uninfected candidate
+    /// users (deterministic ties via [`metrics::rank_of`]), or `None` when
+    /// the prefix has no in-vocabulary target. Feed these into
+    /// [`metrics::hit_at_k`] / [`metrics::mean_average_precision`].
+    pub fn next_user_rank(&self, cascade: &Cascade, window: f64) -> Option<usize> {
+        let s = self.next_sample(cascade, window)?;
+        let observed: Vec<u64> = cascade.observe(window).users();
+        let probs = self.next_probs(&s.pre, &observed);
+        let mut scores = Vec::with_capacity(probs.len());
+        let mut target_idx = None;
+        for (row, &p) in probs.iter().enumerate().skip(1) {
+            if s.mask[row] {
+                continue;
+            }
+            if row == s.target_row {
+                target_idx = Some(scores.len());
+            }
+            scores.push(p);
+        }
+        Some(metrics::rank_of(&scores, target_idx?))
+    }
+
+    /// Ranks for every evaluable cascade in `cascades`, fanned out across
+    /// `cfg.threads` workers in input order (bit-identical for any thread
+    /// count). Cascades without a trainable target are skipped.
+    pub fn next_user_ranks(&self, cascades: &[Cascade], window: f64) -> Vec<usize> {
+        parallel_map(self.cfg.threads, cascades, |_, c| {
+            self.next_user_rank(c, window)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Wraps the current parameters in a v2 [`TrainCheckpoint`] with empty
+    /// optimizer state — the format [`CascnModel::load`] and the serving
+    /// registry consume. Lets a freshly trained next-user model be exported
+    /// for `cascn-serve` without going through the resumable trainer.
+    pub fn export_checkpoint(&self) -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 0,
+            shuffle_seed: 0,
+            base_lr: 0.0,
+            eff_lr: 0.0,
+            bad_streak: 0,
+            stopper: StopperState {
+                patience: 0,
+                best: f32::MAX,
+                best_epoch: 0,
+                stale: 0,
+                epochs_seen: 0,
+            },
+            history: History::default(),
+            adam: AdamState {
+                step: 0,
+                m: Vec::new(),
+                v: Vec::new(),
+            },
+            params: self.store.clone(),
+            best_params: Some(self.store.clone()),
+        }
     }
 
     /// Saves the trained parameters to a text checkpoint.
@@ -626,5 +858,176 @@ mod tests {
         let a = CascnModel::new(tiny_cfg()).predict_log(&data.cascades[1], 3600.0);
         let b = CascnModel::new(tiny_cfg()).predict_log(&data.cascades[1], 3600.0);
         assert_eq!(a, b);
+    }
+
+    fn next_cfg() -> CascnConfig {
+        CascnConfig {
+            task: TaskKind::NextUser,
+            vocab_users: 5000,
+            ..tiny_cfg()
+        }
+    }
+
+    #[test]
+    fn next_user_task_adds_a_head_without_touching_the_size_layout() {
+        let size = CascnModel::new(tiny_cfg());
+        let next = CascnModel::new(next_cfg());
+        assert!(next.num_parameters() > size.num_parameters());
+        // Every size-task parameter restores into the next-user model: the
+        // head is appended after the shared stack, not interleaved.
+        let mut probe = CascnModel::new(next_cfg());
+        let restored = probe.store.restore_from(size.params()).unwrap();
+        assert_eq!(restored, size.params().len());
+    }
+
+    #[test]
+    fn infected_users_have_zero_probability_and_never_rank() {
+        let model = CascnModel::new(next_cfg());
+        let data = tiny_data();
+        let window = 3600.0;
+        let mut checked = 0usize;
+        for cascade in data.cascades.iter().take(40) {
+            let Some(sample) = model.next_sample(cascade, window) else {
+                continue;
+            };
+            checked += 1;
+            let observed: Vec<u64> = cascade.observe(window).users();
+            let probs = model.next_probs(&sample.pre, &observed);
+            for &u in &observed {
+                assert_eq!(
+                    probs[model.user_row(u)],
+                    0.0,
+                    "infected user {u} must carry exactly zero probability"
+                );
+            }
+            assert_eq!(probs[0], 0.0, "UNK row must stay masked");
+            let total: f32 = probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-4, "probs sum to {total}");
+            // Ranked candidates exclude every infected user at any k.
+            let top = model.predict_next(cascade, window, probs.len());
+            for &(u, _) in &top {
+                assert!(
+                    !observed.contains(&u),
+                    "infected user {u} leaked into the ranking"
+                );
+            }
+            // Ranking is sorted by probability, ties toward smaller ids.
+            for pair in top.windows(2) {
+                assert!(
+                    pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                    "ranking order violated: {pair:?}"
+                );
+            }
+        }
+        assert!(checked >= 10, "only {checked} cascades had a next-user target");
+    }
+
+    #[test]
+    fn next_probs_are_bit_identical_across_thread_counts() {
+        let data = tiny_data();
+        let window = 3600.0;
+        let ranks: Vec<Vec<usize>> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let model = CascnModel::new(CascnConfig {
+                    threads,
+                    ..next_cfg()
+                });
+                model.next_user_ranks(&data.cascades[..40], window)
+            })
+            .collect();
+        assert!(!ranks[0].is_empty());
+        assert_eq!(ranks[0], ranks[1], "1 vs 2 threads diverged");
+        assert_eq!(ranks[0], ranks[2], "1 vs 4 threads diverged");
+    }
+
+    #[test]
+    fn fit_next_user_learns_and_is_thread_invariant() {
+        let data = tiny_data();
+        let window = 3600.0;
+        let opts = TrainOpts {
+            epochs: 3,
+            patience: 3,
+            ..TrainOpts::default()
+        };
+        let run = |threads: usize| {
+            let mut model = CascnModel::new(CascnConfig {
+                threads,
+                ..next_cfg()
+            });
+            let hist = model.fit_next_user(
+                &data.split(Split::Train)[..30],
+                &data.split(Split::Validation)[..10],
+                window,
+                &TrainOpts { threads, ..opts },
+            );
+            (model, hist)
+        };
+        let (m1, h1) = run(1);
+        let (m4, h4) = run(4);
+        let first = h1.records()[0].val_loss;
+        let best = h1.best().unwrap().val_loss;
+        assert!(
+            best <= first,
+            "next-user validation loss should not get worse: {first} → {best}"
+        );
+        for (a, b) in h1.records().iter().zip(h4.records()) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            assert_eq!(a.val_loss.to_bits(), b.val_loss.to_bits());
+        }
+        for c in data.cascades.iter().take(5) {
+            let p1 = m1.predict_next(c, window, 5);
+            let p4 = m4.predict_next(c, window, 5);
+            assert_eq!(p1.len(), p4.len());
+            for (a, b) in p1.iter().zip(&p4) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_next_matches_predict_next_sample_bit_for_bit() {
+        let model = CascnModel::new(next_cfg());
+        let data = tiny_data();
+        let window = 3600.0;
+        let cascade = &data.cascades[2];
+        let direct = model.predict_next(cascade, window, 10);
+        let sample = preprocess(cascade, window, model.config());
+        let observed: Vec<u64> = cascade.observe(window).users();
+        let via_sample = model.predict_next_sample(&sample, &observed, 10);
+        assert_eq!(direct.len(), via_sample.len());
+        for (a, b) in direct.iter().zip(&via_sample) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn exported_checkpoint_round_trips_through_load() {
+        let model = CascnModel::new(next_cfg());
+        let data = tiny_data();
+        let ckpt = model.export_checkpoint();
+        let dir = std::env::temp_dir().join("cascn-next-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.ckpt");
+        std::fs::write(&path, ckpt.to_text()).unwrap();
+        let loaded = CascnModel::load(next_cfg(), &path).unwrap();
+        let a = model.predict_next(&data.cascades[0], 3600.0, 5);
+        let b = loaded.predict_next(&data.cascades[0], 3600.0, 5);
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn next_user_ranks_feed_hit_at_k_and_map() {
+        let model = CascnModel::new(next_cfg());
+        let data = tiny_data();
+        let ranks = model.next_user_ranks(&data.cascades[..40], 3600.0);
+        assert!(!ranks.is_empty());
+        let h10 = metrics::hit_at_k(&ranks, 10);
+        let map = metrics::mean_average_precision(&ranks);
+        assert!((0.0..=1.0).contains(&h10));
+        assert!((0.0..=1.0).contains(&map));
     }
 }

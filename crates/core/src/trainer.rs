@@ -386,6 +386,112 @@ pub fn train_loop_resumable<S: Sync>(
     Ok(history)
 }
 
+/// The training loop for tasks whose loss is built *inside* the forward
+/// closure — the next-user head's masked cross-entropy, where the loss
+/// depends on per-sample structure (target index, infected mask) rather
+/// than a scalar label.
+///
+/// `loss_forward` returns the per-example `1x1` loss variable directly.
+/// Validation records the mean of the same loss over `val` (falling back
+/// to the train loss when `val` is empty); early stopping and
+/// best-parameter restoration follow [`train_loop`].
+///
+/// Thread parity is preserved exactly as in [`train_loop`]: per-example
+/// tapes run in parallel but gradients are merged in example-index order
+/// via `merge_grads`, so any `opts.threads` produces bit-identical
+/// parameters. The anomaly guard degrades gracefully here — non-finite
+/// batches are skipped with a learning-rate backoff, without the epoch
+/// rollback machinery (ranked training has no resumable-checkpoint path).
+pub fn train_loop_ranked<S: Sync>(
+    store: &mut ParamStore,
+    loss_forward: &(dyn Fn(&mut Tape, &ParamStore, &S) -> Var + Sync),
+    train: &[S],
+    val: &[S],
+    opts: &TrainOpts,
+) -> History {
+    assert!(!train.is_empty(), "train_loop_ranked: empty training set");
+
+    let guard = opts.guard;
+    let mut opt = Adam::with_lr(opts.lr);
+    let mut rng = StdRng::seed_from_u64(opts.shuffle_seed);
+    let mut stopper = EarlyStopping::new(opts.patience);
+    let mut history = History::new();
+    let mut best_params: Option<ParamStore> = None;
+    let mut eff_lr = opts.lr;
+
+    for epoch in 0..opts.epochs {
+        let mut train_loss = 0.0f64;
+        let mut counted = 0usize;
+        for (batch_idx, batch) in shuffled_batches(train.len(), opts.batch_size, &mut rng)
+            .into_iter()
+            .enumerate()
+        {
+            store.zero_grads();
+            let store_view: &ParamStore = store;
+            let per_example = parallel_map(opts.threads, &batch, |_, &i| {
+                let mut tape = Tape::new();
+                let loss = loss_forward(&mut tape, store_view, &train[i]);
+                let loss_val = tape.scalar(loss) as f64;
+                tape.backward(loss);
+                (loss_val, tape.param_grads())
+            });
+            let mut batch_loss = 0.0f64;
+            for (loss_val, grads) in &per_example {
+                batch_loss += loss_val;
+                store.merge_grads(grads);
+            }
+            store.scale_grads(1.0 / batch.len() as f32);
+            if opts.grad_clip > 0.0 {
+                store.clip_grad_norm(opts.grad_clip);
+            }
+
+            if guard.enabled && (!batch_loss.is_finite() || store.grads_non_finite()) {
+                let kind = if batch_loss.is_finite() {
+                    AnomalyKind::NonFiniteGrad
+                } else {
+                    AnomalyKind::NonFiniteLoss
+                };
+                history.log_anomaly(epoch + 1, batch_idx, kind);
+                eff_lr *= guard.lr_backoff;
+                continue; // discard this step
+            }
+
+            opt.set_lr(eff_lr);
+            opt.step(store);
+            eff_lr = (eff_lr * guard.lr_recovery).min(opts.lr);
+            train_loss += batch_loss;
+            counted += batch.len();
+        }
+        let train_loss = if counted == 0 {
+            f32::NAN
+        } else {
+            (train_loss / counted as f64) as f32
+        };
+
+        let val_loss = if val.is_empty() {
+            train_loss
+        } else {
+            let store_view: &ParamStore = store;
+            let losses = parallel_map(opts.threads, val, |_, s| {
+                predict_with(store_view, loss_forward, s)
+            });
+            losses.iter().sum::<f32>() / losses.len() as f32
+        };
+        history.push(train_loss, val_loss);
+        let improved = val_loss <= stopper.best();
+        if improved || best_params.is_none() {
+            best_params = Some(store.clone());
+        }
+        if stopper.observe(val_loss) {
+            break;
+        }
+    }
+    if let Some(best) = best_params {
+        *store = best;
+    }
+    history
+}
+
 /// Restores `store`'s values from `saved`, requiring full name/shape
 /// coverage.
 fn restore_params(store: &mut ParamStore, saved: &ParamStore) -> Result<(), CascnError> {
@@ -528,6 +634,67 @@ mod tests {
             (final_msle - best).abs() < 1e-5,
             "restored params give {final_msle}, best recorded {best}"
         );
+    }
+
+    #[test]
+    fn train_loop_ranked_concentrates_mass_on_the_target() {
+        let mut store = ParamStore::new();
+        let w = store.register("logits", Matrix::zeros(1, 3));
+        let loss_forward = move |tape: &mut Tape, store: &ParamStore, target: &usize| {
+            let logits = tape.param(store, w);
+            let logp = tape.log_softmax_row(logits);
+            let picked = tape.pick(logp, 0, *target);
+            tape.scale(picked, -1.0)
+        };
+        let train: Vec<usize> = vec![2; 48];
+        let val: Vec<usize> = vec![2; 8];
+        let opts = TrainOpts {
+            epochs: 40,
+            patience: 40,
+            lr: 0.1,
+            ..TrainOpts::default()
+        };
+        let hist = train_loop_ranked(&mut store, &loss_forward, &train, &val, &opts);
+        let first = hist.records()[0].val_loss;
+        let last = hist.records().last().unwrap().val_loss;
+        assert!(last < first * 0.2, "cross-entropy should shrink: {first} → {last}");
+        let logits = store.value(w);
+        assert!(
+            logits[(0, 2)] > logits[(0, 0)] && logits[(0, 2)] > logits[(0, 1)],
+            "target logit must dominate: {:?}",
+            logits.as_slice()
+        );
+    }
+
+    #[test]
+    fn train_loop_ranked_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut store = ParamStore::new();
+            let w = store.register("logits", Matrix::zeros(1, 4));
+            let loss_forward = move |tape: &mut Tape, store: &ParamStore, target: &usize| {
+                let logits = tape.param(store, w);
+                let logp = tape.log_softmax_row(logits);
+                let picked = tape.pick(logp, 0, *target);
+                tape.scale(picked, -1.0)
+            };
+            let train: Vec<usize> = (0..32).map(|i| 1 + i % 3).collect();
+            let opts = TrainOpts {
+                epochs: 3,
+                batch_size: 8,
+                threads,
+                ..TrainOpts::default()
+            };
+            let _ = train_loop_ranked(&mut store, &loss_forward, &train, &[], &opts);
+            store
+                .value(w)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<u32>>()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "2 threads must match serial bit-for-bit");
+        assert_eq!(serial, run(4), "4 threads must match serial bit-for-bit");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`TimeDecay`] — the non-parametric learned time-decay multipliers
 //!   (Eq. 15–16);
 //! * [`Embedding`] and [`Vocab`] — user-identity embeddings;
-//! * [`metrics`] — the MSLE evaluation metric (Eq. 20);
+//! * [`NextUserHead`] — the microscopic next-user task head: masked softmax
+//!   over the user table (Topo-LSTM's ranking protocol);
+//! * [`metrics`] — the MSLE evaluation metric (Eq. 20) plus the Hit@k / MAP
+//!   ranking metrics of the next-user task;
 //! * [`train`] — mini-batching and early-stopping utilities shared by every
 //!   trainer in the workspace.
 
@@ -23,6 +26,7 @@ mod embedding;
 pub mod init;
 mod linear;
 pub mod metrics;
+mod next_user;
 mod rnn;
 pub mod train;
 
@@ -30,4 +34,5 @@ pub use chebconv::{bases_to_vars, ChebConvGruCell, ChebConvLstmCell, ChebOperand
 pub use decay::TimeDecay;
 pub use embedding::{Embedding, Vocab};
 pub use linear::{Activation, Linear, Mlp};
+pub use next_user::{NextUserHead, MASK_LOGIT};
 pub use rnn::{GruCell, LstmCell};

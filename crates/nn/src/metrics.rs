@@ -71,6 +71,54 @@ pub fn male(pred_logs: &[f32], increments: &[usize]) -> f32 {
         / pred_logs.len() as f32
 }
 
+// ---- next-user ranking metrics (Topo-LSTM's microscopic protocol) ---------
+
+/// 0-based rank of `target` when the candidate scores are sorted
+/// descending, with deterministic tie-breaking: ties are resolved by
+/// candidate index ascending, so two runs (or two thread counts) that
+/// produce bit-identical scores always report the same rank. Comparison is
+/// [`f32::total_cmp`] throughout — no float `==`, NaN has a defined order.
+///
+/// # Panics
+/// Panics if `target` is out of bounds.
+pub fn rank_of(scores: &[f32], target: usize) -> usize {
+    assert!(target < scores.len(), "rank_of: target {target} out of {}", scores.len());
+    use std::cmp::Ordering;
+    let t = scores[target];
+    scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, s)| match s.total_cmp(&t) {
+            Ordering::Greater => true,
+            Ordering::Equal => i < target,
+            Ordering::Less => false,
+        })
+        .count()
+}
+
+/// Hit@k over per-example 0-based ranks of the true next user: the fraction
+/// of examples whose target landed in the top `k`.
+///
+/// # Panics
+/// Panics on empty input or `k == 0`.
+pub fn hit_at_k(ranks: &[usize], k: usize) -> f32 {
+    assert!(!ranks.is_empty(), "hit_at_k: empty inputs");
+    assert!(k > 0, "hit_at_k: k must be positive");
+    ranks.iter().filter(|&&r| r < k).count() as f32 / ranks.len() as f32
+}
+
+/// Mean average precision over per-example ranks. With exactly one relevant
+/// item per example (the true next user), average precision reduces to the
+/// reciprocal rank `1 / (rank + 1)`, so this is the mean reciprocal rank —
+/// the form Topo-LSTM reports as MAP.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn mean_average_precision(ranks: &[usize]) -> f32 {
+    assert!(!ranks.is_empty(), "mean_average_precision: empty inputs");
+    ranks.iter().map(|&r| 1.0 / (r + 1) as f32).sum::<f32>() / ranks.len() as f32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +176,54 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn try_msle_still_rejects_mismatched_lengths() {
         let _ = try_msle(&[0.0], &[]);
+    }
+
+    #[test]
+    fn rank_counts_strictly_better_candidates() {
+        let scores = [0.1, 0.7, 0.3, 0.05];
+        assert_eq!(rank_of(&scores, 1), 0);
+        assert_eq!(rank_of(&scores, 2), 1);
+        assert_eq!(rank_of(&scores, 0), 2);
+        assert_eq!(rank_of(&scores, 3), 3);
+    }
+
+    #[test]
+    fn ties_break_by_index_ascending() {
+        // Identical scores: the lower index wins the earlier rank.
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of(&scores, 0), 0);
+        assert_eq!(rank_of(&scores, 1), 1);
+        assert_eq!(rank_of(&scores, 2), 2);
+    }
+
+    #[test]
+    fn negative_zero_ties_with_positive_zero_deterministically() {
+        // total_cmp orders −0.0 < +0.0, so the ordering stays total and
+        // reproducible even on signed-zero scores.
+        let scores = [0.0f32, -0.0f32];
+        assert_eq!(rank_of(&scores, 0), 0);
+        assert_eq!(rank_of(&scores, 1), 1);
+    }
+
+    #[test]
+    fn hit_at_k_counts_top_k_membership() {
+        let ranks = [0usize, 4, 9, 20];
+        assert_eq!(hit_at_k(&ranks, 1), 0.25);
+        assert_eq!(hit_at_k(&ranks, 5), 0.5);
+        assert_eq!(hit_at_k(&ranks, 10), 0.75);
+        assert_eq!(hit_at_k(&ranks, 100), 1.0);
+    }
+
+    #[test]
+    fn map_is_mean_reciprocal_rank_for_single_relevant_item() {
+        let ranks = [0usize, 1, 3];
+        let expect = (1.0 + 0.5 + 0.25) / 3.0;
+        assert!((mean_average_precision(&ranks) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn hit_at_k_rejects_empty() {
+        let _ = hit_at_k(&[], 5);
     }
 }

@@ -34,10 +34,32 @@ use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 use crate::sync::{lock_recover, wait_recover};
 
+/// What the executor computes per cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Macroscopic `POST /predict`: the predicted log-increment.
+    SizeLog,
+    /// Microscopic `POST /predict_next`: the top-`k` next adopters, with
+    /// already-infected users masked out.
+    NextUser {
+        /// How many `(user, probability)` pairs to return per cascade.
+        k: usize,
+    },
+}
+
+/// One per-cascade result, matching the job's [`JobKind`].
+#[derive(Debug, Clone)]
+pub enum PredictOutput {
+    /// `JobKind::SizeLog` result.
+    Log(f32),
+    /// `JobKind::NextUser` result: `(user, probability)` by rank.
+    TopK(Vec<(u64, f32)>),
+}
+
 /// Where a request waits for its batch to execute.
 enum SlotState {
     Pending,
-    Done(Vec<f32>),
+    Done(Vec<PredictOutput>),
     Aborted(String),
 }
 
@@ -55,7 +77,7 @@ impl ResponseSlot {
         })
     }
 
-    fn fulfill(&self, preds: Vec<f32>) {
+    fn fulfill(&self, preds: Vec<PredictOutput>) {
         let mut state = lock_recover(&self.state);
         *state = SlotState::Done(preds);
         self.cv.notify_all();
@@ -68,7 +90,7 @@ impl ResponseSlot {
     }
 
     /// Blocks until the executor fulfills or aborts this slot.
-    pub fn wait(&self) -> Result<Vec<f32>, String> {
+    pub fn wait(&self) -> Result<Vec<PredictOutput>, String> {
         let mut state = lock_recover(&self.state);
         loop {
             match &*state {
@@ -82,10 +104,12 @@ impl ResponseSlot {
     }
 }
 
-/// One queued predict request: its cascades, window, and response slot.
+/// One queued predict request: its cascades, window, what to compute per
+/// cascade, and the response slot.
 pub struct PredictJob {
     pub cascades: Vec<Cascade>,
     pub window: f64,
+    pub kind: JobKind,
     pub slot: Arc<ResponseSlot>,
 }
 
@@ -228,7 +252,17 @@ impl Batcher {
                         spectral_basis(cascade, job.window, cfg)
                     });
                     let sample = preprocess_with_basis(cascade, job.window, cfg, &basis);
-                    loaded.model.predict_log_sample(&sample)
+                    match job.kind {
+                        JobKind::SizeLog => {
+                            PredictOutput::Log(loaded.model.predict_log_sample(&sample))
+                        }
+                        JobKind::NextUser { k } => {
+                            let observed: Vec<u64> = cascade.observe(job.window).users();
+                            PredictOutput::TopK(
+                                loaded.model.predict_next_sample(&sample, &observed, k),
+                            )
+                        }
+                    }
                 })
             }));
             match outcome {
@@ -236,7 +270,8 @@ impl Batcher {
                     metrics.predictions.fetch_add(flat.len() as u64, Ordering::Relaxed);
                     let mut preds = preds.into_iter();
                     for job in jobs {
-                        let take: Vec<f32> = preds.by_ref().take(job.cascades.len()).collect();
+                        let take: Vec<PredictOutput> =
+                            preds.by_ref().take(job.cascades.len()).collect();
                         job.slot.fulfill(take);
                     }
                 }
@@ -267,7 +302,13 @@ mod tests {
     fn job(n_cascades: usize) -> (PredictJob, Arc<ResponseSlot>) {
         let slot = ResponseSlot::new();
         let cascades = (0..n_cascades).map(|i| cascade(i as u64, 3)).collect();
-        (PredictJob { cascades, window: 10.0, slot: Arc::clone(&slot) }, slot)
+        let job = PredictJob {
+            cascades,
+            window: 10.0,
+            kind: JobKind::SizeLog,
+            slot: Arc::clone(&slot),
+        };
+        (job, slot)
     }
 
     #[test]

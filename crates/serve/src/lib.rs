@@ -51,7 +51,7 @@ pub mod server;
 pub mod supervisor;
 pub mod sync;
 
-pub use batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
+pub use batch::{Batcher, EnqueueError, JobKind, PredictJob, PredictOutput, ResponseSlot};
 pub use cache::{BasisCache, CacheStats};
 pub use live::{LiveRegistry, LiveStats, ObserveError, ObserveOutcome};
 pub use metrics::{RouterMetrics, ServeMetrics};

@@ -31,11 +31,14 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "cascn-serve — CasCN inference server\n\n\
          USAGE:\n  cascn-serve --model CKPT [--addr HOST:PORT] [--window SECS]\n    \
+         [--task size|next-user --vocab-users N]\n    \
          [--hidden H] [--max-nodes N] [--max-steps N] [--seed S]\n    \
          [--workers N] [--threads N] [--max-batch N] [--max-queue N]\n    \
          [--max-body-bytes N] [--cache-capacity N] [--live-capacity N]\n    \
          [--read-timeout-ms N] [--snapshot PATH] [--snapshot-interval-ms N]\n\n\
          --model CKPT: a `cascn train --checkpoint` v2 file\n\
+         --task next-user: serve POST /predict_next from a checkpoint written\n    \
+         by `cascn train --task next-user` (requires --vocab-users to match)\n\
          --addr: bind address (default 127.0.0.1:8077; port 0 = ephemeral)\n\
          --window: default prediction window when a request has no ?window=\n\
          --workers/--threads: connection workers / forward-pass fan-out (0 = all cores)\n\
@@ -47,6 +50,7 @@ fn usage_and_exit() -> ! {
          --snapshot-interval-ms: also save on this cadence (0 = on demand only)\n\n\
          ROUTES:\n  GET /healthz   GET /metrics\n  \
          POST /predict?window=SECS   (body: cascade text format)\n  \
+         POST /predict_next?window=SECS&k=K   (next-user checkpoints only)\n  \
          POST /observe?window=SECS   (body: single-cascade suffix of adoption events)\n  \
          POST /reload   POST /snapshot   POST /shutdown"
     );
@@ -91,6 +95,15 @@ fn run(flags: &Flags) -> Result<(), String> {
     let model_path = flags.require("model")?;
     let hidden: usize = flags.parse_or("hidden", 16)?;
     let threads: usize = flags.parse_or("threads", 0)?;
+    let task = match flags.get("task") {
+        None => cascn::TaskKind::SizeRegression,
+        Some(name) => cascn::TaskKind::parse(name)
+            .ok_or_else(|| format!("unknown --task `{name}` (size|next-user)"))?,
+    };
+    let vocab_users: usize = flags.parse_or("vocab-users", 0)?;
+    if task == cascn::TaskKind::NextUser && vocab_users == 0 {
+        return Err("--task next-user requires --vocab-users N (the value printed by `cascn train`)".into());
+    }
     let cfg = CascnConfig {
         hidden,
         mlp_hidden: hidden,
@@ -98,6 +111,8 @@ fn run(flags: &Flags) -> Result<(), String> {
         max_steps: flags.parse_or("max-steps", 10)?,
         seed: flags.parse_or("seed", 42)?,
         threads,
+        task,
+        vocab_users,
         ..CascnConfig::default()
     };
     let config = ServerConfig {

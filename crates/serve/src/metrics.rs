@@ -124,6 +124,8 @@ pub struct ServeMetrics {
     pub observe_refreshes: AtomicU64,
     /// End-to-end `POST /predict` latency, microseconds.
     pub predict_latency_us: Histogram<LATENCY_BUCKETS>,
+    /// End-to-end `POST /predict_next` latency, microseconds.
+    pub predict_next_latency_us: Histogram<LATENCY_BUCKETS>,
     /// End-to-end `POST /observe` latency, microseconds.
     pub observe_latency_us: Histogram<LATENCY_BUCKETS>,
     /// Cascades per executed micro-batch.
@@ -239,6 +241,15 @@ impl ServeMetrics {
                 out,
                 "cascn_predict_latency_us{{quantile=\"{label}\"}} {}",
                 self.predict_latency_us.quantile_upper_bound(q)
+            );
+        }
+
+        render_histogram(&mut out, "cascn_predict_next_latency_us", &self.predict_next_latency_us);
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "cascn_predict_next_latency_us{{quantile=\"{label}\"}} {}",
+                self.predict_next_latency_us.quantile_upper_bound(q)
             );
         }
 
@@ -425,6 +436,8 @@ mod tests {
             "cascn_predict_latency_us_bucket{le=\"+Inf\"} 1",
             "cascn_predict_latency_us{quantile=\"0.5\"}",
             "cascn_predict_latency_us{quantile=\"0.99\"}",
+            "cascn_predict_next_latency_us_count 0",
+            "cascn_predict_next_latency_us{quantile=\"0.99\"}",
             "cascn_batch_size_bucket{le=\"+Inf\"} 1",
             "cascn_batch_size_count 1",
             "cascn_batch_size_sum 4",

@@ -14,6 +14,9 @@
 //! | `GET /healthz`             | liveness probe                             |
 //! | `GET /metrics`             | plain-text counters and histograms         |
 //! | `POST /predict?window=W`   | cascade text body → `prediction <id> <ŷ>`  |
+//! | `POST /predict_next?k=K`   | cascade text body → `next <id> <u> <p> …`  |
+//! |                            | (next-user checkpoints only; infected      |
+//! |                            | users are masked out of the ranking)       |
 //! | `POST /observe?window=W`   | append events to a live cascade, keep its  |
 //! |                            | incremental spectral basis warm            |
 //! | `POST /reload`             | re-read the checkpoint, bump the version   |
@@ -35,7 +38,7 @@ use std::time::{Duration, Instant};
 use cascn::resolve_threads;
 use cascn_cascades::stream::{parse_cascades, parse_observe_body, StreamLimits};
 
-use crate::batch::{Batcher, EnqueueError, PredictJob, ResponseSlot};
+use crate::batch::{Batcher, EnqueueError, JobKind, PredictJob, PredictOutput, ResponseSlot};
 use crate::cache::BasisCache;
 use crate::http::{read_request, write_response, ParseError, Request};
 use crate::live::{LiveRegistry, ObserveError};
@@ -450,6 +453,7 @@ fn respond(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> 
         },
         ("POST", "/shutdown") => ok(writer, "shutting down\n", m),
         ("POST", "/predict") => respond_predict(req, ctx, writer),
+        ("POST", "/predict_next") => respond_predict_next(req, ctx, writer),
         ("POST", "/observe") => respond_observe(req, ctx, writer),
         _ => {
             m.requests_client_error.fetch_add(1, Ordering::Relaxed);
@@ -497,7 +501,7 @@ fn respond_predict(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Wr
 
     let ids: Vec<u64> = cascades.iter().map(|c| c.id).collect();
     let slot = ResponseSlot::new();
-    let job = PredictJob { cascades, window, slot: Arc::clone(&slot) };
+    let job = PredictJob { cascades, window, kind: JobKind::SizeLog, slot: Arc::clone(&slot) };
     if let Err(e) = ctx.batcher.enqueue(job) {
         m.requests_shed.fetch_add(1, Ordering::Relaxed);
         let body = match e {
@@ -512,14 +516,107 @@ fn respond_predict(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Wr
     match slot.wait() {
         Ok(preds) => {
             let mut body = String::with_capacity(preds.len() * 32);
-            for (id, p) in ids.iter().zip(&preds) {
+            for (id, out) in ids.iter().zip(&preds) {
                 // `{:?}` prints the shortest decimal that round-trips to
                 // the exact f32 — the parity contract with predict_log.
-                body.push_str(&format!("prediction {id} {p:?}\n"));
+                if let PredictOutput::Log(p) = out {
+                    body.push_str(&format!("prediction {id} {p:?}\n"));
+                }
             }
             m.requests_ok.fetch_add(1, Ordering::Relaxed);
             let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             m.predict_latency_us.record(us);
+            write_response(writer, 200, "OK", &[], &body, keep).is_ok()
+        }
+        Err(reason) => {
+            write_response(writer, 503, "Service Unavailable", &[], &format!("{reason}\n"), keep).is_ok()
+        }
+    }
+}
+
+/// `POST /predict_next`: like `/predict`, but ranks the top-`k` next
+/// adopters per cascade through the same batcher and spectral cache.
+/// Response: one `next <id> <user> <prob> [<user> <prob> …]` line per
+/// cascade, probabilities formatted with `{:?}` so served output is
+/// bit-identical to a direct `predict_next` call on the same checkpoint.
+/// Requires a next-user checkpoint; on a size-regression model the route
+/// answers `409 Conflict`.
+fn respond_predict_next(req: &Request, ctx: &HandlerCtx<'_>, writer: &mut impl io::Write) -> bool {
+    let started = Instant::now();
+    let keep = req.keep_alive;
+    let m = ctx.metrics;
+    let fail = |w: &mut dyn io::Write, body: String, m: &ServeMetrics| {
+        m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+        write_response(w, 400, "Bad Request", &[], &body, keep).is_ok()
+    };
+
+    if ctx.registry.config().task != cascn::TaskKind::NextUser {
+        m.requests_client_error.fetch_add(1, Ordering::Relaxed);
+        return write_response(
+            writer,
+            409,
+            "Conflict",
+            &[],
+            "model serves size regression, not next-user (start with --task next-user)\n",
+            keep,
+        )
+        .is_ok();
+    }
+    let window = match req.query_param("window") {
+        None => ctx.config.default_window,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(w) if w.is_finite() && w > 0.0 => w,
+            _ => return fail(writer, format!("invalid window `{raw}`\n"), m),
+        },
+    };
+    let k = match req.query_param("k") {
+        None => 10usize,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => return fail(writer, format!("invalid k `{raw}`\n"), m),
+        },
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return fail(writer, "request body is not utf-8\n".into(), m);
+    };
+    let cascades = match parse_cascades(text, ctx.config.limits) {
+        Ok(c) => c,
+        Err(e) => return fail(writer, format!("invalid cascade payload: {e}\n"), m),
+    };
+    if cascades.is_empty() {
+        m.requests_ok.fetch_add(1, Ordering::Relaxed);
+        return write_response(writer, 200, "OK", &[], "", keep).is_ok();
+    }
+
+    let ids: Vec<u64> = cascades.iter().map(|c| c.id).collect();
+    let slot = ResponseSlot::new();
+    let job = PredictJob { cascades, window, kind: JobKind::NextUser { k }, slot: Arc::clone(&slot) };
+    if let Err(e) = ctx.batcher.enqueue(job) {
+        m.requests_shed.fetch_add(1, Ordering::Relaxed);
+        let body = match e {
+            EnqueueError::Overloaded { queued, limit } => {
+                format!("overloaded: {queued} cascades queued (limit {limit})\n")
+            }
+            EnqueueError::Closed => "server shutting down\n".to_string(),
+        };
+        return write_response(writer, 503, "Service Unavailable", &[("Retry-After", "1")], &body, keep)
+            .is_ok();
+    }
+    match slot.wait() {
+        Ok(outs) => {
+            let mut body = String::with_capacity(outs.len() * 16 * k);
+            for (id, out) in ids.iter().zip(&outs) {
+                if let PredictOutput::TopK(ranked) = out {
+                    body.push_str(&format!("next {id}"));
+                    for (user, p) in ranked {
+                        body.push_str(&format!(" {user} {p:?}"));
+                    }
+                    body.push('\n');
+                }
+            }
+            m.requests_ok.fetch_add(1, Ordering::Relaxed);
+            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            m.predict_next_latency_us.record(us);
             write_response(writer, 200, "OK", &[], &body, keep).is_ok()
         }
         Err(reason) => {

@@ -420,3 +420,160 @@ fn unknown_routes_get_404() {
     let (status, body) = raw_request(h.addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
     assert_eq!((status, body.as_str()), (200, "ok\n"));
 }
+
+// ---- microscopic next-user serving -------------------------------------
+
+fn next_cfg() -> CascnConfig {
+    CascnConfig {
+        task: cascn::TaskKind::NextUser,
+        vocab_users: 5000,
+        ..tiny_cfg()
+    }
+}
+
+/// One next-user checkpoint (exported v2 format) shared by the tests below.
+fn next_ckpt_path() -> &'static PathBuf {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("cascn_protocol_next_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.ckpt");
+        let model = CascnModel::new(next_cfg());
+        model.export_checkpoint().save(&path).expect("next checkpoint saves");
+        path
+    })
+}
+
+fn start_next_server(mut config: ServerConfig) -> ServerHandle {
+    config.addr = "127.0.0.1:0".into();
+    config.default_window = WINDOW;
+    let registry = ModelRegistry::open(next_ckpt_path(), next_cfg()).expect("checkpoint loads");
+    let server = Server::bind(config, registry).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run());
+    ServerHandle { addr, join: Some(join) }
+}
+
+/// One `POST /predict_next` over its own connection.
+fn predict_next(addr: std::net::SocketAddr, body: &str, window: f64, k: usize) -> (u16, String) {
+    let raw = format!(
+        "POST /predict_next?window={window}&k={k} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_request(addr, &raw)
+}
+
+/// The exact `next …` lines the server must produce for `cascades`.
+fn expected_next_lines(cascades: &[Cascade], k: usize) -> String {
+    let ckpt = TrainCheckpoint::load(next_ckpt_path()).expect("checkpoint loads");
+    let model = CascnModel::from_checkpoint(next_cfg(), &ckpt).expect("params fit");
+    let mut s = String::new();
+    for c in cascades {
+        s.push_str(&format!("next {}", c.id));
+        for (user, p) in model.predict_next(c, WINDOW, k) {
+            s.push_str(&format!(" {user} {p:?}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn predict_next_on_a_size_model_is_409() {
+    let h = start_server(ServerConfig::default());
+    let e = env();
+    let (status, body) = predict_next(h.addr, &body_for(&e.dataset.cascades[..1]), WINDOW, 5);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("next-user"), "{body}");
+}
+
+#[test]
+fn served_predict_next_is_bit_identical_and_masks_infected_users() {
+    let e = env();
+    let h = start_next_server(ServerConfig::default());
+    let cascades = &e.dataset.cascades[..4];
+    let (status, body) = predict_next(h.addr, &body_for(cascades), WINDOW, 7);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, expected_next_lines(cascades, 7));
+    // End-to-end mask contract: no served user may already be infected.
+    for (line, c) in body.lines().zip(cascades) {
+        let infected: Vec<u64> = c
+            .events
+            .iter()
+            .filter(|ev| ev.time <= WINDOW)
+            .map(|ev| ev.user)
+            .collect();
+        let fields: Vec<&str> = line.split(' ').collect();
+        assert_eq!(fields[0], "next");
+        assert_eq!(fields[1], c.id.to_string());
+        for pair in fields[2..].chunks(2) {
+            let user: u64 = pair[0].parse().expect("user id");
+            assert!(
+                !infected.contains(&user),
+                "infected user {user} served in {line:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_predict_next_clients_all_get_bit_identical_results() {
+    let e = env();
+    let h = start_next_server(ServerConfig {
+        workers: 8,
+        max_batch: 4,
+        ..ServerConfig::default()
+    });
+    let addr = h.addr;
+    let slices: Vec<&[Cascade]> = (0..8).map(|i| &e.dataset.cascades[i..i + 3]).collect();
+    let expected: Vec<String> = slices.iter().map(|s| expected_next_lines(s, 5)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .map(|s| {
+                let body = body_for(s);
+                scope.spawn(move || predict_next(addr, &body, WINDOW, 5))
+            })
+            .collect();
+        for (handle, want) in handles.into_iter().zip(&expected) {
+            let (status, got) = handle.join().expect("client thread");
+            assert_eq!(status, 200, "{got}");
+            assert_eq!(&got, want, "served /predict_next diverged from direct predict_next");
+        }
+    });
+}
+
+#[test]
+fn observe_stream_then_predict_next_matches_one_shot() {
+    let e = env();
+    let h = start_next_server(ServerConfig::default());
+    let c = e
+        .dataset
+        .cascades
+        .iter()
+        .find(|c| c.events.len() >= 5)
+        .expect("dataset has a cascade with at least 5 events");
+    let serialize = |events: &[cascn_cascades::Event]| {
+        let mut s = format!("cascade {} {}\n", c.id, c.start_time);
+        for ev in events {
+            let parent = ev.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+            s.push_str(&format!("event {} {parent} {}\n", ev.user, ev.time));
+        }
+        s
+    };
+    let (status, body) = observe(h.addr, &serialize(&c.events[..2]), WINDOW);
+    assert_eq!(status, 200, "{body}");
+    for ev in &c.events[2..] {
+        let (status, body) = observe(h.addr, &serialize(std::slice::from_ref(ev)), WINDOW);
+        assert_eq!(status, 200, "{body}");
+    }
+    // The ranking must ride the incrementally updated spectral basis and
+    // still serve the same bits as a cold one-shot call.
+    let (status, served) = predict_next(h.addr, &body_for(std::slice::from_ref(c)), WINDOW, 10);
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(served, expected_next_lines(std::slice::from_ref(c), 10));
+    let (status, text) = raw_request(h.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(text.contains("cascn_spectral_cache_hits_total 1"), "{text}");
+    assert!(text.contains("cascn_predict_next_latency_us_count 1"), "{text}");
+}

@@ -5,10 +5,12 @@
 # warnings-as-errors, the full test suite, the thread-parity suite in
 # release (optimized float codegen is the configuration that ships), bench
 # compilation, the perf ratchet (BENCH_train.json vs bench-baseline.json:
-# sparse-kernel speedup and kernel-accuracy gates plus banded wall-clock),
-# the kill-and-resume smoke test, the serving smoke test, and the fleet
-# smoke test (3-replica tier behind cascn-router surviving a kill -9
-# under load with zero non-503 errors and a warm restart).
+# sparse-kernel speedup, kernel-accuracy and next-user Hit@10 gates plus
+# banded wall-clock), the kill-and-resume smoke test, the serving smoke
+# test, the next-user train→serve smoke test, and the fleet smoke test
+# (3-replica tier behind cascn-router surviving a kill -9 under load with
+# zero non-503 errors and a warm restart, plus the /predict_next leg gated
+# by serve_check against serve-baseline.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,4 +23,5 @@ cargo bench --no-run -p cascn-bench
 cargo run --release -q -p cascn-bench --bin record -- --check
 scripts/resume_smoke.sh
 scripts/serve_smoke.sh
+scripts/next_user_smoke.sh
 scripts/fleet_smoke.sh

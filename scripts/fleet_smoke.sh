@@ -15,10 +15,11 @@
 #   4. the router shuts the whole tier down cleanly on POST /shutdown.
 #
 # Also emits BENCH_serve.json at the repo root — router p50/p99, the
-# failover-window shed count, the victim's warm-start hit rate, and a
+# failover-window shed count, the victim's warm-start hit rate, a
 # per-replica p50/p99 breakdown (loadgen --target-list driven directly
-# against the tier) — as the first point of the ROADMAP's serving perf
-# trajectory.
+# against the tier), and the /predict_next latency of a next-user server
+# — then gates it against serve-baseline.json via `serve_check --check`
+# (the serving analogue of the record --check perf ratchet).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,13 +27,17 @@ CASCN=target/release/cascn
 SERVE=target/release/cascn-serve
 ROUTER=target/release/cascn-router
 LOADGEN=target/release/loadgen
-if [ ! -x "$CASCN" ] || [ ! -x "$SERVE" ] || [ ! -x "$ROUTER" ] || [ ! -x "$LOADGEN" ]; then
+SERVE_CHECK=target/release/serve_check
+if [ ! -x "$CASCN" ] || [ ! -x "$SERVE" ] || [ ! -x "$ROUTER" ] || [ ! -x "$LOADGEN" ] \
+    || [ ! -x "$SERVE_CHECK" ]; then
     cargo build --release -q
 fi
 TMP=$(mktemp -d)
 ROUTER_PID=""
+NEXT_PID=""
 cleanup() {
     [ -n "$ROUTER_PID" ] && kill "$ROUTER_PID" 2> /dev/null || true
+    [ -n "$NEXT_PID" ] && kill "$NEXT_PID" 2> /dev/null || true
     # The router's supervisor kills its replicas on exit; pkill is a
     # belt-and-braces sweep for replicas orphaned by a failed assertion.
     pkill -9 -f "cascn-serve --model $TMP/" 2> /dev/null || true
@@ -256,6 +261,39 @@ done > "$TMP/targets.txt"
     || fail "per-replica loadgen reported failures"
 grep -q '^target\[2\] ' "$TMP/per-replica.log" || fail "loadgen printed no per-target breakdown"
 
+# 7c. Next-user serving leg: train a tiny next-user checkpoint on the same
+#     data, serve it with a single `cascn-serve --task next-user`, and
+#     drive a mixed /predict + /predict_next stream at it. The loadgen
+#     `predict_next:` latency line feeds the BENCH_serve.json block the
+#     serve_check ratchet gates.
+"$CASCN" train --data "$TMP/d.cascades" --task next-user --window 3600 --hidden 4 \
+    --max-nodes 10 --max-steps 5 --min-size 3 --epochs 2 --out "$TMP/next.ckpt" \
+    > "$TMP/next-train.log" || fail "next-user training failed"
+[ -s "$TMP/next.ckpt" ] || fail "next-user training wrote no checkpoint"
+VOCAB=$(sed -n 's/.*vocab \([0-9]*\).*/\1/p' "$TMP/next-train.log" | head -n 1)
+[ -n "$VOCAB" ] || fail "next-user training printed no vocab size"
+"$SERVE" --model "$TMP/next.ckpt" --task next-user --vocab-users "$VOCAB" \
+    --addr 127.0.0.1:0 --window 3600 --hidden 4 --max-nodes 10 --max-steps 5 \
+    > "$TMP/next-server.log" 2>&1 &
+NEXT_PID=$!
+NADDR=""
+for _ in $(seq 1 300); do
+    NADDR=$(sed -n 's/^listening on //p' "$TMP/next-server.log" | head -n 1)
+    [ -n "$NADDR" ] && break
+    kill -0 "$NEXT_PID" 2> /dev/null || fail "next-user server exited before listening"
+    sleep 0.1
+done
+[ -n "$NADDR" ] || fail "next-user server never reported its address"
+"$LOADGEN" --addr "$NADDR" --requests 120 --concurrency 4 --n-cascades 20 \
+    --window 3600 --seed 7 --predict-next-ratio 0.5 --k 10 > "$TMP/next.log" \
+    || fail "next-user loadgen reported failures (409s mean a task mismatch)"
+grep -q '^predict_next: ' "$TMP/next.log" || fail "loadgen printed no predict_next latency line"
+http POST /shutdown "$NADDR" > /dev/null || true
+EXIT_CODE=0
+wait "$NEXT_PID" || EXIT_CODE=$?
+NEXT_PID=""
+[ "$EXIT_CODE" -eq 0 ] || fail "next-user server exited with code $EXIT_CODE"
+
 # 8. Clean shutdown through the router (it stops its replicas too).
 http GET /metrics "$ADDR" > "$TMP/router.metrics" || true
 http POST /shutdown "$ADDR" > /dev/null || true
@@ -279,6 +317,11 @@ WARM_RATE=$(awk -v w="${WARM_HITS:-0}" -v h="${HITS:-0}" \
 OBS_OK=$(sed -n 's/^observe: \([0-9]*\) ok.*/\1/p' "$TMP/warm.log" | head -n 1)
 OBS_P50=$(sed -n 's/^observe: .* p50 \([0-9]*\)us.*/\1/p' "$TMP/warm.log" | head -n 1)
 OBS_P99=$(sed -n 's/^observe: .* p99 \([0-9]*\)us.*/\1/p' "$TMP/warm.log" | head -n 1)
+# Next-user serving latency: loadgen's `predict_next: N ok, p50 Xus p99 Yus`
+# line from the step-7c leg.
+NEXT_OK=$(sed -n 's/^predict_next: \([0-9]*\) ok.*/\1/p' "$TMP/next.log" | head -n 1)
+NEXT_P50=$(sed -n 's/^predict_next: .* p50 \([0-9]*\)us.*/\1/p' "$TMP/next.log" | head -n 1)
+NEXT_P99=$(sed -n 's/^predict_next: .* p99 \([0-9]*\)us.*/\1/p' "$TMP/next.log" | head -n 1)
 # Per-replica p50/p99 from loadgen's `target[i] addr: N ok, p50 Xus p99 Yus`
 # lines, rendered as a JSON array.
 PER_REPLICA=$(awk '
@@ -319,11 +362,21 @@ cat > BENCH_serve.json << EOF
     "p99_us": ${OBS_P99:-0},
     "streamed_events_total": ${OBS_EVENTS}
   },
+  "predict_next": {
+    "ratio": 0.5,
+    "k": 10,
+    "ok": ${NEXT_OK:-0},
+    "p50_us": ${NEXT_P50:-0},
+    "p99_us": ${NEXT_P99:-0}
+  },
   "per_replica": [${PER_REPLICA}
   ]
 }
 EOF
 
+# 10. Gate the emitted record against the checked-in serving baseline.
+"$SERVE_CHECK" --check || fail "serve_check ratchet failed on BENCH_serve.json"
+
 echo "fleet smoke OK: survived kill -9 of replica $VICTIM (pid $OLD_PID -> $NEW_PID)," \
-    "${SHED:-0} shed / 0 hard errors across the window, ${WARM_HITS} warm-start hits;" \
-    "BENCH_serve.json written"
+    "${SHED:-0} shed / 0 hard errors across the window, ${WARM_HITS} warm-start hits," \
+    "${NEXT_OK:-0} predict_next ok; BENCH_serve.json written and gated"

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Next-user smoke test: the microscopic task end to end, train → serve.
+#
+# Trains a tiny next-user checkpoint (masked softmax head over the derived
+# user vocabulary, Hit@k/MAP printed on the test split), starts
+# `cascn-serve --task next-user` on an ephemeral port, POSTs a cascade at
+# /predict_next and asserts the ranked response: one `next <id>` line with
+# k (user, probability) pairs, no probability above 1, and no user that
+# already adopted inside the observation window (the mask contract).
+# Also asserts the server's /metrics exposes predict_next latency
+# quantiles, and that it shuts down cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CASCN=target/release/cascn
+SERVE=target/release/cascn-serve
+if [ ! -x "$CASCN" ] || [ ! -x "$SERVE" ]; then
+    cargo build --release -q
+fi
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "next-user smoke FAILED: $1" >&2
+    [ -f "$TMP/server.log" ] && tail -n 20 "$TMP/server.log" >&2
+    exit 1
+}
+
+# One POST with a body file over bash's /dev/tcp; prints the raw response.
+http_body() { # PATH ADDR BODYFILE
+    local host=${2%:*} port=${2##*:} len
+    len=$(wc -c < "$3")
+    exec 3<> "/dev/tcp/$host/$port" || return 1
+    {
+        printf 'POST %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %s\r\n\r\n' \
+            "$1" "$len"
+        cat "$3"
+    } >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+http() { # METHOD PATH ADDR
+    local host=${3%:*} port=${3##*:}
+    exec 3<> "/dev/tcp/$host/$port" || return 1
+    printf '%s %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: 0\r\n\r\n' \
+        "$1" "$2" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+# 1. Train a tiny next-user checkpoint; the printed `vocab N` is the
+#    contract the serve flags must repeat.
+"$CASCN" generate --dataset weibo --n 200 --seed 9 --out "$TMP/d.cascades" > /dev/null
+"$CASCN" train --data "$TMP/d.cascades" --task next-user --window 3600 --hidden 4 \
+    --max-nodes 10 --max-steps 5 --min-size 3 --epochs 2 --out "$TMP/next.ckpt" \
+    > "$TMP/train.log" || fail "training failed"
+[ -s "$TMP/next.ckpt" ] || fail "training wrote no checkpoint"
+grep -q '^test (.*): Hit@1 ' "$TMP/train.log" || fail "training printed no Hit@k/MAP line"
+VOCAB=$(sed -n 's/.*vocab \([0-9]*\).*/\1/p' "$TMP/train.log" | head -n 1)
+[ -n "$VOCAB" ] || fail "training printed no vocab size"
+
+# 2. Serve it.
+"$SERVE" --model "$TMP/next.ckpt" --task next-user --vocab-users "$VOCAB" \
+    --addr 127.0.0.1:0 --window 3600 --hidden 4 --max-nodes 10 --max-steps 5 \
+    > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's/^listening on //p' "$TMP/server.log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2> /dev/null || fail "server exited before listening"
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "server never reported its address"
+
+# 3. Ask for the top-5 next adopters of a hand-written cascade whose users
+#    1..4 adopted inside the window.
+{
+    echo "cascade 42 0"
+    echo "event 1 - 0"
+    echo "event 2 0 5"
+    echo "event 3 0 10"
+    echo "event 4 1 20"
+} > "$TMP/req.txt"
+http_body "/predict_next?window=3600&k=5" "$ADDR" "$TMP/req.txt" > "$TMP/resp.txt" \
+    || fail "POST /predict_next failed"
+grep -q '200 OK' "$TMP/resp.txt" || fail "predict_next did not answer 200"
+LINE=$(sed -n 's/^next 42 //p' "$TMP/resp.txt" | head -n 1)
+[ -n "$LINE" ] || fail "no 'next 42' ranking line in the response"
+# k=5 pairs → 10 whitespace-separated fields.
+set -- $LINE
+[ "$#" -eq 10 ] || fail "expected 5 (user, prob) pairs, got $# fields: $LINE"
+while [ "$#" -gt 0 ]; do
+    USER=$1 PROB=$2
+    shift 2
+    for U in 1 2 3 4; do
+        [ "$USER" != "$U" ] || fail "infected user $U ranked as a next adopter"
+    done
+    awk -v p="$PROB" 'BEGIN { exit !(p >= 0 && p <= 1) }' \
+        || fail "probability $PROB outside [0, 1]"
+done
+
+# 4. The latency histogram must have recorded the request.
+http GET /metrics "$ADDR" > "$TMP/metrics.txt" || fail "cannot scrape metrics"
+COUNT=$(sed -n 's/^cascn_predict_next_latency_us_count //p' "$TMP/metrics.txt" | head -n 1)
+[ -n "$COUNT" ] && [ "$COUNT" -ge 1 ] \
+    || fail "predict_next latency histogram count is '${COUNT:-missing}'"
+grep -q 'cascn_predict_next_latency_us{quantile="0.99"}' "$TMP/metrics.txt" \
+    || fail "missing predict_next latency quantile"
+
+# 5. Clean shutdown.
+http POST /shutdown "$ADDR" > /dev/null || true
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+[ "$EXIT_CODE" -eq 0 ] || fail "server exited with code $EXIT_CODE"
+
+echo "next-user smoke OK: vocab $VOCAB, masked top-5 served, latency histogram count $COUNT, clean shutdown"
